@@ -1,0 +1,230 @@
+// Top-level benchmark harness: one testing.B benchmark per paper table and
+// figure, so `go test -bench=. -benchmem` regenerates the evaluation's
+// headline numbers in benchmark form.  The richer rendition (violins,
+// per-load sweeps, full syscall tables) lives in cmd/musuite-bench.
+package musuite_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"musuite"
+	"musuite/internal/bench"
+	"musuite/internal/loadgen"
+	"musuite/internal/stats"
+	"musuite/internal/telemetry"
+)
+
+// benchScale shrinks datasets so cluster setup stays under a second per
+// benchmark while preserving every code path.
+func benchScale() musuite.Scale {
+	s := musuite.SmallScale()
+	s.HDCorpus, s.HDQueries = 1500, 512
+	s.RouterKeys = 1000
+	s.Docs, s.Vocab = 800, 2400
+	s.Users, s.Items, s.Ratings = 50, 60, 1800
+	return s
+}
+
+// startInstance deploys a service for benchmarking, failing the benchmark on
+// error.
+func startInstance(b *testing.B, name string, mode musuite.FrameworkMode) *musuite.Instance {
+	b.Helper()
+	inst, err := musuite.StartService(name, benchScale(), mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(inst.Close)
+	return inst
+}
+
+// syncQuery issues one request and waits for it.
+func syncQuery(b *testing.B, inst *musuite.Instance, done chan *musuite.RPCCall) {
+	inst.Issue(done)
+	call := <-done
+	if call.Err != nil {
+		b.Fatal(call.Err)
+	}
+}
+
+// --- Fig. 9: saturation throughput ---
+// ops/sec under closed-loop parallel drive approximates each service's peak
+// sustainable QPS (the paper's Fig. 9 bars).
+
+func benchmarkFig9(b *testing.B, name string) {
+	inst := startInstance(b, name, musuite.FrameworkMode{})
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		done := make(chan *musuite.RPCCall, 1)
+		for pb.Next() {
+			inst.Issue(done)
+			if call := <-done; call.Err != nil {
+				b.Error(call.Err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkFig9SaturationHDSearch(b *testing.B)   { benchmarkFig9(b, "HDSearch") }
+func BenchmarkFig9SaturationRouter(b *testing.B)     { benchmarkFig9(b, "Router") }
+func BenchmarkFig9SaturationSetAlgebra(b *testing.B) { benchmarkFig9(b, "SetAlgebra") }
+func BenchmarkFig9SaturationRecommend(b *testing.B)  { benchmarkFig9(b, "Recommend") }
+
+// --- Fig. 10: end-to-end latency distribution ---
+// Sequential queries report per-request latency; p50/p99 surface as custom
+// metrics, the two statistics the paper's violins highlight.
+
+func benchmarkFig10(b *testing.B, name string) {
+	inst := startInstance(b, name, musuite.FrameworkMode{})
+	done := make(chan *musuite.RPCCall, 1)
+	hist := stats.NewHistogram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		syncQuery(b, inst, done)
+		hist.Record(time.Since(start))
+	}
+	b.ReportMetric(float64(hist.Quantile(0.5)), "p50-ns")
+	b.ReportMetric(float64(hist.Quantile(0.99)), "p99-ns")
+}
+
+func BenchmarkFig10LatencyHDSearch(b *testing.B)   { benchmarkFig10(b, "HDSearch") }
+func BenchmarkFig10LatencyRouter(b *testing.B)     { benchmarkFig10(b, "Router") }
+func BenchmarkFig10LatencySetAlgebra(b *testing.B) { benchmarkFig10(b, "SetAlgebra") }
+func BenchmarkFig10LatencyRecommend(b *testing.B)  { benchmarkFig10(b, "Recommend") }
+
+// --- Figs. 11–14: syscall invocations per query ---
+// The futex/query and sendmsg/query custom metrics reproduce the figures'
+// dominant bars (Fig. 11 HDSearch, 12 Router, 13 SetAlgebra, 14 Recommend).
+
+func benchmarkFig11to14(b *testing.B, name string) {
+	inst := startInstance(b, name, musuite.FrameworkMode{})
+	done := make(chan *musuite.RPCCall, 1)
+	inst.Probe.Reset()
+	before := inst.Probe.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syncQuery(b, inst, done)
+	}
+	b.StopTimer()
+	delta := inst.Probe.Snapshot().Delta(before)
+	n := float64(b.N)
+	b.ReportMetric(float64(delta.Syscalls[telemetry.SysFutex])/n, "futex/query")
+	b.ReportMetric(float64(delta.Syscalls[telemetry.SysSendmsg])/n, "sendmsg/query")
+	b.ReportMetric(float64(delta.Syscalls[telemetry.SysRecvmsg])/n, "recvmsg/query")
+	b.ReportMetric(float64(delta.Syscalls[telemetry.SysEpollPwait])/n, "epoll/query")
+}
+
+func BenchmarkFig11SyscallsHDSearch(b *testing.B)   { benchmarkFig11to14(b, "HDSearch") }
+func BenchmarkFig12SyscallsRouter(b *testing.B)     { benchmarkFig11to14(b, "Router") }
+func BenchmarkFig13SyscallsSetAlgebra(b *testing.B) { benchmarkFig11to14(b, "SetAlgebra") }
+func BenchmarkFig14SyscallsRecommend(b *testing.B)  { benchmarkFig11to14(b, "Recommend") }
+
+// --- Figs. 15–18: OS overhead breakdown ---
+// Custom metrics report the Active-Exe (wakeup→run) and total-Net p99,
+// whose ratio is the paper's headline scheduler-influence number.
+
+func benchmarkFig15to18(b *testing.B, name string) {
+	inst := startInstance(b, name, musuite.FrameworkMode{})
+	done := make(chan *musuite.RPCCall, 1)
+	inst.Probe.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syncQuery(b, inst, done)
+	}
+	b.StopTimer()
+	ae := inst.Probe.OverheadQuantile(telemetry.OverheadActiveExe, 0.99)
+	net := inst.Probe.OverheadQuantile(telemetry.OverheadNet, 0.99)
+	b.ReportMetric(float64(ae), "ActiveExe-p99-ns")
+	b.ReportMetric(float64(net), "Net-p99-ns")
+	if net > 0 {
+		b.ReportMetric(float64(ae)/float64(net)*100, "ActiveExe-share-%")
+	}
+}
+
+func BenchmarkFig15OverheadsHDSearch(b *testing.B)   { benchmarkFig15to18(b, "HDSearch") }
+func BenchmarkFig16OverheadsRouter(b *testing.B)     { benchmarkFig15to18(b, "Router") }
+func BenchmarkFig17OverheadsSetAlgebra(b *testing.B) { benchmarkFig15to18(b, "SetAlgebra") }
+func BenchmarkFig18OverheadsRecommend(b *testing.B)  { benchmarkFig15to18(b, "Recommend") }
+
+// --- Fig. 19: context switches and contention ---
+
+func benchmarkFig19(b *testing.B, name string) {
+	inst := startInstance(b, name, musuite.FrameworkMode{})
+	done := make(chan *musuite.RPCCall, 1)
+	inst.Probe.Reset()
+	before := inst.Probe.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syncQuery(b, inst, done)
+	}
+	b.StopTimer()
+	delta := inst.Probe.Snapshot().Delta(before)
+	n := float64(b.N)
+	b.ReportMetric(float64(delta.ContextSwitch)/n, "CS/query")
+	b.ReportMetric(float64(delta.HITM)/n, "HITM/query")
+}
+
+func BenchmarkFig19ContentionHDSearch(b *testing.B)   { benchmarkFig19(b, "HDSearch") }
+func BenchmarkFig19ContentionRouter(b *testing.B)     { benchmarkFig19(b, "Router") }
+func BenchmarkFig19ContentionSetAlgebra(b *testing.B) { benchmarkFig19(b, "SetAlgebra") }
+func BenchmarkFig19ContentionRecommend(b *testing.B)  { benchmarkFig19(b, "Recommend") }
+
+// --- §VII ablations: blocking-vs-polling and dispatch-vs-in-line ---
+
+func benchmarkAblation(b *testing.B, mode musuite.FrameworkMode) {
+	inst := startInstance(b, "Router", mode)
+	done := make(chan *musuite.RPCCall, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syncQuery(b, inst, done)
+	}
+}
+
+func BenchmarkAblationDispatchBlocking(b *testing.B) {
+	benchmarkAblation(b, musuite.FrameworkMode{Dispatch: musuite.Dispatched, Wait: musuite.WaitBlocking})
+}
+
+func BenchmarkAblationDispatchPolling(b *testing.B) {
+	benchmarkAblation(b, musuite.FrameworkMode{Dispatch: musuite.Dispatched, Wait: musuite.WaitPolling})
+}
+
+func BenchmarkAblationInline(b *testing.B) {
+	benchmarkAblation(b, musuite.FrameworkMode{Dispatch: musuite.Inline, Wait: musuite.WaitBlocking})
+}
+
+// --- Table II analog ---
+// Not a measurement; recorded here so `-bench .` output carries the host
+// description alongside the numbers.
+
+func BenchmarkTableIIHostInfo(b *testing.B) {
+	h := bench.Host()
+	b.ReportMetric(float64(h.CPUs), "cpus")
+	for i := 0; i < b.N; i++ {
+		_ = fmt.Sprintf("%s %s/%s %d cpus", h.GoVersion, h.OS, h.Arch, h.CPUs)
+	}
+}
+
+// --- §VI-B claim: median latency inflation at low load ---
+// Runs two short open-loop windows and reports the low/mid median ratio
+// (the paper reports up to 1.45×).
+
+func BenchmarkSec6BLowLoadMedianInflation(b *testing.B) {
+	inst := startInstance(b, "SetAlgebra", musuite.FrameworkMode{})
+	median := func(qps float64) time.Duration {
+		res := loadgen.RunOpenLoop(inst.Issue, loadgen.OpenLoopConfig{
+			QPS: qps, Duration: 1500 * time.Millisecond, Seed: 42,
+		})
+		return res.Latency.Median
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := median(40)
+		mid := median(400)
+		if mid > 0 {
+			b.ReportMetric(float64(lo)/float64(mid), "median-ratio")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command hdsearch runs one tier of the HDSearch service as its own
+// process, enabling the paper's distributed deployment (each microservice on
+// dedicated hardware).  Both tiers regenerate the identical corpus from the
+// shared seed, so no dataset files need distributing.
+//
+//	hdsearch -role leaf -addr :7101 -shard 0 -shards 4 -corpus 10000 -dim 128 -seed 1
+//	hdsearch -role midtier -addr :7100 -leaves h1:7101,h2:7102,h3:7103,h4:7104 \
+//	         -shards 4 -corpus 10000 -dim 128 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"musuite/internal/core"
+	"musuite/internal/dataset"
+	"musuite/internal/services/hdsearch"
+)
+
+func main() {
+	var (
+		role    = flag.String("role", "", "leaf | midtier")
+		addr    = flag.String("addr", "127.0.0.1:0", "listen address")
+		leaves  = flag.String("leaves", "", "midtier: comma-separated leaf addresses")
+		shard   = flag.Int("shard", 0, "leaf: shard index")
+		shards  = flag.Int("shards", 4, "total leaf shards")
+		n       = flag.Int("corpus", 10000, "corpus size")
+		dim     = flag.Int("dim", 128, "feature dimensionality")
+		seed    = flag.Int64("seed", 1, "dataset seed (must match across tiers)")
+		workers = flag.Int("workers", 4, "worker pool size")
+	)
+	flag.Parse()
+
+	corpus := dataset.NewImageCorpus(dataset.ImageCorpusConfig{
+		N: *n, Dim: *dim, Clusters: 16, Seed: *seed,
+	})
+	shardData := hdsearch.ShardCorpus(corpus, *shards)
+
+	switch *role {
+	case "leaf":
+		if *shard < 0 || *shard >= *shards {
+			fatal(fmt.Sprintf("shard %d outside 0..%d", *shard, *shards-1))
+		}
+		leaf := hdsearch.NewLeaf(shardData[*shard], &core.LeafOptions{Workers: *workers})
+		bound, err := leaf.Start(*addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hdsearch leaf shard %d/%d serving %d vectors on %s\n",
+			*shard, *shards, len(shardData[*shard].Vectors), bound)
+		waitForSignal()
+		leaf.Close()
+
+	case "midtier":
+		if *leaves == "" {
+			fatal("midtier requires -leaves")
+		}
+		index, err := hdsearch.BuildIndex(shardData, hdsearch.IndexConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		mt := hdsearch.NewMidTier(index, &core.Options{Workers: *workers})
+		if err := mt.ConnectLeaves(strings.Split(*leaves, ",")); err != nil {
+			fatal(err)
+		}
+		bound, err := mt.Start(*addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hdsearch mid-tier on %s (index: %d entries, %d leaves)\n",
+			bound, index.Size(), mt.NumLeaves())
+		waitForSignal()
+		mt.Close()
+
+	default:
+		fatal("-role must be leaf or midtier")
+	}
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "hdsearch:", v)
+	os.Exit(1)
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

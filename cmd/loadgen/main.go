@@ -1,0 +1,166 @@
+// Command loadgen drives a deployed μSuite mid-tier from separate hardware,
+// as the paper's synthetic load generators do.  It supports the closed-loop
+// mode (saturation probing) and the open-loop Poisson mode (tail latency),
+// generating each service's workload from the same seeds the service tiers
+// use.
+//
+//	loadgen -service hdsearch -target host:7100 -mode saturate
+//	loadgen -service router -target host:7200 -mode open -qps 1000 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"musuite/internal/dataset"
+	"musuite/internal/loadgen"
+	"musuite/internal/rpc"
+	"musuite/internal/services/hdsearch"
+	"musuite/internal/services/recommend"
+	"musuite/internal/services/router"
+	"musuite/internal/services/setalgebra"
+)
+
+func main() {
+	var (
+		service  = flag.String("service", "", "hdsearch | router | setalgebra | recommend")
+		target   = flag.String("target", "", "mid-tier address")
+		mode     = flag.String("mode", "open", "open | closed | saturate")
+		qps      = flag.Float64("qps", 1000, "open: offered load")
+		duration = flag.Duration("duration", 10*time.Second, "measurement window")
+		conc     = flag.Int("concurrency", 8, "closed: worker count")
+		seed     = flag.Int64("seed", 1, "dataset seed (must match the service tiers)")
+
+		// Dataset shape flags (must match the deployed tiers).
+		corpusN = flag.Int("corpus", 10000, "hdsearch corpus size")
+		dim     = flag.Int("dim", 128, "hdsearch feature dimensionality")
+		keys    = flag.Int("keys", 10000, "router key population")
+		valSize = flag.Int("value-size", 128, "router value size")
+		docs    = flag.Int("docs", 10000, "setalgebra corpus size")
+		vocab   = flag.Int("vocab", 20000, "setalgebra vocabulary")
+		users   = flag.Int("users", 1000, "recommend users")
+		items   = flag.Int("items", 1700, "recommend items")
+		ratings = flag.Int("ratings", 10000, "recommend rating count")
+	)
+	flag.Parse()
+	if *target == "" {
+		fatal("-target is required")
+	}
+
+	issue, cleanup, err := buildIssuer(*service, *target, issuerConfig{
+		seed: *seed, corpusN: *corpusN, dim: *dim, keys: *keys, valSize: *valSize,
+		docs: *docs, vocab: *vocab, users: *users, items: *items, ratings: *ratings,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+
+	switch *mode {
+	case "open":
+		res := loadgen.RunOpenLoop(issue, loadgen.OpenLoopConfig{
+			QPS: *qps, Duration: *duration, Seed: *seed,
+		})
+		fmt.Printf("open-loop %s @ %g QPS for %v:\n", *service, *qps, *duration)
+		fmt.Printf("  offered=%d completed=%d errors=%d dropped=%d achieved=%.0f QPS\n",
+			res.Offered, res.Completed, res.Errors, res.Dropped, res.AchievedQPS)
+		fmt.Printf("  latency: %s\n", res.Latency)
+	case "closed":
+		res := loadgen.RunClosedLoop(issue, loadgen.ClosedLoopConfig{
+			Concurrency: *conc, Duration: *duration, Warmup: 8,
+		})
+		fmt.Printf("closed-loop %s with %d workers for %v:\n", *service, *conc, *duration)
+		fmt.Printf("  throughput=%.0f QPS completed=%d errors=%d\n", res.Throughput, res.Completed, res.Errors)
+		fmt.Printf("  latency: %s\n", res.Latency)
+	case "saturate":
+		res := loadgen.FindSaturation(issue, loadgen.SaturationConfig{Window: *duration})
+		fmt.Printf("saturation %s: %.0f QPS at concurrency %d\n", *service, res.Throughput, res.Concurrency)
+		for _, s := range res.Steps {
+			fmt.Printf("  concurrency %-5d → %.0f QPS\n", s.Concurrency, s.Throughput)
+		}
+	default:
+		fatal(fmt.Sprintf("unknown mode %q", *mode))
+	}
+}
+
+type issuerConfig struct {
+	seed                                                            int64
+	corpusN, dim, keys, valSize, docs, vocab, users, items, ratings int
+}
+
+func buildIssuer(service, target string, cfg issuerConfig) (loadgen.IssueFunc, func(), error) {
+	var next atomic.Uint64
+	switch service {
+	case "hdsearch":
+		client, err := hdsearch.DialClient(target, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		corpus := dataset.NewImageCorpus(dataset.ImageCorpusConfig{
+			N: cfg.corpusN, Dim: cfg.dim, Clusters: 16, Seed: cfg.seed,
+		})
+		queries := corpus.Queries(4096, cfg.seed+100)
+		return func(done chan *rpc.Call) *rpc.Call {
+			return client.Go(queries[next.Add(1)%uint64(len(queries))], 5, done)
+		}, func() { client.Close() }, nil
+
+	case "router":
+		client, err := router.DialClient(target, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		trace := dataset.NewKVTrace(dataset.KVTraceConfig{
+			Keys: cfg.keys, ValueSize: cfg.valSize, Seed: cfg.seed + 200,
+		})
+		for _, op := range trace.WarmupSets() {
+			if err := client.Set(op.Key, op.Value); err != nil {
+				client.Close()
+				return nil, nil, err
+			}
+		}
+		ops := trace.Ops(1 << 14)
+		return func(done chan *rpc.Call) *rpc.Call {
+			op := ops[next.Add(1)%uint64(len(ops))]
+			if op.Kind == dataset.KVGet {
+				return client.GoGet(op.Key, done)
+			}
+			return client.GoSet(op.Key, op.Value, done)
+		}, func() { client.Close() }, nil
+
+	case "setalgebra":
+		client, err := setalgebra.DialClient(target, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		corpus := dataset.NewDocCorpus(dataset.DocCorpusConfig{
+			Docs: cfg.docs, VocabSize: cfg.vocab, Seed: cfg.seed,
+		})
+		queries := corpus.Queries(10000, 10, cfg.seed+301)
+		return func(done chan *rpc.Call) *rpc.Call {
+			return client.Go(queries[next.Add(1)%uint64(len(queries))], done)
+		}, func() { client.Close() }, nil
+
+	case "recommend":
+		client, err := recommend.DialClient(target, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		corpus := dataset.NewRatingCorpus(dataset.RatingCorpusConfig{
+			Users: cfg.users, Items: cfg.items, Ratings: cfg.ratings, Seed: cfg.seed,
+		})
+		pairs := corpus.QueryPairs(1000, cfg.seed+402)
+		return func(done chan *rpc.Call) *rpc.Call {
+			p := pairs[next.Add(1)%uint64(len(pairs))]
+			return client.Go(p[0], p[1], done)
+		}, func() { client.Close() }, nil
+	}
+	return nil, nil, fmt.Errorf("unknown service %q", service)
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "loadgen:", v)
+	os.Exit(1)
+}

@@ -1,0 +1,231 @@
+// Command musuite-bench regenerates the paper's evaluation: Table II and
+// Figs. 9–19, plus the §VII framework ablation.
+//
+// Usage:
+//
+//	musuite-bench -experiment all
+//	musuite-bench -experiment fig9 -scale small
+//	musuite-bench -experiment fig10 -services HDSearch,Router -window 5s
+//	musuite-bench -experiment fig13 # Set Algebra syscall breakdown only
+//	musuite-bench -experiment ablation -load 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"musuite/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all",
+			"tableII | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | fig18 | fig19 | ablation | threadpool | flashcrowd | trace | indexcmp | all")
+		scaleName = flag.String("scale", "small", "small | paper")
+		services  = flag.String("services", strings.Join(bench.ServiceNames, ","),
+			"comma-separated service subset")
+		window = flag.Duration("window", 0, "override per-load measurement window")
+		load   = flag.Float64("load", 0, "ablation load (default: middle configured load)")
+		trials = flag.Int("trials", 0, "override trial count")
+		outDir = flag.String("out", "", "directory to also write per-figure TSV data files (experiment=all)")
+	)
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "small":
+		scale = bench.SmallScale()
+	case "paper":
+		scale = bench.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *window > 0 {
+		scale.Window = *window
+	}
+	if *trials > 0 {
+		scale.Trials = *trials
+	}
+	svcList := parseServices(*services)
+	if len(svcList) == 0 {
+		fmt.Fprintln(os.Stderr, "no valid services selected")
+		os.Exit(2)
+	}
+
+	if err := run(*experiment, scale, svcList, *load, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "musuite-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseServices(csv string) []string {
+	known := make(map[string]bool)
+	for _, s := range bench.ServiceNames {
+		known[strings.ToLower(s)] = true
+	}
+	var out []string
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		for _, name := range bench.ServiceNames {
+			if strings.EqualFold(s, name) {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// figureService maps the per-service syscall/overhead figures to their
+// subject: Fig 11/15 HDSearch, 12/16 Router, 13/17 SetAlgebra, 14/18
+// Recommend.
+func figureService(fig int) string {
+	switch fig {
+	case 11, 15:
+		return "HDSearch"
+	case 12, 16:
+		return "Router"
+	case 13, 17:
+		return "SetAlgebra"
+	case 14, 18:
+		return "Recommend"
+	}
+	return ""
+}
+
+func run(experiment string, scale bench.Scale, services []string, load float64, outDir string) error {
+	start := time.Now()
+	defer func() { fmt.Printf("\n(total experiment time: %v)\n", time.Since(start).Round(time.Millisecond)) }()
+
+	switch experiment {
+	case "tableII":
+		fmt.Print(bench.RenderTableII(bench.Host()))
+		return nil
+	case "fig9":
+		rows, err := bench.Fig9(scale, services)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderFig9(rows))
+		return nil
+	case "fig10", "fig19":
+		points, err := bench.Characterize(scale, services, bench.FrameworkMode{})
+		if err != nil {
+			return err
+		}
+		if experiment == "fig10" {
+			fmt.Print(bench.RenderFig10(points))
+		} else {
+			fmt.Print(bench.RenderFig19(points))
+		}
+		return nil
+	case "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18":
+		var fig int
+		fmt.Sscanf(experiment, "fig%d", &fig)
+		svc := figureService(fig)
+		points, err := bench.Characterize(scale, []string{svc}, bench.FrameworkMode{})
+		if err != nil {
+			return err
+		}
+		if fig <= 14 {
+			fmt.Print(bench.RenderFig11to14(points))
+		} else {
+			fmt.Print(bench.RenderFig15to18(points))
+		}
+		return nil
+	case "ablation":
+		if load <= 0 {
+			load = scale.Loads[len(scale.Loads)/2]
+		}
+		rows, err := bench.Ablation(scale, services, load)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderAblation(rows))
+		return nil
+	case "threadpool":
+		if load <= 0 {
+			load = scale.Loads[len(scale.Loads)/2]
+		}
+		rows, err := bench.ThreadPoolSweep(scale, services[0], []int{1, 2, 4, 8, 16}, load)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderThreadPool(rows))
+		return nil
+	case "indexcmp":
+		if load <= 0 {
+			load = scale.Loads[len(scale.Loads)/2]
+		}
+		rows, err := bench.IndexComparison(scale, load)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderIndexComparison(rows))
+		return nil
+	case "trace":
+		if load <= 0 {
+			load = scale.Loads[len(scale.Loads)/2]
+		}
+		tracer, err := bench.TraceAttribution(scale, services[0], load)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s @ %g QPS — ", services[0], load)
+		fmt.Print(tracer.Report())
+		return nil
+	case "flashcrowd":
+		if load <= 0 {
+			load = scale.Loads[0]
+		}
+		results, err := bench.FlashCrowdExperiment(scale, services[0], load, 20)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderFlashCrowd(services[0], results))
+		return nil
+	case "all":
+		fmt.Print(bench.RenderTableII(bench.Host()))
+		fmt.Println()
+		rows, err := bench.Fig9(scale, services)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderFig9(rows))
+		fmt.Println()
+		points, err := bench.Characterize(scale, services, bench.FrameworkMode{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderFig10(points))
+		fmt.Println()
+		fmt.Print(bench.RenderFig11to14(points))
+		fmt.Println()
+		fmt.Print(bench.RenderFig15to18(points))
+		fmt.Println()
+		fmt.Print(bench.RenderFig19(points))
+		fmt.Println()
+		if load <= 0 {
+			load = scale.Loads[len(scale.Loads)/2]
+		}
+		ab, err := bench.Ablation(scale, services, load)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderAblation(ab))
+		if outDir != "" {
+			if err := bench.WriteTSV(outDir, rows, points); err != nil {
+				return err
+			}
+			fmt.Printf("\n(per-figure TSV data written to %s)\n", outDir)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", experiment)
+}

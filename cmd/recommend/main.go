@@ -1,0 +1,94 @@
+// Command recommend runs one tier of the Recommend service as its own
+// process.  Leaves train their NMF shard at startup (the paper's offline
+// factorization step) from the seeded corpus shared with the mid-tier.
+//
+//	recommend -role leaf -addr :7401 -shard 0 -shards 4 -users 1000 -items 1700 -ratings 10000
+//	recommend -role midtier -addr :7400 -leaves h1:7401,...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"musuite/internal/core"
+	"musuite/internal/dataset"
+	"musuite/internal/services/recommend"
+)
+
+func main() {
+	var (
+		role    = flag.String("role", "", "leaf | midtier")
+		addr    = flag.String("addr", "127.0.0.1:0", "listen address")
+		leaves  = flag.String("leaves", "", "midtier: comma-separated leaf addresses")
+		shard   = flag.Int("shard", 0, "leaf: shard index")
+		shards  = flag.Int("shards", 4, "total leaf shards")
+		users   = flag.Int("users", 1000, "user count")
+		items   = flag.Int("items", 1700, "item count")
+		ratings = flag.Int("ratings", 10000, "rating tuple count (paper: 10K)")
+		rank    = flag.Int("rank", 8, "NMF latent rank")
+		seed    = flag.Int64("seed", 1, "dataset seed (must match across tiers)")
+		workers = flag.Int("workers", 4, "worker pool size")
+	)
+	flag.Parse()
+
+	switch *role {
+	case "leaf":
+		if *shard < 0 || *shard >= *shards {
+			fatal(fmt.Sprintf("shard %d outside 0..%d", *shard, *shards-1))
+		}
+		corpus := dataset.NewRatingCorpus(dataset.RatingCorpusConfig{
+			Users: *users, Items: *items, Ratings: *ratings, Seed: *seed,
+		})
+		shardRatings := corpus.ShardRoundRobin(*shards)[*shard]
+		fmt.Printf("recommend leaf shard %d/%d: factorizing %d ratings (rank %d)...\n",
+			*shard, *shards, len(shardRatings), *rank)
+		lm, err := recommend.TrainLeaf(shardRatings, recommend.LeafConfig{
+			Users: *users, Items: *items, Rank: *rank, Seed: *seed + int64(*shard),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		leaf := recommend.NewLeaf(lm, &core.LeafOptions{Workers: *workers})
+		bound, err := leaf.Start(*addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recommend leaf serving on %s\n", bound)
+		waitForSignal()
+		leaf.Close()
+
+	case "midtier":
+		if *leaves == "" {
+			fatal("midtier requires -leaves")
+		}
+		mt := recommend.NewMidTier(&core.Options{Workers: *workers})
+		if err := mt.ConnectLeaves(strings.Split(*leaves, ",")); err != nil {
+			fatal(err)
+		}
+		bound, err := mt.Start(*addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recommend mid-tier on %s (%d leaves)\n", bound, mt.NumLeaves())
+		waitForSignal()
+		mt.Close()
+
+	default:
+		fatal("-role must be leaf or midtier")
+	}
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "recommend:", v)
+	os.Exit(1)
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

@@ -1,0 +1,77 @@
+// Command router runs one tier of the Router service as its own process.
+//
+//	router -role leaf -addr :7201
+//	router -role midtier -addr :7200 -leaves h1:7201,...,h16:7216 -replicas 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"musuite/internal/core"
+	"musuite/internal/memcache"
+	"musuite/internal/services/router"
+)
+
+func main() {
+	var (
+		role     = flag.String("role", "", "leaf | midtier")
+		addr     = flag.String("addr", "127.0.0.1:0", "listen address")
+		leaves   = flag.String("leaves", "", "midtier: comma-separated leaf addresses")
+		replicas = flag.Int("replicas", 3, "midtier: replication pool size")
+		maxBytes = flag.Int64("max-bytes", 0, "leaf: store byte budget (0 = unlimited)")
+		workers  = flag.Int("workers", 4, "worker pool size")
+	)
+	flag.Parse()
+
+	switch *role {
+	case "leaf":
+		store := memcache.New(memcache.Config{MaxBytes: *maxBytes})
+		leaf := router.NewLeaf(store, &core.LeafOptions{Workers: *workers})
+		bound, err := leaf.Start(*addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("router leaf (memcached-style store) on %s\n", bound)
+		waitForSignal()
+		leaf.Close()
+
+	case "midtier":
+		if *leaves == "" {
+			fatal("midtier requires -leaves")
+		}
+		mt := router.NewMidTier(router.MidTierConfig{
+			Replicas: *replicas,
+			Core:     core.Options{Workers: *workers},
+		})
+		if err := mt.ConnectLeaves(strings.Split(*leaves, ",")); err != nil {
+			fatal(err)
+		}
+		bound, err := mt.Start(*addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("router mid-tier on %s (%d leaves, %d replicas)\n",
+			bound, mt.NumLeaves(), *replicas)
+		waitForSignal()
+		mt.Close()
+
+	default:
+		fatal("-role must be leaf or midtier")
+	}
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "router:", v)
+	os.Exit(1)
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

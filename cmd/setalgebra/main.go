@@ -1,0 +1,85 @@
+// Command setalgebra runs one tier of the Set Algebra service as its own
+// process.  Both tiers regenerate the identical corpus from the shared seed.
+//
+//	setalgebra -role leaf -addr :7301 -shard 0 -shards 4 -docs 100000 -seed 1
+//	setalgebra -role midtier -addr :7300 -leaves h1:7301,...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"musuite/internal/core"
+	"musuite/internal/dataset"
+	"musuite/internal/services/setalgebra"
+)
+
+func main() {
+	var (
+		role      = flag.String("role", "", "leaf | midtier")
+		addr      = flag.String("addr", "127.0.0.1:0", "listen address")
+		leaves    = flag.String("leaves", "", "midtier: comma-separated leaf addresses")
+		shard     = flag.Int("shard", 0, "leaf: shard index")
+		shards    = flag.Int("shards", 4, "total leaf shards")
+		docs      = flag.Int("docs", 10000, "corpus size")
+		vocab     = flag.Int("vocab", 20000, "vocabulary size")
+		stopTerms = flag.Int("stop-terms", 25, "leaf: stop-list size")
+		seed      = flag.Int64("seed", 1, "dataset seed (must match across tiers)")
+		workers   = flag.Int("workers", 4, "worker pool size")
+	)
+	flag.Parse()
+
+	switch *role {
+	case "leaf":
+		if *shard < 0 || *shard >= *shards {
+			fatal(fmt.Sprintf("shard %d outside 0..%d", *shard, *shards-1))
+		}
+		corpus := dataset.NewDocCorpus(dataset.DocCorpusConfig{
+			Docs: *docs, VocabSize: *vocab, Seed: *seed,
+		})
+		data := setalgebra.ShardCorpus(corpus, *shards, *stopTerms)[*shard]
+		leaf := setalgebra.NewLeaf(data, &core.LeafOptions{Workers: *workers})
+		bound, err := leaf.Start(*addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("setalgebra leaf shard %d/%d serving %d docs (%d terms indexed) on %s\n",
+			*shard, *shards, data.Index.Docs(), data.Index.Terms(), bound)
+		waitForSignal()
+		leaf.Close()
+
+	case "midtier":
+		if *leaves == "" {
+			fatal("midtier requires -leaves")
+		}
+		mt := setalgebra.NewMidTier(&core.Options{Workers: *workers})
+		if err := mt.ConnectLeaves(strings.Split(*leaves, ",")); err != nil {
+			fatal(err)
+		}
+		bound, err := mt.Start(*addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("setalgebra mid-tier on %s (%d leaves)\n", bound, mt.NumLeaves())
+		waitForSignal()
+		mt.Close()
+
+	default:
+		fatal("-role must be leaf or midtier")
+	}
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "setalgebra:", v)
+	os.Exit(1)
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

@@ -1,0 +1,86 @@
+// Document search: the set-algebra-on-posting-lists workload of §III-C.
+//
+// The example deploys Set Algebra over a Zipf-worded corpus, runs multi-term
+// conjunctive queries, shows how result counts shrink as terms are added,
+// and probes the service's saturation throughput with the closed-loop
+// generator.
+//
+//	go run ./examples/docsearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"musuite"
+)
+
+func main() {
+	corpus := musuite.NewDocCorpus(musuite.DocCorpusConfig{
+		Docs: 3000, VocabSize: 6000, MeanDocLen: 90, Seed: 5,
+	})
+	cluster, err := musuite.StartSetAlgebraCluster(musuite.SetAlgebraClusterConfig{
+		Corpus:    corpus,
+		Shards:    4,
+		StopTerms: 15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := musuite.DialSetAlgebra(cluster.Addr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Conjunctive narrowing: adding terms shrinks the result set.  Pick
+	// moderately common terms that survived every shard's stop list so
+	// the narrowing is visible.
+	var base []int
+	for w := 0; w < corpus.VocabSize && len(base) < 4; w++ {
+		usable := true
+		for _, sh := range cluster.Shards {
+			if sh.Index.IsStopWord(w) || sh.Index.Postings(w) == nil {
+				usable = false
+				break
+			}
+		}
+		if usable {
+			base = append(base, w)
+		}
+	}
+	fmt.Println("conjunctive query narrowing:")
+	for i := 1; i <= len(base); i++ {
+		docs, err := client.Search(base[:i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		words := make([]string, i)
+		for j, w := range base[:i] {
+			words[j] = corpus.Word(w)
+		}
+		fmt.Printf("  %-36s → %5d documents\n", strings.Join(words, " AND "), len(docs))
+	}
+
+	// Run the paper's query set shape: 10K synthetic queries, ≤10 words.
+	queries := corpus.Queries(10000, 10, 29)
+	var next atomic.Uint64 // closed-loop workers issue concurrently
+	issue := func(done chan *musuite.RPCCall) *musuite.RPCCall {
+		q := queries[next.Add(1)%uint64(len(queries))]
+		return client.Go(q, done)
+	}
+	// Saturation probe (closed loop), as in Fig. 9.
+	sat := musuite.FindSaturation(issue, musuite.SaturationConfig{
+		Window: time.Second, MaxConcurrency: 16,
+	})
+	fmt.Printf("\nsaturation throughput: %.0f QPS (closed-loop concurrency %d)\n",
+		sat.Throughput, sat.Concurrency)
+	for _, s := range sat.Steps {
+		fmt.Printf("  concurrency %-4d → %7.0f QPS\n", s.Concurrency, s.Throughput)
+	}
+}

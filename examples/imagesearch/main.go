@@ -1,0 +1,68 @@
+// Image similarity search: the "find similar images" workload the paper's
+// introduction motivates (§III-A), measured the way the paper measures it.
+//
+// The example deploys HDSearch, drives it with the open-loop Poisson load
+// generator at increasing loads, and reports the latency-vs-load trade-off
+// plus the accuracy score against brute-force ground truth.
+//
+//	go run ./examples/imagesearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"musuite"
+)
+
+func main() {
+	corpus := musuite.NewImageCorpus(musuite.ImageCorpusConfig{
+		N: 4000, Dim: 64, Clusters: 12, Seed: 7,
+	})
+	cluster, err := musuite.StartHDSearchCluster(musuite.HDSearchClusterConfig{
+		Corpus: corpus,
+		Shards: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := musuite.DialHDSearch(cluster.Addr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Accuracy check first (the paper tunes LSH to ≥93%).
+	queries := corpus.Queries(100, 11)
+	var accSum float32
+	for _, q := range queries {
+		ns, err := client.Search(q, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		accSum += cluster.Accuracy(q, ns)
+	}
+	fmt.Printf("mean accuracy over %d queries: %.4f (target ≥ 0.93)\n\n", len(queries), accSum/float32(len(queries)))
+
+	// Latency vs load, open loop (coordinated-omission safe).
+	stream := corpus.Queries(2048, 13)
+	var next int
+	issue := func(done chan *musuite.RPCCall) *musuite.RPCCall {
+		q := stream[next%len(stream)]
+		next++
+		return client.Go(q, 5, done)
+	}
+
+	fmt.Println("open-loop latency vs offered load:")
+	fmt.Printf("  %-10s %-10s %-12s %-12s %-12s\n", "QPS", "achieved", "p50", "p99", "p99.9")
+	for _, qps := range []float64{50, 200, 800} {
+		res := musuite.RunOpenLoop(issue, musuite.OpenLoopConfig{
+			QPS: qps, Duration: 2 * time.Second, Seed: int64(qps),
+		})
+		fmt.Printf("  %-10g %-10.0f %-12v %-12v %-12v\n",
+			qps, res.AchievedQPS, res.Latency.Median, res.Latency.P99, res.Latency.P999)
+	}
+}

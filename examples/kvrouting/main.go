@@ -1,0 +1,86 @@
+// Key-value protocol routing: the McRouter-style workload of §III-B.
+//
+// The example deploys Router over six memcached-style leaves with 3-way
+// replication, drives a YCSB-A (50/50 get/set, Zipf keys) trace through it,
+// shows where replicas landed, and demonstrates fault tolerance by killing
+// a leaf mid-workload.
+//
+//	go run ./examples/kvrouting
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"musuite"
+)
+
+func main() {
+	cluster, err := musuite.StartRouterCluster(musuite.RouterClusterConfig{
+		Leaves:   6,
+		Replicas: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := musuite.DialRouter(cluster.Addr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Drive a YCSB-A style trace.
+	trace := musuite.NewKVTrace(musuite.KVTraceConfig{
+		Keys: 500, ValueSize: 64, GetFraction: 0.5, Seed: 3,
+	})
+	for _, op := range trace.WarmupSets() {
+		if err := client.Set(op.Key, op.Value); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var gets, hits, sets int
+	for _, op := range trace.Ops(2000) {
+		if op.Kind == musuite.KVGet {
+			gets++
+			if _, found, err := client.Get(op.Key); err != nil {
+				log.Fatal(err)
+			} else if found {
+				hits++
+			}
+		} else {
+			sets++
+			if err := client.Set(op.Key, op.Value); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("YCSB-A trace: %d gets (%d hits), %d sets\n", gets, hits, sets)
+
+	// Show replica placement for a key.
+	key := "tweet:000000000042"
+	client.Set(key, []byte("hello replication"))
+	fmt.Printf("key %q replicated on leaves %v\n", key, cluster.LeafHolding(key))
+
+	// Per-leaf load balance from the replicated sets.
+	fmt.Println("per-leaf item counts (replication spreads load):")
+	for i, st := range cluster.StoreStats() {
+		fmt.Printf("  leaf %d: %4d items, %5d hits\n", i, st.Items, st.Hits)
+	}
+
+	// Fault tolerance: kill one replica of our key; the remaining two
+	// keep serving a share of the rotated gets.
+	victims := cluster.LeafHolding(key)
+	cluster.KillLeaf(victims[0])
+	fmt.Printf("killed leaf %d; re-reading %q:\n", victims[0], key)
+	ok, fail := 0, 0
+	for i := 0; i < 9; i++ {
+		if v, found, err := client.Get(key); err == nil && found && string(v) == "hello replication" {
+			ok++
+		} else {
+			fail++
+		}
+	}
+	fmt.Printf("  %d reads served by surviving replicas, %d hit the dead leaf\n", ok, fail)
+}

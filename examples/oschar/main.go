@@ -1,0 +1,88 @@
+// OS/network characterization: the paper's actual experiment, in miniature.
+//
+// The example attaches a telemetry probe and a request tracer to a Set
+// Algebra mid-tier, drives it with open-loop Poisson load at two rates, and
+// prints (1) the syscall-per-query profile, (2) the OS-overhead classes,
+// (3) the per-request stage attribution — the data behind Figs. 11–18.
+//
+//	go run ./examples/oschar
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"musuite"
+)
+
+func main() {
+	probe := musuite.NewProbe()
+	tracer := musuite.NewTracer(1, 128)
+
+	corpus := musuite.NewDocCorpus(musuite.DocCorpusConfig{
+		Docs: 1500, VocabSize: 4000, MeanDocLen: 70, Seed: 12,
+	})
+	cluster, err := musuite.StartSetAlgebraCluster(musuite.SetAlgebraClusterConfig{
+		Corpus: corpus,
+		Shards: 4,
+		MidTier: musuite.MidTierOptions{
+			Workers:         2,
+			ResponseThreads: 2,
+			Probe:           probe,
+			Tracer:          tracer,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := musuite.DialSetAlgebra(cluster.Addr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	queries := corpus.Queries(4096, 10, 13)
+	var next atomic.Uint64
+	issue := func(done chan *musuite.RPCCall) *musuite.RPCCall {
+		return client.Go(queries[next.Add(1)%uint64(len(queries))], done)
+	}
+
+	for _, qps := range []float64{50, 800} {
+		probe.Reset()
+		before := probe.Snapshot()
+		res := musuite.RunOpenLoop(issue, musuite.OpenLoopConfig{
+			QPS: qps, Duration: 2 * time.Second, Seed: int64(qps),
+		})
+		delta := probe.Snapshot().Delta(before)
+
+		fmt.Printf("=== load %g QPS (completed %d, p50 %v, p99 %v) ===\n",
+			qps, res.Completed, res.Latency.Median, res.Latency.P99)
+
+		fmt.Println("syscall proxies per query (Figs. 11-14 analog):")
+		for _, sys := range musuite.Syscalls() {
+			if n := delta.Syscalls[sys]; n > 0 {
+				fmt.Printf("  %-12s %.2f\n", sys, float64(n)/float64(res.Completed))
+			}
+		}
+
+		fmt.Println("OS overhead classes, p99 (Figs. 15-18 analog):")
+		for _, o := range musuite.Overheads() {
+			if snap := probe.OverheadSnapshot(o); snap.Count > 0 {
+				fmt.Printf("  %-11s %v\n", o, snap.P99)
+			}
+		}
+		fmt.Printf("context switches: %d, lock handoffs (HITM proxy): %d\n\n",
+			delta.ContextSwitch, delta.HITM)
+	}
+
+	fmt.Print(tracer.Report())
+	fmt.Println()
+	fmt.Println("three sampled request traces:")
+	for _, tr := range tracer.Recent(3) {
+		fmt.Printf("  %s\n", tr.Breakdown())
+	}
+}

@@ -1,0 +1,3 @@
+module musuite
+
+go 1.22

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"musuite/internal/core"
+	"musuite/internal/loadgen"
+	"musuite/internal/stats"
+	"musuite/internal/telemetry"
+)
+
+// Fig9Row is one bar of Fig. 9: a service's peak sustainable throughput,
+// averaged over the scale's configured trials as the paper averages over
+// five.
+type Fig9Row struct {
+	Service     string
+	Throughput  float64
+	RelStdDev   float64 // stddev/mean across trials (0 for one trial)
+	Concurrency int
+	Steps       []loadgen.SaturationStep
+}
+
+// Fig9 measures saturation throughput for each service with the closed-loop
+// load generator, reproducing Fig. 9.
+func Fig9(s Scale, services []string) ([]Fig9Row, error) {
+	trials := s.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	var out []Fig9Row
+	for _, name := range services {
+		inst, err := StartService(name, s, FrameworkMode{})
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", name, err)
+		}
+		var agg stats.Trials
+		row := Fig9Row{Service: name}
+		for t := 0; t < trials; t++ {
+			res := loadgen.FindSaturation(inst.Issue, loadgen.SaturationConfig{
+				Window:         s.SaturationWindow,
+				MaxConcurrency: s.MaxConcurrency,
+			})
+			agg.Add(res.Throughput)
+			// Keep the last trial's shape details.
+			row.Concurrency = res.Concurrency
+			row.Steps = res.Steps
+		}
+		inst.Close()
+		row.Throughput = agg.Mean()
+		row.RelStdDev = agg.RelStdDev()
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// LoadPoint is one (service, load) measurement carrying everything Figs.
+// 10–19 need: the end-to-end latency distribution, per-QPS syscall-proxy
+// counts, OS-overhead latency classes, and CS/HITM proxy counts.
+type LoadPoint struct {
+	Service string
+	Load    float64
+
+	// Open is the raw open-loop run (latency snapshot, achieved QPS).
+	Open loadgen.OpenLoopResult
+	// Violin is the end-to-end latency distribution (Fig. 10).
+	Violin stats.Violin
+
+	// Syscalls holds the window's proxy invocation counts; SyscallsPerQPS
+	// normalizes by completed queries (Figs. 11–14).
+	Syscalls       map[telemetry.Syscall]uint64
+	SyscallsPerQPS map[telemetry.Syscall]float64
+
+	// Overheads holds per-class latency summaries (Figs. 15–18).
+	Overheads map[telemetry.Overhead]stats.Snapshot
+
+	// CS and HITM are the context-switch and contention proxy counts for
+	// the window (Fig. 19); TCPRetrans mirrors the paper's tcpretrans
+	// observation (expected ≈0).
+	CS, HITM, TCPRetrans uint64
+}
+
+// Characterize runs the open-loop characterization at every configured load
+// for every service, producing the measurement set behind Figs. 10–19.
+func Characterize(s Scale, services []string, mode FrameworkMode) ([]LoadPoint, error) {
+	var out []LoadPoint
+	for _, name := range services {
+		inst, err := StartService(name, s, mode)
+		if err != nil {
+			return nil, fmt.Errorf("characterize %s: %w", name, err)
+		}
+		for li, load := range s.Loads {
+			inst.Probe.Reset()
+			before := inst.Probe.Snapshot()
+			open := loadgen.RunOpenLoop(inst.Issue, loadgen.OpenLoopConfig{
+				QPS:        load,
+				Duration:   s.Window,
+				Seed:       s.Seed + int64(li)*7919,
+				CaptureRaw: true,
+			})
+			delta := inst.Probe.Snapshot().Delta(before)
+
+			lp := LoadPoint{
+				Service:        name,
+				Load:           load,
+				Open:           open,
+				Violin:         stats.NewViolin(fmt.Sprintf("%s@%g", name, load), open.Raw, 16),
+				Syscalls:       delta.Syscalls,
+				SyscallsPerQPS: make(map[telemetry.Syscall]float64),
+				Overheads:      make(map[telemetry.Overhead]stats.Snapshot),
+				CS:             delta.ContextSwitch,
+				HITM:           delta.HITM,
+				TCPRetrans:     delta.TCPRetransmits,
+			}
+			completed := float64(open.Completed)
+			if completed > 0 {
+				for sys, n := range delta.Syscalls {
+					lp.SyscallsPerQPS[sys] = float64(n) / completed
+				}
+			}
+			for _, o := range telemetry.Overheads() {
+				lp.Overheads[o] = inst.Probe.OverheadSnapshot(o)
+			}
+			lp.Open.Raw = nil // the violin retains the distribution shape
+			out = append(out, lp)
+		}
+		inst.Close()
+	}
+	return out, nil
+}
+
+// AblationRow is one §VII framework-variant measurement.
+type AblationRow struct {
+	Service  string
+	Dispatch core.DispatchMode
+	Wait     core.WaitMode
+	Load     float64
+	Median   time.Duration
+	P99      time.Duration
+	Futex    float64 // per query
+	CSPerQ   float64
+}
+
+// AblationModes are the framework variants §VII discusses: the default
+// blocking+dispatch design, the polling variant, the in-line variant, and
+// the adaptive spin-then-park hybrid the paper proposes exploring.
+var AblationModes = []FrameworkMode{
+	{Dispatch: core.Dispatched, Wait: core.WaitBlocking},
+	{Dispatch: core.Dispatched, Wait: core.WaitPolling},
+	{Dispatch: core.Dispatched, Wait: core.WaitAdaptive},
+	{Dispatch: core.Inline, Wait: core.WaitBlocking},
+	{Dispatch: core.DispatchAuto, Wait: core.WaitBlocking},
+}
+
+// Ablation measures each framework variant at the given load for each
+// service, quantifying the blocking-vs-polling and dispatch-vs-in-line
+// trade-offs the paper proposes exploring.
+func Ablation(s Scale, services []string, load float64) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, name := range services {
+		for _, mode := range AblationModes {
+			inst, err := StartService(name, s, mode)
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s: %w", name, err)
+			}
+			inst.Probe.Reset()
+			before := inst.Probe.Snapshot()
+			open := loadgen.RunOpenLoop(inst.Issue, loadgen.OpenLoopConfig{
+				QPS: load, Duration: s.Window, Seed: s.Seed + 17,
+			})
+			delta := inst.Probe.Snapshot().Delta(before)
+			inst.Close()
+			row := AblationRow{
+				Service:  name,
+				Dispatch: mode.Dispatch,
+				Wait:     mode.Wait,
+				Load:     load,
+				Median:   open.Latency.Median,
+				P99:      open.Latency.P99,
+			}
+			if open.Completed > 0 {
+				row.Futex = float64(delta.Syscalls[telemetry.SysFutex]) / float64(open.Completed)
+				row.CSPerQ = float64(delta.ContextSwitch) / float64(open.Completed)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}

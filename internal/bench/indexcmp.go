@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"musuite/internal/dataset"
+	"musuite/internal/knn"
+	"musuite/internal/loadgen"
+	"musuite/internal/rpc"
+	"musuite/internal/services/hdsearch"
+)
+
+// IndexRow compares one candidate-index structure on HDSearch: recall
+// against brute force and end-to-end latency under open-loop load — the
+// "LSH tables, kd-trees, or k-means clusters" comparison the paper's
+// related-work discussion frames.
+type IndexRow struct {
+	Kind   hdsearch.IndexKind
+	Recall float64
+	Load   float64
+	P50    time.Duration
+	P99    time.Duration
+	Build  time.Duration
+}
+
+// IndexComparison deploys HDSearch once per index kind on an identical
+// corpus, measures recall@1 over a query sample, then measures open-loop
+// latency at the given load.
+func IndexComparison(s Scale, load float64) ([]IndexRow, error) {
+	corpus := dataset.NewImageCorpus(dataset.ImageCorpusConfig{
+		N: s.HDCorpus, Dim: s.HDDim, Clusters: s.HDClusters, Seed: s.Seed,
+	})
+	queries := corpus.Queries(s.HDQueries, s.Seed+100)
+	recallSample := queries
+	if len(recallSample) > 150 {
+		recallSample = recallSample[:150]
+	}
+	truth := make([]uint32, len(recallSample))
+	for i, q := range recallSample {
+		truth[i] = knn.BruteForce(q, corpus.Vectors, 1)[0].ID
+	}
+
+	var out []IndexRow
+	for _, kind := range []hdsearch.IndexKind{hdsearch.IndexLSH, hdsearch.IndexKDTree, hdsearch.IndexKMeans} {
+		buildStart := time.Now()
+		cl, err := hdsearch.StartCluster(hdsearch.ClusterConfig{
+			Corpus:  corpus,
+			Shards:  s.Shards,
+			Kind:    kind,
+			MidTier: midTierOptions(s, FrameworkMode{}, nil),
+			Leaf:    leafOptions(s),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("indexcmp %s: %w", kind, err)
+		}
+		build := time.Since(buildStart)
+		client, err := hdsearch.DialClient(cl.Addr, nil)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+
+		hits := 0
+		for i, q := range recallSample {
+			got, err := client.Search(q, 1)
+			if err != nil {
+				client.Close()
+				cl.Close()
+				return nil, err
+			}
+			if len(got) > 0 && got[0].PointID == truth[i] {
+				hits++
+			}
+		}
+
+		var next atomic.Uint64
+		open := loadgen.RunOpenLoop(func(done chan *rpc.Call) *rpc.Call {
+			q := queries[next.Add(1)%uint64(len(queries))]
+			return client.Go(q, 5, done)
+		}, loadgen.OpenLoopConfig{QPS: load, Duration: s.Window, Seed: s.Seed + 43})
+
+		client.Close()
+		cl.Close()
+		out = append(out, IndexRow{
+			Kind:   kind,
+			Recall: float64(hits) / float64(len(recallSample)),
+			Load:   load,
+			P50:    open.Latency.Median,
+			P99:    open.Latency.P99,
+			Build:  build,
+		})
+	}
+	return out, nil
+}
+
+// RenderIndexComparison prints the comparison table.
+func RenderIndexComparison(rows []IndexRow) string {
+	var b strings.Builder
+	b.WriteString("HDSearch candidate-index comparison (LSH vs kd-tree vs k-means)\n")
+	fmt.Fprintf(&b, "  %-8s %-8s %-12s %-12s %-12s\n", "index", "recall@1", "p50", "p99", "build+deploy")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8s %-8.3f %-12v %-12v %-12v\n",
+			r.Kind, r.Recall, r.P50, r.P99, r.Build.Round(time.Millisecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"musuite/internal/core"
+	"musuite/internal/dataset"
+	"musuite/internal/loadgen"
+	"musuite/internal/rpc"
+	"musuite/internal/services/hdsearch"
+	"musuite/internal/services/recommend"
+	"musuite/internal/services/router"
+	"musuite/internal/services/setalgebra"
+	"musuite/internal/telemetry"
+	"musuite/internal/trace"
+)
+
+// ServiceNames lists the four benchmarks in the paper's order.
+var ServiceNames = []string{"HDSearch", "Router", "SetAlgebra", "Recommend"}
+
+// Instance is one deployed benchmark service ready to be driven: its
+// workload-issuing function and the telemetry probe attached to the mid-tier
+// under study.
+type Instance struct {
+	// Name identifies the benchmark.
+	Name string
+	// Issue launches one query from the service's workload.
+	Issue loadgen.IssueFunc
+	// Probe instruments the mid-tier (pollers, workers, response
+	// threads, leaf connections).
+	Probe *telemetry.Probe
+
+	closers []func()
+}
+
+// Close tears the instance down.
+func (in *Instance) Close() {
+	for i := len(in.closers) - 1; i >= 0; i-- {
+		in.closers[i]()
+	}
+}
+
+// FrameworkMode selects the §VII ablation variant of the mid-tier and any
+// per-request attribution tracer to attach.
+type FrameworkMode struct {
+	Dispatch core.DispatchMode
+	Wait     core.WaitMode
+	// Tracer, when set, samples requests for stage-level attribution.
+	Tracer *trace.Tracer
+}
+
+// midTierOptions builds the instrumented mid-tier options for a scale.
+func midTierOptions(s Scale, mode FrameworkMode, probe *telemetry.Probe) core.Options {
+	return core.Options{
+		Workers:           s.Workers,
+		ResponseThreads:   s.ResponseThreads,
+		Dispatch:          mode.Dispatch,
+		Wait:              mode.Wait,
+		LeafConnsPerShard: s.LeafConns,
+		Tracer:            mode.Tracer,
+		Probe:             probe,
+	}
+}
+
+func leafOptions(s Scale) core.LeafOptions {
+	return core.LeafOptions{Workers: s.LeafWorkers}
+}
+
+// StartService deploys the named benchmark at the given scale and mode.
+func StartService(name string, s Scale, mode FrameworkMode) (*Instance, error) {
+	switch name {
+	case "HDSearch":
+		return StartHDSearch(s, mode)
+	case "Router":
+		return StartRouter(s, mode)
+	case "SetAlgebra":
+		return StartSetAlgebra(s, mode)
+	case "Recommend":
+		return StartRecommend(s, mode)
+	}
+	return nil, fmt.Errorf("bench: unknown service %q", name)
+}
+
+// StartHDSearch deploys HDSearch with a synthetic image corpus and a
+// query stream of perturbed corpus points.
+func StartHDSearch(s Scale, mode FrameworkMode) (*Instance, error) {
+	probe := telemetry.NewProbe()
+	corpus := dataset.NewImageCorpus(dataset.ImageCorpusConfig{
+		N: s.HDCorpus, Dim: s.HDDim, Clusters: s.HDClusters, Seed: s.Seed,
+	})
+	cl, err := hdsearch.StartCluster(hdsearch.ClusterConfig{
+		Corpus:  corpus,
+		Shards:  s.Shards,
+		MidTier: midTierOptions(s, mode, probe),
+		Leaf:    leafOptions(s),
+	})
+	if err != nil {
+		return nil, err
+	}
+	client, err := hdsearch.DialClient(cl.Addr, nil)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	queries := corpus.Queries(s.HDQueries, s.Seed+100)
+	var next atomic.Uint64
+	return &Instance{
+		Name:  "HDSearch",
+		Probe: probe,
+		Issue: func(done chan *rpc.Call) *rpc.Call {
+			q := queries[next.Add(1)%uint64(len(queries))]
+			return client.Go(q, 5, done)
+		},
+		closers: []func(){func() { client.Close() }, cl.Close},
+	}, nil
+}
+
+// StartRouter deploys Router, warms every key, and drives it with a YCSB-A
+// style 50/50 get/set mix over a Zipf key population.
+func StartRouter(s Scale, mode FrameworkMode) (*Instance, error) {
+	probe := telemetry.NewProbe()
+	cl, err := router.StartCluster(router.ClusterConfig{
+		Leaves:   s.RouterLeaves,
+		Replicas: s.RouterReplicas,
+		MidTier:  midTierOptions(s, mode, probe),
+		Leaf:     leafOptions(s),
+	})
+	if err != nil {
+		return nil, err
+	}
+	client, err := router.DialClient(cl.Addr, nil)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	kvtrace := dataset.NewKVTrace(dataset.KVTraceConfig{
+		Keys: s.RouterKeys, ValueSize: s.RouterValueSize, Seed: s.Seed + 200,
+	})
+	for _, op := range kvtrace.WarmupSets() {
+		if err := client.Set(op.Key, op.Value); err != nil {
+			client.Close()
+			cl.Close()
+			return nil, err
+		}
+	}
+	// Pre-generate the op stream so issuing is allocation-light.
+	ops := kvtrace.Ops(1 << 14)
+	var next atomic.Uint64
+	return &Instance{
+		Name:  "Router",
+		Probe: probe,
+		Issue: func(done chan *rpc.Call) *rpc.Call {
+			op := ops[next.Add(1)%uint64(len(ops))]
+			if op.Kind == dataset.KVGet {
+				return client.GoGet(op.Key, done)
+			}
+			return client.GoSet(op.Key, op.Value, done)
+		},
+		closers: []func(){func() { client.Close() }, cl.Close},
+	}, nil
+}
+
+// StartSetAlgebra deploys Set Algebra with a Zipf-worded corpus and a
+// synthetic query set drawn from the word-occurrence probabilities.
+func StartSetAlgebra(s Scale, mode FrameworkMode) (*Instance, error) {
+	probe := telemetry.NewProbe()
+	corpus := dataset.NewDocCorpus(dataset.DocCorpusConfig{
+		Docs: s.Docs, VocabSize: s.Vocab, MeanDocLen: s.MeanDocLen, Seed: s.Seed + 300,
+	})
+	cl, err := setalgebra.StartCluster(setalgebra.ClusterConfig{
+		Corpus:    corpus,
+		Shards:    s.Shards,
+		StopTerms: s.StopTerms,
+		MidTier:   midTierOptions(s, mode, probe),
+		Leaf:      leafOptions(s),
+	})
+	if err != nil {
+		return nil, err
+	}
+	client, err := setalgebra.DialClient(cl.Addr, nil)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	// Paper: 10K synthetic queries, ≤10 words each.
+	queries := corpus.Queries(10000, 10, s.Seed+301)
+	var next atomic.Uint64
+	return &Instance{
+		Name:  "SetAlgebra",
+		Probe: probe,
+		Issue: func(done chan *rpc.Call) *rpc.Call {
+			q := queries[next.Add(1)%uint64(len(queries))]
+			return client.Go(q, done)
+		},
+		closers: []func(){func() { client.Close() }, cl.Close},
+	}, nil
+}
+
+// StartRecommend deploys Recommend trained on a latent-factor rating corpus
+// and queries only unrated {user, item} pairs, as the paper does.
+func StartRecommend(s Scale, mode FrameworkMode) (*Instance, error) {
+	probe := telemetry.NewProbe()
+	corpus := dataset.NewRatingCorpus(dataset.RatingCorpusConfig{
+		Users: s.Users, Items: s.Items, Ratings: s.Ratings, Seed: s.Seed + 400,
+	})
+	cl, err := recommend.StartCluster(recommend.ClusterConfig{
+		Corpus:  corpus,
+		Shards:  s.Shards,
+		Seed:    s.Seed + 401,
+		MidTier: midTierOptions(s, mode, probe),
+		Leaf:    leafOptions(s),
+	})
+	if err != nil {
+		return nil, err
+	}
+	client, err := recommend.DialClient(cl.Addr, nil)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	// Paper: 1K {user, item} query pairs from empty utility-matrix cells.
+	pairs := corpus.QueryPairs(1000, s.Seed+402)
+	var next atomic.Uint64
+	return &Instance{
+		Name:  "Recommend",
+		Probe: probe,
+		Issue: func(done chan *rpc.Call) *rpc.Call {
+			p := pairs[next.Add(1)%uint64(len(pairs))]
+			return client.Go(p[0], p[1], done)
+		},
+		closers: []func(){func() { client.Close() }, cl.Close},
+	}, nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"musuite/internal/rpc"
+	"musuite/internal/telemetry"
+)
+
+func TestRateMeterBasics(t *testing.T) {
+	m := newRateMeter(50 * time.Millisecond)
+	// First epoch: previous count is zero, so the estimate is zero.
+	if r := m.tick(); r != 0 {
+		t.Fatalf("initial rate=%v", r)
+	}
+	// Fill the first epoch then cross into the second.
+	for i := 0; i < 99; i++ {
+		m.tick()
+	}
+	time.Sleep(60 * time.Millisecond)
+	m.tick() // rolls the epoch, publishing ~100 events / 50ms = ~2000/s
+	r := m.rate()
+	if r < 1000 || r > 3000 {
+		t.Fatalf("rate=%v want ≈2000", r)
+	}
+	// After an idle gap spanning multiple epochs, the rate resets to 0.
+	time.Sleep(150 * time.Millisecond)
+	m.tick()
+	if r := m.rate(); r != 0 {
+		t.Fatalf("post-idle rate=%v", r)
+	}
+}
+
+// TestAutoDispatchLowLoadRunsInline: with arrivals far below the threshold,
+// every request after the first epoch runs in-line (no worker dispatch).
+func TestAutoDispatchLowLoadRunsInline(t *testing.T) {
+	leafAddr, _ := startLeaf(t, nil)
+	probe := telemetry.NewProbe()
+	opts := Options{
+		Dispatch:        DispatchAuto,
+		AutoDispatchQPS: 1000,
+		Workers:         2,
+		Probe:           probe,
+	}
+	addr, mt := startMidTier(t, []string{leafAddr}, &opts)
+	c, err := rpc.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := c.Call("echo1", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond) // ≈200 QPS ≪ threshold
+	}
+	if got := mt.Inlined(); got != n {
+		t.Fatalf("inlined %d of %d at low load", got, n)
+	}
+}
+
+// TestAutoDispatchHighLoadDispatches: a burst beyond the threshold must
+// switch to dispatching (observable as worker ActiveExe samples).
+func TestAutoDispatchHighLoadDispatches(t *testing.T) {
+	leafAddr, _ := startLeaf(t, nil)
+	probe := telemetry.NewProbe()
+	opts := Options{
+		Dispatch:        DispatchAuto,
+		AutoDispatchQPS: 100, // low threshold so the burst crosses it fast
+		Workers:         2,
+		Probe:           probe,
+	}
+	addr, mt := startMidTier(t, []string{leafAddr}, &opts)
+	c, err := rpc.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Two+ epochs of back-to-back traffic: after the first epoch
+	// completes at a high count, subsequent requests see rate > 100.
+	deadline := time.Now().Add(400 * time.Millisecond)
+	total := uint64(0)
+	for time.Now().Before(deadline) {
+		if _, err := c.Call("echo1", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		total++
+	}
+	dispatched := total - mt.Inlined()
+	if dispatched == 0 {
+		t.Fatalf("no request dispatched under burst (%d total, %d inlined)", total, mt.Inlined())
+	}
+	if probe.OverheadSnapshot(telemetry.OverheadActiveExe).Count == 0 {
+		t.Fatal("no worker dispatch observed")
+	}
+}
+
+func TestDispatchModeNames(t *testing.T) {
+	if DispatchAuto.String() != "auto" {
+		t.Fatalf("auto name=%q", DispatchAuto.String())
+	}
+}

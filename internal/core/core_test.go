@@ -1,0 +1,510 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"musuite/internal/rpc"
+	"musuite/internal/telemetry"
+)
+
+func TestWorkerPoolExecutesAll(t *testing.T) {
+	for _, mode := range []WaitMode{WaitBlocking, WaitPolling} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p := NewWorkerPool(3, mode, nil, telemetry.OverheadActiveExe)
+			defer p.Stop()
+			var count atomic.Int64
+			var wg sync.WaitGroup
+			const n = 500
+			wg.Add(n)
+			for i := 0; i < n; i++ {
+				if err := p.Submit(func() {
+					count.Add(1)
+					wg.Done()
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wg.Wait()
+			if count.Load() != n {
+				t.Fatalf("executed %d of %d", count.Load(), n)
+			}
+		})
+	}
+}
+
+func TestWorkerPoolStopRejectsSubmit(t *testing.T) {
+	p := NewWorkerPool(2, WaitBlocking, nil, telemetry.OverheadActiveExe)
+	p.Stop()
+	if err := p.Submit(func() {}); err != ErrPoolClosed {
+		t.Fatalf("err=%v want ErrPoolClosed", err)
+	}
+	// Stop is idempotent.
+	p.Stop()
+}
+
+func TestWorkerPoolConcurrency(t *testing.T) {
+	p := NewWorkerPool(4, WaitBlocking, nil, telemetry.OverheadActiveExe)
+	defer p.Stop()
+	// With 4 workers, 4 tasks that each block until all have started must
+	// be able to run simultaneously.
+	var started sync.WaitGroup
+	started.Add(4)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(4)
+	for i := 0; i < 4; i++ {
+		p.Submit(func() {
+			started.Done()
+			<-release
+			wg.Done()
+		})
+	}
+	ok := make(chan struct{})
+	go func() { started.Wait(); close(ok) }()
+	select {
+	case <-ok:
+	case <-time.After(2 * time.Second):
+		t.Fatal("workers did not run concurrently")
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestWorkerPoolTelemetry(t *testing.T) {
+	probe := telemetry.NewProbe()
+	p := NewWorkerPool(2, WaitBlocking, probe, telemetry.OverheadActiveExe)
+	defer p.Stop()
+	var wg sync.WaitGroup
+	const n = 50
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.Submit(func() { wg.Done() })
+	}
+	wg.Wait()
+	if got := probe.SyscallCount(telemetry.SysWrite); got != n {
+		t.Errorf("write proxies=%d want %d", got, n)
+	}
+	if got := probe.SyscallCount(telemetry.SysRead); got != n {
+		t.Errorf("read proxies=%d want %d", got, n)
+	}
+	if probe.SyscallCount(telemetry.SysClone) < 2 {
+		t.Error("clone proxies < worker count")
+	}
+	if probe.SyscallCount(telemetry.SysFutex) == 0 {
+		t.Error("no futex proxies from cond traffic")
+	}
+	if probe.OverheadSnapshot(telemetry.OverheadActiveExe).Count != n {
+		t.Errorf("ActiveExe observations=%d want %d", probe.OverheadSnapshot(telemetry.OverheadActiveExe).Count, n)
+	}
+}
+
+func TestPollingModeAvoidsFutex(t *testing.T) {
+	probe := telemetry.NewProbe()
+	p := NewWorkerPool(1, WaitPolling, probe, telemetry.OverheadActiveExe)
+	var wg sync.WaitGroup
+	const n = 20
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.Submit(func() { wg.Done() })
+	}
+	wg.Wait()
+	p.Stop()
+	// Polling workers never Wait/Signal; futex count stays at (near) zero —
+	// only contended mutex acquisitions could contribute.
+	futex := probe.SyscallCount(telemetry.SysFutex)
+	blocking := func() uint64 {
+		probe2 := telemetry.NewProbe()
+		p2 := NewWorkerPool(1, WaitBlocking, probe2, telemetry.OverheadActiveExe)
+		defer p2.Stop()
+		var wg2 sync.WaitGroup
+		wg2.Add(n)
+		for i := 0; i < n; i++ {
+			p2.Submit(func() { wg2.Done() })
+			time.Sleep(time.Millisecond) // force a park between tasks
+		}
+		wg2.Wait()
+		return probe2.SyscallCount(telemetry.SysFutex)
+	}()
+	if futex >= blocking {
+		t.Errorf("polling futex=%d not below blocking futex=%d", futex, blocking)
+	}
+}
+
+// startLeaf runs a leaf that echoes, doubles integers, or fails on demand.
+func startLeaf(t *testing.T, probe *telemetry.Probe) (string, *Leaf) {
+	t.Helper()
+	leaf := NewLeaf(func(method string, payload []byte) ([]byte, error) {
+		switch method {
+		case "echo":
+			out := make([]byte, len(payload))
+			copy(out, payload)
+			return out, nil
+		case "double":
+			n, err := strconv.Atoi(string(payload))
+			if err != nil {
+				return nil, err
+			}
+			return []byte(strconv.Itoa(2 * n)), nil
+		case "fail":
+			return nil, errors.New("leaf failure")
+		case "panic":
+			panic("deliberate")
+		}
+		return nil, fmt.Errorf("unknown method %q", method)
+	}, &LeafOptions{Workers: 2, Probe: probe})
+	addr, err := leaf.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(leaf.Close)
+	return addr, leaf
+}
+
+// startMidTier wires a mid-tier that fans "sum" requests to all leaves
+// (each leaf doubles the integer; the mid-tier sums the results) and
+// forwards "echo1" to shard 0 only.
+func startMidTier(t *testing.T, leafAddrs []string, opts *Options) (string, *MidTier) {
+	t.Helper()
+	mt := NewMidTier(func(ctx *Ctx) {
+		switch ctx.Req.Method {
+		case "sum":
+			payload := make([]byte, len(ctx.Req.Payload))
+			copy(payload, ctx.Req.Payload)
+			ctx.FanoutAll("double", payload, func(results []LeafResult) {
+				total := 0
+				for _, r := range results {
+					if r.Err != nil {
+						ctx.ReplyError(r.Err)
+						return
+					}
+					n, _ := strconv.Atoi(string(r.Reply))
+					total += n
+				}
+				ctx.Reply([]byte(strconv.Itoa(total)))
+			})
+		case "echo1":
+			reply, err := ctx.CallLeaf(0, "echo", ctx.Req.Payload)
+			if err != nil {
+				ctx.ReplyError(err)
+				return
+			}
+			ctx.Reply(reply)
+		case "failall":
+			ctx.FanoutAll("fail", nil, func(results []LeafResult) {
+				for _, r := range results {
+					if r.Err != nil {
+						ctx.ReplyError(r.Err)
+						return
+					}
+				}
+				ctx.Reply([]byte("no failure?"))
+			})
+		case "badshard":
+			ctx.Fanout([]LeafCall{{Shard: 99, Method: "echo"}}, func(results []LeafResult) {
+				ctx.ReplyError(results[0].Err)
+			})
+		default:
+			ctx.ReplyError(fmt.Errorf("unknown method %q", ctx.Req.Method))
+		}
+	}, opts)
+	if err := mt.ConnectLeaves(leafAddrs); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := mt.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mt.Close)
+	return addr, mt
+}
+
+func testTopology(t *testing.T, opts *Options) (client *rpc.Client, mt *MidTier) {
+	t.Helper()
+	leafAddrs := make([]string, 3)
+	for i := range leafAddrs {
+		leafAddrs[i], _ = startLeaf(t, nil)
+	}
+	addr, mt := startMidTier(t, leafAddrs, opts)
+	c, err := rpc.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, mt
+}
+
+func TestMidTierFanoutMerge(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"dispatch-blocking", Options{Dispatch: Dispatched, Wait: WaitBlocking}},
+		{"dispatch-polling", Options{Dispatch: Dispatched, Wait: WaitPolling}},
+		{"inline-blocking", Options{Dispatch: Inline, Wait: WaitBlocking}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			opts := cfg.opts
+			c, mt := testTopology(t, &opts)
+			if mt.NumLeaves() != 3 {
+				t.Fatalf("leaves=%d", mt.NumLeaves())
+			}
+			// 3 leaves double 7 → merge sums to 42.
+			reply, err := c.Call("sum", []byte("7"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(reply) != "42" {
+				t.Fatalf("reply=%q want 42", reply)
+			}
+		})
+	}
+}
+
+func TestMidTierManyConcurrentRequests(t *testing.T) {
+	c, _ := testTopology(t, nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				n := g*100 + i
+				reply, err := c.Call("sum", []byte(strconv.Itoa(n)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := strconv.Itoa(6 * n); string(reply) != want {
+					errs <- fmt.Errorf("sum(%d)=%q want %q", n, reply, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMidTierSingleLeafCall(t *testing.T) {
+	c, _ := testTopology(t, nil)
+	reply, err := c.Call("echo1", []byte("point-read"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reply, []byte("point-read")) {
+		t.Fatalf("reply=%q", reply)
+	}
+}
+
+func TestMidTierLeafErrorPropagates(t *testing.T) {
+	c, _ := testTopology(t, nil)
+	_, err := c.Call("failall", nil)
+	if err == nil || !strings.Contains(err.Error(), "leaf failure") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestMidTierInvalidShard(t *testing.T) {
+	c, _ := testTopology(t, nil)
+	_, err := c.Call("badshard", nil)
+	if err == nil || !strings.Contains(err.Error(), "no such leaf shard") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestLeafPanicIsolated(t *testing.T) {
+	addr, leaf := startLeaf(t, nil)
+	c, err := rpc.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call("panic", nil); err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err=%v", err)
+	}
+	// The leaf survives and keeps serving.
+	reply, err := c.Call("echo", []byte("alive"))
+	if err != nil || string(reply) != "alive" {
+		t.Fatalf("post-panic echo: %q %v", reply, err)
+	}
+	if leaf.Served() < 2 {
+		t.Errorf("served=%d", leaf.Served())
+	}
+}
+
+func TestMidTierTelemetryPipeline(t *testing.T) {
+	probe := telemetry.NewProbe()
+	leafAddrs := make([]string, 2)
+	for i := range leafAddrs {
+		leafAddrs[i], _ = startLeaf(t, nil)
+	}
+	opts := Options{Probe: probe}
+	addr, _ := startMidTier(t, leafAddrs, &opts)
+	c, err := rpc.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 30
+	for i := 0; i < n; i++ {
+		if _, err := c.Call("sum", []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every request: 1 worker dispatch (ActiveExe) + Block hand-off.
+	if got := probe.OverheadSnapshot(telemetry.OverheadActiveExe).Count; got < n {
+		t.Errorf("ActiveExe=%d want ≥%d", got, n)
+	}
+	if got := probe.OverheadSnapshot(telemetry.OverheadBlock).Count; got != n {
+		t.Errorf("Block=%d want %d", got, n)
+	}
+	// Every leaf response flows through the response pool (Sched class):
+	// 2 leaves × n requests.
+	if got := probe.OverheadSnapshot(telemetry.OverheadSched).Count; got != 2*n {
+		t.Errorf("Sched=%d want %d", got, 2*n)
+	}
+	// The mid-tier measures Net for each front-end response.
+	if got := probe.OverheadSnapshot(telemetry.OverheadNet).Count; got < n {
+		t.Errorf("Net=%d want ≥%d", got, n)
+	}
+	if probe.SyscallCount(telemetry.SysFutex) == 0 {
+		t.Error("no futex traffic in dispatch pipeline")
+	}
+}
+
+func TestConnectLeavesAfterStartRejected(t *testing.T) {
+	mt := NewMidTier(func(ctx *Ctx) { ctx.Reply(nil) }, nil)
+	defer mt.Close()
+	if _, err := mt.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.ConnectLeaves([]string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("ConnectLeaves after Start succeeded")
+	}
+}
+
+func TestConnectLeavesDialFailure(t *testing.T) {
+	mt := NewMidTier(func(ctx *Ctx) {}, nil)
+	if err := mt.ConnectLeaves([]string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("dial to dead leaf succeeded")
+	}
+}
+
+func TestFanoutEmptyCallList(t *testing.T) {
+	leafAddr, _ := startLeaf(t, nil)
+	mt := NewMidTier(func(ctx *Ctx) {
+		ctx.Fanout(nil, func(results []LeafResult) {
+			if len(results) != 0 {
+				ctx.ReplyError(errors.New("unexpected results"))
+				return
+			}
+			ctx.Reply([]byte("empty-ok"))
+		})
+	}, nil)
+	if err := mt.ConnectLeaves([]string{leafAddr}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := mt.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mt.Close)
+	c, _ := rpc.Dial(addr, nil)
+	defer c.Close()
+	reply, err := c.Call("anything", nil)
+	if err != nil || string(reply) != "empty-ok" {
+		t.Fatalf("%q %v", reply, err)
+	}
+}
+
+func TestMidTierCloseIdempotent(t *testing.T) {
+	mt := NewMidTier(func(ctx *Ctx) {}, nil)
+	mt.Close()
+	mt.Close()
+}
+
+func TestAdaptiveModeExecutesAll(t *testing.T) {
+	p := NewWorkerPool(2, WaitAdaptive, nil, telemetry.OverheadActiveExe)
+	defer p.Stop()
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	const n = 300
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		if err := p.Submit(func() {
+			count.Add(1)
+			wg.Done()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			// Idle gaps long enough to exhaust the spin budget and
+			// park, exercising both adaptive paths.
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	wg.Wait()
+	if count.Load() != n {
+		t.Fatalf("executed %d of %d", count.Load(), n)
+	}
+}
+
+func TestAdaptiveFewerParksThanBlocking(t *testing.T) {
+	// Under a continuous task stream, adaptive workers find work within
+	// the spin budget and park less than blocking workers do.
+	run := func(mode WaitMode) uint64 {
+		probe := telemetry.NewProbe()
+		p := NewWorkerPool(1, mode, probe, telemetry.OverheadActiveExe)
+		defer p.Stop()
+		var wg sync.WaitGroup
+		const n = 400
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			p.Submit(func() { wg.Done() })
+		}
+		wg.Wait()
+		return probe.ContextSwitches()
+	}
+	adaptive, blocking := run(WaitAdaptive), run(WaitBlocking)
+	if adaptive > blocking {
+		t.Fatalf("adaptive parked more than blocking: %d vs %d", adaptive, blocking)
+	}
+}
+
+func TestAdaptiveStopWhileParked(t *testing.T) {
+	p := NewWorkerPool(2, WaitAdaptive, nil, telemetry.OverheadActiveExe)
+	// Give workers time to exhaust spin budgets and park.
+	time.Sleep(20 * time.Millisecond)
+	doneCh := make(chan struct{})
+	go func() {
+		p.Stop()
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung with parked adaptive workers")
+	}
+}
+
+func TestWaitModeStrings(t *testing.T) {
+	if WaitBlocking.String() != "blocking" || WaitPolling.String() != "polling" || WaitAdaptive.String() != "adaptive" {
+		t.Fatal("wait mode names wrong")
+	}
+	if Dispatched.String() != "dispatched" || Inline.String() != "inline" {
+		t.Fatal("dispatch mode names wrong")
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"musuite/internal/rpc"
+	"musuite/internal/telemetry"
+)
+
+// LeafHandler computes one leaf response.  It runs on a leaf worker thread
+// and may take the tens-to-hundreds of microseconds that leaf computation
+// (distance kernels, set intersections, kNN prediction) typically costs.
+type LeafHandler func(method string, payload []byte) ([]byte, error)
+
+// LeafOptions configures a leaf microserver.
+type LeafOptions struct {
+	// Workers sizes the leaf's worker pool (default 4).  The paper pins
+	// leaves to fixed core counts with tasksets; the worker count is the
+	// equivalent knob here.
+	Workers int
+	// Wait selects blocking (default) or polling idle workers.
+	Wait WaitMode
+	// Probe receives telemetry; nil disables instrumentation.
+	Probe *telemetry.Probe
+}
+
+// Leaf is a leaf microserver: an RPC server that dispatches requests to a
+// worker pool and replies when the handler completes.  It serves multiple
+// concurrent requests from several mid-tier connections.
+type Leaf struct {
+	server  *rpc.Server
+	workers *WorkerPool
+	handler LeafHandler
+	served  atomic.Uint64
+	closed  atomic.Bool
+}
+
+// NewLeaf creates a leaf microserver around handler.
+func NewLeaf(handler LeafHandler, opts *LeafOptions) *Leaf {
+	var (
+		workers = 4
+		wait    = WaitBlocking
+		probe   *telemetry.Probe
+	)
+	if opts != nil {
+		if opts.Workers > 0 {
+			workers = opts.Workers
+		}
+		wait = opts.Wait
+		probe = opts.Probe
+	}
+	l := &Leaf{handler: handler}
+	l.workers = NewWorkerPool(workers, wait, probe, telemetry.OverheadActiveExe)
+	l.server = rpc.NewServer(l.onRequest, &rpc.ServerOptions{Probe: probe})
+	return l
+}
+
+// Start binds the leaf server and begins serving.
+func (l *Leaf) Start(addr string) (string, error) { return l.server.Start(addr) }
+
+// Served reports the number of requests completed.
+func (l *Leaf) Served() uint64 { return l.served.Load() }
+
+// Close shuts the leaf down.
+func (l *Leaf) Close() {
+	if !l.closed.CompareAndSwap(false, true) {
+		return
+	}
+	l.server.Close()
+	l.workers.Stop()
+}
+
+func (l *Leaf) onRequest(req *rpc.Request) {
+	if req.Method == StatsMethod {
+		req.Reply(encodeTierStats(l.stats()))
+		return
+	}
+	req.DetachPayload()
+	err := l.workers.Submit(func() {
+		defer l.served.Add(1)
+		defer func() {
+			if r := recover(); r != nil {
+				req.ReplyError(fmt.Errorf("leaf handler panic: %v", r))
+			}
+		}()
+		reply, err := l.handler(req.Method, req.Payload)
+		if err != nil {
+			req.ReplyError(err)
+		} else {
+			req.Reply(reply)
+		}
+	})
+	if err != nil {
+		req.ReplyError(err)
+	}
+}

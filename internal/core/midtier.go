@@ -1,0 +1,396 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"musuite/internal/rpc"
+	"musuite/internal/telemetry"
+	"musuite/internal/trace"
+)
+
+// Options configures a mid-tier microserver.
+type Options struct {
+	// Workers sizes the request worker pool (default 4).
+	Workers int
+	// ResponseThreads sizes the leaf-response pool (default 2).
+	ResponseThreads int
+	// Dispatch selects dispatched (default) or in-line execution.
+	Dispatch DispatchMode
+	// Wait selects blocking (default) or polling idle threads.
+	Wait WaitMode
+	// LeafConnsPerShard is the number of TCP connections opened to each
+	// leaf (default 2), modelling one connection per serving thread.
+	LeafConnsPerShard int
+	// MaxQueueDepth bounds the dispatch queue; requests beyond it are
+	// shed with a fast error instead of queueing unboundedly past
+	// saturation (0 = unbounded, the paper's configuration).
+	MaxQueueDepth int
+	// AutoDispatchQPS is the arrival-rate threshold for DispatchAuto:
+	// below it requests run in-line, above it they dispatch (default
+	// 500 QPS).
+	AutoDispatchQPS float64
+	// FanoutTimeout bounds each fan-out; leaves that have not responded
+	// by then contribute ErrFanoutTimeout results so the merge (and the
+	// front-end) never hangs on a wedged leaf (0 = wait forever, the
+	// paper's configuration).
+	FanoutTimeout time.Duration
+	// Classify, when set, assigns a dispatch priority per request —
+	// §VII's "dispatched models can explicitly prioritize requests".
+	// It runs on the network poller and must be fast.  Ignored by the
+	// in-line mode, which has no queue to reorder.
+	Classify func(*rpc.Request) Priority
+	// Tracer, when set, samples requests for per-stage latency
+	// attribution through the pipeline.
+	Tracer *trace.Tracer
+	// Probe receives telemetry; nil disables instrumentation.
+	Probe *telemetry.Probe
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.Workers <= 0 {
+		out.Workers = 4
+	}
+	if out.ResponseThreads <= 0 {
+		out.ResponseThreads = 2
+	}
+	if out.LeafConnsPerShard <= 0 {
+		out.LeafConnsPerShard = 2
+	}
+	return out
+}
+
+// Handler is the service-specific mid-tier request logic.  It runs on a
+// worker thread (or the poller in in-line mode), typically: decode the
+// request, compute the per-leaf sub-queries, call Ctx.Fanout, and return.
+// The reply is sent later by the fan-out merge callback.
+type Handler func(*Ctx)
+
+// MidTier is a mid-tier microserver: an RPC server whose requests flow
+// through the §IV pipeline (poller → dispatch queue → worker → async fan-out
+// → response threads → merged reply).
+type MidTier struct {
+	opts    Options
+	handler Handler
+	probe   *telemetry.Probe
+
+	server    *rpc.Server
+	workers   *WorkerPool
+	responses *WorkerPool
+
+	leaves  []*rpc.Pool
+	started atomic.Bool
+	closed  atomic.Bool
+
+	arrivals *rateMeter // DispatchAuto's load signal
+	inlined  atomic.Uint64
+	served   atomic.Uint64
+}
+
+// NewMidTier creates a mid-tier with the given request handler.
+func NewMidTier(handler Handler, opts *Options) *MidTier {
+	o := opts.withDefaults()
+	m := &MidTier{opts: o, handler: handler, probe: o.Probe}
+	if o.AutoDispatchQPS <= 0 {
+		o.AutoDispatchQPS = 500
+		m.opts.AutoDispatchQPS = 500
+	}
+	m.arrivals = newRateMeter(100 * time.Millisecond)
+	m.workers = NewBoundedWorkerPool(o.Workers, o.MaxQueueDepth, o.Wait, o.Probe, telemetry.OverheadActiveExe)
+	m.responses = NewWorkerPool(o.ResponseThreads, o.Wait, o.Probe, telemetry.OverheadSched)
+	m.server = rpc.NewServer(m.onRequest, &rpc.ServerOptions{Probe: o.Probe})
+	return m
+}
+
+// ConnectLeaves dials every leaf shard.  Must be called before Start.
+func (m *MidTier) ConnectLeaves(addrs []string) error {
+	if m.started.Load() {
+		return errors.New("core: ConnectLeaves after Start")
+	}
+	for _, addr := range addrs {
+		pool, err := rpc.DialPool(addr, m.opts.LeafConnsPerShard, &rpc.ClientOptions{
+			Probe:      m.probe,
+			OnResponse: m.onLeafResponse,
+		})
+		if err != nil {
+			m.Close()
+			return fmt.Errorf("core: dialing leaf %s: %w", addr, err)
+		}
+		m.leaves = append(m.leaves, pool)
+	}
+	return nil
+}
+
+// NumLeaves reports the number of connected leaf shards.
+func (m *MidTier) NumLeaves() int { return len(m.leaves) }
+
+// Shed reports how many requests the dispatch-queue bound rejected.
+func (m *MidTier) Shed() uint64 { return m.workers.Shed() }
+
+// Inlined reports how many requests DispatchAuto ran in-line.
+func (m *MidTier) Inlined() uint64 { return m.inlined.Load() }
+
+// Start binds the mid-tier server and begins serving.
+func (m *MidTier) Start(addr string) (string, error) {
+	m.started.Store(true)
+	return m.server.Start(addr)
+}
+
+// Close shuts down the server, leaf connections, and thread pools.
+func (m *MidTier) Close() {
+	if !m.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if m.server != nil {
+		m.server.Close()
+	}
+	for _, p := range m.leaves {
+		p.Close()
+	}
+	m.workers.Stop()
+	m.responses.Stop()
+}
+
+// onRequest runs on the network poller goroutine for every incoming RPC.
+func (m *MidTier) onRequest(req *rpc.Request) {
+	if req.Method == StatsMethod {
+		req.Reply(encodeTierStats(m.stats()))
+		return
+	}
+	ctx := &Ctx{Req: req, mt: m}
+	ctx.tr = m.opts.Tracer.Sample()
+	ctx.tr.StampAt(trace.StageArrival, req.Arrival)
+	inline := m.opts.Dispatch == Inline
+	if m.opts.Dispatch == DispatchAuto {
+		// Adaptive choice (§VII): in-line while the recent arrival
+		// rate is low (the regime where dispatch wakeups dominate),
+		// dispatched once it rises.
+		inline = m.arrivals.tick() < m.opts.AutoDispatchQPS
+	}
+	if inline {
+		// In-line design (§VII): no hand-off, no worker wakeup; the
+		// poller executes the handler and is blocked for its duration.
+		if m.opts.Dispatch == DispatchAuto {
+			m.inlined.Add(1)
+		}
+		ctx.tr.Stamp(trace.StageWorkerStart)
+		m.handler(ctx)
+		return
+	}
+	// Dispatch design: the payload must outlive the poller's read buffer.
+	req.DetachPayload()
+	pri := PriorityNormal
+	if m.opts.Classify != nil {
+		pri = m.opts.Classify(req)
+	}
+	handoffStart := time.Now()
+	err := m.workers.SubmitPriority(func() {
+		ctx.tr.Stamp(trace.StageWorkerStart)
+		m.handler(ctx)
+	}, pri)
+	if err != nil {
+		req.ReplyError(err)
+		return
+	}
+	ctx.tr.Stamp(trace.StageEnqueued)
+	// The poller's hand-off cost before it re-enters its blocking read —
+	// the Block overhead class.
+	m.probe.ObserveOverhead(telemetry.OverheadBlock, time.Since(handoffStart))
+}
+
+// onLeafResponse runs on a leaf connection's reader goroutine; it forwards
+// the completed call to the response thread pool.
+func (m *MidTier) onLeafResponse(call *rpc.Call) {
+	slot, ok := call.Data.(*fanoutSlot)
+	if !ok || slot == nil {
+		return // a direct (non-fanout) call; nothing to route
+	}
+	if err := m.responses.Submit(func() { slot.fo.deliver(call) }); err != nil {
+		// Pool stopped mid-flight (shutdown); deliver inline so the
+		// fan-out still completes.
+		slot.fo.deliver(call)
+	}
+}
+
+// LeafCall names one sub-request of a fan-out.
+type LeafCall struct {
+	// Shard indexes the destination leaf (0..NumLeaves-1).
+	Shard int
+	// Method and Payload form the sub-request.
+	Method  string
+	Payload []byte
+}
+
+// LeafResult is one leaf's response within a fan-out.
+type LeafResult struct {
+	// Shard indexes the leaf that produced this result.
+	Shard int
+	// Reply is the response payload (nil on error).
+	Reply []byte
+	// Err is the per-leaf failure, if any.
+	Err error
+}
+
+// Ctx is the per-request context handed to the mid-tier handler.
+type Ctx struct {
+	// Req is the originating front-end request.
+	Req *rpc.Request
+	mt  *MidTier
+	tr  *trace.Trace
+	fin atomic.Bool
+}
+
+// NumLeaves reports the fan-out width available to this request.
+func (c *Ctx) NumLeaves() int { return len(c.mt.leaves) }
+
+// Reply completes the request successfully.
+func (c *Ctx) Reply(payload []byte) {
+	c.Req.Reply(payload)
+	c.finish()
+}
+
+// ReplyError completes the request with an error.
+func (c *Ctx) ReplyError(err error) {
+	c.Req.ReplyError(err)
+	c.finish()
+}
+
+// finish counts the completion and closes out the sampled trace, once.
+func (c *Ctx) finish() {
+	if !c.fin.CompareAndSwap(false, true) {
+		return
+	}
+	c.mt.served.Add(1)
+	if c.tr == nil {
+		return
+	}
+	c.tr.Stamp(trace.StageReplySent)
+	c.mt.opts.Tracer.Finish(c.tr)
+}
+
+// Fanout asynchronously issues calls to leaf shards and invokes merge with
+// all results once the last response arrives.  The worker returns
+// immediately after issuing the sub-requests ("fork for fan-out"); response
+// threads count down and merge, with only the final one doing real work —
+// the §IV asynchronous design.  merge runs on a response thread (or, for an
+// empty call list, synchronously) and must call Reply/ReplyError.
+func (c *Ctx) Fanout(calls []LeafCall, merge func([]LeafResult)) {
+	if len(calls) == 0 {
+		merge(nil)
+		return
+	}
+	fo := &fanout{
+		results: make([]LeafResult, len(calls)),
+		merge:   merge,
+		tr:      c.tr,
+		slots:   make([]fanoutSlot, len(calls)),
+	}
+	fo.remaining.Store(int32(len(calls)))
+	// Slots must be fully initialized before the expiry timer can fire.
+	for i, lc := range calls {
+		fo.slot(i, lc.Shard)
+	}
+	if d := c.mt.opts.FanoutTimeout; d > 0 {
+		fo.timer.Store(time.AfterFunc(d, fo.expire))
+	}
+	for i, lc := range calls {
+		slot := &fo.slots[i]
+		if lc.Shard < 0 || lc.Shard >= len(c.mt.leaves) {
+			fo.deliverSlot(slot, LeafResult{Shard: lc.Shard, Err: fmt.Errorf("core: no such leaf shard %d", lc.Shard)})
+			continue
+		}
+		client := c.mt.leaves[lc.Shard].Pick()
+		client.Go(lc.Method, lc.Payload, slot, nil)
+	}
+	c.tr.Stamp(trace.StageFanoutIssued)
+}
+
+// FanoutAll broadcasts one payload to every leaf shard.
+func (c *Ctx) FanoutAll(method string, payload []byte, merge func([]LeafResult)) {
+	calls := make([]LeafCall, len(c.mt.leaves))
+	for i := range calls {
+		calls[i] = LeafCall{Shard: i, Method: method, Payload: payload}
+	}
+	c.Fanout(calls, merge)
+}
+
+// CallLeaf issues a single synchronous leaf RPC (used by handlers that need
+// a point read rather than a fan-out, e.g. Router gets).
+func (c *Ctx) CallLeaf(shard int, method string, payload []byte) ([]byte, error) {
+	if shard < 0 || shard >= len(c.mt.leaves) {
+		return nil, fmt.Errorf("core: no such leaf shard %d", shard)
+	}
+	return c.mt.leaves[shard].Pick().Call(method, payload)
+}
+
+// ErrFanoutTimeout marks a leaf slot whose response missed the fan-out
+// deadline.
+var ErrFanoutTimeout = errors.New("core: leaf response timed out")
+
+// fanout is the shared data structure through which an asynchronous event
+// (a leaf response arriving on any reception thread) is matched back to its
+// parent RPC — "all RPC state is explicit" (§IV).
+type fanout struct {
+	results   []LeafResult
+	remaining atomic.Int32
+	merge     func([]LeafResult)
+	tr        *trace.Trace
+	slots     []fanoutSlot
+	// timer is set after AfterFunc returns; the callback can beat the
+	// store, in which case there is nothing left worth stopping.
+	timer atomic.Pointer[time.Timer]
+}
+
+// fanoutSlot routes one leaf call's completion into its fan-out slot.
+type fanoutSlot struct {
+	fo    *fanout
+	index int
+	shard int
+	fired atomic.Bool
+}
+
+func (f *fanout) slot(index, shard int) *fanoutSlot {
+	s := &f.slots[index]
+	s.fo = f
+	s.index = index
+	s.shard = shard
+	return s
+}
+
+// deliver stashes one response and, if it is the last, runs the merge.  All
+// but the final response thread do negligible work (stash + decrement),
+// matching the paper's count-down design.
+func (f *fanout) deliver(call *rpc.Call) {
+	slot := call.Data.(*fanoutSlot)
+	f.deliverSlot(slot, LeafResult{Shard: slot.shard, Reply: call.Reply, Err: call.Err})
+}
+
+// deliverSlot completes one slot exactly once (a real response and the
+// fan-out timeout may race; first wins).
+func (f *fanout) deliverSlot(slot *fanoutSlot, res LeafResult) {
+	if !slot.fired.CompareAndSwap(false, true) {
+		return
+	}
+	f.results[slot.index] = res
+	if f.remaining.Add(-1) == 0 {
+		if t := f.timer.Load(); t != nil {
+			t.Stop()
+		}
+		f.tr.Stamp(trace.StageLastLeafResponse)
+		f.merge(f.results)
+	}
+}
+
+// expire fails every still-pending slot with ErrFanoutTimeout.
+func (f *fanout) expire() {
+	for i := range f.slots {
+		slot := &f.slots[i]
+		f.deliverSlot(slot, LeafResult{Shard: slot.shard, Err: ErrFanoutTimeout})
+	}
+}

@@ -1,0 +1,302 @@
+// Package core implements the μSuite mid-tier microservice framework of
+// paper §IV: blocking network pollers feeding a dispatch-based worker pool
+// through producer–consumer task queues, asynchronous RPC fan-out to leaf
+// microservers, and a dedicated response thread pool that counts down and
+// merges leaf responses.  The in-line and polling variants discussed in the
+// paper's §VII (blocking-vs-polling, dispatch-vs-in-line) are selectable so
+// the ablation experiments can be run.
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"musuite/internal/telemetry"
+)
+
+// WaitMode selects how idle framework threads await work (§VII's
+// blocking-vs-polling trade-off).
+type WaitMode int
+
+const (
+	// WaitBlocking parks idle threads on a condition variable, conserving
+	// CPU at the cost of OS wakeup latency — μSuite's default design.
+	WaitBlocking WaitMode = iota
+	// WaitPolling spins (with scheduler yields) until work arrives,
+	// trading CPU burn for lower wakeup latency.
+	WaitPolling
+	// WaitAdaptive spins briefly and then parks — the hybrid the paper's
+	// §VII proposes exploring ("policies that trade off blocking vs.
+	// polling, either statically or dynamically").  At high load work
+	// usually arrives within the spin budget (polling-like latency); at
+	// low load the thread parks (blocking-like CPU economy).
+	WaitAdaptive
+)
+
+// adaptiveSpinBudget bounds how many scheduler yields an adaptive waiter
+// burns before parking.  Each yield costs roughly a context-switch quantum,
+// so the budget approximates "spin for about one dispatch latency".
+const adaptiveSpinBudget = 64
+
+// String names the wait mode.
+func (w WaitMode) String() string {
+	switch w {
+	case WaitPolling:
+		return "polling"
+	case WaitAdaptive:
+		return "adaptive"
+	}
+	return "blocking"
+}
+
+// DispatchMode selects whether requests are handed to the worker pool or
+// executed in-line on the network poller (§VII's dispatch-vs-in-line).
+type DispatchMode int
+
+const (
+	// Dispatched hands each request to the worker pool — μSuite's default.
+	Dispatched DispatchMode = iota
+	// Inline runs the handler directly on the network poller thread.
+	Inline
+	// DispatchAuto switches per request between in-line and dispatched
+	// execution based on the observed arrival rate — the "dynamic
+	// adaptation system that judiciously chooses to dispatch requests"
+	// the paper's §VII proposes (and its μTune successor builds).  Low
+	// load runs in-line, skipping the worker wakeup that dominates
+	// low-load latency; high load dispatches, keeping pollers free.
+	DispatchAuto
+)
+
+// String names the dispatch mode.
+func (d DispatchMode) String() string {
+	switch d {
+	case Inline:
+		return "inline"
+	case DispatchAuto:
+		return "auto"
+	}
+	return "dispatched"
+}
+
+// ErrPoolClosed reports a submit to a stopped pool.
+var ErrPoolClosed = errors.New("core: worker pool closed")
+
+// ErrQueueFull reports a submit rejected by the queue bound — the overload
+// signal a shedding mid-tier converts into a fast error, rather than letting
+// queueing grow unbounded past saturation (§V: "the offered load is
+// unsustainable and queuing grows unbounded").
+var ErrQueueFull = errors.New("core: dispatch queue full")
+
+// Priority orders dispatched work.  The paper's §VII notes that, unlike
+// in-line designs, "dispatched models can explicitly prioritize requests" —
+// this is that mechanism.
+type Priority int
+
+const (
+	// PriorityNormal is the default class.
+	PriorityNormal Priority = iota
+	// PriorityHigh work overtakes any queued normal work.
+	PriorityHigh
+)
+
+// task carries one queued unit of work and its enqueue instant, from which
+// the dispatch/wakeup latency (the paper's Active-Exe analog) is measured.
+type task struct {
+	fn       func()
+	enqueued time.Time
+}
+
+// WorkerPool is a fixed-size thread pool fed by a producer–consumer queue.
+// Workers "park" and "unpark" on a condition variable (blocking mode) to
+// avoid thread creation and management overheads, exactly as §IV describes.
+//
+// Instrumentation: every enqueue counts one write(2) proxy (the eventfd
+// signal a native implementation uses), every dequeue one read(2) proxy,
+// condition-variable traffic counts futexes and context switches through
+// telemetry.Cond, and the enqueue→execution delay of every task is observed
+// under the pool's configured overhead class (Active-Exe for request
+// workers, Sched for response threads).
+type WorkerPool struct {
+	mu     *telemetry.Mutex
+	cond   *telemetry.Cond
+	queue  []task // normal-priority FIFO
+	urgent []task // high-priority FIFO, always drained first
+	closed bool
+
+	mode     WaitMode
+	probe    *telemetry.Probe
+	overhead telemetry.Overhead
+	done     chan struct{} // closed when all workers exit
+	workers  int
+	maxDepth int // 0 = unbounded
+	shed     atomic.Uint64
+}
+
+// NewWorkerPool starts n workers.  overhead selects the telemetry class for
+// the enqueue→execution latency of this pool's tasks.
+func NewWorkerPool(n int, mode WaitMode, probe *telemetry.Probe, overhead telemetry.Overhead) *WorkerPool {
+	return NewBoundedWorkerPool(n, 0, mode, probe, overhead)
+}
+
+// NewBoundedWorkerPool is NewWorkerPool with a queue-depth bound; submits
+// beyond maxDepth queued tasks fail fast with ErrQueueFull (0 = unbounded).
+func NewBoundedWorkerPool(n, maxDepth int, mode WaitMode, probe *telemetry.Probe, overhead telemetry.Overhead) *WorkerPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &WorkerPool{
+		mode:     mode,
+		probe:    probe,
+		overhead: overhead,
+		done:     make(chan struct{}),
+		workers:  n,
+		maxDepth: maxDepth,
+	}
+	p.mu = telemetry.NewMutex(probe)
+	p.cond = telemetry.NewCond(p.mu, probe)
+	exited := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		// Spawning a worker is the clone(2) analog.
+		probe.IncSyscall(telemetry.SysClone)
+		go func() {
+			p.run()
+			exited <- struct{}{}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			<-exited
+		}
+		close(p.done)
+	}()
+	return p
+}
+
+// Workers reports the pool size.
+func (p *WorkerPool) Workers() int { return p.workers }
+
+// Shed reports how many submits the queue bound rejected.
+func (p *WorkerPool) Shed() uint64 { return p.shed.Load() }
+
+// Submit enqueues fn at normal priority.  It returns ErrPoolClosed after
+// Stop.
+func (p *WorkerPool) Submit(fn func()) error {
+	return p.SubmitPriority(fn, PriorityNormal)
+}
+
+// SubmitPriority enqueues fn in the given class; high-priority work is
+// executed before any queued normal work.
+func (p *WorkerPool) SubmitPriority(fn func(), pri Priority) error {
+	t := task{fn: fn, enqueued: time.Now()}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	if p.maxDepth > 0 && len(p.queue)+len(p.urgent) >= p.maxDepth {
+		p.mu.Unlock()
+		p.shed.Add(1)
+		return ErrQueueFull
+	}
+	if pri == PriorityHigh {
+		p.urgent = append(p.urgent, t)
+	} else {
+		p.queue = append(p.queue, t)
+	}
+	// The hand-off signal is the write(2)-on-eventfd analog.  Polling
+	// workers never park, so only the modes with parked waiters signal.
+	p.probe.IncSyscall(telemetry.SysWrite)
+	if p.mode != WaitPolling {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// QueueDepth reports the number of tasks waiting (diagnostics only).
+func (p *WorkerPool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue) + len(p.urgent)
+}
+
+// Stop drains nothing: queued but unexecuted tasks are dropped.  It blocks
+// until every worker has exited.
+func (p *WorkerPool) Stop() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return
+	}
+	p.closed = true
+	p.queue = nil
+	p.urgent = nil
+	// Wake any parked workers (blocking or adaptive); harmlessly a no-op
+	// for polling workers, which observe the closed flag on their next
+	// spin.
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	<-p.done
+}
+
+// run is the worker loop: pull a task, observe its dispatch latency, execute,
+// and go back to awaiting work.
+func (p *WorkerPool) run() {
+	for {
+		t, ok := p.next()
+		if !ok {
+			return
+		}
+		p.probe.ObserveOverhead(p.overhead, time.Since(t.enqueued))
+		t.fn()
+	}
+}
+
+// next blocks (or polls) until a task or shutdown.
+func (p *WorkerPool) next() (task, bool) {
+	spins := 0
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && len(p.urgent) == 0 && !p.closed {
+			switch p.mode {
+			case WaitBlocking:
+				p.cond.Wait()
+				continue
+			case WaitAdaptive:
+				if spins >= adaptiveSpinBudget {
+					// Spin budget exhausted: park like a
+					// blocking worker until signalled.
+					p.cond.Wait()
+					spins = 0
+					continue
+				}
+				spins++
+			}
+			// Polling (or an adaptive spin): release the lock and
+			// yield to the scheduler.  No futex, no park.
+			p.mu.Unlock()
+			runtime.Gosched()
+			p.mu.Lock()
+		}
+		spins = 0
+		if p.closed {
+			p.mu.Unlock()
+			return task{}, false
+		}
+		var t task
+		if len(p.urgent) > 0 {
+			t = p.urgent[0]
+			p.urgent = p.urgent[1:]
+		} else {
+			t = p.queue[0]
+			p.queue = p.queue[1:]
+		}
+		// Consuming the hand-off is the read(2)-on-eventfd analog.
+		p.probe.IncSyscall(telemetry.SysRead)
+		p.mu.Unlock()
+		return t, true
+	}
+}

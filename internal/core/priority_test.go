@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"musuite/internal/rpc"
+	"musuite/internal/telemetry"
+)
+
+// TestPriorityOvertakesQueuedWork blocks the single worker, queues normal
+// tasks, then a high-priority one: the high-priority task must run before
+// every queued normal task.
+func TestPriorityOvertakesQueuedWork(t *testing.T) {
+	p := NewWorkerPool(1, WaitBlocking, nil, telemetry.OverheadActiveExe)
+	defer p.Stop()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	p.Submit(func() {
+		close(started)
+		<-release
+	})
+	<-started
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	record := func(name string) func() {
+		wg.Add(1)
+		return func() {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			wg.Done()
+		}
+	}
+	p.Submit(record("n1"))
+	p.Submit(record("n2"))
+	p.SubmitPriority(record("hi"), PriorityHigh)
+	p.Submit(record("n3"))
+
+	if depth := p.QueueDepth(); depth != 4 {
+		t.Fatalf("queue depth=%d want 4", depth)
+	}
+	close(release)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if order[0] != "hi" {
+		t.Fatalf("execution order %v: high priority did not overtake", order)
+	}
+	for i, want := range []string{"n1", "n2", "n3"} {
+		if order[i+1] != want {
+			t.Fatalf("normal FIFO broken: %v", order)
+		}
+	}
+}
+
+// TestMidTierClassifierPrioritizesRequests wires a classifier that marks
+// "urgent" methods high-priority and verifies they overtake a backlog of
+// slow normal requests through the full RPC path.
+func TestMidTierClassifierPrioritizesRequests(t *testing.T) {
+	leafAddr, _ := startLeaf(t, nil)
+
+	var mu sync.Mutex
+	var handled []string
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	mt := NewMidTier(func(ctx *Ctx) {
+		if ctx.Req.Method == "block" {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-gate
+			ctx.Reply(nil)
+			return
+		}
+		mu.Lock()
+		handled = append(handled, ctx.Req.Method)
+		mu.Unlock()
+		ctx.Reply(nil)
+	}, &Options{
+		Workers: 1, // single worker so queueing order is observable
+		Classify: func(req *rpc.Request) Priority {
+			if req.Method == "urgent" {
+				return PriorityHigh
+			}
+			return PriorityNormal
+		},
+	})
+	if err := mt.ConnectLeaves([]string{leafAddr}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := mt.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mt.Close)
+
+	c, err := rpc.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan *rpc.Call, 8)
+	// Occupy the worker, then build a backlog.
+	c.Go("block", nil, nil, done)
+	<-started
+	c.Go("normal-a", nil, nil, done)
+	c.Go("normal-b", nil, nil, done)
+	c.Go("urgent", nil, nil, done)
+	// Let the backlog enqueue before releasing the worker.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+
+	for i := 0; i < 4; i++ {
+		select {
+		case call := <-done:
+			if call.Err != nil {
+				t.Fatal(call.Err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("requests hung")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(handled) != 3 || handled[0] != "urgent" {
+		t.Fatalf("handled order %v: urgent did not overtake", handled)
+	}
+}

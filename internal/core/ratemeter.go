@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// rateMeter estimates the recent request arrival rate with epoch counters:
+// arrivals are counted into the current fixed-width epoch, and the previous
+// epoch's count provides the rate estimate.  Lock-free and O(1) per event,
+// cheap enough for the network poller's hot path.
+type rateMeter struct {
+	epoch time.Duration
+	// state packs the epoch index (high 32 bits) and count (low 32).
+	state atomic.Uint64
+	// prevCount is the completed previous epoch's arrival count.
+	prevCount atomic.Uint64
+	start     time.Time
+}
+
+// newRateMeter creates a meter with the given epoch width.
+func newRateMeter(epoch time.Duration) *rateMeter {
+	if epoch <= 0 {
+		epoch = 100 * time.Millisecond
+	}
+	return &rateMeter{epoch: epoch, start: time.Now()}
+}
+
+// tick records one arrival and returns the estimated rate in events/sec
+// based on the previous complete epoch.
+func (m *rateMeter) tick() float64 {
+	nowEpoch := uint64(time.Since(m.start) / m.epoch)
+	for {
+		old := m.state.Load()
+		oldEpoch, oldCount := old>>32, old&0xFFFFFFFF
+		if nowEpoch == oldEpoch {
+			if m.state.CompareAndSwap(old, old+1) {
+				break
+			}
+			continue
+		}
+		// Epoch rolled over: publish the finished epoch's count.  If
+		// more than one epoch elapsed (idle gap), the rate is zero.
+		newState := nowEpoch<<32 | 1
+		if m.state.CompareAndSwap(old, newState) {
+			if nowEpoch == oldEpoch+1 {
+				m.prevCount.Store(oldCount)
+			} else {
+				m.prevCount.Store(0)
+			}
+			break
+		}
+	}
+	return float64(m.prevCount.Load()) / m.epoch.Seconds()
+}
+
+// rate returns the current estimate without recording an arrival.
+func (m *rateMeter) rate() float64 {
+	return float64(m.prevCount.Load()) / m.epoch.Seconds()
+}

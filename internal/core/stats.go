@@ -1,0 +1,94 @@
+package core
+
+import (
+	"musuite/internal/rpc"
+	"musuite/internal/wire"
+)
+
+// StatsMethod is the reserved RPC method every framework tier answers with
+// its operational counters — the introspection hook deployment tooling
+// (health checks, autoscalers, the thread-pool-sizing schedulers §VII
+// imagines) reads.
+const StatsMethod = "core.stats"
+
+// TierStats are one tier's operational counters.
+type TierStats struct {
+	// Role is "midtier" or "leaf".
+	Role string
+	// Served counts completed requests.
+	Served uint64
+	// Shed counts requests rejected by the dispatch-queue bound.
+	Shed uint64
+	// Inlined counts requests DispatchAuto ran in-line.
+	Inlined uint64
+	// QueueDepth is the instantaneous dispatch-queue occupancy.
+	QueueDepth int
+	// Workers and ResponseThreads are the pool sizes (ResponseThreads is
+	// zero for leaves).
+	Workers, ResponseThreads int
+	// Leaves is the connected leaf count (mid-tier only).
+	Leaves int
+}
+
+// encodeTierStats serializes stats for the wire.
+func encodeTierStats(s TierStats) []byte {
+	e := wire.NewEncoder(64)
+	e.String(s.Role)
+	e.Uint64(s.Served)
+	e.Uint64(s.Shed)
+	e.Uint64(s.Inlined)
+	e.Uvarint(uint64(s.QueueDepth))
+	e.Uvarint(uint64(s.Workers))
+	e.Uvarint(uint64(s.ResponseThreads))
+	e.Uvarint(uint64(s.Leaves))
+	return e.Bytes()
+}
+
+// DecodeTierStats deserializes a StatsMethod reply.
+func DecodeTierStats(b []byte) (TierStats, error) {
+	d := wire.NewDecoder(b)
+	s := TierStats{
+		Role:    d.String(),
+		Served:  d.Uint64(),
+		Shed:    d.Uint64(),
+		Inlined: d.Uint64(),
+	}
+	s.QueueDepth = int(d.Uvarint())
+	s.Workers = int(d.Uvarint())
+	s.ResponseThreads = int(d.Uvarint())
+	s.Leaves = int(d.Uvarint())
+	return s, d.Err()
+}
+
+// QueryStats fetches a tier's counters over an existing client connection.
+func QueryStats(c *rpc.Client) (TierStats, error) {
+	reply, err := c.Call(StatsMethod, nil)
+	if err != nil {
+		return TierStats{}, err
+	}
+	return DecodeTierStats(reply)
+}
+
+// stats snapshots the mid-tier's counters.
+func (m *MidTier) stats() TierStats {
+	return TierStats{
+		Role:            "midtier",
+		Served:          m.served.Load(),
+		Shed:            m.workers.Shed(),
+		Inlined:         m.inlined.Load(),
+		QueueDepth:      m.workers.QueueDepth(),
+		Workers:         m.workers.Workers(),
+		ResponseThreads: m.responses.Workers(),
+		Leaves:          len(m.leaves),
+	}
+}
+
+// statsLeaf snapshots a leaf's counters.
+func (l *Leaf) stats() TierStats {
+	return TierStats{
+		Role:       "leaf",
+		Served:     l.served.Load(),
+		QueueDepth: l.workers.QueueDepth(),
+		Workers:    l.workers.Workers(),
+	}
+}

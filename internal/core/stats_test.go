@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"musuite/internal/rpc"
+)
+
+func TestTierStatsRoundTrip(t *testing.T) {
+	in := TierStats{
+		Role: "midtier", Served: 42, Shed: 3, Inlined: 7,
+		QueueDepth: 2, Workers: 4, ResponseThreads: 2, Leaves: 16,
+	}
+	got, err := DecodeTierStats(encodeTierStats(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != in {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+	if _, err := DecodeTierStats([]byte{0xFF}); err == nil {
+		t.Fatal("garbage stats accepted")
+	}
+}
+
+func TestMidTierStatsEndpoint(t *testing.T) {
+	leafAddr, _ := startLeaf(t, nil)
+	addr, _ := startMidTier(t, []string{leafAddr}, nil)
+	c, err := rpc.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 15
+	for i := 0; i < n; i++ {
+		if _, err := c.Call("echo1", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := QueryStats(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "midtier" {
+		t.Fatalf("role=%q", st.Role)
+	}
+	if st.Served != n {
+		t.Fatalf("served=%d want %d", st.Served, n)
+	}
+	if st.Leaves != 1 || st.Workers != 4 || st.ResponseThreads != 2 {
+		t.Fatalf("topology: %+v", st)
+	}
+	// Stats requests themselves are not counted as served work.
+	st2, _ := QueryStats(c)
+	if st2.Served != n {
+		t.Fatalf("stats query counted as served: %d", st2.Served)
+	}
+}
+
+func TestLeafStatsEndpoint(t *testing.T) {
+	leafAddr, _ := startLeaf(t, nil)
+	c, err := rpc.Dial(leafAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Call("echo", []byte("y")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := QueryStats(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "leaf" || st.Served != 5 || st.Workers != 2 {
+		t.Fatalf("leaf stats: %+v", st)
+	}
+}
+
+func TestStatsReflectSheds(t *testing.T) {
+	leafAddr, _ := startLeaf(t, nil)
+	gate := make(chan struct{})
+	mt := NewMidTier(func(ctx *Ctx) {
+		<-gate
+		ctx.Reply(nil)
+	}, &Options{Workers: 1, MaxQueueDepth: 1})
+	if err := mt.ConnectLeaves([]string{leafAddr}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := mt.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mt.Close)
+	c, err := rpc.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan *rpc.Call, 6)
+	for i := 0; i < 6; i++ {
+		c.Go("q", nil, nil, done)
+	}
+	// Stats remain answerable while workers are saturated (served on the
+	// poller, not dispatched).
+	st, err := QueryStats(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shed == 0 {
+		t.Fatalf("stats show no sheds under overload: %+v", st)
+	}
+	close(gate)
+	for i := 0; i < 6; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"testing"
+)
+
+// Determinism is what makes multi-process deployment work without dataset
+// files: every tier regenerates identical corpora from the seed.  These
+// tests pin that property for each generator.
+
+func TestDocCorpusDeterministic(t *testing.T) {
+	cfg := DocCorpusConfig{Docs: 200, VocabSize: 800, MeanDocLen: 40, Seed: 21}
+	a, b := NewDocCorpus(cfg), NewDocCorpus(cfg)
+	if len(a.Docs) != len(b.Docs) {
+		t.Fatal("doc counts differ")
+	}
+	for i := range a.Docs {
+		if len(a.Docs[i]) != len(b.Docs[i]) {
+			t.Fatalf("doc %d lengths differ", i)
+		}
+		for j := range a.Docs[i] {
+			if a.Docs[i][j] != b.Docs[i][j] {
+				t.Fatalf("doc %d word %d differs", i, j)
+			}
+		}
+	}
+	// Query generation is independently deterministic.
+	qa, qb := a.Queries(50, 8, 3), b.Queries(50, 8, 3)
+	for i := range qa {
+		if len(qa[i]) != len(qb[i]) {
+			t.Fatalf("query %d lengths differ", i)
+		}
+		for j := range qa[i] {
+			if qa[i][j] != qb[i][j] {
+				t.Fatalf("query %d term %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRatingCorpusDeterministic(t *testing.T) {
+	cfg := RatingCorpusConfig{Users: 40, Items: 50, Ratings: 800, Seed: 22}
+	a, b := NewRatingCorpus(cfg), NewRatingCorpus(cfg)
+	if len(a.Ratings) != len(b.Ratings) {
+		t.Fatal("rating counts differ")
+	}
+	for i := range a.Ratings {
+		if a.Ratings[i] != b.Ratings[i] {
+			t.Fatalf("rating %d differs: %+v vs %+v", i, a.Ratings[i], b.Ratings[i])
+		}
+	}
+	pa, pb := a.QueryPairs(30, 5), b.QueryPairs(30, 5)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func TestKVTraceDeterministic(t *testing.T) {
+	cfg := KVTraceConfig{Keys: 100, ValueSize: 16, Seed: 23}
+	a, b := NewKVTrace(cfg), NewKVTrace(cfg)
+	opsA, opsB := a.Ops(300), b.Ops(300)
+	for i := range opsA {
+		if opsA[i].Kind != opsB[i].Kind || opsA[i].Key != opsB[i].Key {
+			t.Fatalf("op %d differs", i)
+		}
+		if string(opsA[i].Value) != string(opsB[i].Value) {
+			t.Fatalf("op %d values differ", i)
+		}
+	}
+}
+
+func TestShardRoundRobinBalanced(t *testing.T) {
+	c := NewRatingCorpus(RatingCorpusConfig{Users: 30, Items: 30, Ratings: 401, Seed: 24})
+	shards := c.ShardRoundRobin(4)
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+		if len(s) < 100 || len(s) > 101 {
+			t.Fatalf("shard size %d imbalanced", len(s))
+		}
+	}
+	if total != 401 {
+		t.Fatalf("sharded %d of 401", total)
+	}
+	// Every shard sees (nearly) the full user range under round-robin —
+	// the property Recommend's averaging mid-tier depends on.
+	for si, s := range shards {
+		users := make(map[int]bool)
+		for _, r := range s {
+			users[r.User] = true
+		}
+		if len(users) < c.Users/2 {
+			t.Fatalf("shard %d covers only %d of %d users", si, len(users), c.Users)
+		}
+	}
+}

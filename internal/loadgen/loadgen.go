@@ -1,0 +1,322 @@
+// Package loadgen implements μSuite's load-testing methodology (paper §V):
+// a closed-loop mode that finds each service's peak sustainable throughput,
+// and an open-loop mode with Poisson inter-arrivals for tail-latency
+// measurement.
+//
+// The open-loop generator avoids the coordinated-omission problem the paper
+// criticizes in closed-loop testers (YCSB/Faban): request latency is
+// measured from the request's *scheduled* arrival time, so queueing delay
+// caused by a slow server is charged to the server rather than silently
+// removing load.
+package loadgen
+
+import (
+	"math/rand"
+	"time"
+
+	"musuite/internal/rpc"
+	"musuite/internal/stats"
+)
+
+// IssueFunc launches one asynchronous request and returns its in-flight
+// call; the completion must be delivered on done.  Service clients' Go
+// methods have exactly this shape.
+type IssueFunc func(done chan *rpc.Call) *rpc.Call
+
+// --- closed loop ---
+
+// ClosedLoopConfig parameterizes a closed-loop run.
+type ClosedLoopConfig struct {
+	// Concurrency is the number of synchronous client workers.
+	Concurrency int
+	// Duration is the measurement window.
+	Duration time.Duration
+	// Warmup requests per worker are issued and discarded first.
+	Warmup int
+}
+
+// ClosedLoopResult summarizes a closed-loop run.
+type ClosedLoopResult struct {
+	// Throughput is completed requests per second.
+	Throughput float64
+	// Completed and Errors count requests in the window.
+	Completed, Errors uint64
+	// Latency summarizes per-request latency (issue → completion).
+	Latency stats.Snapshot
+}
+
+// RunClosedLoop drives the service with Concurrency workers, each issuing
+// its next request as soon as the previous completes.
+func RunClosedLoop(issue IssueFunc, cfg ClosedLoopConfig) ClosedLoopResult {
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	hist := stats.NewHistogram()
+	type workerResult struct{ completed, errors uint64 }
+	results := make(chan workerResult, cfg.Concurrency)
+	deadline := time.Now().Add(cfg.Duration)
+
+	for w := 0; w < cfg.Concurrency; w++ {
+		go func() {
+			done := make(chan *rpc.Call, 1)
+			var wr workerResult
+			for i := 0; i < cfg.Warmup; i++ {
+				issue(done)
+				<-done
+			}
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				issue(done)
+				call := <-done
+				if call.Err != nil {
+					wr.errors++
+					continue
+				}
+				wr.completed++
+				hist.Record(time.Since(start))
+			}
+			results <- wr
+		}()
+	}
+	var total workerResult
+	for w := 0; w < cfg.Concurrency; w++ {
+		wr := <-results
+		total.completed += wr.completed
+		total.errors += wr.errors
+	}
+	return ClosedLoopResult{
+		Throughput: float64(total.completed) / cfg.Duration.Seconds(),
+		Completed:  total.completed,
+		Errors:     total.errors,
+		Latency:    hist.Snapshot(),
+	}
+}
+
+// --- saturation probe ---
+
+// SaturationConfig parameterizes the peak-throughput search.
+type SaturationConfig struct {
+	// Window is the measurement window per concurrency step.
+	Window time.Duration
+	// MaxConcurrency bounds the search (default 64).
+	MaxConcurrency int
+	// PlateauFraction stops the search when doubling concurrency gains
+	// less than this fraction of throughput (default 0.05).
+	PlateauFraction float64
+}
+
+// SaturationResult reports the discovered peak.
+type SaturationResult struct {
+	// Throughput is the peak sustainable QPS.
+	Throughput float64
+	// Concurrency is the worker count that achieved it.
+	Concurrency int
+	// Steps records each probe step's throughput, keyed by concurrency.
+	Steps []SaturationStep
+}
+
+// SaturationStep is one probe measurement.
+type SaturationStep struct {
+	Concurrency int
+	Throughput  float64
+}
+
+// FindSaturation doubles closed-loop concurrency until throughput plateaus —
+// the paper's peak-sustainable-throughput methodology (Fig. 9).
+func FindSaturation(issue IssueFunc, cfg SaturationConfig) SaturationResult {
+	if cfg.Window <= 0 {
+		cfg.Window = time.Second
+	}
+	if cfg.MaxConcurrency <= 0 {
+		cfg.MaxConcurrency = 64
+	}
+	if cfg.PlateauFraction <= 0 {
+		cfg.PlateauFraction = 0.05
+	}
+	var res SaturationResult
+	best := 0.0
+	for conc := 1; conc <= cfg.MaxConcurrency; conc *= 2 {
+		r := RunClosedLoop(issue, ClosedLoopConfig{
+			Concurrency: conc,
+			Duration:    cfg.Window,
+			Warmup:      2,
+		})
+		res.Steps = append(res.Steps, SaturationStep{Concurrency: conc, Throughput: r.Throughput})
+		if r.Throughput > best {
+			if best > 0 && (r.Throughput-best)/best < cfg.PlateauFraction {
+				best = r.Throughput
+				res.Throughput = best
+				res.Concurrency = conc
+				break
+			}
+			best = r.Throughput
+			res.Throughput = best
+			res.Concurrency = conc
+		} else if best > 0 {
+			break // throughput fell: past saturation
+		}
+	}
+	return res
+}
+
+// --- open loop ---
+
+// OpenLoopConfig parameterizes an open-loop (Poisson) run.
+type OpenLoopConfig struct {
+	// QPS is the offered load.
+	QPS float64
+	// Duration is the offered-load window (completions are drained
+	// afterwards).
+	Duration time.Duration
+	// Seed drives the exponential inter-arrival sampling.
+	Seed int64
+	// DrainTimeout bounds the post-window wait for stragglers
+	// (default 10s).
+	DrainTimeout time.Duration
+	// CaptureRaw retains every latency sample for violin rendering.
+	CaptureRaw bool
+}
+
+// OpenLoopResult summarizes an open-loop run.
+type OpenLoopResult struct {
+	// Offered and Completed count requests; Errors and Dropped (still in
+	// flight at drain timeout) are the failure modes.
+	Offered, Completed, Errors, Dropped uint64
+	// AchievedQPS is completions over the offered-load window.
+	AchievedQPS float64
+	// Latency summarizes scheduled-send→completion latency.
+	Latency stats.Snapshot
+	// Raw holds every latency sample when CaptureRaw was set.
+	Raw []time.Duration
+}
+
+// issueRecord pairs a call with its scheduled arrival instant.
+type issueRecord struct {
+	call  *rpc.Call
+	sched time.Time
+}
+
+// RunOpenLoop offers Poisson arrivals at cfg.QPS, measuring each request
+// from its scheduled arrival time (coordinated-omission safe).
+func RunOpenLoop(issue IssueFunc, cfg OpenLoopConfig) OpenLoopResult {
+	if cfg.QPS <= 0 {
+		cfg.QPS = 100
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hist := stats.NewHistogram()
+	var raw []time.Duration
+
+	// Sized so neither the transport reader nor the dispatcher blocks.
+	done := make(chan *rpc.Call, 4096)
+	records := make(chan issueRecord, 4096)
+
+	var out OpenLoopResult
+
+	// Dispatcher: schedule arrivals, never waiting for responses.
+	dispatcherDone := make(chan uint64, 1)
+	go func() {
+		var offered uint64
+		start := time.Now()
+		next := start
+		deadline := start.Add(cfg.Duration)
+		for {
+			// Exponential gap → Poisson arrival process.
+			gap := time.Duration(rng.ExpFloat64() / cfg.QPS * float64(time.Second))
+			next = next.Add(gap)
+			if next.After(deadline) {
+				break
+			}
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			// Even if we are issuing late, the latency clock runs
+			// from the scheduled instant.
+			call := issue(done)
+			records <- issueRecord{call: call, sched: next}
+			offered++
+		}
+		dispatcherDone <- offered
+	}()
+
+	// Collector: match completions to scheduled times.  A completion can
+	// beat its record through the channels, so unmatched completions are
+	// parked until the record arrives.
+	sched := make(map[*rpc.Call]time.Time)
+	orphans := make(map[*rpc.Call]time.Time)
+	record := func(call *rpc.Call, schedAt, fallback time.Time) {
+		if call.Err != nil {
+			out.Errors++
+			return
+		}
+		end := call.Received
+		if end.IsZero() {
+			end = fallback
+		}
+		lat := end.Sub(schedAt)
+		hist.Record(lat)
+		if cfg.CaptureRaw {
+			raw = append(raw, lat)
+		}
+		out.Completed++
+	}
+
+	var offered uint64
+	dispatchDoneSeen := false
+	drainDeadline := time.Time{}
+	for {
+		if dispatchDoneSeen && out.Completed+out.Errors >= offered {
+			break
+		}
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		if dispatchDoneSeen {
+			if time.Now().After(drainDeadline) {
+				out.Dropped = offered - out.Completed - out.Errors
+				break
+			}
+			timer = time.NewTimer(50 * time.Millisecond)
+			timeout = timer.C
+		}
+		select {
+		case n := <-dispatcherDone:
+			offered = n
+			dispatchDoneSeen = true
+			drainDeadline = time.Now().Add(cfg.DrainTimeout)
+			dispatcherDone = nil
+		case rec := <-records:
+			if at, ok := orphans[rec.call]; ok {
+				delete(orphans, rec.call)
+				record(rec.call, rec.sched, at)
+			} else {
+				sched[rec.call] = rec.sched
+			}
+		case call := <-done:
+			if at, ok := sched[call]; ok {
+				delete(sched, call)
+				record(call, at, time.Now())
+			} else {
+				orphans[call] = time.Now()
+			}
+		case <-timeout:
+			// Loop to re-check the drain deadline.
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+
+	out.Offered = offered
+	out.AchievedQPS = float64(out.Completed) / cfg.Duration.Seconds()
+	out.Latency = hist.Snapshot()
+	out.Raw = raw
+	return out
+}

@@ -1,0 +1,247 @@
+package loadgen
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"musuite/internal/rpc"
+)
+
+// fakeService simulates a server with a fixed service time and unlimited
+// concurrency; no network involved.
+func fakeService(serviceTime time.Duration) IssueFunc {
+	return func(done chan *rpc.Call) *rpc.Call {
+		call := &rpc.Call{Done: done}
+		go func() {
+			if serviceTime > 0 {
+				time.Sleep(serviceTime)
+			}
+			call.Received = time.Now()
+			done <- call
+		}()
+		return call
+	}
+}
+
+// serialService simulates a single-threaded server: requests queue and are
+// served one at a time, so offered load above 1/serviceTime builds queues.
+func serialService(serviceTime time.Duration) IssueFunc {
+	queue := make(chan *rpc.Call, 100000)
+	go func() {
+		for call := range queue {
+			time.Sleep(serviceTime)
+			call.Received = time.Now()
+			call.Done <- call
+		}
+	}()
+	return func(done chan *rpc.Call) *rpc.Call {
+		call := &rpc.Call{Done: done}
+		queue <- call
+		return call
+	}
+}
+
+func failingService(everyNth int) IssueFunc {
+	var n atomic.Int64
+	return func(done chan *rpc.Call) *rpc.Call {
+		call := &rpc.Call{Done: done}
+		i := n.Add(1)
+		go func() {
+			if everyNth > 0 && i%int64(everyNth) == 0 {
+				call.Err = errors.New("injected failure")
+			} else {
+				call.Received = time.Now()
+			}
+			done <- call
+		}()
+		return call
+	}
+}
+
+func TestClosedLoopThroughputMatchesLittlesLaw(t *testing.T) {
+	// 1ms service, 4 concurrent workers, unlimited server concurrency →
+	// ≈4000 QPS.
+	res := RunClosedLoop(fakeService(time.Millisecond), ClosedLoopConfig{
+		Concurrency: 4, Duration: 500 * time.Millisecond, Warmup: 2,
+	})
+	if res.Errors != 0 {
+		t.Fatalf("errors=%d", res.Errors)
+	}
+	if res.Throughput < 1500 || res.Throughput > 4500 {
+		t.Fatalf("throughput=%v want ≈4000 (sleep jitter tolerated)", res.Throughput)
+	}
+	if res.Latency.Median < time.Millisecond {
+		t.Fatalf("median=%v below service time", res.Latency.Median)
+	}
+}
+
+func TestClosedLoopCountsErrors(t *testing.T) {
+	res := RunClosedLoop(failingService(3), ClosedLoopConfig{
+		Concurrency: 2, Duration: 100 * time.Millisecond,
+	})
+	if res.Errors == 0 {
+		t.Fatal("no errors recorded")
+	}
+	if res.Completed == 0 {
+		t.Fatal("no successes recorded")
+	}
+	frac := float64(res.Errors) / float64(res.Errors+res.Completed)
+	if frac < 0.2 || frac > 0.5 {
+		t.Fatalf("error fraction=%v want ≈1/3", frac)
+	}
+}
+
+func TestFindSaturationSerialServer(t *testing.T) {
+	// A serial 2ms server saturates at ≈500 QPS no matter the
+	// concurrency.
+	res := FindSaturation(serialService(2*time.Millisecond), SaturationConfig{
+		Window: 300 * time.Millisecond, MaxConcurrency: 16,
+	})
+	if res.Throughput < 250 || res.Throughput > 650 {
+		t.Fatalf("saturation=%v want ≈500", res.Throughput)
+	}
+	if len(res.Steps) < 2 {
+		t.Fatalf("steps=%v", res.Steps)
+	}
+}
+
+func TestClosedLoopScalesWithParallelServer(t *testing.T) {
+	// An unlimited-concurrency 5ms server: 8 workers must complete far
+	// more than 1 worker (sleeps overlap regardless of CPU count).
+	svc := fakeService(5 * time.Millisecond)
+	one := RunClosedLoop(svc, ClosedLoopConfig{Concurrency: 1, Duration: 400 * time.Millisecond})
+	eight := RunClosedLoop(svc, ClosedLoopConfig{Concurrency: 8, Duration: 400 * time.Millisecond})
+	if eight.Throughput < one.Throughput*2 {
+		t.Fatalf("no scaling: conc1=%v conc8=%v", one.Throughput, eight.Throughput)
+	}
+}
+
+func TestOpenLoopOfferedLoadIsPoisson(t *testing.T) {
+	const qps = 2000.0
+	res := RunOpenLoop(fakeService(0), OpenLoopConfig{
+		QPS: qps, Duration: time.Second, Seed: 1,
+	})
+	if res.Dropped != 0 || res.Errors != 0 {
+		t.Fatalf("dropped=%d errors=%d", res.Dropped, res.Errors)
+	}
+	// Offered count ≈ qps·duration within 4σ (σ=√n for Poisson).
+	n := float64(res.Offered)
+	if math.Abs(n-qps) > 4*math.Sqrt(qps) {
+		t.Fatalf("offered=%v want ≈%v", n, qps)
+	}
+	if res.Completed != res.Offered {
+		t.Fatalf("completed=%d offered=%d", res.Completed, res.Offered)
+	}
+}
+
+func TestOpenLoopLatencyIncludesServiceTime(t *testing.T) {
+	res := RunOpenLoop(fakeService(2*time.Millisecond), OpenLoopConfig{
+		QPS: 200, Duration: 500 * time.Millisecond, Seed: 2,
+	})
+	if res.Latency.Median < 2*time.Millisecond {
+		t.Fatalf("median=%v below service time", res.Latency.Median)
+	}
+	if res.Latency.Median > 20*time.Millisecond {
+		t.Fatalf("median=%v implausibly high at low load", res.Latency.Median)
+	}
+}
+
+// TestNoCoordinatedOmission is the paper's methodological point: when the
+// server stalls, an open-loop tester must charge the queueing delay to the
+// server.  A serial server at 2× its capacity must show latencies far above
+// the bare service time.
+func TestNoCoordinatedOmission(t *testing.T) {
+	// Serial server: 5ms service → 200 QPS capacity.  Offer 400 QPS.
+	res := RunOpenLoop(serialService(5*time.Millisecond), OpenLoopConfig{
+		QPS: 400, Duration: 500 * time.Millisecond, Seed: 3,
+		DrainTimeout: 5 * time.Second,
+	})
+	// Under 2× overload for 500ms, the queue at the end is ≈100 deep;
+	// tail latency must reflect queueing (≫ 5ms).
+	if res.Latency.P99 < 50*time.Millisecond {
+		t.Fatalf("p99=%v does not reflect queueing (coordinated omission?)", res.Latency.P99)
+	}
+	// And median must exceed several service times too.
+	if res.Latency.Median < 10*time.Millisecond {
+		t.Fatalf("median=%v too low under 2x overload", res.Latency.Median)
+	}
+}
+
+func TestOpenLoopCaptureRaw(t *testing.T) {
+	res := RunOpenLoop(fakeService(time.Millisecond), OpenLoopConfig{
+		QPS: 500, Duration: 200 * time.Millisecond, Seed: 4, CaptureRaw: true,
+	})
+	if uint64(len(res.Raw)) != res.Completed {
+		t.Fatalf("raw=%d completed=%d", len(res.Raw), res.Completed)
+	}
+	for _, d := range res.Raw {
+		if d < 0 {
+			t.Fatal("negative latency sample")
+		}
+	}
+}
+
+func TestOpenLoopErrorsCounted(t *testing.T) {
+	res := RunOpenLoop(failingService(4), OpenLoopConfig{
+		QPS: 1000, Duration: 300 * time.Millisecond, Seed: 5,
+	})
+	if res.Errors == 0 {
+		t.Fatal("no errors recorded")
+	}
+	if res.Completed+res.Errors != res.Offered {
+		t.Fatalf("completed+errors=%d offered=%d", res.Completed+res.Errors, res.Offered)
+	}
+}
+
+func TestOpenLoopDrainTimeoutDropsStragglers(t *testing.T) {
+	// A service that never completes some requests.
+	var n atomic.Int64
+	blackhole := func(done chan *rpc.Call) *rpc.Call {
+		call := &rpc.Call{Done: done}
+		if n.Add(1)%2 == 0 {
+			go func() {
+				call.Received = time.Now()
+				done <- call
+			}()
+		}
+		// Odd requests never complete.
+		return call
+	}
+	res := RunOpenLoop(blackhole, OpenLoopConfig{
+		QPS: 200, Duration: 200 * time.Millisecond, Seed: 6,
+		DrainTimeout: 200 * time.Millisecond,
+	})
+	if res.Dropped == 0 {
+		t.Fatal("no dropped requests despite blackhole")
+	}
+	if res.Completed == 0 {
+		t.Fatal("no completions")
+	}
+}
+
+// TestInterArrivalExponential validates the Poisson process shape directly:
+// exponential gaps have mean 1/λ and CV ≈ 1.
+func TestInterArrivalExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const lambda = 1000.0
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		g := rng.ExpFloat64() / lambda
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-1/lambda)/(1/lambda) > 0.05 {
+		t.Fatalf("mean gap=%v want %v", mean, 1/lambda)
+	}
+	cv := std / mean
+	if cv < 0.9 || cv > 1.1 {
+		t.Fatalf("CV=%v want ≈1 (exponential)", cv)
+	}
+}

@@ -1,0 +1,192 @@
+package loadgen
+
+import (
+	"math/rand"
+	"time"
+
+	"musuite/internal/rpc"
+	"musuite/internal/stats"
+)
+
+// LoadPhase is one segment of a time-varying offered load: a flash crowd is
+// a brief high-QPS phase between normal ones; a diurnal pattern is a slow
+// staircase.  The paper motivates wide-ranging load support with exactly
+// these scenarios (§VI-B).
+type LoadPhase struct {
+	// Name labels the phase in results ("baseline", "spike", ...).
+	Name string
+	// QPS is the offered load during the phase.
+	QPS float64
+	// Duration is the phase length.
+	Duration time.Duration
+}
+
+// PhaseResult is one phase's measurement.  Because phases run back-to-back
+// with no drain in between, queue buildup from an overloaded phase spills
+// into the next one's latencies — the effect a flash crowd inflicts on real
+// services.
+type PhaseResult struct {
+	Phase     LoadPhase
+	Offered   uint64
+	Completed uint64
+	Errors    uint64
+	Latency   stats.Snapshot
+}
+
+// RunSchedule offers the phases consecutively (single continuous run, no
+// inter-phase drain) and reports per-phase latency distributions.  Requests
+// are attributed to the phase in which they were *scheduled*.  After the
+// last phase, completions are drained for up to drainTimeout.
+func RunSchedule(issue IssueFunc, phases []LoadPhase, seed int64, drainTimeout time.Duration) []PhaseResult {
+	if len(phases) == 0 {
+		return nil
+	}
+	if drainTimeout <= 0 {
+		drainTimeout = 10 * time.Second
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	results := make([]PhaseResult, len(phases))
+	hists := make([]*stats.Histogram, len(phases))
+	for i := range results {
+		results[i].Phase = phases[i]
+		hists[i] = stats.NewHistogram()
+	}
+
+	type schedRecord struct {
+		call  *rpc.Call
+		sched time.Time
+		phase int
+	}
+	done := make(chan *rpc.Call, 4096)
+	records := make(chan schedRecord, 4096)
+
+	dispatcherDone := make(chan struct{})
+	go func() {
+		defer close(dispatcherDone)
+		next := time.Now()
+		for pi, phase := range phases {
+			if phase.QPS <= 0 || phase.Duration <= 0 {
+				continue
+			}
+			deadline := next.Add(phase.Duration)
+			for {
+				gap := time.Duration(rng.ExpFloat64() / phase.QPS * float64(time.Second))
+				next = next.Add(gap)
+				if next.After(deadline) {
+					// Carry the overshoot into the next
+					// phase so the process stays Poisson
+					// across the boundary.
+					next = deadline
+					break
+				}
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				call := issue(done)
+				records <- schedRecord{call: call, sched: next, phase: pi}
+				results[pi].Offered++
+			}
+		}
+	}()
+
+	sched := make(map[*rpc.Call]schedRecord)
+	orphans := make(map[*rpc.Call]time.Time)
+	var totalOffered, totalResolved uint64
+	record := func(rec schedRecord, fallback time.Time) {
+		totalResolved++
+		if rec.call.Err != nil {
+			results[rec.phase].Errors++
+			return
+		}
+		end := rec.call.Received
+		if end.IsZero() {
+			end = fallback
+		}
+		hists[rec.phase].Record(end.Sub(rec.sched))
+		results[rec.phase].Completed++
+	}
+
+	dispatchDoneSeen := false
+	var drainDeadline time.Time
+	for {
+		if dispatchDoneSeen {
+			if totalResolved >= totalOffered {
+				break
+			}
+			if time.Now().After(drainDeadline) {
+				break
+			}
+		}
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		if dispatchDoneSeen {
+			timer = time.NewTimer(50 * time.Millisecond)
+			timeout = timer.C
+		}
+		select {
+		case <-dispatcherDone:
+			dispatchDoneSeen = true
+			drainDeadline = time.Now().Add(drainTimeout)
+			for _, r := range results {
+				totalOffered += r.Offered
+			}
+			dispatcherDone = nil
+		case rec := <-records:
+			if at, ok := orphans[rec.call]; ok {
+				delete(orphans, rec.call)
+				record(rec, at)
+			} else {
+				sched[rec.call] = rec
+			}
+		case call := <-done:
+			if rec, ok := sched[call]; ok {
+				delete(sched, call)
+				record(rec, time.Now())
+			} else {
+				orphans[call] = time.Now()
+			}
+		case <-timeout:
+			// Loop to re-check the drain deadline.
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+
+	for i := range results {
+		results[i].Latency = hists[i].Snapshot()
+	}
+	return results
+}
+
+// FlashCrowd builds the canonical three-phase spike schedule: baseline →
+// spike at spikeFactor× → recovery at the baseline rate.
+func FlashCrowd(baselineQPS float64, spikeFactor float64, baseline, spike time.Duration) []LoadPhase {
+	return []LoadPhase{
+		{Name: "baseline", QPS: baselineQPS, Duration: baseline},
+		{Name: "spike", QPS: baselineQPS * spikeFactor, Duration: spike},
+		{Name: "recovery", QPS: baselineQPS, Duration: baseline},
+	}
+}
+
+// Diurnal builds a staircase schedule rising to peakQPS and back, with the
+// given number of steps per side and total duration.
+func Diurnal(troughQPS, peakQPS float64, stepsPerSide int, total time.Duration) []LoadPhase {
+	if stepsPerSide < 1 {
+		stepsPerSide = 1
+	}
+	n := 2*stepsPerSide + 1
+	per := total / time.Duration(n)
+	var phases []LoadPhase
+	for i := 0; i < stepsPerSide; i++ {
+		q := troughQPS + (peakQPS-troughQPS)*float64(i)/float64(stepsPerSide)
+		phases = append(phases, LoadPhase{Name: "rise", QPS: q, Duration: per})
+	}
+	phases = append(phases, LoadPhase{Name: "peak", QPS: peakQPS, Duration: per})
+	for i := stepsPerSide - 1; i >= 0; i-- {
+		q := troughQPS + (peakQPS-troughQPS)*float64(i)/float64(stepsPerSide)
+		phases = append(phases, LoadPhase{Name: "fall", QPS: q, Duration: per})
+	}
+	return phases
+}

@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRunScheduleEmptyAndZeroPhases(t *testing.T) {
+	if got := RunSchedule(fakeService(0), nil, 1, time.Second); got != nil {
+		t.Fatalf("empty schedule: %v", got)
+	}
+	res := RunSchedule(fakeService(0), []LoadPhase{{Name: "dead", QPS: 0, Duration: time.Second}}, 1, time.Second)
+	if len(res) != 1 || res[0].Offered != 0 {
+		t.Fatalf("zero-QPS phase offered %d", res[0].Offered)
+	}
+}
+
+func TestRunScheduleOffersPerPhase(t *testing.T) {
+	phases := []LoadPhase{
+		{Name: "low", QPS: 200, Duration: 300 * time.Millisecond},
+		{Name: "high", QPS: 1000, Duration: 300 * time.Millisecond},
+	}
+	res := RunSchedule(fakeService(0), phases, 2, 5*time.Second)
+	if len(res) != 2 {
+		t.Fatalf("results=%d", len(res))
+	}
+	// Expected counts within 5σ of λ·T.
+	for i, want := range []float64{60, 300} {
+		got := float64(res[i].Offered)
+		if math.Abs(got-want) > 5*math.Sqrt(want)+1 {
+			t.Errorf("phase %d offered %v want ≈%v", i, got, want)
+		}
+		if res[i].Completed != res[i].Offered {
+			t.Errorf("phase %d completed %d of %d", i, res[i].Completed, res[i].Offered)
+		}
+		if res[i].Errors != 0 {
+			t.Errorf("phase %d errors=%d", i, res[i].Errors)
+		}
+	}
+}
+
+// TestFlashCrowdSpilloverRaisesTail is the scenario's point: a spike beyond
+// a serial server's capacity must inflate the spike phase's tail latencies
+// far beyond the baseline phase's.
+func TestFlashCrowdSpilloverRaisesTail(t *testing.T) {
+	// Serial server: 4ms service → 250 QPS capacity.
+	svc := serialService(4 * time.Millisecond)
+	phases := FlashCrowd(100, 6, 400*time.Millisecond, 300*time.Millisecond) // spike at 600 QPS
+	res := RunSchedule(svc, phases, 3, 20*time.Second)
+	if len(res) != 3 {
+		t.Fatalf("results=%d", len(res))
+	}
+	base, spike := res[0], res[1]
+	if base.Completed == 0 || spike.Completed == 0 {
+		t.Fatalf("empty phases: %+v", res)
+	}
+	if spike.Latency.P99 < 4*base.Latency.P99 {
+		t.Fatalf("spike p99 %v not ≫ baseline p99 %v", spike.Latency.P99, base.Latency.P99)
+	}
+	// Recovery still sees residual queue (spillover), so its median
+	// should exceed the baseline's median.
+	recovery := res[2]
+	if recovery.Latency.Median < base.Latency.Median {
+		t.Logf("note: recovery median %v below baseline %v (queue drained fast)",
+			recovery.Latency.Median, base.Latency.Median)
+	}
+}
+
+func TestFlashCrowdShape(t *testing.T) {
+	phases := FlashCrowd(100, 10, time.Second, 200*time.Millisecond)
+	if len(phases) != 3 {
+		t.Fatalf("phases=%d", len(phases))
+	}
+	if phases[1].QPS != 1000 {
+		t.Errorf("spike qps=%v", phases[1].QPS)
+	}
+	if phases[0].QPS != phases[2].QPS {
+		t.Error("baseline and recovery differ")
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	phases := Diurnal(50, 450, 4, 9*time.Second)
+	if len(phases) != 9 {
+		t.Fatalf("phases=%d", len(phases))
+	}
+	if phases[4].QPS != 450 || phases[4].Name != "peak" {
+		t.Fatalf("peak=%+v", phases[4])
+	}
+	if phases[0].QPS != 50 || phases[8].QPS != 50 {
+		t.Fatalf("trough ends wrong: %v %v", phases[0].QPS, phases[8].QPS)
+	}
+	// Monotone rise then fall.
+	for i := 1; i <= 4; i++ {
+		if phases[i].QPS <= phases[i-1].QPS {
+			t.Fatalf("not rising at %d", i)
+		}
+	}
+	for i := 5; i < 9; i++ {
+		if phases[i].QPS >= phases[i-1].QPS {
+			t.Fatalf("not falling at %d", i)
+		}
+	}
+	// Defaults: stepsPerSide < 1 clamps.
+	if got := Diurnal(10, 20, 0, time.Second); len(got) != 3 {
+		t.Fatalf("clamped diurnal=%d", len(got))
+	}
+}
+
+func TestRunScheduleCountsErrors(t *testing.T) {
+	res := RunSchedule(failingService(2), []LoadPhase{
+		{Name: "x", QPS: 500, Duration: 200 * time.Millisecond},
+	}, 4, 5*time.Second)
+	if res[0].Errors == 0 {
+		t.Fatal("no errors recorded")
+	}
+	if res[0].Errors+res[0].Completed != res[0].Offered {
+		t.Fatalf("accounting: %+v", res[0])
+	}
+}

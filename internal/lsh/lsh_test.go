@@ -1,0 +1,234 @@
+package lsh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"musuite/internal/dataset"
+	"musuite/internal/knn"
+	"musuite/internal/vec"
+)
+
+func buildClustered(t *testing.T, n, dim int) (*dataset.ImageCorpus, *Index) {
+	t.Helper()
+	corpus := dataset.NewImageCorpus(dataset.ImageCorpusConfig{
+		N: n, Dim: dim, Clusters: 10, Noise: 0.12, Seed: 42,
+	})
+	idx, err := New(Config{Dim: dim, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 4
+	for id, v := range corpus.Vectors {
+		if err := idx.Insert(v, int32(id%shards), uint32(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return corpus, idx
+}
+
+func TestNewRejectsBadDim(t *testing.T) {
+	if _, err := New(Config{Dim: 0}); err == nil {
+		t.Fatal("dim=0 accepted")
+	}
+}
+
+func TestInsertRejectsWrongDim(t *testing.T) {
+	idx, _ := New(Config{Dim: 8})
+	if err := idx.Insert(make(vec.Vector, 4), 0, 0); err == nil {
+		t.Fatal("wrong-dim insert accepted")
+	}
+}
+
+func TestLookupReturnsOnlyIndexedEntries(t *testing.T) {
+	corpus, idx := buildClustered(t, 500, 24)
+	if idx.Size() != 500 {
+		t.Fatalf("size=%d", idx.Size())
+	}
+	for qi, q := range corpus.Queries(30, 1) {
+		for _, e := range idx.Lookup(q) {
+			if e.PointID >= 500 {
+				t.Fatalf("query %d returned unindexed point %d", qi, e.PointID)
+			}
+			if int32(e.PointID%4) != e.Shard {
+				t.Fatalf("entry shard mismatch: %+v", e)
+			}
+		}
+	}
+}
+
+func TestLookupNoDuplicates(t *testing.T) {
+	corpus, idx := buildClustered(t, 300, 16)
+	for _, q := range corpus.Queries(20, 2) {
+		seen := make(map[Entry]bool)
+		for _, e := range idx.Lookup(q) {
+			if seen[e] {
+				t.Fatalf("duplicate entry %+v", e)
+			}
+			seen[e] = true
+		}
+	}
+}
+
+// TestRecallAtLeast93 is the paper's accuracy floor: the LSH candidate set,
+// scored exactly, must contain the true nearest neighbor for ≥93% of
+// queries at tuned parameters.
+func TestRecallAtLeast93(t *testing.T) {
+	corpus, idx := buildClustered(t, 2000, 32)
+	queries := corpus.Queries(200, 5)
+	hits := 0
+	for _, q := range queries {
+		truth := knn.BruteForce(q, corpus.Vectors, 1)[0].ID
+		for _, e := range idx.Lookup(q) {
+			if e.PointID == truth {
+				hits++
+				break
+			}
+		}
+	}
+	recall := float64(hits) / float64(len(queries))
+	if recall < 0.93 {
+		t.Fatalf("recall@1 = %.3f < 0.93", recall)
+	}
+	t.Logf("recall@1 = %.3f over %d queries", recall, len(queries))
+}
+
+// TestPruning verifies the point of the index: candidates are far fewer than
+// the corpus.
+func TestPruning(t *testing.T) {
+	corpus, idx := buildClustered(t, 2000, 32)
+	total := 0
+	queries := corpus.Queries(50, 6)
+	for _, q := range queries {
+		total += len(idx.Lookup(q))
+	}
+	avg := float64(total) / float64(len(queries))
+	if avg > 2000*0.6 {
+		t.Fatalf("average candidate set %.0f is not pruning (corpus 2000)", avg)
+	}
+	t.Logf("average candidates = %.0f of 2000", avg)
+}
+
+func TestMoreProbesRaiseRecall(t *testing.T) {
+	corpus := dataset.NewImageCorpus(dataset.ImageCorpusConfig{
+		N: 1500, Dim: 32, Clusters: 12, Noise: 0.12, Seed: 5,
+	})
+	recall := func(probes int) float64 {
+		idx, _ := New(Config{Dim: 32, Tables: 4, Bits: 14, Probes: probes, Seed: 9})
+		for id, v := range corpus.Vectors {
+			idx.Insert(v, 0, uint32(id))
+		}
+		queries := corpus.Queries(150, 11)
+		hits := 0
+		for _, q := range queries {
+			truth := knn.BruteForce(q, corpus.Vectors, 1)[0].ID
+			for _, e := range idx.Lookup(q) {
+				if e.PointID == truth {
+					hits++
+					break
+				}
+			}
+		}
+		return float64(hits) / float64(len(queries))
+	}
+	r0, r4 := recall(0), recall(4)
+	if r4 < r0 {
+		t.Fatalf("probes lowered recall: %.3f → %.3f", r0, r4)
+	}
+	t.Logf("recall probes=0: %.3f, probes=4: %.3f", r0, r4)
+}
+
+func TestLookupByShardPartition(t *testing.T) {
+	corpus, idx := buildClustered(t, 400, 16)
+	q := corpus.Queries(1, 3)[0]
+	flat := idx.Lookup(q)
+	grouped := idx.LookupByShard(q)
+	count := 0
+	for shard, ids := range grouped {
+		count += len(ids)
+		for _, id := range ids {
+			if int32(id%4) != shard {
+				t.Fatalf("point %d grouped under shard %d", id, shard)
+			}
+		}
+	}
+	if count != len(flat) {
+		t.Fatalf("grouped %d, flat %d", count, len(flat))
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, idx := buildClustered(t, 200, 16)
+	s := idx.Stats()
+	if s.Entries != 200 || s.Tables != 8 {
+		t.Fatalf("stats=%+v", s)
+	}
+	if s.Buckets == 0 || s.MaxBucketSize == 0 {
+		t.Fatalf("empty stats=%+v", s)
+	}
+}
+
+func TestDeterministicAcrossBuilds(t *testing.T) {
+	corpus := dataset.NewImageCorpus(dataset.ImageCorpusConfig{N: 100, Dim: 8, Seed: 3})
+	build := func() *Index {
+		idx, _ := New(Config{Dim: 8, Seed: 11})
+		for id, v := range corpus.Vectors {
+			idx.Insert(v, 0, uint32(id))
+		}
+		return idx
+	}
+	a, b := build(), build()
+	q := corpus.Queries(1, 4)[0]
+	ea, eb := a.Lookup(q), b.Lookup(q)
+	if len(ea) != len(eb) {
+		t.Fatalf("non-deterministic lookup: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+// Property: an inserted vector, looked up exactly, is always among its own
+// candidates (a point collides with itself in every table).
+func TestSelfLookupProperty(t *testing.T) {
+	idx, _ := New(Config{Dim: 6, Tables: 3, Bits: 10, Seed: 13})
+	nextID := uint32(0)
+	f := func(raw [6]int8) bool {
+		v := make(vec.Vector, 6)
+		for i, r := range raw {
+			v[i] = float32(r) / 16
+		}
+		id := nextID
+		nextID++
+		if err := idx.Insert(v, 1, id); err != nil {
+			return false
+		}
+		for _, e := range idx.Lookup(v) {
+			if e.PointID == id {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	corpus := dataset.NewImageCorpus(dataset.ImageCorpusConfig{
+		N: 5000, Dim: 64, Clusters: 16, Seed: 21,
+	})
+	idx, _ := New(Config{Dim: 64, Seed: 22})
+	for id, v := range corpus.Vectors {
+		idx.Insert(v, int32(id%4), uint32(id))
+	}
+	q := corpus.Queries(1, 23)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Lookup(q)
+	}
+}

@@ -1,0 +1,253 @@
+// Package matfac implements the collaborative-filtering math of Recommend:
+// a sparse user–item utility matrix and its Non-negative Matrix
+// Factorization V ≈ W·H via masked (observed-entries-only) multiplicative
+// updates, plus rating prediction from the recovered factors.  It stands in
+// for mlpack's NMF module.
+//
+// The masked multiplicative update is the classic Lee–Seung rule restricted
+// to observed cells: it keeps W and H non-negative by construction and
+// monotonically non-increases the squared reconstruction error over the
+// observed entries — both properties are enforced by this package's tests.
+package matfac
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Triplet is one observed cell of the sparse utility matrix.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// Sparse is a sparse matrix in triplet form with per-row and per-column
+// adjacency, sized for the multiplicative update's access pattern.
+type Sparse struct {
+	Rows, Cols int
+	entries    []Triplet
+	byRow      [][]int // entry indexes per row
+	byCol      [][]int // entry indexes per column
+}
+
+// NewSparse validates and indexes the triplets.
+func NewSparse(rows, cols int, data []Triplet) (*Sparse, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("matfac: invalid shape %dx%d", rows, cols)
+	}
+	s := &Sparse{
+		Rows: rows, Cols: cols,
+		entries: make([]Triplet, len(data)),
+		byRow:   make([][]int, rows),
+		byCol:   make([][]int, cols),
+	}
+	copy(s.entries, data)
+	for i, t := range s.entries {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			return nil, fmt.Errorf("matfac: entry (%d,%d) outside %dx%d", t.Row, t.Col, rows, cols)
+		}
+		if t.Val < 0 {
+			return nil, fmt.Errorf("matfac: negative value %v at (%d,%d); NMF requires non-negative data", t.Val, t.Row, t.Col)
+		}
+		s.byRow[t.Row] = append(s.byRow[t.Row], i)
+		s.byCol[t.Col] = append(s.byCol[t.Col], i)
+	}
+	return s, nil
+}
+
+// NNZ reports the number of observed entries.
+func (s *Sparse) NNZ() int { return len(s.entries) }
+
+// Config parameterizes factorization.
+type Config struct {
+	// Rank r is the latent dimensionality — the number of "similarity
+	// concepts" NMF identifies (default 8).
+	Rank int
+	// Iterations bounds the multiplicative update sweeps (default 50).
+	Iterations int
+	// Tolerance stops early when the relative error improvement per
+	// sweep falls below it (default 1e-5; 0 disables).
+	Tolerance float64
+	// Seed makes the random initialization deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rank <= 0 {
+		c.Rank = 8
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 50
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-5
+	}
+	return c
+}
+
+// Model is the factorization result: V ≈ W·H with W (Rows×Rank) capturing
+// row↔concept affinity and H (Rank×Cols) concept↔column affinity.
+type Model struct {
+	Rank int
+	// W[r] is row r's latent factor vector (length Rank).
+	W [][]float64
+	// H[c] is column c's latent factor vector (length Rank); stored
+	// column-major for cache-friendly prediction.
+	H [][]float64
+	// ErrorTrace records the RMSE over observed entries after each
+	// sweep, for convergence inspection and the monotonicity invariant.
+	ErrorTrace []float64
+}
+
+// ErrEmpty reports factorization of a matrix with no observations.
+var ErrEmpty = errors.New("matfac: no observed entries")
+
+const eps = 1e-12
+
+// Factorize runs masked multiplicative-update NMF on s.
+func Factorize(s *Sparse, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if s.NNZ() == 0 {
+		return nil, ErrEmpty
+	}
+	r := cfg.Rank
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Initialize with positive uniforms scaled to the data mean so WH
+	// starts near the right magnitude.
+	mean := 0.0
+	for _, t := range s.entries {
+		mean += t.Val
+	}
+	mean /= float64(s.NNZ())
+	scale := math.Sqrt(mean / float64(r))
+	if scale <= 0 {
+		scale = 0.1
+	}
+	m := &Model{Rank: r, W: make([][]float64, s.Rows), H: make([][]float64, s.Cols)}
+	for i := range m.W {
+		m.W[i] = make([]float64, r)
+		for k := range m.W[i] {
+			m.W[i][k] = scale * (0.5 + rng.Float64())
+		}
+	}
+	for j := range m.H {
+		m.H[j] = make([]float64, r)
+		for k := range m.H[j] {
+			m.H[j][k] = scale * (0.5 + rng.Float64())
+		}
+	}
+
+	pred := make([]float64, s.NNZ()) // WH at observed cells
+	recompute := func() {
+		for i, t := range s.entries {
+			pred[i] = dot(m.W[t.Row], m.H[t.Col])
+		}
+	}
+	rmse := func() float64 {
+		sum := 0.0
+		for i, t := range s.entries {
+			d := t.Val - pred[i]
+			sum += d * d
+		}
+		return math.Sqrt(sum / float64(s.NNZ()))
+	}
+
+	recompute()
+	prev := rmse()
+	m.ErrorTrace = append(m.ErrorTrace, prev)
+
+	numer := make([]float64, r)
+	denom := make([]float64, r)
+	for sweep := 0; sweep < cfg.Iterations; sweep++ {
+		// Update W rows: W[i] ∘= (Σ_j V_ij·H[j]) / (Σ_j (WH)_ij·H[j]).
+		for row := 0; row < s.Rows; row++ {
+			idxs := s.byRow[row]
+			if len(idxs) == 0 {
+				continue
+			}
+			for k := 0; k < r; k++ {
+				numer[k], denom[k] = 0, 0
+			}
+			for _, ei := range idxs {
+				t := s.entries[ei]
+				p := dot(m.W[row], m.H[t.Col])
+				for k := 0; k < r; k++ {
+					numer[k] += t.Val * m.H[t.Col][k]
+					denom[k] += p * m.H[t.Col][k]
+				}
+			}
+			for k := 0; k < r; k++ {
+				m.W[row][k] *= numer[k] / (denom[k] + eps)
+			}
+		}
+		// Update H columns symmetrically.
+		for col := 0; col < s.Cols; col++ {
+			idxs := s.byCol[col]
+			if len(idxs) == 0 {
+				continue
+			}
+			for k := 0; k < r; k++ {
+				numer[k], denom[k] = 0, 0
+			}
+			for _, ei := range idxs {
+				t := s.entries[ei]
+				p := dot(m.W[t.Row], m.H[col])
+				for k := 0; k < r; k++ {
+					numer[k] += t.Val * m.W[t.Row][k]
+					denom[k] += p * m.W[t.Row][k]
+				}
+			}
+			for k := 0; k < r; k++ {
+				m.H[col][k] *= numer[k] / (denom[k] + eps)
+			}
+		}
+
+		recompute()
+		cur := rmse()
+		m.ErrorTrace = append(m.ErrorTrace, cur)
+		if cfg.Tolerance > 0 && prev > 0 && (prev-cur)/prev < cfg.Tolerance {
+			break
+		}
+		prev = cur
+	}
+	return m, nil
+}
+
+// Predict approximates cell (row, col) of the utility matrix.
+func (m *Model) Predict(row, col int) float64 {
+	if row < 0 || row >= len(m.W) || col < 0 || col >= len(m.H) {
+		return 0
+	}
+	return dot(m.W[row], m.H[col])
+}
+
+// PredictClamped is Predict bounded to [lo, hi] — ratings live on 1..5.
+func (m *Model) PredictClamped(row, col int, lo, hi float64) float64 {
+	p := m.Predict(row, col)
+	if p < lo {
+		return lo
+	}
+	if p > hi {
+		return hi
+	}
+	return p
+}
+
+// FinalRMSE reports the last recorded reconstruction error.
+func (m *Model) FinalRMSE() float64 {
+	if len(m.ErrorTrace) == 0 {
+		return math.NaN()
+	}
+	return m.ErrorTrace[len(m.ErrorTrace)-1]
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for k := range a {
+		s += a[k] * b[k]
+	}
+	return s
+}

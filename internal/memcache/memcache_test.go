@@ -1,0 +1,315 @@
+package memcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGetAfterSet(t *testing.T) {
+	s := New(Config{})
+	s.Set("k", []byte("v"), 0)
+	got, ok := s.Get("k")
+	if !ok || string(got) != "v" {
+		t.Fatalf("get=%q ok=%v", got, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("hit on missing key")
+	}
+}
+
+func TestSetOverwrites(t *testing.T) {
+	s := New(Config{})
+	s.Set("k", []byte("v1"), 0)
+	s.Set("k", []byte("v2"), 0)
+	got, _ := s.Get("k")
+	if string(got) != "v2" {
+		t.Fatalf("got %q", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len=%d", s.Len())
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	s := New(Config{})
+	v := []byte("abc")
+	s.Set("k", v, 0)
+	v[0] = 'X' // mutating the caller's slice must not affect the store
+	got, _ := s.Get("k")
+	if string(got) != "abc" {
+		t.Fatalf("store aliased caller slice: %q", got)
+	}
+	got[0] = 'Y' // mutating the returned slice must not affect the store
+	got2, _ := s.Get("k")
+	if string(got2) != "abc" {
+		t.Fatalf("get aliased store slice: %q", got2)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(Config{})
+	s.Set("k", []byte("v"), 0)
+	if !s.Delete("k") {
+		t.Fatal("delete missed present key")
+	}
+	if s.Delete("k") {
+		t.Fatal("delete hit absent key")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("get after delete hit")
+	}
+}
+
+func TestAddReplaceSemantics(t *testing.T) {
+	s := New(Config{})
+	if err := s.Add("k", []byte("v1"), 0); err != nil {
+		t.Fatalf("add to empty: %v", err)
+	}
+	if err := s.Add("k", []byte("v2"), 0); err != ErrNotStored {
+		t.Fatalf("add to present: %v", err)
+	}
+	if err := s.Replace("k", []byte("v3"), 0); err != nil {
+		t.Fatalf("replace present: %v", err)
+	}
+	if err := s.Replace("nope", []byte("v"), 0); err != ErrNotStored {
+		t.Fatalf("replace absent: %v", err)
+	}
+	got, _ := s.Get("k")
+	if string(got) != "v3" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	s := New(Config{})
+	s.Set("k", []byte("v1"), 0)
+	_, cas, ok := s.Gets("k")
+	if !ok {
+		t.Fatal("gets missed")
+	}
+	if err := s.CAS("k", []byte("v2"), cas, 0); err != nil {
+		t.Fatalf("cas with fresh token: %v", err)
+	}
+	// Stale token now conflicts.
+	if err := s.CAS("k", []byte("v3"), cas, 0); err != ErrExists {
+		t.Fatalf("stale cas: %v", err)
+	}
+	if err := s.CAS("missing", []byte("v"), cas, 0); err != ErrNotFound {
+		t.Fatalf("cas on absent: %v", err)
+	}
+	got, _ := s.Get("k")
+	if string(got) != "v2" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Config{Now: func() time.Time { return now }})
+	s.Set("k", []byte("v"), time.Second)
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("fresh item missed")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("expired item hit")
+	}
+	if s.Stats().Expired != 1 {
+		t.Fatalf("expired=%d", s.Stats().Expired)
+	}
+}
+
+func TestTouch(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Config{Now: func() time.Time { return now }})
+	s.Set("k", []byte("v"), time.Second)
+	if err := s.Touch("k", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(5 * time.Second)
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("touched item expired early")
+	}
+	if err := s.Touch("missing", time.Second); err != ErrNotFound {
+		t.Fatalf("touch absent: %v", err)
+	}
+}
+
+func TestIncrDecr(t *testing.T) {
+	s := New(Config{})
+	s.Set("n", []byte("10"), 0)
+	if v, err := s.Incr("n", 5); err != nil || v != 15 {
+		t.Fatalf("incr: %d %v", v, err)
+	}
+	if v, err := s.Decr("n", 20); err != nil || v != 0 {
+		t.Fatalf("decr clamps at zero: %d %v", v, err)
+	}
+	if _, err := s.Incr("missing", 1); err != ErrNotFound {
+		t.Fatalf("incr absent: %v", err)
+	}
+	s.Set("txt", []byte("abc"), 0)
+	if _, err := s.Incr("txt", 1); err != ErrNotNumeric {
+		t.Fatalf("incr non-numeric: %v", err)
+	}
+}
+
+func TestLRUEvictionUnderBudget(t *testing.T) {
+	// Single shard so the LRU order is global and deterministic.
+	s := New(Config{MaxBytes: 10 * (64 + 4 + 8), Shards: 1})
+	for i := 0; i < 20; i++ {
+		s.Set(fmt.Sprintf("key%d", i), make([]byte, 8), 0)
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under byte pressure")
+	}
+	if st.Bytes > 10*(64+4+8) {
+		t.Fatalf("bytes=%d exceeds budget", st.Bytes)
+	}
+	// The most recently set key must have survived.
+	if _, ok := s.Get("key19"); !ok {
+		t.Fatal("most recent key evicted")
+	}
+	// The oldest key must be gone.
+	if _, ok := s.Get("key0"); ok {
+		t.Fatal("oldest key survived past budget")
+	}
+}
+
+func TestLRURecencyOnGet(t *testing.T) {
+	s := New(Config{MaxBytes: 3 * (64 + 1 + 4), Shards: 1})
+	s.Set("a", []byte("1234"), 0)
+	s.Set("b", []byte("1234"), 0)
+	s.Set("c", []byte("1234"), 0)
+	s.Get("a") // refresh a
+	s.Set("d", []byte("1234"), 0)
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("recently read key evicted")
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("least recently used key survived")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < 50; i++ {
+		s.Set(fmt.Sprintf("k%d", i), []byte("v"), 0)
+	}
+	s.Flush()
+	if s.Len() != 0 {
+		t.Fatalf("len after flush=%d", s.Len())
+	}
+	if st := s.Stats(); st.Bytes != 0 || st.Items != 0 {
+		t.Fatalf("stats after flush=%+v", st)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New(Config{})
+	s.Set("k", []byte("v"), 0)
+	s.Get("k")
+	s.Get("k")
+	s.Get("missing")
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Items != 1 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	s := New(Config{MaxBytes: 1 << 20})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%100)
+				switch i % 4 {
+				case 0:
+					s.Set(key, []byte(fmt.Sprintf("g%d-%d", g, i)), 0)
+				case 1:
+					s.Get(key)
+				case 2:
+					s.Delete(key)
+				case 3:
+					s.Gets(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// Property: get-after-set always returns the set value (no TTL, no budget).
+func TestQuickGetAfterSet(t *testing.T) {
+	s := New(Config{})
+	f := func(key string, value []byte) bool {
+		s.Set(key, value, 0)
+		got, ok := s.Get(key)
+		if !ok || len(got) != len(value) {
+			return false
+		}
+		for i := range value {
+			if got[i] != value[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the store never exceeds its byte budget.
+func TestQuickBudgetInvariant(t *testing.T) {
+	const budget = 32 << 10
+	s := New(Config{MaxBytes: budget, Shards: 4})
+	f := func(key string, value []byte) bool {
+		if len(value) > 1024 {
+			value = value[:1024]
+		}
+		s.Set(key, value, 0)
+		return s.Stats().Bytes <= budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	s := New(Config{})
+	s.Set("bench-key", make([]byte, 128), 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Get("bench-key")
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	s := New(Config{})
+	val := make([]byte, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Set("bench-key", val, 0)
+	}
+}
+
+func BenchmarkConcurrentGet(b *testing.B) {
+	s := New(Config{})
+	for i := 0; i < 1000; i++ {
+		s.Set(fmt.Sprintf("k%d", i), make([]byte, 64), 0)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.Get(fmt.Sprintf("k%d", i%1000))
+			i++
+		}
+	})
+}

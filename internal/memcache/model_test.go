@@ -1,0 +1,184 @@
+package memcache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// modelStore is a deliberately naive reference implementation: a map plus a
+// recency list, no sharding, no budget.  The real Store (configured with no
+// byte budget and a single shard so eviction never fires and LRU order is
+// irrelevant) must agree with it on every operation's visible result.
+type modelStore struct {
+	data map[string][]byte
+	cas  map[string]uint64
+	seq  uint64
+}
+
+func newModel() *modelStore {
+	return &modelStore{data: make(map[string][]byte), cas: make(map[string]uint64)}
+}
+
+func (m *modelStore) set(key string, val []byte) {
+	m.seq++
+	m.data[key] = append([]byte(nil), val...)
+	m.cas[key] = m.seq
+}
+
+func (m *modelStore) get(key string) ([]byte, bool) {
+	v, ok := m.data[key]
+	return v, ok
+}
+
+func (m *modelStore) del(key string) bool {
+	_, ok := m.data[key]
+	delete(m.data, key)
+	delete(m.cas, key)
+	return ok
+}
+
+func (m *modelStore) add(key string, val []byte) error {
+	if _, ok := m.data[key]; ok {
+		return ErrNotStored
+	}
+	m.set(key, val)
+	return nil
+}
+
+func (m *modelStore) replace(key string, val []byte) error {
+	if _, ok := m.data[key]; !ok {
+		return ErrNotStored
+	}
+	m.set(key, val)
+	return nil
+}
+
+// TestModelConformance runs a long random operation sequence against both
+// implementations and requires identical visible behavior at every step.
+func TestModelConformance(t *testing.T) {
+	store := New(Config{Shards: 1})
+	model := newModel()
+	rng := rand.New(rand.NewSource(99))
+	keys := make([]string, 30)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	val := func() []byte {
+		v := make([]byte, rng.Intn(32))
+		rng.Read(v)
+		return v
+	}
+
+	for step := 0; step < 20000; step++ {
+		key := keys[rng.Intn(len(keys))]
+		switch rng.Intn(6) {
+		case 0: // set
+			v := val()
+			store.Set(key, v, 0)
+			model.set(key, v)
+		case 1: // get
+			gotV, gotOK := store.Get(key)
+			wantV, wantOK := model.get(key)
+			if gotOK != wantOK {
+				t.Fatalf("step %d: get(%q) ok=%v want %v", step, key, gotOK, wantOK)
+			}
+			if gotOK && string(gotV) != string(wantV) {
+				t.Fatalf("step %d: get(%q)=%x want %x", step, key, gotV, wantV)
+			}
+		case 2: // delete
+			if got, want := store.Delete(key), model.del(key); got != want {
+				t.Fatalf("step %d: delete(%q)=%v want %v", step, key, got, want)
+			}
+		case 3: // add
+			v := val()
+			if got, want := store.Add(key, v, 0), model.add(key, v); got != want {
+				t.Fatalf("step %d: add(%q)=%v want %v", step, key, got, want)
+			}
+		case 4: // replace
+			v := val()
+			if got, want := store.Replace(key, v, 0), model.replace(key, v); got != want {
+				t.Fatalf("step %d: replace(%q)=%v want %v", step, key, got, want)
+			}
+		case 5: // cas round trip: gets then cas must succeed iff untouched
+			v, casID, ok := store.Gets(key)
+			_, wantOK := model.get(key)
+			if ok != wantOK {
+				t.Fatalf("step %d: gets(%q) ok=%v want %v", step, key, ok, wantOK)
+			}
+			if !ok {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				// Untouched: CAS must succeed.
+				nv := val()
+				if err := store.CAS(key, nv, casID, 0); err != nil {
+					t.Fatalf("step %d: fresh cas(%q): %v", step, key, err)
+				}
+				model.set(key, nv)
+			} else {
+				// Touch the key first: CAS must conflict.
+				store.Set(key, v, 0)
+				model.set(key, v)
+				if err := store.CAS(key, val(), casID, 0); err != ErrExists {
+					t.Fatalf("step %d: stale cas(%q): %v", step, key, err)
+				}
+			}
+		}
+		// Periodic full-state audit.
+		if step%2500 == 0 {
+			if store.Len() != len(model.data) {
+				t.Fatalf("step %d: len=%d want %d", step, store.Len(), len(model.data))
+			}
+			for _, k := range keys {
+				gotV, gotOK := store.Get(k)
+				wantV, wantOK := model.get(k)
+				if gotOK != wantOK || (gotOK && string(gotV) != string(wantV)) {
+					t.Fatalf("step %d: audit %q diverged", step, k)
+				}
+			}
+		}
+	}
+}
+
+// TestModelConformanceWithTTL extends the model with a fake clock and
+// verifies expiry behavior matches.
+func TestModelConformanceWithTTL(t *testing.T) {
+	now := time.Unix(0, 0)
+	store := New(Config{Shards: 1, Now: func() time.Time { return now }})
+	type expEntry struct {
+		val     []byte
+		expires time.Time
+	}
+	model := make(map[string]expEntry)
+	rng := rand.New(rand.NewSource(7))
+	keys := []string{"a", "b", "c", "d", "e"}
+
+	for step := 0; step < 5000; step++ {
+		key := keys[rng.Intn(len(keys))]
+		switch rng.Intn(3) {
+		case 0:
+			ttl := time.Duration(rng.Intn(20)) * time.Second // 0 = no expiry
+			v := []byte(fmt.Sprintf("v%d", step))
+			store.Set(key, v, ttl)
+			e := expEntry{val: v}
+			if ttl > 0 {
+				e.expires = now.Add(ttl)
+			}
+			model[key] = e
+		case 1:
+			gotV, gotOK := store.Get(key)
+			e, ok := model[key]
+			wantOK := ok && (e.expires.IsZero() || !now.After(e.expires))
+			if gotOK != wantOK {
+				t.Fatalf("step %d: get(%q) ok=%v want %v (now=%v exp=%v)", step, key, gotOK, wantOK, now, e.expires)
+			}
+			if gotOK && string(gotV) != string(e.val) {
+				t.Fatalf("step %d: value mismatch", step)
+			}
+		case 2:
+			now = now.Add(time.Duration(rng.Intn(5)) * time.Second)
+		}
+	}
+}

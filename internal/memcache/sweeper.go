@@ -1,0 +1,87 @@
+package memcache
+
+import (
+	"sync"
+	"time"
+)
+
+// Sweeper proactively removes expired items in the background, like
+// memcached's LRU-crawler thread.  Without it, expired items are reclaimed
+// only lazily on access, so a store full of written-once keys can hold dead
+// memory indefinitely.
+type Sweeper struct {
+	store    *Store
+	interval time.Duration
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	passes   sync.Mutex // guards passCount against concurrent readers
+	passN    uint64
+}
+
+// StartSweeper launches a background sweep of the whole store every
+// interval (default 1s).  Call Stop to halt it.
+func (s *Store) StartSweeper(interval time.Duration) *Sweeper {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	sw := &Sweeper{
+		store:    s,
+		interval: interval,
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	go sw.run()
+	return sw
+}
+
+// Stop halts the sweeper and waits for the current pass to finish.
+func (sw *Sweeper) Stop() {
+	sw.stopOnce.Do(func() { close(sw.stopCh) })
+	<-sw.doneCh
+}
+
+// Passes reports how many full sweeps have completed.
+func (sw *Sweeper) Passes() uint64 {
+	sw.passes.Lock()
+	defer sw.passes.Unlock()
+	return sw.passN
+}
+
+func (sw *Sweeper) run() {
+	defer close(sw.doneCh)
+	ticker := time.NewTicker(sw.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sw.stopCh:
+			return
+		case <-ticker.C:
+			sw.sweepOnce()
+			sw.passes.Lock()
+			sw.passN++
+			sw.passes.Unlock()
+		}
+	}
+}
+
+// sweepOnce scans every shard, removing expired entries.  Each shard is
+// locked only for its own scan, bounding the pause any one operation sees.
+func (sw *Sweeper) sweepOnce() {
+	now := sw.store.now()
+	for _, sh := range sw.store.shards {
+		sh.mu.Lock()
+		var victims []*entry
+		for _, e := range sh.items {
+			if e.expiredAt(now) {
+				victims = append(victims, e)
+			}
+		}
+		for _, e := range victims {
+			sh.removeLocked(e)
+			sw.store.expired.Add(1)
+		}
+		sh.mu.Unlock()
+	}
+}

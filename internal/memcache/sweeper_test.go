@@ -1,0 +1,93 @@
+package memcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded adjustable time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestSweeperReclaimsExpired(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	s := New(Config{Now: clock.Now})
+	for i := 0; i < 100; i++ {
+		s.Set(fmt.Sprintf("ttl-%d", i), []byte("v"), time.Second)
+	}
+	for i := 0; i < 20; i++ {
+		s.Set(fmt.Sprintf("forever-%d", i), []byte("v"), 0)
+	}
+	sw := s.StartSweeper(20 * time.Millisecond)
+	defer sw.Stop()
+
+	clock.Advance(5 * time.Second)
+	// Wait for at least two sweep passes without any Get traffic.
+	deadline := time.Now().Add(5 * time.Second)
+	for sw.Passes() < 2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := s.Len(); got != 20 {
+		t.Fatalf("len=%d want 20 (expired items not swept)", got)
+	}
+	if st := s.Stats(); st.Expired != 100 {
+		t.Fatalf("expired=%d want 100", st.Expired)
+	}
+	// Unexpired items untouched.
+	if _, ok := s.Get("forever-0"); !ok {
+		t.Fatal("sweeper removed a live item")
+	}
+}
+
+func TestSweeperStopIdempotentAndHaltsWork(t *testing.T) {
+	s := New(Config{})
+	sw := s.StartSweeper(5 * time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	sw.Stop()
+	sw.Stop() // idempotent
+	n := sw.Passes()
+	time.Sleep(30 * time.Millisecond)
+	if sw.Passes() != n {
+		t.Fatal("sweeper kept running after Stop")
+	}
+}
+
+func TestSweeperConcurrentWithTraffic(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	s := New(Config{Now: clock.Now})
+	sw := s.StartSweeper(2 * time.Millisecond)
+	defer sw.Stop()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d-%d", g, i%50)
+				s.Set(key, []byte("v"), time.Duration(i%3)*time.Second)
+				s.Get(key)
+				if i%100 == 0 {
+					clock.Advance(time.Second)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

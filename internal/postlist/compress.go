@@ -1,0 +1,97 @@
+package postlist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Posting lists compress extremely well as delta-encoded varints because
+// doc IDs are sorted: gaps are small, and small numbers take one byte.
+// §III-C notes the paper's posting lists "can be stored using different
+// compression schemes" — this is the classic gap+varint member of that
+// family, used on the leaf→mid-tier wire to shrink intersected lists.
+
+// ErrCorruptPostings reports an undecodable compressed list.
+var ErrCorruptPostings = errors.New("postlist: corrupt compressed postings")
+
+// CompressIDs delta+varint encodes a sorted, duplicate-free ID list.
+// Unsorted input is an error (the caller owns list discipline).
+func CompressIDs(ids []uint32) ([]byte, error) {
+	out := make([]byte, 0, len(ids)+4)
+	// Leading count makes the empty/garbage distinction unambiguous.
+	out = appendUvarint(out, uint64(len(ids)))
+	prev := uint32(0)
+	for i, id := range ids {
+		if i > 0 && id <= prev {
+			return nil, fmt.Errorf("postlist: CompressIDs input unsorted at %d (%d after %d)", i, id, prev)
+		}
+		delta := uint64(id - prev)
+		if i == 0 {
+			delta = uint64(id)
+		}
+		out = appendUvarint(out, delta)
+		prev = id
+	}
+	return out, nil
+}
+
+// DecompressIDs reverses CompressIDs.
+func DecompressIDs(b []byte) ([]uint32, error) {
+	n, rest, err := takeUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(b))*5+1 {
+		// A varint encodes at least... each ID takes ≥1 byte, so a
+		// count beyond the remaining bytes is corruption.
+		return nil, ErrCorruptPostings
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]uint32, 0, n)
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		var d uint64
+		d, rest, err = takeUvarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		var v uint64
+		if i == 0 {
+			v = d
+		} else {
+			v = prev + d
+		}
+		if v > 0xFFFFFFFF || (i > 0 && d == 0) {
+			return nil, ErrCorruptPostings
+		}
+		out = append(out, uint32(v))
+		prev = v
+	}
+	return out, nil
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < len(b); i++ {
+		if shift > 63 {
+			return 0, nil, ErrCorruptPostings
+		}
+		v |= uint64(b[i]&0x7f) << shift
+		if b[i] < 0x80 {
+			return v, b[i+1:], nil
+		}
+		shift += 7
+	}
+	return 0, nil, ErrCorruptPostings
+}

@@ -1,0 +1,368 @@
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"musuite/internal/telemetry"
+)
+
+// Call is the explicit state of one in-flight RPC.  μSuite's asynchronous
+// design keeps no thread bound to a call: the client writes the request,
+// continues with other work, and a shared reader goroutine later matches the
+// response to this struct through the pending table.
+type Call struct {
+	// Method and Payload describe the request.
+	Method  string
+	Payload []byte
+	// Reply holds the response payload after completion.
+	Reply []byte
+	// Err holds the failure, if any.
+	Err error
+	// Done receives the call exactly once upon completion.
+	Done chan *Call
+	// Sent is when the request hit the socket; Received when the response
+	// frame was fully decoded on the reader goroutine.
+	Sent     time.Time
+	Received time.Time
+	// Data is opaque caller state carried with the call; the mid-tier
+	// framework uses it to associate a leaf response with its fan-out.
+	Data any
+
+	id uint64
+}
+
+func (c *Call) finish() {
+	select {
+	case c.Done <- c:
+	default:
+		// Done was under-buffered; never block the reader goroutine.
+		go func() { c.Done <- c }()
+	}
+}
+
+// ClientOptions configures a client connection.
+type ClientOptions struct {
+	// Probe receives telemetry; nil disables instrumentation.
+	Probe *telemetry.Probe
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// OnResponse, when set, is invoked on the reader goroutine right
+	// after a call completes, before Done delivery.  The mid-tier
+	// framework uses it to hand responses to its response-thread pool.
+	OnResponse func(*Call)
+}
+
+// Client is one TCP connection multiplexing many concurrent calls.
+type Client struct {
+	conn  net.Conn
+	br    *bufio.Reader
+	probe *telemetry.Probe
+
+	wmu  *telemetry.Mutex
+	wbuf []byte
+
+	mu      sync.Mutex // guards pending, nextID, closed
+	pending map[uint64]*Call
+	nextID  uint64
+	closed  bool
+
+	onResponse func(*Call)
+	readerDone chan struct{}
+}
+
+// Dial connects to a μSuite RPC server at addr.
+func Dial(addr string, opts *ClientOptions) (*Client, error) {
+	var (
+		probe      *telemetry.Probe
+		timeout    = 5 * time.Second
+		onResponse func(*Call)
+	)
+	if opts != nil {
+		probe = opts.Probe
+		if opts.DialTimeout > 0 {
+			timeout = opts.DialTimeout
+		}
+		onResponse = opts.OnResponse
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Microservice RPCs are latency-critical: never nagle.
+		tc.SetNoDelay(true)
+	}
+	c := &Client{
+		conn:       conn,
+		br:         bufio.NewReaderSize(&countingConn{Conn: conn, probe: probe}, 64<<10),
+		probe:      probe,
+		wmu:        telemetry.NewMutex(probe),
+		pending:    make(map[uint64]*Call),
+		onResponse: onResponse,
+		readerDone: make(chan struct{}),
+	}
+	probe.IncSyscall(telemetry.SysClone)
+	go c.readLoop()
+	return c, nil
+}
+
+// Go issues an asynchronous call carrying opaque data.  done may be nil, in
+// which case a buffered channel is allocated.  The returned Call is
+// delivered on done when the response (or failure) arrives; the OnResponse
+// hook, if configured, fires exactly once per call on every completion path.
+func (c *Client) Go(method string, payload []byte, data any, done chan *Call) *Call {
+	if done == nil {
+		done = make(chan *Call, 1)
+	}
+	call := &Call{Method: method, Payload: payload, Data: data, Done: done}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		call.Err = ErrClientClosed
+		c.complete(call)
+		return call
+	}
+	c.nextID++
+	call.id = c.nextID
+	c.pending[call.id] = call
+	c.mu.Unlock()
+
+	call.Sent = time.Now()
+	c.wmu.Lock()
+	err := writeFrame(c.conn, &c.wbuf, &frame{
+		kind: kindRequest, id: call.id, method: method, payload: payload,
+	}, c.probe)
+	c.wmu.Unlock()
+	if err != nil {
+		c.failCall(call.id, err)
+	}
+	return call
+}
+
+// complete runs the OnResponse hook (if any) and delivers the call.
+func (c *Client) complete(call *Call) {
+	if c.onResponse != nil {
+		c.onResponse(call)
+	}
+	call.finish()
+}
+
+// Call issues a synchronous RPC and waits for the response.
+func (c *Client) Call(method string, payload []byte) ([]byte, error) {
+	call := <-c.Go(method, payload, nil, nil).Done
+	return call.Reply, call.Err
+}
+
+// CallTimeout is Call with a deadline.  On expiry the call is abandoned
+// (its late response, if any, is discarded) and ErrTimeout returned.
+func (c *Client) CallTimeout(method string, payload []byte, d time.Duration) ([]byte, error) {
+	call := c.Go(method, payload, nil, nil)
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-call.Done:
+		return call.Reply, call.Err
+	case <-timer.C:
+		c.failCall(call.id, ErrTimeout)
+		<-call.Done
+		if call.Err == nil {
+			// The response raced the timeout and won; accept it.
+			return call.Reply, nil
+		}
+		return nil, call.Err
+	}
+}
+
+// failCall completes a pending call with err, if it is still pending.
+func (c *Client) failCall(id uint64, err error) {
+	c.mu.Lock()
+	call, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if ok {
+		call.Err = err
+		c.complete(call)
+	}
+}
+
+// readLoop is the response reception thread shared by all in-flight calls.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	var f frame
+	for {
+		_, err := readFrame(c.br, &f, c.probe)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		if f.kind != kindResponse && f.kind != kindError {
+			continue
+		}
+		received := time.Now()
+
+		// Pending-table lookup under the lock: the read-mostly shared
+		// state access we classify as the RCU analog.
+		lookupStart := time.Now()
+		c.mu.Lock()
+		call, ok := c.pending[f.id]
+		if ok {
+			delete(c.pending, f.id)
+		}
+		c.mu.Unlock()
+		c.probe.ObserveOverhead(telemetry.OverheadRCU, time.Since(lookupStart))
+		if !ok {
+			continue // abandoned (timed-out) call
+		}
+
+		if f.kind == kindError {
+			call.Err = fmt.Errorf("rpc: remote error: %s", f.payload)
+		} else {
+			call.Reply = make([]byte, len(f.payload))
+			copy(call.Reply, f.payload)
+		}
+		call.Received = received
+		c.complete(call)
+	}
+}
+
+// failAll fails every pending call after a connection-level error.
+func (c *Client) failAll(err error) {
+	if errors.Is(err, net.ErrClosed) {
+		err = ErrClientClosed
+	}
+	c.mu.Lock()
+	c.closed = true
+	calls := make([]*Call, 0, len(c.pending))
+	for _, call := range c.pending {
+		calls = append(calls, call)
+	}
+	c.pending = make(map[uint64]*Call)
+	c.mu.Unlock()
+	for _, call := range calls {
+		call.Err = err
+		c.complete(call)
+	}
+}
+
+// Close shuts the connection down and fails any in-flight calls.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.probe.IncSyscall(telemetry.SysClose)
+	<-c.readerDone
+	return err
+}
+
+// Addr reports the remote address.
+func (c *Client) Addr() string { return c.conn.RemoteAddr().String() }
+
+// Closed reports whether the connection has shut down (locally closed or
+// failed).
+func (c *Client) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// reconnectBackoff rate-limits per-slot redial attempts so a dead
+// destination costs one failed dial per interval, not per request.
+const reconnectBackoff = 250 * time.Millisecond
+
+// Pool is a fixed set of client connections to one destination, picked
+// round-robin.  Router's mid-tier opens one connection per worker thread to
+// each destination; a Pool models that connection set.  Dead connections
+// are redialed transparently (with backoff), so a leaf that restarts is
+// picked back up without reconfiguring the mid-tier.
+type Pool struct {
+	addr string
+	opts *ClientOptions
+
+	mu      sync.Mutex
+	clients []*Client
+	lastTry []time.Time
+	next    int
+	closed  bool
+}
+
+// DialPool opens n connections to addr.
+func DialPool(addr string, n int, opts *ClientOptions) (*Pool, error) {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{
+		addr:    addr,
+		opts:    opts,
+		clients: make([]*Client, 0, n),
+		lastTry: make([]time.Time, n),
+	}
+	for i := 0; i < n; i++ {
+		c, err := Dial(addr, opts)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// Pick returns the next connection round-robin, transparently redialing a
+// slot whose connection has died (subject to backoff).  A still-dead
+// destination returns the dead client, whose calls fail fast.
+func (p *Pool) Pick() *Client {
+	p.mu.Lock()
+	i := p.next % len(p.clients)
+	p.next++
+	c := p.clients[i]
+	if !p.closed && c.Closed() && time.Since(p.lastTry[i]) >= reconnectBackoff {
+		p.lastTry[i] = time.Now()
+		opts := p.opts
+		// Keep the dial short: a worker is waiting on this path.
+		var dialOpts ClientOptions
+		if opts != nil {
+			dialOpts = *opts
+		}
+		if dialOpts.DialTimeout <= 0 || dialOpts.DialTimeout > time.Second {
+			dialOpts.DialTimeout = time.Second
+		}
+		if nc, err := Dial(p.addr, &dialOpts); err == nil {
+			p.clients[i] = nc
+			c = nc
+		}
+	}
+	p.mu.Unlock()
+	return c
+}
+
+// Size reports the number of pooled connections.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.clients)
+}
+
+// Close closes every pooled connection and stops reconnection.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	clients := make([]*Client, len(p.clients))
+	copy(clients, p.clients)
+	p.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}

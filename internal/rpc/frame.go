@@ -1,0 +1,159 @@
+// Package rpc is μSuite's RPC substrate: the stdlib stand-in for gRPC.
+//
+// It provides length-prefixed binary framing over TCP, a server whose
+// per-connection reader goroutines play the role of μSuite's network poller
+// threads, and a fully asynchronous client in which no execution thread is
+// associated with a particular RPC — all call state is explicit in a pending
+// table, exactly as §IV of the paper describes.  Frame reads and writes feed
+// the telemetry probe at the same boundaries where a native implementation
+// would cross the kernel (sendmsg/recvmsg/epoll_pwait), so the syscall and
+// OS-overhead characterizations of Figs. 11–18 can be regenerated.
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"musuite/internal/telemetry"
+)
+
+// Frame kinds on the wire.
+const (
+	kindRequest  byte = 1
+	kindResponse byte = 2
+	kindError    byte = 3
+)
+
+// MaxFrameSize bounds a single message; larger frames abort the connection.
+const MaxFrameSize = 64 << 20
+
+// ErrFrameTooLarge reports a frame exceeding MaxFrameSize.
+var ErrFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
+
+// ErrClientClosed reports use of a closed client.
+var ErrClientClosed = errors.New("rpc: client closed")
+
+// ErrTimeout reports an RPC that exceeded its deadline.
+var ErrTimeout = errors.New("rpc: call timed out")
+
+// frame is the unit of transmission.
+//
+// Layout: u32 body length | u8 kind | u64 id | u16 method length | method
+// bytes | payload.  For kindError the payload carries the error text.
+type frame struct {
+	kind    byte
+	id      uint64
+	method  string
+	payload []byte
+}
+
+const frameHeaderLen = 4 + 1 + 8 + 2
+
+// appendFrame encodes f into buf (reusing capacity) and returns the result.
+func appendFrame(buf []byte, f *frame) ([]byte, error) {
+	if len(f.method) > 0xFFFF {
+		return buf, fmt.Errorf("rpc: method name too long (%d bytes)", len(f.method))
+	}
+	body := 1 + 8 + 2 + len(f.method) + len(f.payload)
+	if body > MaxFrameSize {
+		return buf, ErrFrameTooLarge
+	}
+	buf = buf[:0]
+	buf = append(buf, byte(body), byte(body>>8), byte(body>>16), byte(body>>24))
+	buf = append(buf, f.kind)
+	id := f.id
+	buf = append(buf,
+		byte(id), byte(id>>8), byte(id>>16), byte(id>>24),
+		byte(id>>32), byte(id>>40), byte(id>>48), byte(id>>56))
+	ml := len(f.method)
+	buf = append(buf, byte(ml), byte(ml>>8))
+	buf = append(buf, f.method...)
+	buf = append(buf, f.payload...)
+	return buf, nil
+}
+
+// writeFrame sends f on w under the caller's write lock, counting one
+// sendmsg proxy and observing the Net_tx overhead class.
+func writeFrame(w io.Writer, buf *[]byte, f *frame, probe *telemetry.Probe) error {
+	enc, err := appendFrame(*buf, f)
+	if err != nil {
+		return err
+	}
+	*buf = enc
+	start := time.Now()
+	_, err = w.Write(enc)
+	probe.IncSyscall(telemetry.SysSendmsg)
+	probe.ObserveOverhead(telemetry.OverheadNetTx, time.Since(start))
+	return err
+}
+
+// readFrame reads one frame from br into f, reusing f.payload capacity.
+//
+// Instrumentation: if no bytes are buffered, the reader is about to park in
+// the kernel, so one epoll_pwait proxy and one context switch are counted.
+// Once the first byte is available, the drain of the remaining bytes is
+// timed as Net_rx and the header decode as Hardirq.  firstByte reports the
+// instant data became available (the "interrupt" analog).
+func readFrame(br *bufio.Reader, f *frame, probe *telemetry.Probe) (firstByte time.Time, err error) {
+	if br.Buffered() == 0 {
+		// The poller blocks awaiting work, as in the paper's
+		// block-based front-end design.
+		probe.IncSyscall(telemetry.SysEpollPwait)
+		probe.IncContextSwitch()
+	}
+	if _, err = br.Peek(1); err != nil {
+		return time.Time{}, err
+	}
+	firstByte = time.Now()
+
+	var hdr [4]byte
+	if _, err = io.ReadFull(br, hdr[:]); err != nil {
+		return firstByte, err
+	}
+	body := int(hdr[0]) | int(hdr[1])<<8 | int(hdr[2])<<16 | int(hdr[3])<<24
+	if body < 1+8+2 {
+		return firstByte, fmt.Errorf("rpc: malformed frame body length %d", body)
+	}
+	if body > MaxFrameSize {
+		return firstByte, ErrFrameTooLarge
+	}
+	if cap(f.payload) < body {
+		f.payload = make([]byte, body)
+	}
+	raw := f.payload[:body]
+	if _, err = io.ReadFull(br, raw); err != nil {
+		return firstByte, err
+	}
+	drained := time.Now()
+	probe.ObserveOverhead(telemetry.OverheadNetRx, drained.Sub(firstByte))
+
+	f.kind = raw[0]
+	f.id = uint64(raw[1]) | uint64(raw[2])<<8 | uint64(raw[3])<<16 | uint64(raw[4])<<24 |
+		uint64(raw[5])<<32 | uint64(raw[6])<<40 | uint64(raw[7])<<48 | uint64(raw[8])<<56
+	ml := int(raw[9]) | int(raw[10])<<8
+	if 11+ml > body {
+		return firstByte, fmt.Errorf("rpc: method length %d exceeds frame", ml)
+	}
+	f.method = string(raw[11 : 11+ml])
+	f.payload = raw[11+ml : body]
+	probe.ObserveOverhead(telemetry.OverheadHardirq, time.Since(drained))
+	return firstByte, nil
+}
+
+// countingConn wraps a net.Conn so every kernel read crossing is counted as
+// a recvmsg proxy.  bufio batches reads, so at high load many frames share
+// one recvmsg — reproducing the paper's per-QPS syscall economics.
+type countingConn struct {
+	net.Conn
+	probe *telemetry.Probe
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.probe.IncSyscall(telemetry.SysRecvmsg)
+	return n, err
+}

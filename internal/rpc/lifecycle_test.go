@@ -1,0 +1,88 @@
+package rpc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServerStartBadAddress(t *testing.T) {
+	srv := NewServer(func(req *Request) {}, nil)
+	if _, err := srv.Start("256.0.0.1:99999"); err == nil {
+		t.Fatal("bogus address accepted")
+	}
+	srv.Close()
+}
+
+func TestServerStartAfterClose(t *testing.T) {
+	srv := NewServer(func(req *Request) {}, nil)
+	srv.Close()
+	if _, err := srv.Start("127.0.0.1:0"); err == nil {
+		t.Fatal("Start after Close succeeded")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(func(req *Request) { req.Reply(nil) }, nil)
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientAddrAndClosed(t *testing.T) {
+	srv := NewServer(func(req *Request) { req.Reply(nil) }, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Addr(); !strings.HasPrefix(got, "127.0.0.1:") {
+		t.Fatalf("addr=%q", got)
+	}
+	if c.Closed() {
+		t.Fatal("fresh client reports closed")
+	}
+	c.Close()
+	if !c.Closed() {
+		t.Fatal("closed client reports open")
+	}
+	// Close is idempotent.
+	if err := c.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestRequestDoubleReplyIgnored(t *testing.T) {
+	srv := NewServer(func(req *Request) {
+		req.Reply([]byte("first"))
+		req.Reply([]byte("second"))      // ignored
+		req.ReplyError(ErrFrameTooLarge) // ignored
+	}, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reply, err := c.Call("m", nil)
+	if err != nil || string(reply) != "first" {
+		t.Fatalf("%q %v", reply, err)
+	}
+	// The connection is healthy afterwards.
+	if _, err := c.Call("m", nil); err != nil {
+		t.Fatal(err)
+	}
+}

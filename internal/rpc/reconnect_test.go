@@ -1,0 +1,103 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPoolReconnectsAfterServerRestart kills the server and restarts one on
+// the same address; after the backoff, the pool must transparently redial
+// and serve calls again.
+func TestPoolReconnectsAfterServerRestart(t *testing.T) {
+	srv := NewServer(func(req *Request) { req.Reply([]byte("v1")) }, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DialPool(addr, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if reply, err := p.Pick().Call("m", nil); err != nil || string(reply) != "v1" {
+		t.Fatalf("pre-restart: %q %v", reply, err)
+	}
+	srv.Close()
+
+	// Calls fail while the destination is down.
+	failedOnce := false
+	for i := 0; i < 4; i++ {
+		if _, err := p.Pick().Call("m", nil); err != nil {
+			failedOnce = true
+		}
+	}
+	if !failedOnce {
+		t.Fatal("no failure observed while server down")
+	}
+
+	// Restart on the same address.
+	srv2 := NewServer(func(req *Request) { req.Reply([]byte("v2")) }, nil)
+	if _, err := srv2.Start(addr); err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	// Within a few backoff windows every slot reconnects.
+	deadline := time.Now().Add(10 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		if reply, err := p.Pick().Call("m", nil); err == nil && string(reply) == "v2" {
+			recovered = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("pool never reconnected to the restarted server")
+	}
+}
+
+// TestPoolReconnectBackoffLimitsDialRate: with the destination down, Pick
+// must not dial on every call — at most one attempt per slot per backoff
+// window (measured indirectly: Pick stays fast).
+func TestPoolReconnectBackoffLimitsDialRate(t *testing.T) {
+	srv := NewServer(func(req *Request) { req.Reply(nil) }, nil)
+	addr, _ := srv.Start("127.0.0.1:0")
+	p, err := DialPool(addr, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	srv.Close()
+	// Let the client notice the close.
+	p.Pick().Call("m", nil)
+	time.Sleep(50 * time.Millisecond)
+
+	// Burst of picks inside one backoff window: at most one dial attempt
+	// happens, so the total time stays well under burst×dialTimeout.
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		p.Pick()
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("50 picks took %v — dialing without backoff?", elapsed)
+	}
+}
+
+// TestClosedPoolStopsReconnecting: after Close, Pick must not redial.
+func TestClosedPoolStopsReconnecting(t *testing.T) {
+	srv := NewServer(func(req *Request) { req.Reply(nil) }, nil)
+	addr, _ := srv.Start("127.0.0.1:0")
+	defer srv.Close()
+	p, err := DialPool(addr, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	time.Sleep(reconnectBackoff + 50*time.Millisecond)
+	c := p.Pick()
+	if !c.Closed() {
+		t.Fatal("closed pool produced a live client")
+	}
+}

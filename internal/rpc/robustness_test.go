@@ -1,0 +1,172 @@
+package rpc
+
+import (
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServerSurvivesGarbageBytes writes random byte streams straight at the
+// server socket; the server must drop the bad connections without crashing
+// and keep serving well-formed clients.
+func TestServerSurvivesGarbageBytes(t *testing.T) {
+	var served atomic.Int64
+	srv := NewServer(func(req *Request) {
+		served.Add(1)
+		req.Reply(req.Payload)
+	}, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 25; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		junk := make([]byte, 1+rng.Intn(512))
+		rng.Read(junk)
+		conn.Write(junk)
+		conn.Close()
+	}
+	// Also a frame announcing an absurd body length.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F, kindRequest})
+	conn.Close()
+
+	// A legitimate client still works.
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reply, err := c.Call("echo", []byte("still alive"))
+	if err != nil || string(reply) != "still alive" {
+		t.Fatalf("post-garbage call: %q %v", reply, err)
+	}
+}
+
+// TestClientSurvivesGarbageResponse points a client at a server that
+// answers with garbage; the client must fail its calls rather than hang or
+// panic.
+func TestClientSurvivesGarbageResponse(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				buf := make([]byte, 256)
+				conn.Read(buf)
+				// Reply with a malformed frame: tiny body length.
+				conn.Write([]byte{2, 0, 0, 0, 9, 9})
+			}(conn)
+		}
+	}()
+
+	c, err := Dial(lis.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.CallTimeout("anything", []byte("x"), 5*time.Second)
+	if err == nil {
+		t.Fatal("garbage response produced a successful call")
+	}
+}
+
+// TestClientSurvivesStrayResponses: a server that answers with valid frames
+// carrying unknown call IDs must not corrupt real calls.
+func TestClientSurvivesStrayResponses(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Shower the client with responses for calls it never made...
+		var buf []byte
+		for id := uint64(1000); id < 1010; id++ {
+			buf, _ = appendFrame(buf, &frame{kind: kindResponse, id: id, payload: []byte("stray")})
+			conn.Write(buf)
+		}
+		// ...then serve its actual request (ID 1).
+		hdr := make([]byte, 4)
+		if _, err := readFull(conn, hdr); err != nil {
+			return
+		}
+		body := int(hdr[0]) | int(hdr[1])<<8 | int(hdr[2])<<16 | int(hdr[3])<<24
+		raw := make([]byte, body)
+		if _, err := readFull(conn, raw); err != nil {
+			return
+		}
+		buf, _ = appendFrame(buf, &frame{kind: kindResponse, id: 1, payload: []byte("real")})
+		conn.Write(buf)
+	}()
+
+	c, err := Dial(lis.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reply, err := c.CallTimeout("m", []byte("q"), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "real" {
+		t.Fatalf("reply=%q (stray response delivered?)", reply)
+	}
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := conn.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// TestManyConnectionsChurn opens and closes many client connections with
+// traffic in between; the server must neither leak pollers nor wedge.
+func TestManyConnectionsChurn(t *testing.T) {
+	srv := NewServer(func(req *Request) { req.Reply(req.Payload) }, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 40; i++ {
+		c, err := Dial(addr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Call("m", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+}

@@ -1,0 +1,241 @@
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"musuite/internal/telemetry"
+)
+
+// Request is one incoming RPC as seen by a server.  The network poller
+// goroutine that read the frame hands the Request to the server's handler;
+// Reply and ReplyError may be called later from any goroutine — there is no
+// thread↔RPC affinity, matching μSuite's asynchronous design.
+type Request struct {
+	// Method names the remote procedure.
+	Method string
+	// Payload is the encoded request body.  It is valid until Reply or
+	// ReplyError is called; handlers that dispatch asynchronously and
+	// need it longer must copy it.
+	Payload []byte
+	// FirstByte is when the request's first byte became readable (the
+	// hard-interrupt analog) and Arrival when the frame was fully
+	// decoded.  The mid-tier's Net overhead is measured from Arrival.
+	FirstByte time.Time
+	Arrival   time.Time
+
+	id      uint64
+	conn    *serverConn
+	replied bool
+}
+
+// Reply sends a successful response.  It is safe to call from any goroutine
+// but must be called exactly once per request.
+func (r *Request) Reply(payload []byte) {
+	if r.replied {
+		return
+	}
+	r.replied = true
+	r.conn.send(&frame{kind: kindResponse, id: r.id, payload: payload})
+	r.conn.srv.probe.ObserveOverhead(telemetry.OverheadNet, time.Since(r.Arrival))
+}
+
+// ReplyError sends an error response.
+func (r *Request) ReplyError(err error) {
+	if r.replied {
+		return
+	}
+	r.replied = true
+	r.conn.send(&frame{kind: kindError, id: r.id, payload: []byte(err.Error())})
+	r.conn.srv.probe.ObserveOverhead(telemetry.OverheadNet, time.Since(r.Arrival))
+}
+
+// DetachPayload copies the payload so the Request outlives the read buffer.
+// Handlers that enqueue the request for a worker pool call this before
+// returning from the poller context.
+func (r *Request) DetachPayload() {
+	p := make([]byte, len(r.Payload))
+	copy(p, r.Payload)
+	r.Payload = p
+}
+
+// Handler processes one request.  It runs on the network poller goroutine of
+// the connection that received the frame; implementations that follow the
+// paper's dispatch design immediately hand off to a worker pool.
+type Handler func(*Request)
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// Probe receives telemetry; nil disables instrumentation.
+	Probe *telemetry.Probe
+}
+
+// Server accepts connections and feeds decoded requests to its handler.
+type Server struct {
+	handler Handler
+	probe   *telemetry.Probe
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[*serverConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server that invokes handler for every request.
+func NewServer(handler Handler, opts *ServerOptions) *Server {
+	var probe *telemetry.Probe
+	if opts != nil {
+		probe = opts.Probe
+	}
+	return &Server{
+		handler: handler,
+		probe:   probe,
+		conns:   make(map[*serverConn]struct{}),
+	}
+}
+
+// Start listens on addr ("host:port"; ":0" picks a free port), serves in the
+// background, and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return "", errors.New("rpc: server already closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(lis)
+	}()
+	return lis.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(lis net.Listener) {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		sc := &serverConn{
+			srv:  s,
+			conn: conn,
+			br:   bufio.NewReaderSize(&countingConn{Conn: conn, probe: s.probe}, 64<<10),
+		}
+		sc.wmu = telemetry.NewMutex(s.probe)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		// One network poller thread per connection; spawning it is the
+		// clone(2) analog.
+		s.probe.IncSyscall(telemetry.SysClone)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sc.readLoop()
+		}()
+	}
+}
+
+// Close stops accepting, closes every connection, and waits for pollers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if lis != nil {
+		lis.Close()
+	}
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) dropConn(c *serverConn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// serverConn is one accepted connection: a blocking reader (network poller)
+// plus a write lock shared by whichever goroutines send responses.
+type serverConn struct {
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu  *telemetry.Mutex
+	wbuf []byte
+}
+
+// readLoop is the network poller: it blocks on the socket awaiting work and
+// hands each decoded request to the server handler.
+func (sc *serverConn) readLoop() {
+	defer func() {
+		sc.conn.Close()
+		sc.srv.probe.IncSyscall(telemetry.SysClose)
+		sc.srv.dropConn(sc)
+	}()
+	var f frame
+	for {
+		first, err := readFrame(sc.br, &f, sc.srv.probe)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				// Connection-level failure; nothing to salvage.
+				_ = err
+			}
+			return
+		}
+		if f.kind != kindRequest {
+			continue // tolerate stray frames
+		}
+		req := &Request{
+			Method:    f.method,
+			Payload:   f.payload,
+			FirstByte: first,
+			Arrival:   time.Now(),
+			id:        f.id,
+			conn:      sc,
+		}
+		sc.srv.handler(req)
+	}
+}
+
+// send serializes one response frame onto the connection.  Multiple response
+// threads contend here — the socket-lock futex/HITM source the paper
+// identifies.
+func (sc *serverConn) send(f *frame) {
+	sc.wmu.Lock()
+	err := writeFrame(sc.conn, &sc.wbuf, f, sc.srv.probe)
+	sc.wmu.Unlock()
+	if err != nil {
+		sc.conn.Close()
+	}
+}

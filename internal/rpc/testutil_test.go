@@ -1,0 +1,11 @@
+package rpc
+
+import (
+	"bufio"
+	"bytes"
+)
+
+// newTestReader wraps raw bytes in the bufio.Reader readFrame expects.
+func newTestReader(raw []byte) *bufio.Reader {
+	return bufio.NewReader(bytes.NewReader(raw))
+}

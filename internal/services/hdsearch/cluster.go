@@ -1,0 +1,126 @@
+package hdsearch
+
+import (
+	"musuite/internal/core"
+	"musuite/internal/dataset"
+	"musuite/internal/knn"
+	"musuite/internal/vec"
+)
+
+// ClusterConfig assembles a complete in-process HDSearch deployment: sharded
+// leaves, an indexed mid-tier, and loopback TCP between all tiers.
+type ClusterConfig struct {
+	// Corpus is the image corpus to serve.
+	Corpus *dataset.ImageCorpus
+	// Shards is the leaf count (paper: 4-way for HDSearch).
+	Shards int
+	// Kind selects the candidate index (default IndexLSH; IndexKDTree and
+	// IndexKMeans enable the indexing-structure ablation).
+	Kind IndexKind
+	// Index tunes the LSH tables when Kind is IndexLSH (zero =
+	// paper-tuned defaults).
+	Index IndexConfig
+	// MidTier and Leaf configure the framework tiers.  MidTier.Probe is
+	// where the experiment harness attaches its telemetry.
+	MidTier core.Options
+	Leaf    core.LeafOptions
+}
+
+// Cluster is a running HDSearch deployment.
+type Cluster struct {
+	// Addr is the mid-tier address front-ends dial.
+	Addr string
+	// Index is the mid-tier's LSH index (exposed for diagnostics).
+	Index IndexStats
+
+	corpus  *dataset.ImageCorpus
+	leaves  []*core.Leaf
+	midTier *core.MidTier
+}
+
+// IndexStats re-exports the LSH occupancy summary.
+type IndexStats struct {
+	Tables, Entries, Buckets, MaxBucketSize int
+}
+
+// StartCluster launches the leaves and mid-tier and returns the deployment.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	shards := ShardCorpus(cfg.Corpus, cfg.Shards)
+	cl := &Cluster{corpus: cfg.Corpus}
+	var index CandidateIndex
+	if cfg.Kind == IndexLSH || cfg.Kind == "" {
+		lshIndex, err := BuildIndex(shards, cfg.Index)
+		if err != nil {
+			return nil, err
+		}
+		st := lshIndex.Stats()
+		cl.Index = IndexStats{Tables: st.Tables, Entries: st.Entries, Buckets: st.Buckets, MaxBucketSize: st.MaxBucketSize}
+		index = lshIndex
+	} else {
+		var err error
+		index, err = BuildCandidateIndex(cfg.Kind, shards, cfg.Index.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cl.Index = IndexStats{Entries: len(cfg.Corpus.Vectors)}
+	}
+
+	leafAddrs := make([]string, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		leafOpts := cfg.Leaf
+		leaf := NewLeaf(shards[s], &leafOpts)
+		addr, err := leaf.Start("127.0.0.1:0")
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.leaves = append(cl.leaves, leaf)
+		leafAddrs[s] = addr
+	}
+
+	mtOpts := cfg.MidTier
+	mt := NewMidTier(index, &mtOpts)
+	if err := mt.ConnectLeaves(leafAddrs); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	addr, err := mt.Start("127.0.0.1:0")
+	if err != nil {
+		mt.Close()
+		cl.Close()
+		return nil, err
+	}
+	cl.midTier = mt
+	cl.Addr = addr
+	return cl, nil
+}
+
+// Accuracy scores responses against brute-force ground truth as the paper
+// does: the cosine similarity between the reported nearest neighbor's
+// feature vector and the true nearest neighbor's.  A perfect answer scores
+// 1.0; the paper tunes LSH for a minimum accuracy of 0.93.
+func (c *Cluster) Accuracy(query vec.Vector, reported []Neighbor) float32 {
+	if len(reported) == 0 {
+		return 0
+	}
+	truth := knn.BruteForce(query, c.corpus.Vectors, 1)
+	if len(truth) == 0 {
+		return 0
+	}
+	got := c.corpus.Vectors[reported[0].PointID]
+	want := c.corpus.Vectors[truth[0].ID]
+	return vec.CosineSimilarity(got, want)
+}
+
+// Close tears the deployment down.
+func (c *Cluster) Close() {
+	if c.midTier != nil {
+		c.midTier.Close()
+	}
+	for _, l := range c.leaves {
+		l.Close()
+	}
+}

@@ -1,0 +1,273 @@
+// Package hdsearch implements μSuite's HDSearch: content-based image
+// similarity search as a three-tier microservice (paper §III-A).
+//
+// The mid-tier holds multi-probe LSH tables whose entries reference
+// {leaf shard, point ID} tuples — it stores no feature vectors.  On a query
+// it looks up candidate tuples, fans one RPC per involved shard carrying the
+// query vector and that shard's candidate point IDs, and merges the leaves'
+// distance-sorted lists into the global top-k.  Leaves hold the sharded
+// feature vectors and run the embarrassingly parallel distance kernel.
+package hdsearch
+
+import (
+	"errors"
+	"fmt"
+
+	"musuite/internal/core"
+	"musuite/internal/dataset"
+	"musuite/internal/knn"
+	"musuite/internal/lsh"
+	"musuite/internal/rpc"
+	"musuite/internal/vec"
+	"musuite/internal/wire"
+)
+
+// Method names on the wire.
+const (
+	// MethodSearch is the front-end→mid-tier query.
+	MethodSearch = "hdsearch.search"
+	// MethodLeafKNN is the mid-tier→leaf candidate-scoring call.
+	MethodLeafKNN = "hdsearch.leafknn"
+)
+
+// Neighbor is one result: a global point ID and its squared Euclidean
+// distance to the query.
+type Neighbor struct {
+	PointID  uint32
+	Distance float32
+}
+
+// --- wire codecs ---
+
+// EncodeSearchRequest encodes a front-end query.
+func EncodeSearchRequest(query vec.Vector, k int) []byte {
+	e := wire.NewEncoder(8 + 4*len(query))
+	e.Uvarint(uint64(k))
+	e.Float32s(query)
+	return e.Bytes()
+}
+
+// DecodeSearchRequest decodes a front-end query.
+func DecodeSearchRequest(b []byte) (query vec.Vector, k int, err error) {
+	d := wire.NewDecoder(b)
+	k = int(d.Uvarint())
+	query = vec.Vector(d.Float32s())
+	return query, k, d.Err()
+}
+
+// EncodeLeafRequest encodes a mid-tier→leaf scoring call.
+func EncodeLeafRequest(query vec.Vector, ids []uint32, k int) []byte {
+	e := wire.NewEncoder(16 + 4*len(query) + 4*len(ids))
+	e.Uvarint(uint64(k))
+	e.Float32s(query)
+	e.Uint32s(ids)
+	return e.Bytes()
+}
+
+// DecodeLeafRequest decodes a mid-tier→leaf scoring call.
+func DecodeLeafRequest(b []byte) (query vec.Vector, ids []uint32, k int, err error) {
+	d := wire.NewDecoder(b)
+	k = int(d.Uvarint())
+	query = vec.Vector(d.Float32s())
+	ids = d.Uint32s()
+	return query, ids, k, d.Err()
+}
+
+// EncodeNeighbors encodes a distance-sorted result list.
+func EncodeNeighbors(ns []Neighbor) []byte {
+	e := wire.NewEncoder(8 + 8*len(ns))
+	e.Uvarint(uint64(len(ns)))
+	for _, n := range ns {
+		e.Uint32(n.PointID)
+		e.Float32(n.Distance)
+	}
+	return e.Bytes()
+}
+
+// DecodeNeighbors decodes a result list.
+func DecodeNeighbors(b []byte) ([]Neighbor, error) {
+	d := wire.NewDecoder(b)
+	n := int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > wire.MaxSliceLen/8 {
+		return nil, wire.ErrTooLarge
+	}
+	out := make([]Neighbor, n)
+	for i := range out {
+		out[i].PointID = d.Uint32()
+		out[i].Distance = d.Float32()
+	}
+	return out, d.Err()
+}
+
+// --- leaf ---
+
+// LeafData is one shard's slice of the corpus: vectors indexed by local
+// point ID, plus the mapping back to global IDs.
+type LeafData struct {
+	Vectors  []vec.Vector
+	GlobalID []uint32
+}
+
+// ShardCorpus splits a corpus round-robin into n leaf shards.
+func ShardCorpus(c *dataset.ImageCorpus, n int) []LeafData {
+	idLists := c.Shard(n)
+	out := make([]LeafData, n)
+	for s, ids := range idLists {
+		ld := LeafData{
+			Vectors:  make([]vec.Vector, len(ids)),
+			GlobalID: make([]uint32, len(ids)),
+		}
+		for local, global := range ids {
+			ld.Vectors[local] = c.Vectors[global]
+			ld.GlobalID[local] = uint32(global)
+		}
+		out[s] = ld
+	}
+	return out
+}
+
+// NewLeaf builds the HDSearch leaf microservice over one shard.
+func NewLeaf(data LeafData, opts *core.LeafOptions) *core.Leaf {
+	return core.NewLeaf(func(method string, payload []byte) ([]byte, error) {
+		if method != MethodLeafKNN {
+			return nil, fmt.Errorf("hdsearch leaf: unknown method %q", method)
+		}
+		query, ids, k, err := DecodeLeafRequest(payload)
+		if err != nil {
+			return nil, err
+		}
+		local := knn.Subset(query, data.Vectors, ids, k)
+		out := make([]Neighbor, len(local))
+		for i, n := range local {
+			out[i] = Neighbor{PointID: data.GlobalID[n.ID], Distance: n.Distance}
+		}
+		return EncodeNeighbors(out), nil
+	}, opts)
+}
+
+// --- mid-tier ---
+
+// IndexConfig tunes the mid-tier LSH index (see lsh.Config); zero values
+// take the paper-tuned defaults targeting ≥93% accuracy.
+type IndexConfig = lsh.Config
+
+// BuildIndex constructs the mid-tier's LSH tables over the sharded corpus
+// (the offline index-construction step).  Point IDs inserted are *local*
+// shard IDs so the leaf can use them directly.
+func BuildIndex(shards []LeafData, cfg IndexConfig) (*lsh.Index, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("hdsearch: no shards")
+	}
+	cfg.Dim = len(shards[0].Vectors[0])
+	idx, err := lsh.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for s, shard := range shards {
+		for local, v := range shard.Vectors {
+			if err := idx.Insert(v, int32(s), uint32(local)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return idx, nil
+}
+
+// NewMidTier builds the HDSearch mid-tier microservice around a prebuilt
+// candidate index (LSH by default; kd-tree and k-means alternatives are in
+// indexes.go).  Call ConnectLeaves then Start on the result.  Leaves return
+// global point IDs, so the mid-tier needs only the index.
+func NewMidTier(index CandidateIndex, opts *core.Options) *core.MidTier {
+	return core.NewMidTier(func(ctx *core.Ctx) {
+		if ctx.Req.Method != MethodSearch {
+			ctx.ReplyError(fmt.Errorf("hdsearch mid-tier: unknown method %q", ctx.Req.Method))
+			return
+		}
+		query, k, err := DecodeSearchRequest(ctx.Req.Payload)
+		if err != nil {
+			ctx.ReplyError(err)
+			return
+		}
+		if k <= 0 {
+			k = 1
+		}
+		// Request path: LSH lookup, map point IDs → leaf shards, launch
+		// clients to leaf microservers (paper Fig. 3).
+		byShard := index.LookupByShard(query)
+		if len(byShard) == 0 {
+			ctx.Reply(EncodeNeighbors(nil))
+			return
+		}
+		calls := make([]core.LeafCall, 0, len(byShard))
+		for shard, ids := range byShard {
+			calls = append(calls, core.LeafCall{
+				Shard:   int(shard),
+				Method:  MethodLeafKNN,
+				Payload: EncodeLeafRequest(query, ids, k),
+			})
+		}
+		// Response path: merge per-shard distance-sorted lists into the
+		// final k-NN across all shards.
+		ctx.Fanout(calls, func(results []core.LeafResult) {
+			lists := make([][]knn.Neighbor, 0, len(results))
+			for _, r := range results {
+				if r.Err != nil {
+					ctx.ReplyError(r.Err)
+					return
+				}
+				ns, err := DecodeNeighbors(r.Reply)
+				if err != nil {
+					ctx.ReplyError(err)
+					return
+				}
+				list := make([]knn.Neighbor, len(ns))
+				for i, n := range ns {
+					list[i] = knn.Neighbor{ID: n.PointID, Distance: n.Distance}
+				}
+				lists = append(lists, list)
+			}
+			merged := knn.Merge(lists, k)
+			out := make([]Neighbor, len(merged))
+			for i, n := range merged {
+				out[i] = Neighbor{PointID: n.ID, Distance: n.Distance}
+			}
+			ctx.Reply(EncodeNeighbors(out))
+		})
+	}, opts)
+}
+
+// --- front-end client ---
+
+// Client is the front-end's typed handle on an HDSearch deployment.
+type Client struct {
+	rpc *rpc.Client
+}
+
+// DialClient connects a front-end client to the mid-tier at addr.
+func DialClient(addr string, opts *rpc.ClientOptions) (*Client, error) {
+	c, err := rpc.Dial(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: c}, nil
+}
+
+// Search returns the k nearest neighbors of query.
+func (c *Client) Search(query vec.Vector, k int) ([]Neighbor, error) {
+	reply, err := c.rpc.Call(MethodSearch, EncodeSearchRequest(query, k))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeNeighbors(reply)
+}
+
+// Go issues an asynchronous search (used by the load generators).
+func (c *Client) Go(query vec.Vector, k int, done chan *rpc.Call) *rpc.Call {
+	return c.rpc.Go(MethodSearch, EncodeSearchRequest(query, k), nil, done)
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.rpc.Close() }

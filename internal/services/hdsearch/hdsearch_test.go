@@ -1,0 +1,214 @@
+package hdsearch
+
+import (
+	"strings"
+	"testing"
+
+	"musuite/internal/core"
+	"musuite/internal/dataset"
+	"musuite/internal/knn"
+	"musuite/internal/vec"
+)
+
+func testCorpus(t *testing.T) *dataset.ImageCorpus {
+	t.Helper()
+	return dataset.NewImageCorpus(dataset.ImageCorpusConfig{
+		N: 1200, Dim: 32, Clusters: 10, Noise: 0.12, Seed: 42,
+	})
+}
+
+func startTestCluster(t *testing.T, corpus *dataset.ImageCorpus) *Cluster {
+	t.Helper()
+	cl, err := StartCluster(ClusterConfig{
+		Corpus:  corpus,
+		Shards:  4,
+		MidTier: core.Options{Workers: 2, ResponseThreads: 2},
+		Leaf:    core.LeafOptions{Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestCodecsRoundTrip(t *testing.T) {
+	q := vec.Vector{1.5, -2, 0.25}
+	b := EncodeSearchRequest(q, 7)
+	gq, k, err := DecodeSearchRequest(b)
+	if err != nil || k != 7 || len(gq) != 3 || gq[1] != -2 {
+		t.Fatalf("search codec: %v %d %v", gq, k, err)
+	}
+
+	lb := EncodeLeafRequest(q, []uint32{3, 9}, 2)
+	lq, ids, lk, err := DecodeLeafRequest(lb)
+	if err != nil || lk != 2 || len(lq) != 3 || len(ids) != 2 || ids[1] != 9 {
+		t.Fatalf("leaf codec: %v %v %d %v", lq, ids, lk, err)
+	}
+
+	ns := []Neighbor{{PointID: 5, Distance: 0.5}, {PointID: 1, Distance: 1.25}}
+	gns, err := DecodeNeighbors(EncodeNeighbors(ns))
+	if err != nil || len(gns) != 2 || gns[0] != ns[0] || gns[1] != ns[1] {
+		t.Fatalf("neighbor codec: %v %v", gns, err)
+	}
+	// Empty list round-trips.
+	empty, err := DecodeNeighbors(EncodeNeighbors(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty codec: %v %v", empty, err)
+	}
+	// Garbage is rejected, not panicked on.
+	if _, err := DecodeNeighbors([]byte{0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestShardCorpusMapsGlobalIDs(t *testing.T) {
+	corpus := testCorpus(t)
+	shards := ShardCorpus(corpus, 4)
+	total := 0
+	for s, sh := range shards {
+		if len(sh.Vectors) != len(sh.GlobalID) {
+			t.Fatal("shard arrays misaligned")
+		}
+		total += len(sh.Vectors)
+		for local, gid := range sh.GlobalID {
+			if int(gid)%4 != s {
+				t.Fatalf("global %d in shard %d", gid, s)
+			}
+			// The local vector must be the global vector.
+			if &sh.Vectors[local][0] != &corpus.Vectors[gid][0] {
+				t.Fatal("shard vector is not the corpus vector")
+			}
+		}
+	}
+	if total != len(corpus.Vectors) {
+		t.Fatalf("sharded %d of %d", total, len(corpus.Vectors))
+	}
+}
+
+func TestEndToEndSearchExactTopK(t *testing.T) {
+	corpus := testCorpus(t)
+	cl := startTestCluster(t, corpus)
+	client, err := DialClient(cl.Addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	queries := corpus.Queries(40, 7)
+	const k = 5
+	for qi, q := range queries {
+		got, err := client.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("query %d: empty result", qi)
+		}
+		if len(got) > k {
+			t.Fatalf("query %d: %d results for k=%d", qi, len(got), k)
+		}
+		// Results must be distance-sorted and globally valid.
+		for i := range got {
+			if int(got[i].PointID) >= len(corpus.Vectors) {
+				t.Fatalf("query %d: bogus point %d", qi, got[i].PointID)
+			}
+			if i > 0 && got[i].Distance < got[i-1].Distance {
+				t.Fatalf("query %d: results unsorted", qi)
+			}
+			// Reported distance must match a recomputation.
+			want := vec.SquaredEuclidean(q, corpus.Vectors[got[i].PointID])
+			if diff := got[i].Distance - want; diff > 1e-3 || diff < -1e-3 {
+				t.Fatalf("query %d: distance %v, recomputed %v", qi, got[i].Distance, want)
+			}
+		}
+	}
+}
+
+// TestAccuracyFloor reproduces the paper's tuning target: ≥93% accuracy
+// (cosine similarity between reported and true NN) across queries.
+func TestAccuracyFloor(t *testing.T) {
+	corpus := testCorpus(t)
+	cl := startTestCluster(t, corpus)
+	client, err := DialClient(cl.Addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	queries := corpus.Queries(100, 9)
+	sum := float32(0)
+	for _, q := range queries {
+		got, err := client.Search(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += cl.Accuracy(q, got)
+	}
+	mean := sum / float32(len(queries))
+	if mean < 0.93 {
+		t.Fatalf("mean accuracy %.3f < 0.93", mean)
+	}
+	t.Logf("mean accuracy %.4f", mean)
+}
+
+// TestRecallAgainstBruteForce: the end-to-end top-1 equals brute force for
+// the overwhelming majority of queries.
+func TestRecallAgainstBruteForce(t *testing.T) {
+	corpus := testCorpus(t)
+	cl := startTestCluster(t, corpus)
+	client, err := DialClient(cl.Addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	queries := corpus.Queries(100, 11)
+	hits := 0
+	for _, q := range queries {
+		got, err := client.Search(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := knn.BruteForce(q, corpus.Vectors, 1)[0].ID
+		if len(got) > 0 && got[0].PointID == truth {
+			hits++
+		}
+	}
+	if float64(hits)/float64(len(queries)) < 0.9 {
+		t.Fatalf("recall@1 = %d/%d", hits, len(queries))
+	}
+}
+
+func TestUnknownMethodsRejected(t *testing.T) {
+	corpus := testCorpus(t)
+	cl := startTestCluster(t, corpus)
+	client, err := DialClient(cl.Addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	_, err = client.rpc.Call("bogus", nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestMalformedQueryRejected(t *testing.T) {
+	corpus := testCorpus(t)
+	cl := startTestCluster(t, corpus)
+	client, err := DialClient(cl.Addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.rpc.Call(MethodSearch, []byte{0x01}); err == nil {
+		t.Fatal("malformed query accepted")
+	}
+}
+
+func TestBuildIndexNoShards(t *testing.T) {
+	if _, err := BuildIndex(nil, IndexConfig{}); err == nil {
+		t.Fatal("no-shard index accepted")
+	}
+}

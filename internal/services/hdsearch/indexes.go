@@ -1,0 +1,139 @@
+package hdsearch
+
+import (
+	"errors"
+	"fmt"
+
+	"musuite/internal/kdtree"
+	"musuite/internal/kmeans"
+	"musuite/internal/vec"
+)
+
+// CandidateIndex is the mid-tier's pluggable candidate source: given a query
+// vector, the point IDs each leaf shard should score.  The paper's HDSearch
+// uses LSH; it names kd-trees and k-means clusters as the alternative
+// indexing structures, and all three are available here for the index
+// ablation.  *lsh.Index satisfies this interface directly.
+type CandidateIndex interface {
+	LookupByShard(q vec.Vector) map[int32][]uint32
+}
+
+// IndexKind names a candidate-index implementation.
+type IndexKind string
+
+// The available index kinds.
+const (
+	IndexLSH    IndexKind = "lsh"
+	IndexKDTree IndexKind = "kdtree"
+	IndexKMeans IndexKind = "kmeans"
+)
+
+// KDTreeIndex adapts a kd-tree to the CandidateIndex interface.
+type KDTreeIndex struct {
+	Tree *kdtree.Tree
+	// Candidates bounds the per-query candidate count (default 64);
+	// Checks bounds scored points during traversal (default 4×Candidates).
+	Candidates, Checks int
+}
+
+// LookupByShard implements CandidateIndex.
+func (x *KDTreeIndex) LookupByShard(q vec.Vector) map[int32][]uint32 {
+	cand := x.Candidates
+	if cand <= 0 {
+		cand = 64
+	}
+	checks := x.Checks
+	if checks <= 0 {
+		checks = 4 * cand
+	}
+	return x.Tree.LookupByShard(q, cand, checks)
+}
+
+// BuildKDTreeIndex constructs a kd-tree candidate index over the shards.
+func BuildKDTreeIndex(shards []LeafData, candidates int) (*KDTreeIndex, error) {
+	points, refs, err := flattenShards(shards)
+	if err != nil {
+		return nil, err
+	}
+	krefs := make([]kdtree.Ref, len(refs))
+	for i, r := range refs {
+		krefs[i] = kdtree.Ref(r)
+	}
+	tree, err := kdtree.Build(points, krefs, kdtree.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &KDTreeIndex{Tree: tree, Candidates: candidates}, nil
+}
+
+// KMeansIndex adapts a k-means cluster index to the CandidateIndex
+// interface.
+type KMeansIndex struct {
+	Index *kmeans.Index
+	// Probes is how many nearest clusters contribute candidates
+	// (default 3).
+	Probes int
+}
+
+// LookupByShard implements CandidateIndex.
+func (x *KMeansIndex) LookupByShard(q vec.Vector) map[int32][]uint32 {
+	probes := x.Probes
+	if probes <= 0 {
+		probes = 3
+	}
+	return x.Index.LookupByShard(q, probes)
+}
+
+// BuildKMeansIndex constructs a k-means candidate index over the shards.
+func BuildKMeansIndex(shards []LeafData, probes int, seed int64) (*KMeansIndex, error) {
+	points, refs, err := flattenShards(shards)
+	if err != nil {
+		return nil, err
+	}
+	krefs := make([]kmeans.Ref, len(refs))
+	for i, r := range refs {
+		krefs[i] = kmeans.Ref(r)
+	}
+	idx, err := kmeans.Build(points, krefs, kmeans.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &KMeansIndex{Index: idx, Probes: probes}, nil
+}
+
+// indexRef is the shared {shard, local point} reference shape.
+type indexRef struct {
+	Shard   int32
+	PointID uint32
+}
+
+// flattenShards linearizes sharded corpora for whole-corpus index builders.
+func flattenShards(shards []LeafData) ([]vec.Vector, []indexRef, error) {
+	if len(shards) == 0 {
+		return nil, nil, errors.New("hdsearch: no shards")
+	}
+	var points []vec.Vector
+	var refs []indexRef
+	for s, shard := range shards {
+		for local, v := range shard.Vectors {
+			points = append(points, v)
+			refs = append(refs, indexRef{Shard: int32(s), PointID: uint32(local)})
+		}
+	}
+	return points, refs, nil
+}
+
+// BuildCandidateIndex constructs the named index kind with its default
+// tuning (LSH at the paper-tuned parameters, kd-tree with a 64-candidate
+// budget, k-means with 3 probes).
+func BuildCandidateIndex(kind IndexKind, shards []LeafData, seed int64) (CandidateIndex, error) {
+	switch kind {
+	case IndexLSH, "":
+		return BuildIndex(shards, IndexConfig{Seed: seed})
+	case IndexKDTree:
+		return BuildKDTreeIndex(shards, 64)
+	case IndexKMeans:
+		return BuildKMeansIndex(shards, 3, seed)
+	}
+	return nil, fmt.Errorf("hdsearch: unknown index kind %q", kind)
+}

@@ -1,0 +1,93 @@
+package recommend
+
+import (
+	"musuite/internal/core"
+	"musuite/internal/dataset"
+)
+
+// ClusterConfig assembles an in-process Recommend deployment: rating tuples
+// sharded round-robin, one NMF-trained leaf per shard, a forwarding/
+// averaging mid-tier.
+type ClusterConfig struct {
+	// Corpus is the rating corpus to serve.
+	Corpus *dataset.RatingCorpus
+	// Shards is the leaf count (paper: 4-way).
+	Shards int
+	// Rank and Iterations tune each leaf's NMF (defaults from matfac).
+	Rank, Iterations int
+	// Neighbors is the allknn neighborhood size (default 10).
+	Neighbors int
+	// Seed controls model initialization.
+	Seed int64
+	// MidTier and Leaf configure the framework tiers.
+	MidTier core.Options
+	Leaf    core.LeafOptions
+}
+
+// Cluster is a running Recommend deployment.
+type Cluster struct {
+	// Addr is the mid-tier address front-ends dial.
+	Addr string
+	// Models exposes the trained per-shard models (tests and ablations).
+	Models []*LeafModel
+
+	leaves  []*core.Leaf
+	midTier *core.MidTier
+}
+
+// StartCluster trains the leaves (offline) and launches the deployment.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	shards := cfg.Corpus.ShardRoundRobin(cfg.Shards)
+	cl := &Cluster{}
+	leafAddrs := make([]string, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		lm, err := TrainLeaf(shards[s], LeafConfig{
+			Users: cfg.Corpus.Users, Items: cfg.Corpus.Items,
+			Rank: cfg.Rank, Iterations: cfg.Iterations,
+			Neighbors: cfg.Neighbors,
+			Seed:      cfg.Seed + int64(s),
+		})
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.Models = append(cl.Models, lm)
+		leafOpts := cfg.Leaf
+		leaf := NewLeaf(lm, &leafOpts)
+		addr, err := leaf.Start("127.0.0.1:0")
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.leaves = append(cl.leaves, leaf)
+		leafAddrs[s] = addr
+	}
+	mtOpts := cfg.MidTier
+	mt := NewMidTier(&mtOpts)
+	if err := mt.ConnectLeaves(leafAddrs); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	addr, err := mt.Start("127.0.0.1:0")
+	if err != nil {
+		mt.Close()
+		cl.Close()
+		return nil, err
+	}
+	cl.midTier = mt
+	cl.Addr = addr
+	return cl, nil
+}
+
+// Close tears the deployment down.
+func (c *Cluster) Close() {
+	if c.midTier != nil {
+		c.midTier.Close()
+	}
+	for _, l := range c.leaves {
+		l.Close()
+	}
+}

@@ -1,0 +1,187 @@
+package recommend
+
+import (
+	"fmt"
+	"sort"
+
+	"musuite/internal/core"
+	"musuite/internal/wire"
+)
+
+// MethodTopN is the top-N recommendation query — the extension §III-D
+// explicitly proposes: "this algorithm can also be further extended to
+// recommend items which were not rated by the user."
+const MethodTopN = "recommend.topn"
+
+// ItemRating is one recommended item with its predicted rating.
+type ItemRating struct {
+	Item   int
+	Rating float64
+}
+
+// --- wire codecs ---
+
+// EncodeTopNRequest encodes a {user, n} recommendation query.
+func EncodeTopNRequest(user, n int) []byte {
+	e := wire.NewEncoder(10)
+	e.Uvarint(uint64(user))
+	e.Uvarint(uint64(n))
+	return e.Bytes()
+}
+
+// DecodeTopNRequest decodes a recommendation query.
+func DecodeTopNRequest(b []byte) (user, n int, err error) {
+	d := wire.NewDecoder(b)
+	user = int(d.Uvarint())
+	n = int(d.Uvarint())
+	return user, n, d.Err()
+}
+
+// EncodeTopNResponse encodes a leaf's recommendations plus the items the
+// user has already rated in that shard (so the mid-tier can exclude items
+// the user rated in *any* shard).
+func EncodeTopNResponse(recs []ItemRating, rated []uint32) []byte {
+	e := wire.NewEncoder(16 + 12*len(recs) + 4*len(rated))
+	e.Uvarint(uint64(len(recs)))
+	for _, r := range recs {
+		e.Uvarint(uint64(r.Item))
+		e.Float64(r.Rating)
+	}
+	e.Uint32s(rated)
+	return e.Bytes()
+}
+
+// DecodeTopNResponse decodes a leaf's recommendation response.
+func DecodeTopNResponse(b []byte) (recs []ItemRating, rated []uint32, err error) {
+	d := wire.NewDecoder(b)
+	n := int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return nil, nil, err
+	}
+	if n > wire.MaxSliceLen/12 {
+		return nil, nil, wire.ErrTooLarge
+	}
+	recs = make([]ItemRating, n)
+	for i := range recs {
+		recs[i].Item = int(d.Uvarint())
+		recs[i].Rating = d.Float64()
+	}
+	rated = d.Uint32s()
+	return recs, rated, d.Err()
+}
+
+// TopN returns this shard's up-to-n best unrated items for user (by the
+// factor model's predicted rating), plus the items the user has rated in
+// this shard.  ok is false for unknown users.
+func (lm *LeafModel) TopN(user, n int) (recs []ItemRating, rated []int, ok bool) {
+	if user < 0 || user >= len(lm.userKnown) || !lm.userKnown[user] {
+		return nil, nil, false
+	}
+	if n <= 0 {
+		n = 10
+	}
+	ratedSet := lm.ratedBy[user]
+	for item := range ratedSet {
+		rated = append(rated, item)
+	}
+	sort.Ints(rated)
+
+	for item, known := range lm.itemKnown {
+		if !known || ratedSet[item] {
+			continue
+		}
+		recs = append(recs, ItemRating{Item: item, Rating: clamp(lm.model.Predict(user, item))})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Rating != recs[j].Rating {
+			return recs[i].Rating > recs[j].Rating
+		}
+		return recs[i].Item < recs[j].Item
+	})
+	if len(recs) > n {
+		recs = recs[:n]
+	}
+	return recs, rated, true
+}
+
+// handleTopN is the leaf-side TopN RPC.
+func (lm *LeafModel) handleTopN(payload []byte) ([]byte, error) {
+	user, n, err := DecodeTopNRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	recs, rated, ok := lm.TopN(user, n)
+	if !ok {
+		return EncodeTopNResponse(nil, nil), nil
+	}
+	rated32 := make([]uint32, len(rated))
+	for i, item := range rated {
+		rated32[i] = uint32(item)
+	}
+	return EncodeTopNResponse(recs, rated32), nil
+}
+
+// mergeTopN combines per-leaf recommendations: per-item ratings are averaged
+// across the leaves that scored the item, items rated by the user in any
+// shard are dropped, and the global top-n remains.
+func mergeTopN(results []core.LeafResult, n int) ([]byte, error) {
+	type acc struct {
+		sum float64
+		cnt int
+	}
+	perItem := make(map[int]*acc)
+	ratedAnywhere := make(map[int]bool)
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		recs, rated, err := DecodeTopNResponse(r.Reply)
+		if err != nil {
+			return nil, err
+		}
+		for _, item := range rated {
+			ratedAnywhere[int(item)] = true
+		}
+		for _, rec := range recs {
+			a := perItem[rec.Item]
+			if a == nil {
+				a = &acc{}
+				perItem[rec.Item] = a
+			}
+			a.sum += rec.Rating
+			a.cnt++
+		}
+	}
+	merged := make([]ItemRating, 0, len(perItem))
+	for item, a := range perItem {
+		if ratedAnywhere[item] {
+			continue
+		}
+		merged = append(merged, ItemRating{Item: item, Rating: a.sum / float64(a.cnt)})
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Rating != merged[j].Rating {
+			return merged[i].Rating > merged[j].Rating
+		}
+		return merged[i].Item < merged[j].Item
+	})
+	if n > 0 && len(merged) > n {
+		merged = merged[:n]
+	}
+	return EncodeTopNResponse(merged, nil), nil
+}
+
+// TopN asks the service for the user's n best unrated items.
+func (c *Client) TopN(user, n int) ([]ItemRating, error) {
+	reply, err := c.rpc.Call(MethodTopN, EncodeTopNRequest(user, n))
+	if err != nil {
+		return nil, err
+	}
+	recs, _, err := DecodeTopNResponse(reply)
+	return recs, err
+}
+
+// errUnknownMethod builds the standard rejection.
+func errUnknownMethod(tier, method string) error {
+	return fmt.Errorf("recommend %s: unknown method %q", tier, method)
+}

@@ -1,0 +1,144 @@
+package recommend
+
+import (
+	"testing"
+)
+
+func TestTopNCodecs(t *testing.T) {
+	u, n, err := DecodeTopNRequest(EncodeTopNRequest(9, 5))
+	if err != nil || u != 9 || n != 5 {
+		t.Fatalf("request codec: %d %d %v", u, n, err)
+	}
+	recs := []ItemRating{{Item: 3, Rating: 4.5}, {Item: 7, Rating: 2.25}}
+	rated := []uint32{1, 2}
+	gotRecs, gotRated, err := DecodeTopNResponse(EncodeTopNResponse(recs, rated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRecs) != 2 || gotRecs[0] != recs[0] || gotRecs[1] != recs[1] {
+		t.Fatalf("recs: %v", gotRecs)
+	}
+	if len(gotRated) != 2 || gotRated[1] != 2 {
+		t.Fatalf("rated: %v", gotRated)
+	}
+	if _, _, err := DecodeTopNResponse([]byte{0xFF}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLeafTopNExcludesRatedAndSortsDesc(t *testing.T) {
+	corpus := testCorpus(t)
+	lm, err := TrainLeaf(corpus.Ratings, LeafConfig{
+		Users: corpus.Users, Items: corpus.Items, Rank: 6, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := corpus.Ratings[0].User
+	recs, rated, ok := lm.TopN(user, 10)
+	if !ok {
+		t.Fatal("known user rejected")
+	}
+	if len(recs) == 0 || len(recs) > 10 {
+		t.Fatalf("recs=%d", len(recs))
+	}
+	ratedSet := make(map[int]bool)
+	for _, item := range rated {
+		ratedSet[item] = true
+	}
+	for i, r := range recs {
+		if ratedSet[r.Item] {
+			t.Fatalf("recommended already-rated item %d", r.Item)
+		}
+		if r.Rating < MinRating || r.Rating > MaxRating {
+			t.Fatalf("rating %v out of bounds", r.Rating)
+		}
+		if i > 0 && r.Rating > recs[i-1].Rating {
+			t.Fatal("recommendations not sorted descending")
+		}
+	}
+	// The rated list matches the training data for that user.
+	want := 0
+	for _, rt := range corpus.Ratings {
+		if rt.User == user {
+			want++
+		}
+	}
+	if len(rated) != want {
+		t.Fatalf("rated=%d want %d", len(rated), want)
+	}
+	// Unknown user.
+	if _, _, ok := lm.TopN(corpus.Users+5, 3); ok {
+		t.Fatal("unknown user recommended")
+	}
+}
+
+// TestEndToEndTopN drives the extension through the full deployment: no
+// recommended item may be rated by the user in *any* shard, and results are
+// the average-merged global best.
+func TestEndToEndTopN(t *testing.T) {
+	corpus := testCorpus(t)
+	cl, client := startTestCluster(t, corpus)
+
+	ratedGlobal := make(map[int]map[int]bool)
+	for _, r := range corpus.Ratings {
+		if ratedGlobal[r.User] == nil {
+			ratedGlobal[r.User] = make(map[int]bool)
+		}
+		ratedGlobal[r.User][r.Item] = true
+	}
+
+	for user := 0; user < 10; user++ {
+		recs, err := client.TopN(user, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("user %d: no recommendations", user)
+		}
+		if len(recs) > 5 {
+			t.Fatalf("user %d: %d recs for n=5", user, len(recs))
+		}
+		for i, r := range recs {
+			if ratedGlobal[user][r.Item] {
+				t.Fatalf("user %d: recommended globally-rated item %d", user, r.Item)
+			}
+			if i > 0 && r.Rating > recs[i-1].Rating {
+				t.Fatalf("user %d: unsorted recs", user)
+			}
+			// Mid-tier averages leaf predictions; recompute.
+			var sum float64
+			var cnt int
+			for _, lm := range cl.Models {
+				lrecs, _, ok := lm.TopN(user, 2*5+10)
+				if !ok {
+					continue
+				}
+				for _, lr := range lrecs {
+					if lr.Item == r.Item {
+						sum += lr.Rating
+						cnt++
+					}
+				}
+			}
+			if cnt > 0 {
+				want := sum / float64(cnt)
+				if diff := r.Rating - want; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("user %d item %d: rating %v want merged %v", user, r.Item, r.Rating, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTopNUnknownUserEmpty(t *testing.T) {
+	corpus := testCorpus(t)
+	_, client := startTestCluster(t, corpus)
+	recs, err := client.TopN(corpus.Users+50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("unknown user got %d recs", len(recs))
+	}
+}

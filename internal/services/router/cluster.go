@@ -1,0 +1,132 @@
+package router
+
+import (
+	"time"
+
+	"musuite/internal/core"
+	"musuite/internal/memcache"
+)
+
+// ClusterConfig assembles an in-process Router deployment: N memcached-style
+// leaves fronted by one replicating mid-tier (paper setup: 16-way sharded
+// leaves with three replicas).
+type ClusterConfig struct {
+	// Leaves is the leaf count (default 4).
+	Leaves int
+	// Replicas is the replication pool size (default 2; paper uses 3 on
+	// its 16-leaf testbed).
+	Replicas int
+	// StoreBytes bounds each leaf store (0 = unlimited).
+	StoreBytes int64
+	// PrefixRules optionally pins key namespaces to leaf pools
+	// (McRouter-style prefix routing).
+	PrefixRules []PrefixRule
+	// SweepInterval, when positive, runs a background expiry sweeper on
+	// every leaf store (memcached's LRU-crawler analog).
+	SweepInterval time.Duration
+	// MidTier and Leaf configure the framework tiers.
+	MidTier core.Options
+	Leaf    core.LeafOptions
+}
+
+// Cluster is a running Router deployment.
+type Cluster struct {
+	// Addr is the mid-tier address front-ends dial.
+	Addr string
+
+	stores   []*memcache.Store
+	leaves   []*core.Leaf
+	sweepers []*memcache.Sweeper
+	midTier  *core.MidTier
+}
+
+// StartCluster launches the deployment.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Leaves <= 0 {
+		cfg.Leaves = 4
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas > cfg.Leaves {
+		cfg.Replicas = cfg.Leaves
+	}
+	cl := &Cluster{}
+	leafAddrs := make([]string, cfg.Leaves)
+	for i := 0; i < cfg.Leaves; i++ {
+		store := memcache.New(memcache.Config{MaxBytes: cfg.StoreBytes})
+		leafOpts := cfg.Leaf
+		leaf := NewLeaf(store, &leafOpts)
+		addr, err := leaf.Start("127.0.0.1:0")
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.stores = append(cl.stores, store)
+		cl.leaves = append(cl.leaves, leaf)
+		if cfg.SweepInterval > 0 {
+			cl.sweepers = append(cl.sweepers, store.StartSweeper(cfg.SweepInterval))
+		}
+		leafAddrs[i] = addr
+	}
+
+	mt := NewMidTier(MidTierConfig{Replicas: cfg.Replicas, PrefixRules: cfg.PrefixRules, Core: cfg.MidTier})
+	if err := mt.ConnectLeaves(leafAddrs); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	addr, err := mt.Start("127.0.0.1:0")
+	if err != nil {
+		mt.Close()
+		cl.Close()
+		return nil, err
+	}
+	cl.midTier = mt
+	cl.Addr = addr
+	return cl, nil
+}
+
+// StoreStats returns per-leaf store statistics (replication and balance
+// diagnostics).
+func (c *Cluster) StoreStats() []memcache.Stats {
+	out := make([]memcache.Stats, len(c.stores))
+	for i, s := range c.stores {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// LeafHolding reports which leaf indexes currently hold key — used by tests
+// to verify replication placement.
+func (c *Cluster) LeafHolding(key string) []int {
+	var out []int
+	for i, s := range c.stores {
+		if _, ok := s.Get(key); ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// KillLeaf closes one leaf server to exercise fault paths.
+func (c *Cluster) KillLeaf(i int) {
+	if i >= 0 && i < len(c.leaves) {
+		c.leaves[i].Close()
+	}
+}
+
+// NumLeaves reports the leaf count.
+func (c *Cluster) NumLeaves() int { return len(c.leaves) }
+
+// Close tears the deployment down.
+func (c *Cluster) Close() {
+	if c.midTier != nil {
+		c.midTier.Close()
+	}
+	for _, l := range c.leaves {
+		l.Close()
+	}
+	for _, sw := range c.sweepers {
+		sw.Stop()
+	}
+}

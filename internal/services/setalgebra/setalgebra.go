@@ -1,0 +1,278 @@
+// Package setalgebra implements μSuite's Set Algebra: document retrieval by
+// set intersection on posting lists (paper §III-C).
+//
+// The corpus is sharded uniformly across leaves.  Each leaf holds an
+// inverted index (with stop-listed high-frequency terms discarded at
+// indexing) and intersects its local posting lists for the query terms.
+// The mid-tier forwards search terms to every leaf and merges the
+// intersected lists it receives via set union.
+package setalgebra
+
+import (
+	"fmt"
+
+	"musuite/internal/core"
+	"musuite/internal/dataset"
+	"musuite/internal/postlist"
+	"musuite/internal/rpc"
+	"musuite/internal/wire"
+)
+
+// Method names on the wire.
+const (
+	// MethodSearch is the front-end→mid-tier query of search terms.
+	MethodSearch = "setalgebra.search"
+	// MethodIntersect is the mid-tier→leaf intersection call.
+	MethodIntersect = "setalgebra.intersect"
+)
+
+// --- wire codecs ---
+
+// EncodeTerms encodes a term-ID query.
+func EncodeTerms(terms []int) []byte {
+	e := wire.NewEncoder(4 + 4*len(terms))
+	e.Uvarint(uint64(len(terms)))
+	for _, t := range terms {
+		e.Uvarint(uint64(t))
+	}
+	return e.Bytes()
+}
+
+// DecodeTerms decodes a term-ID query.
+func DecodeTerms(b []byte) ([]int, error) {
+	d := wire.NewDecoder(b)
+	n := int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > wire.MaxSliceLen/4 {
+		return nil, wire.ErrTooLarge
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.Uvarint())
+	}
+	return out, d.Err()
+}
+
+// EncodeDocIDs encodes a posting-list result (plain fixed-width form, used
+// on the front-end wire where clients decode it).
+func EncodeDocIDs(ids []uint32) []byte {
+	e := wire.NewEncoder(4 + 4*len(ids))
+	e.Uint32s(ids)
+	return e.Bytes()
+}
+
+// DecodeDocIDs decodes a posting-list result.
+func DecodeDocIDs(b []byte) ([]uint32, error) {
+	d := wire.NewDecoder(b)
+	ids := d.Uint32s()
+	return ids, d.Err()
+}
+
+// EncodeCompressedDocIDs delta+varint compresses a sorted result list for
+// the leaf→mid-tier hop (§III-C's compressed posting-list representation).
+// Leaf results are sorted by construction (intersection preserves order and
+// global IDs are monotone in local IDs under round-robin sharding only per
+// shard — so the leaf sorts before compressing).
+func EncodeCompressedDocIDs(ids []uint32) ([]byte, error) {
+	return postlist.CompressIDs(ids)
+}
+
+// DecodeCompressedDocIDs reverses EncodeCompressedDocIDs.
+func DecodeCompressedDocIDs(b []byte) ([]uint32, error) {
+	return postlist.DecompressIDs(b)
+}
+
+// --- leaf ---
+
+// LeafData is one shard of the corpus, indexed: localDocs[i] is the word
+// list of the document whose global ID is globalID[i].
+type LeafData struct {
+	Index    *postlist.Index
+	GlobalID []uint32
+}
+
+// ShardCorpus splits the corpus round-robin and builds one inverted index
+// per shard.  stopTerms is the per-shard stop-list size.
+func ShardCorpus(c *dataset.DocCorpus, n, stopTerms int) []LeafData {
+	idLists := c.Shard(n)
+	out := make([]LeafData, n)
+	for s, ids := range idLists {
+		docs := make([][]int, len(ids))
+		gids := make([]uint32, len(ids))
+		for local, global := range ids {
+			docs[local] = c.Docs[global]
+			gids[local] = uint32(global)
+		}
+		out[s] = LeafData{
+			Index:    postlist.BuildIndex(docs, postlist.IndexConfig{StopTerms: stopTerms}),
+			GlobalID: gids,
+		}
+	}
+	return out
+}
+
+// NewLeaf builds the Set Algebra leaf microservice over one indexed shard.
+func NewLeaf(data LeafData, opts *core.LeafOptions) *core.Leaf {
+	return core.NewLeaf(func(method string, payload []byte) ([]byte, error) {
+		if method != MethodIntersect {
+			return nil, fmt.Errorf("setalgebra leaf: unknown method %q", method)
+		}
+		terms, err := DecodeTerms(payload)
+		if err != nil {
+			return nil, err
+		}
+		local := data.Index.Search(terms)
+		global := make([]uint32, len(local))
+		for i, id := range local {
+			global[i] = data.GlobalID[id]
+		}
+		// Local IDs are sorted; under round-robin sharding the global
+		// mapping is monotone, so the list stays sorted for compression.
+		return EncodeCompressedDocIDs(global)
+	}, opts)
+}
+
+// --- mid-tier ---
+
+// NewMidTier builds the Set Algebra mid-tier: forward terms to every leaf,
+// union the intersected posting lists received.  Call ConnectLeaves then
+// Start.
+func NewMidTier(opts *core.Options) *core.MidTier {
+	return core.NewMidTier(func(ctx *core.Ctx) {
+		if ctx.Req.Method != MethodSearch {
+			ctx.ReplyError(fmt.Errorf("setalgebra mid-tier: unknown method %q", ctx.Req.Method))
+			return
+		}
+		if _, err := DecodeTerms(ctx.Req.Payload); err != nil {
+			ctx.ReplyError(err)
+			return
+		}
+		ctx.FanoutAll(MethodIntersect, ctx.Req.Payload, func(results []core.LeafResult) {
+			lists := make([][]uint32, 0, len(results))
+			for _, r := range results {
+				if r.Err != nil {
+					ctx.ReplyError(r.Err)
+					return
+				}
+				ids, err := DecodeCompressedDocIDs(r.Reply)
+				if err != nil {
+					ctx.ReplyError(err)
+					return
+				}
+				lists = append(lists, ids)
+			}
+			ctx.Reply(EncodeDocIDs(postlist.UnionIDs(lists...)))
+		})
+	}, opts)
+}
+
+// --- front-end client ---
+
+// Client is the front-end's typed handle on a Set Algebra deployment.
+type Client struct {
+	rpc *rpc.Client
+}
+
+// DialClient connects to the mid-tier at addr.
+func DialClient(addr string, opts *rpc.ClientOptions) (*Client, error) {
+	c, err := rpc.Dial(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: c}, nil
+}
+
+// Search returns the global doc IDs containing all query terms (after each
+// shard's stop-list filtering), sorted ascending.
+func (c *Client) Search(terms []int) ([]uint32, error) {
+	reply, err := c.rpc.Call(MethodSearch, EncodeTerms(terms))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeDocIDs(reply)
+}
+
+// Go issues an asynchronous search (for load generators).
+func (c *Client) Go(terms []int, done chan *rpc.Call) *rpc.Call {
+	return c.rpc.Go(MethodSearch, EncodeTerms(terms), nil, done)
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// --- cluster ---
+
+// ClusterConfig assembles an in-process Set Algebra deployment.
+type ClusterConfig struct {
+	// Corpus is the document corpus to serve.
+	Corpus *dataset.DocCorpus
+	// Shards is the leaf count (paper: 4-way).
+	Shards int
+	// StopTerms is the per-shard stop-list size (default 10).
+	StopTerms int
+	// MidTier and Leaf configure the framework tiers.
+	MidTier core.Options
+	Leaf    core.LeafOptions
+}
+
+// Cluster is a running Set Algebra deployment.
+type Cluster struct {
+	// Addr is the mid-tier address front-ends dial.
+	Addr string
+	// Shards exposes the indexed shards (tests verify stop-listing).
+	Shards []LeafData
+
+	leaves  []*core.Leaf
+	midTier *core.MidTier
+}
+
+// StartCluster launches the deployment.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.StopTerms <= 0 {
+		cfg.StopTerms = 10
+	}
+	shards := ShardCorpus(cfg.Corpus, cfg.Shards, cfg.StopTerms)
+	cl := &Cluster{Shards: shards}
+	leafAddrs := make([]string, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		leafOpts := cfg.Leaf
+		leaf := NewLeaf(shards[s], &leafOpts)
+		addr, err := leaf.Start("127.0.0.1:0")
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.leaves = append(cl.leaves, leaf)
+		leafAddrs[s] = addr
+	}
+	mtOpts := cfg.MidTier
+	mt := NewMidTier(&mtOpts)
+	if err := mt.ConnectLeaves(leafAddrs); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	addr, err := mt.Start("127.0.0.1:0")
+	if err != nil {
+		mt.Close()
+		cl.Close()
+		return nil, err
+	}
+	cl.midTier = mt
+	cl.Addr = addr
+	return cl, nil
+}
+
+// Close tears the deployment down.
+func (c *Cluster) Close() {
+	if c.midTier != nil {
+		c.midTier.Close()
+	}
+	for _, l := range c.leaves {
+		l.Close()
+	}
+}

@@ -1,0 +1,235 @@
+package setalgebra
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"musuite/internal/core"
+	"musuite/internal/dataset"
+)
+
+func testCorpus(t *testing.T) *dataset.DocCorpus {
+	t.Helper()
+	return dataset.NewDocCorpus(dataset.DocCorpusConfig{
+		Docs: 600, VocabSize: 1500, MeanDocLen: 70, Seed: 11,
+	})
+}
+
+func startTestCluster(t *testing.T, corpus *dataset.DocCorpus) (*Cluster, *Client) {
+	t.Helper()
+	cl, err := StartCluster(ClusterConfig{
+		Corpus:  corpus,
+		Shards:  4,
+		MidTier: core.Options{Workers: 2, ResponseThreads: 2},
+		Leaf:    core.LeafOptions{Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	client, err := DialClient(cl.Addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return cl, client
+}
+
+func TestCodecs(t *testing.T) {
+	terms, err := DecodeTerms(EncodeTerms([]int{3, 0, 99999}))
+	if err != nil || len(terms) != 3 || terms[2] != 99999 {
+		t.Fatalf("terms codec: %v %v", terms, err)
+	}
+	empty, err := DecodeTerms(EncodeTerms(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty terms: %v %v", empty, err)
+	}
+	ids, err := DecodeDocIDs(EncodeDocIDs([]uint32{1, 2, 3}))
+	if err != nil || len(ids) != 3 || ids[2] != 3 {
+		t.Fatalf("ids codec: %v %v", ids, err)
+	}
+	if _, err := DecodeTerms([]byte{0xFF}); err == nil {
+		t.Fatal("garbage terms accepted")
+	}
+}
+
+func TestShardCorpusCoversAllDocs(t *testing.T) {
+	corpus := testCorpus(t)
+	shards := ShardCorpus(corpus, 4, 5)
+	seen := make(map[uint32]bool)
+	for _, sh := range shards {
+		if sh.Index.Docs() != len(sh.GlobalID) {
+			t.Fatal("index doc count mismatches global map")
+		}
+		for _, gid := range sh.GlobalID {
+			if seen[gid] {
+				t.Fatalf("doc %d in two shards", gid)
+			}
+			seen[gid] = true
+		}
+	}
+	if len(seen) != len(corpus.Docs) {
+		t.Fatalf("sharded %d of %d docs", len(seen), len(corpus.Docs))
+	}
+}
+
+// referenceSearch computes ground truth: docs containing every query term,
+// with terms stop-listed per shard exactly as the service does.
+func referenceSearch(corpus *dataset.DocCorpus, shards []LeafData, terms []int) []uint32 {
+	var out []uint32
+	for _, sh := range shards {
+		var live []int
+		for _, term := range terms {
+			if !sh.Index.IsStopWord(term) {
+				live = append(live, term)
+			}
+		}
+		if len(live) == 0 {
+			continue
+		}
+		for local, gid := range sh.GlobalID {
+			_ = local
+			has := make(map[int]bool)
+			for _, w := range corpus.Docs[gid] {
+				has[w] = true
+			}
+			all := true
+			for _, term := range live {
+				if !has[term] {
+					all = false
+					break
+				}
+			}
+			if all {
+				out = append(out, gid)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestEndToEndMatchesReference(t *testing.T) {
+	corpus := testCorpus(t)
+	cl, client := startTestCluster(t, corpus)
+	queries := corpus.Queries(60, 5, 13)
+	for qi, q := range queries {
+		got, err := client.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceSearch(corpus, cl.Shards, q)
+		if len(got) != len(want) {
+			t.Fatalf("query %d (%v): got %d docs want %d", qi, q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: doc %d is %d want %d", qi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestResultsSortedAndUnique(t *testing.T) {
+	corpus := testCorpus(t)
+	_, client := startTestCluster(t, corpus)
+	for _, q := range corpus.Queries(40, 4, 17) {
+		got, err := client.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("unsorted/duplicate results: %v", got)
+			}
+		}
+	}
+}
+
+func TestSingleTermQueryReturnsAllContainingDocs(t *testing.T) {
+	corpus := testCorpus(t)
+	cl, client := startTestCluster(t, corpus)
+	// Pick a moderately common non-stop term from shard 0's index.
+	term := -1
+	for w := 0; w < corpus.VocabSize; w++ {
+		stopped := false
+		indexedSomewhere := false
+		for _, sh := range cl.Shards {
+			if sh.Index.IsStopWord(w) {
+				stopped = true
+			}
+			if sh.Index.Postings(w) != nil {
+				indexedSomewhere = true
+			}
+		}
+		if !stopped && indexedSomewhere {
+			term = w
+			break
+		}
+	}
+	if term < 0 {
+		t.Skip("no suitable term")
+	}
+	got, err := client.Search([]int{term})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceSearch(corpus, cl.Shards, []int{term})
+	if len(got) != len(want) {
+		t.Fatalf("got %d want %d", len(got), len(want))
+	}
+}
+
+func TestEmptyAndStopOnlyQueries(t *testing.T) {
+	corpus := testCorpus(t)
+	cl, client := startTestCluster(t, corpus)
+	got, err := client.Search(nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty query: %v %v", got, err)
+	}
+	// Find a term stop-listed on every shard (the globally hottest word
+	// is typically stopped everywhere).
+	for w := 0; w < corpus.VocabSize; w++ {
+		all := true
+		for _, sh := range cl.Shards {
+			if !sh.Index.IsStopWord(w) {
+				all = false
+				break
+			}
+		}
+		if all {
+			got, err := client.Search([]int{w})
+			if err != nil || len(got) != 0 {
+				t.Fatalf("stop-only query: %v %v", got, err)
+			}
+			return
+		}
+	}
+	t.Log("no universally stopped term; skipping stop-only case")
+}
+
+func TestUnknownTermMatchesNothing(t *testing.T) {
+	corpus := testCorpus(t)
+	_, client := startTestCluster(t, corpus)
+	got, err := client.Search([]int{corpus.VocabSize + 100})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("unknown term: %v %v", got, err)
+	}
+}
+
+func TestUnknownMethodRejected(t *testing.T) {
+	corpus := testCorpus(t)
+	_, client := startTestCluster(t, corpus)
+	if _, err := client.rpc.Call("setalgebra.phrase", nil); err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestMalformedQueryRejected(t *testing.T) {
+	corpus := testCorpus(t)
+	_, client := startTestCluster(t, corpus)
+	if _, err := client.rpc.Call(MethodSearch, []byte{0xFF}); err == nil {
+		t.Fatal("malformed query accepted")
+	}
+}

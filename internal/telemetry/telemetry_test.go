@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilProbeSafe(t *testing.T) {
+	var p *Probe
+	p.IncSyscall(SysFutex)
+	p.AddSyscall(SysSendmsg, 10)
+	p.IncContextSwitch()
+	p.IncHITM()
+	p.IncTCPRetransmit()
+	p.ObserveOverhead(OverheadActiveExe, time.Millisecond)
+	p.Reset()
+	if p.SyscallCount(SysFutex) != 0 || p.ContextSwitches() != 0 || p.HITMs() != 0 || p.TCPRetransmits() != 0 {
+		t.Fatal("nil probe returned non-zero")
+	}
+	if p.OverheadQuantile(OverheadNet, 0.5) != 0 {
+		t.Fatal("nil probe quantile non-zero")
+	}
+	s := p.Snapshot()
+	if len(s.Syscalls) != 0 {
+		t.Fatal("nil probe snapshot has syscalls")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	p := NewProbe()
+	p.IncSyscall(SysFutex)
+	p.IncSyscall(SysFutex)
+	p.AddSyscall(SysRecvmsg, 5)
+	if p.SyscallCount(SysFutex) != 2 {
+		t.Errorf("futex=%d", p.SyscallCount(SysFutex))
+	}
+	if p.SyscallCount(SysRecvmsg) != 5 {
+		t.Errorf("recvmsg=%d", p.SyscallCount(SysRecvmsg))
+	}
+	p.IncContextSwitch()
+	p.IncHITM()
+	p.IncTCPRetransmit()
+	if p.ContextSwitches() != 1 || p.HITMs() != 1 || p.TCPRetransmits() != 1 {
+		t.Error("scalar counters wrong")
+	}
+	p.Reset()
+	if p.SyscallCount(SysFutex) != 0 || p.ContextSwitches() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestOverheadDistributions(t *testing.T) {
+	p := NewProbe()
+	for i := 1; i <= 100; i++ {
+		p.ObserveOverhead(OverheadActiveExe, time.Duration(i)*time.Microsecond)
+	}
+	snap := p.OverheadSnapshot(OverheadActiveExe)
+	if snap.Count != 100 {
+		t.Fatalf("count=%d", snap.Count)
+	}
+	med := p.OverheadQuantile(OverheadActiveExe, 0.5)
+	if med < 45*time.Microsecond || med > 55*time.Microsecond {
+		t.Errorf("median=%v", med)
+	}
+	// Other classes remain empty.
+	if p.OverheadSnapshot(OverheadRCU).Count != 0 {
+		t.Error("cross-class contamination")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	p := NewProbe()
+	p.AddSyscall(SysSendmsg, 10)
+	p.IncContextSwitch()
+	before := p.Snapshot()
+	p.AddSyscall(SysSendmsg, 7)
+	p.IncHITM()
+	after := p.Snapshot()
+	d := after.Delta(before)
+	if d.Syscalls[SysSendmsg] != 7 {
+		t.Errorf("delta sendmsg=%d", d.Syscalls[SysSendmsg])
+	}
+	if d.HITM != 1 || d.ContextSwitch != 0 {
+		t.Errorf("delta hitm=%d cs=%d", d.HITM, d.ContextSwitch)
+	}
+	// Delta clamps when prev exceeds cur (after a Reset).
+	p.Reset()
+	clamped := p.Snapshot().Delta(after)
+	if clamped.Syscalls[SysSendmsg] != 0 {
+		t.Error("delta did not clamp")
+	}
+}
+
+func TestSyscallAndOverheadNames(t *testing.T) {
+	if SysFutex.String() != "futex" || SysEpollPwait.String() != "epoll_pwait" {
+		t.Error("syscall names wrong")
+	}
+	if OverheadActiveExe.String() != "Active-Exe" || OverheadNetTx.String() != "Net_tx" {
+		t.Error("overhead names wrong")
+	}
+	if Syscall(99).String() == "" || Overhead(99).String() == "" {
+		t.Error("out-of-range names empty")
+	}
+	if len(Syscalls()) != int(numSyscalls) || len(Overheads()) != int(numOverheads) {
+		t.Error("enumerations wrong length")
+	}
+}
+
+func TestProbedMutexContention(t *testing.T) {
+	p := NewProbe()
+	m := NewMutex(p)
+	// Uncontended: no HITM.
+	m.Lock()
+	m.Unlock()
+	if p.HITMs() != 0 {
+		t.Fatalf("uncontended lock counted HITM: %d", p.HITMs())
+	}
+	// Force contention: goroutine holds the lock while we acquire.
+	m.Lock()
+	done := make(chan struct{})
+	go func() {
+		m.Lock()
+		m.Unlock()
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond) // let the goroutine reach the contended path
+	m.Unlock()
+	<-done
+	if p.HITMs() == 0 {
+		t.Error("contended lock did not count HITM")
+	}
+	if p.SyscallCount(SysFutex) == 0 {
+		t.Error("contended lock did not count futex")
+	}
+}
+
+func TestProbedCond(t *testing.T) {
+	p := NewProbe()
+	m := NewMutex(p)
+	c := NewCond(m, p)
+	ready := false
+	done := make(chan struct{})
+	go func() {
+		m.Lock()
+		for !ready {
+			c.Wait()
+		}
+		m.Unlock()
+		close(done)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	m.Lock()
+	ready = true
+	c.Signal()
+	m.Unlock()
+	<-done
+	// One Wait + one Signal = at least 2 futex proxies; Wait also counts a CS.
+	if p.SyscallCount(SysFutex) < 2 {
+		t.Errorf("futex=%d want ≥2", p.SyscallCount(SysFutex))
+	}
+	if p.ContextSwitches() < 1 {
+		t.Errorf("cs=%d want ≥1", p.ContextSwitches())
+	}
+}
+
+func TestProbeConcurrency(t *testing.T) {
+	p := NewProbe()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.IncSyscall(SysFutex)
+				p.ObserveOverhead(OverheadNet, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.SyscallCount(SysFutex) != 8000 {
+		t.Fatalf("futex=%d", p.SyscallCount(SysFutex))
+	}
+	if p.OverheadSnapshot(OverheadNet).Count != 8000 {
+		t.Fatalf("overhead count=%d", p.OverheadSnapshot(OverheadNet).Count)
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	p := NewProbe()
+	m := NewMutex(p)
+	c := NewCond(m, p)
+	const waiters = 4
+	var wg sync.WaitGroup
+	go_ := false
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Lock()
+			for !go_ {
+				c.Wait()
+			}
+			m.Unlock()
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	m.Lock()
+	go_ = true
+	c.Broadcast()
+	m.Unlock()
+	wg.Wait()
+	if p.ContextSwitches() < waiters {
+		t.Errorf("cs=%d want ≥%d", p.ContextSwitches(), waiters)
+	}
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStampFirstWins(t *testing.T) {
+	tr := &Trace{}
+	early := time.Now()
+	tr.StampAt(StageArrival, early)
+	tr.StampAt(StageArrival, early.Add(time.Hour))
+	if !tr.At(StageArrival).Equal(early) {
+		t.Fatal("second stamp overwrote first")
+	}
+}
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	tr.Stamp(StageArrival)
+	tr.StampAt(StageReplySent, time.Now())
+	if !tr.At(StageArrival).IsZero() {
+		t.Fatal("nil trace returned a time")
+	}
+	b := tr.Breakdown()
+	if b.Total != 0 || b.Complete {
+		t.Fatalf("nil breakdown: %+v", b)
+	}
+}
+
+func TestOutOfRangeStageIgnored(t *testing.T) {
+	tr := &Trace{}
+	tr.Stamp(Stage(-1))
+	tr.Stamp(Stage(99))
+	// Reaching here without panic is the property.
+	if Stage(99).String() == "" || StageArrival.String() != "arrival" {
+		t.Fatal("stage names wrong")
+	}
+}
+
+func TestBreakdownSegments(t *testing.T) {
+	base := time.Now()
+	tr := &Trace{}
+	tr.StampAt(StageArrival, base)
+	tr.StampAt(StageEnqueued, base.Add(1*time.Microsecond))
+	tr.StampAt(StageWorkerStart, base.Add(11*time.Microsecond))
+	tr.StampAt(StageFanoutIssued, base.Add(31*time.Microsecond))
+	tr.StampAt(StageLastLeafResponse, base.Add(131*time.Microsecond))
+	tr.StampAt(StageReplySent, base.Add(141*time.Microsecond))
+	b := tr.Breakdown()
+	if !b.Complete {
+		t.Fatal("complete trace reported incomplete")
+	}
+	if b.Handoff != 1*time.Microsecond || b.Queue != 10*time.Microsecond ||
+		b.Compute != 20*time.Microsecond || b.LeafWait != 100*time.Microsecond ||
+		b.Merge != 10*time.Microsecond || b.Total != 141*time.Microsecond {
+		t.Fatalf("breakdown: %+v", b)
+	}
+	if b.String() == "" {
+		t.Fatal("empty breakdown string")
+	}
+}
+
+func TestBreakdownIncompleteAndNegativeClamped(t *testing.T) {
+	base := time.Now()
+	tr := &Trace{}
+	tr.StampAt(StageArrival, base)
+	tr.StampAt(StageReplySent, base.Add(time.Millisecond))
+	b := tr.Breakdown()
+	if b.Complete {
+		t.Fatal("incomplete trace reported complete")
+	}
+	if b.Total != time.Millisecond || b.Queue != 0 {
+		t.Fatalf("breakdown: %+v", b)
+	}
+	// Out-of-order stamps (fanout-issued after last-leaf) clamp to 0.
+	tr2 := &Trace{}
+	tr2.StampAt(StageFanoutIssued, base.Add(time.Second))
+	tr2.StampAt(StageLastLeafResponse, base)
+	if tr2.Breakdown().LeafWait != 0 {
+		t.Fatal("negative segment not clamped")
+	}
+}
+
+func TestTracerSamplingRate(t *testing.T) {
+	tr := NewTracer(10, 8)
+	sampled := 0
+	for i := 0; i < 1000; i++ {
+		if tr.Sample() != nil {
+			sampled++
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("sampled %d of 1000 at 1-in-10", sampled)
+	}
+	// every ≤ 1 samples everything.
+	all := NewTracer(0, 8)
+	for i := 0; i < 50; i++ {
+		if all.Sample() == nil {
+			t.Fatal("rate-1 tracer skipped a request")
+		}
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Sample() != nil {
+		t.Fatal("nil tracer sampled")
+	}
+	tr.Finish(&Trace{})
+	if tr.Completed() != 0 || tr.Recent(5) != nil {
+		t.Fatal("nil tracer returned data")
+	}
+	if !strings.Contains(tr.Report(), "disabled") {
+		t.Fatal("nil tracer report")
+	}
+	if tr.StageQuantile("total", 0.5) != 0 {
+		t.Fatal("nil tracer quantile")
+	}
+}
+
+func TestTracerAggregation(t *testing.T) {
+	tr := NewTracer(1, 4)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		s := tr.Sample()
+		s.StampAt(StageArrival, base)
+		s.StampAt(StageEnqueued, base.Add(2*time.Microsecond))
+		s.StampAt(StageWorkerStart, base.Add(12*time.Microsecond))
+		s.StampAt(StageFanoutIssued, base.Add(22*time.Microsecond))
+		s.StampAt(StageLastLeafResponse, base.Add(122*time.Microsecond))
+		s.StampAt(StageReplySent, base.Add(132*time.Microsecond))
+		tr.Finish(s)
+	}
+	if tr.Completed() != 10 {
+		t.Fatalf("completed=%d", tr.Completed())
+	}
+	// Ring keeps only the last 4.
+	if got := len(tr.Recent(100)); got != 4 {
+		t.Fatalf("recent=%d want 4", got)
+	}
+	q := tr.StageQuantile("queue", 0.5)
+	if q < 9*time.Microsecond || q > 11*time.Microsecond {
+		t.Fatalf("queue p50=%v", q)
+	}
+	if tr.StageQuantile("bogus", 0.5) != 0 {
+		t.Fatal("unknown segment returned data")
+	}
+	rep := tr.Report()
+	for _, want := range []string{"handoff", "queue", "compute", "leaf-wait", "merge", "total"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestTraceConcurrentStamps(t *testing.T) {
+	tr := &Trace{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := Stage(0); s < numStages; s++ {
+				tr.Stamp(s)
+			}
+		}()
+	}
+	wg.Wait()
+	if !tr.Breakdown().Complete {
+		t.Fatal("concurrent stamps left gaps")
+	}
+}

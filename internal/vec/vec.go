@@ -1,0 +1,139 @@
+// Package vec provides the feature-vector math underlying HDSearch: dense
+// float32 vectors, Euclidean / cosine / dot-product kernels with 4-way
+// unrolled inner loops (the scalar analog of the paper's SIMD acceleration),
+// and batch distance computations used by the leaf microservice.
+package vec
+
+import (
+	"errors"
+	"math"
+)
+
+// Vector is a dense feature vector, e.g. a 2048-dimensional image embedding.
+type Vector []float32
+
+// ErrDimensionMismatch reports an operation on vectors of unequal length.
+var ErrDimensionMismatch = errors.New("vec: dimension mismatch")
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// SquaredEuclidean returns ‖a-b‖² with a 4-way unrolled loop.  Using the
+// squared distance avoids the sqrt in the inner comparison loop; ordering by
+// squared distance equals ordering by distance.
+func SquaredEuclidean(a, b Vector) float32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Euclidean returns ‖a-b‖.
+func Euclidean(a, b Vector) float32 {
+	return float32(math.Sqrt(float64(SquaredEuclidean(a, b))))
+}
+
+// Dot returns a·b with a 4-way unrolled loop.
+func Dot(a, b Vector) float32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Norm returns ‖v‖.
+func Norm(v Vector) float32 {
+	return float32(math.Sqrt(float64(Dot(v, v))))
+}
+
+// CosineSimilarity returns a·b / (‖a‖‖b‖), the accuracy metric HDSearch uses
+// to score its reported nearest neighbor against brute-force ground truth.
+// Zero vectors yield similarity 0.
+func CosineSimilarity(a, b Vector) float32 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Normalize scales v to unit length in place and returns it.  A zero vector
+// is returned unchanged.
+func Normalize(v Vector) Vector {
+	n := Norm(v)
+	if n == 0 {
+		return v
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Add returns a+b in a new vector.
+func Add(a, b Vector) (Vector, error) {
+	if len(a) != len(b) {
+		return nil, ErrDimensionMismatch
+	}
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out, nil
+}
+
+// Scale returns s·v in a new vector.
+func Scale(v Vector, s float32) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] * s
+	}
+	return out
+}
+
+// Distances computes the squared Euclidean distance from query to each of
+// points, appending into dst (which may be nil).  This is the leaf
+// microservice's hot loop; it is embarrassingly parallel across points.
+func Distances(query Vector, points []Vector, dst []float32) []float32 {
+	if dst == nil {
+		dst = make([]float32, 0, len(points))
+	}
+	for _, p := range points {
+		dst = append(dst, SquaredEuclidean(query, p))
+	}
+	return dst
+}

@@ -1,0 +1,192 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestSquaredEuclideanBasic(t *testing.T) {
+	a := Vector{0, 0, 0}
+	b := Vector{3, 4, 0}
+	if got := SquaredEuclidean(a, b); got != 25 {
+		t.Fatalf("got %v want 25", got)
+	}
+	if got := Euclidean(a, b); got != 5 {
+		t.Fatalf("got %v want 5", got)
+	}
+}
+
+func TestSquaredEuclideanIdentityAndSymmetry(t *testing.T) {
+	f := func(raw []float32) bool {
+		// Clamp to a sane range so float error stays bounded.
+		a := make(Vector, len(raw))
+		b := make(Vector, len(raw))
+		for i, r := range raw {
+			v := float32(math.Mod(float64(r), 100))
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				v = 1
+			}
+			a[i] = v
+			b[i] = -v / 2
+		}
+		if SquaredEuclidean(a, a) != 0 {
+			return false
+		}
+		return SquaredEuclidean(a, b) == SquaredEuclidean(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnrollMatchesNaive checks the 4-way unrolled kernels against a naive
+// loop across lengths that hit every remainder case.
+func TestUnrollMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 63, 64, 65, 127, 128, 2048} {
+		a, b := make(Vector, n), make(Vector, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+		}
+		var naiveSq, naiveDot float64
+		for i := 0; i < n; i++ {
+			d := float64(a[i] - b[i])
+			naiveSq += d * d
+			naiveDot += float64(a[i]) * float64(b[i])
+		}
+		if !almostEq(float64(SquaredEuclidean(a, b)), naiveSq, 1e-3+naiveSq*1e-4) {
+			t.Errorf("n=%d sqdist mismatch: %v vs %v", n, SquaredEuclidean(a, b), naiveSq)
+		}
+		if !almostEq(float64(Dot(a, b)), naiveDot, 1e-3+math.Abs(naiveDot)*1e-4) {
+			t.Errorf("n=%d dot mismatch: %v vs %v", n, Dot(a, b), naiveDot)
+		}
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	a := Vector{1, 0}
+	b := Vector{0, 1}
+	c := Vector{2, 0}
+	d := Vector{-1, 0}
+	if got := CosineSimilarity(a, b); !almostEq(float64(got), 0, 1e-6) {
+		t.Errorf("orthogonal cos=%v", got)
+	}
+	if got := CosineSimilarity(a, c); !almostEq(float64(got), 1, 1e-6) {
+		t.Errorf("parallel cos=%v", got)
+	}
+	if got := CosineSimilarity(a, d); !almostEq(float64(got), -1, 1e-6) {
+		t.Errorf("antiparallel cos=%v", got)
+	}
+	if got := CosineSimilarity(a, Vector{0, 0}); got != 0 {
+		t.Errorf("zero-vector cos=%v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	Normalize(v)
+	if !almostEq(float64(Norm(v)), 1, 1e-6) {
+		t.Fatalf("norm after normalize = %v", Norm(v))
+	}
+	z := Vector{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero vector mutated")
+	}
+}
+
+func TestAddScaleClone(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{10, 20, 30}
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float32{11, 22, 33} {
+		if sum[i] != want {
+			t.Errorf("sum[%d]=%v", i, sum[i])
+		}
+	}
+	if _, err := Add(a, Vector{1}); err != ErrDimensionMismatch {
+		t.Errorf("want dimension mismatch, got %v", err)
+	}
+	s := Scale(a, 2)
+	if s[2] != 6 {
+		t.Errorf("scale=%v", s)
+	}
+	c := a.Clone()
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone aliases storage")
+	}
+}
+
+func TestDistancesBatch(t *testing.T) {
+	q := Vector{0, 0}
+	pts := []Vector{{1, 0}, {0, 2}, {3, 4}}
+	d := Distances(q, pts, nil)
+	want := []float32{1, 4, 25}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("d[%d]=%v want %v", i, d[i], want[i])
+		}
+	}
+	// Appending into an existing buffer must preserve prior entries.
+	d2 := Distances(q, pts[:1], []float32{7})
+	if len(d2) != 2 || d2[0] != 7 || d2[1] != 1 {
+		t.Errorf("append behavior broken: %v", d2)
+	}
+}
+
+// TestTriangleInequality: Euclidean distance satisfies d(a,c) ≤ d(a,b)+d(b,c).
+func TestTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		a, b, c := make(Vector, n), make(Vector, n), make(Vector, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i], c[i] = rng.Float32(), rng.Float32(), rng.Float32()
+		}
+		ac := float64(Euclidean(a, c))
+		abc := float64(Euclidean(a, b)) + float64(Euclidean(b, c))
+		if ac > abc+1e-4 {
+			t.Fatalf("triangle inequality violated: %v > %v", ac, abc)
+		}
+	}
+}
+
+func BenchmarkSquaredEuclidean2048(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a, c := make(Vector, 2048), make(Vector, 2048)
+	for i := range a {
+		a[i], c[i] = rng.Float32(), rng.Float32()
+	}
+	b.SetBytes(2048 * 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SquaredEuclidean(a, c)
+	}
+}
+
+func BenchmarkDot128(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a, c := make(Vector, 128), make(Vector, 128)
+	for i := range a {
+		a[i], c[i] = rng.Float32(), rng.Float32()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Dot(a, c)
+	}
+}

@@ -1,0 +1,341 @@
+// Package wire implements the compact binary encoding used by the μSuite
+// RPC substrate and by every service's request/response messages.  It plays
+// the role protobuf serialization plays under gRPC: explicit, deterministic,
+// allocation-conscious byte-level encoding with no reflection.
+//
+// All multi-byte integers are little-endian.  Variable-length integers use
+// the unsigned LEB128 scheme (like encoding/binary's Uvarint).  Strings,
+// byte slices, and typed slices are length-prefixed with a uvarint.
+package wire
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrTruncated reports a decode past the end of the buffer.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrTooLarge reports a length prefix exceeding sanity limits.
+var ErrTooLarge = errors.New("wire: length prefix too large")
+
+// MaxSliceLen bounds any decoded slice length as a corruption guard.
+const MaxSliceLen = 1 << 28
+
+// Encoder appends encoded values to a byte slice.  The zero value is ready
+// to use; Bytes returns the accumulated encoding.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the given initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer.  The slice aliases internal storage and
+// is invalidated by further writes.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the encoder, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uint8 appends one byte.
+func (e *Encoder) Uint8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint8(1)
+	} else {
+		e.Uint8(0)
+	}
+}
+
+// Uint16 appends a little-endian uint16.
+func (e *Encoder) Uint16(v uint16) {
+	e.buf = append(e.buf, byte(v), byte(v>>8))
+}
+
+// Uint32 appends a little-endian uint32.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// Uint64 appends a little-endian uint64.
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = append(e.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// Int64 appends a little-endian int64 (two's complement).
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Uvarint appends an unsigned LEB128 varint.
+func (e *Encoder) Uvarint(v uint64) {
+	for v >= 0x80 {
+		e.buf = append(e.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	e.buf = append(e.buf, byte(v))
+}
+
+// Float32 appends an IEEE-754 float32.
+func (e *Encoder) Float32(v float32) { e.Uint32(math.Float32bits(v)) }
+
+// Float64 appends an IEEE-754 float64.
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Bytes appends a length-prefixed byte slice.
+func (e *Encoder) BytesField(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Float32s appends a length-prefixed []float32.
+func (e *Encoder) Float32s(v []float32) {
+	e.Uvarint(uint64(len(v)))
+	for _, f := range v {
+		e.Float32(f)
+	}
+}
+
+// Uint64s appends a length-prefixed []uint64.
+func (e *Encoder) Uint64s(v []uint64) {
+	e.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.Uint64(x)
+	}
+}
+
+// Uint32s appends a length-prefixed []uint32.
+func (e *Encoder) Uint32s(v []uint32) {
+	e.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.Uint32(x)
+	}
+}
+
+// Strings appends a length-prefixed []string.
+func (e *Encoder) Strings(v []string) {
+	e.Uvarint(uint64(len(v)))
+	for _, s := range v {
+		e.String(s)
+	}
+}
+
+// Decoder consumes encoded values from a byte slice.  Decode errors are
+// sticky: after the first error every subsequent read returns the zero value
+// and Err reports the failure, so callers may decode a whole message and
+// check once.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over b.  The decoder does not copy b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Uint8 reads one byte.
+func (d *Decoder) Uint8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() bool { return d.Uint8() != 0 }
+
+// Uint16 reads a little-endian uint16.
+func (d *Decoder) Uint16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+
+// Uint32 reads a little-endian uint32.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Uint64 reads a little-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// Int64 reads a little-endian int64.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Uvarint reads an unsigned LEB128 varint.
+func (d *Decoder) Uvarint() uint64 {
+	var v uint64
+	var shift uint
+	for {
+		if shift > 63 {
+			d.fail(ErrTooLarge)
+			return 0
+		}
+		b := d.take(1)
+		if b == nil {
+			return 0
+		}
+		v |= uint64(b[0]&0x7f) << shift
+		if b[0] < 0x80 {
+			return v
+		}
+		shift += 7
+	}
+}
+
+// Float32 reads an IEEE-754 float32.
+func (d *Decoder) Float32() float32 { return math.Float32frombits(d.Uint32()) }
+
+// Float64 reads an IEEE-754 float64.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+func (d *Decoder) sliceLen() int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > MaxSliceLen {
+		d.fail(ErrTooLarge)
+		return 0
+	}
+	return int(n)
+}
+
+// BytesField reads a length-prefixed byte slice.  The result is a copy.
+func (d *Decoder) BytesField() []byte {
+	n := d.sliceLen()
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.sliceLen()
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Float32s reads a length-prefixed []float32.
+func (d *Decoder) Float32s() []float32 {
+	n := d.sliceLen()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = d.Float32()
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Uint64s reads a length-prefixed []uint64.
+func (d *Decoder) Uint64s() []uint64 {
+	n := d.sliceLen()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.Uint64()
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Uint32s reads a length-prefixed []uint32.
+func (d *Decoder) Uint32s() []uint32 {
+	n := d.sliceLen()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = d.Uint32()
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Strings reads a length-prefixed []string.
+func (d *Decoder) Strings() []string {
+	n := d.sliceLen()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.String()
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}

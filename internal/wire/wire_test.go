@@ -1,0 +1,251 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	e := NewEncoder(64)
+	e.Uint8(0xAB)
+	e.Bool(true)
+	e.Bool(false)
+	e.Uint16(0xBEEF)
+	e.Uint32(0xDEADBEEF)
+	e.Uint64(0x0123456789ABCDEF)
+	e.Int64(-42)
+	e.Uvarint(0)
+	e.Uvarint(127)
+	e.Uvarint(128)
+	e.Uvarint(math.MaxUint64)
+	e.Float32(3.5)
+	e.Float64(-2.25)
+
+	d := NewDecoder(e.Bytes())
+	if d.Uint8() != 0xAB || !d.Bool() || d.Bool() {
+		t.Error("uint8/bool mismatch")
+	}
+	if d.Uint16() != 0xBEEF || d.Uint32() != 0xDEADBEEF || d.Uint64() != 0x0123456789ABCDEF {
+		t.Error("fixed ints mismatch")
+	}
+	if d.Int64() != -42 {
+		t.Error("int64 mismatch")
+	}
+	if d.Uvarint() != 0 || d.Uvarint() != 127 || d.Uvarint() != 128 || d.Uvarint() != math.MaxUint64 {
+		t.Error("uvarint mismatch")
+	}
+	if d.Float32() != 3.5 || d.Float64() != -2.25 {
+		t.Error("float mismatch")
+	}
+	if d.Err() != nil {
+		t.Fatalf("err=%v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining=%d", d.Remaining())
+	}
+}
+
+func TestRoundTripSlices(t *testing.T) {
+	e := NewEncoder(0)
+	e.BytesField([]byte{1, 2, 3})
+	e.String("hello μSuite")
+	e.Float32s([]float32{1.5, -2.5, 0})
+	e.Uint64s([]uint64{0, 1, math.MaxUint64})
+	e.Uint32s([]uint32{7, 8})
+	e.Strings([]string{"a", "", "ccc"})
+
+	d := NewDecoder(e.Bytes())
+	b := d.BytesField()
+	if len(b) != 3 || b[2] != 3 {
+		t.Errorf("bytes=%v", b)
+	}
+	if s := d.String(); s != "hello μSuite" {
+		t.Errorf("string=%q", s)
+	}
+	f := d.Float32s()
+	if len(f) != 3 || f[1] != -2.5 {
+		t.Errorf("float32s=%v", f)
+	}
+	u := d.Uint64s()
+	if len(u) != 3 || u[2] != math.MaxUint64 {
+		t.Errorf("uint64s=%v", u)
+	}
+	u32 := d.Uint32s()
+	if len(u32) != 2 || u32[0] != 7 {
+		t.Errorf("uint32s=%v", u32)
+	}
+	ss := d.Strings()
+	if len(ss) != 3 || ss[1] != "" || ss[2] != "ccc" {
+		t.Errorf("strings=%v", ss)
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}
+
+func TestDecoderCopiesBytes(t *testing.T) {
+	e := NewEncoder(0)
+	e.BytesField([]byte{9, 9, 9})
+	raw := e.Bytes()
+	d := NewDecoder(raw)
+	b := d.BytesField()
+	raw[1] = 0 // mutate the backing buffer
+	if b[0] != 9 {
+		t.Fatal("BytesField aliases the input buffer")
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	e := NewEncoder(0)
+	e.Uint64(12345)
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		_ = d.Uint64()
+		if d.Err() != ErrTruncated {
+			t.Fatalf("cut=%d err=%v want ErrTruncated", cut, d.Err())
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	d := NewDecoder([]byte{})
+	_ = d.Uint32()
+	if d.Err() == nil {
+		t.Fatal("no error on empty read")
+	}
+	// All further reads return zero values without panicking.
+	if d.Uint64() != 0 || d.String() != "" || d.Float32s() != nil {
+		t.Fatal("post-error reads returned data")
+	}
+}
+
+func TestOversizedLengthPrefix(t *testing.T) {
+	e := NewEncoder(0)
+	e.Uvarint(uint64(MaxSliceLen) + 1)
+	d := NewDecoder(e.Bytes())
+	if d.BytesField() != nil || d.Err() != ErrTooLarge {
+		t.Fatalf("oversized prefix not rejected: %v", d.Err())
+	}
+}
+
+func TestMalformedVarint(t *testing.T) {
+	// 10 continuation bytes exceed 64 bits.
+	buf := make([]byte, 11)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	d := NewDecoder(buf)
+	_ = d.Uvarint()
+	if d.Err() != ErrTooLarge {
+		t.Fatalf("err=%v", d.Err())
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint64(1)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+	e.Uint8(5)
+	if e.Len() != 1 || e.Bytes()[0] != 5 {
+		t.Fatal("post-reset encode broken")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(u8 uint8, u16 uint16, u32 uint32, u64 uint64, i int64, s string, bs []byte, fs []float32, us []uint64) bool {
+		e := NewEncoder(0)
+		e.Uint8(u8)
+		e.Uint16(u16)
+		e.Uint32(u32)
+		e.Uint64(u64)
+		e.Int64(i)
+		e.Uvarint(u64)
+		e.String(s)
+		e.BytesField(bs)
+		e.Float32s(fs)
+		e.Uint64s(us)
+
+		d := NewDecoder(e.Bytes())
+		if d.Uint8() != u8 || d.Uint16() != u16 || d.Uint32() != u32 || d.Uint64() != u64 {
+			return false
+		}
+		if d.Int64() != i || d.Uvarint() != u64 || d.String() != s {
+			return false
+		}
+		gb := d.BytesField()
+		if len(gb) != len(bs) {
+			return false
+		}
+		for k := range bs {
+			if gb[k] != bs[k] {
+				return false
+			}
+		}
+		gf := d.Float32s()
+		if len(gf) != len(fs) {
+			return false
+		}
+		for k := range fs {
+			// NaN compares unequal; compare bit patterns instead.
+			if math.Float32bits(gf[k]) != math.Float32bits(fs[k]) {
+				return false
+			}
+		}
+		gu := d.Uint64s()
+		if len(gu) != len(us) {
+			return false
+		}
+		for k := range us {
+			if gu[k] != us[k] {
+				return false
+			}
+		}
+		return d.Err() == nil && d.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecoderNeverPanics(t *testing.T) {
+	f := func(garbage []byte) bool {
+		d := NewDecoder(garbage)
+		_ = d.Uvarint()
+		_ = d.String()
+		_ = d.Float32s()
+		_ = d.Uint64s()
+		_ = d.Uint32()
+		_ = d.BytesField()
+		return true // reaching here without panic is the property
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode1KVector(b *testing.B) {
+	v := make([]float32, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(4100)
+		e.Float32s(v)
+	}
+}
+
+func BenchmarkDecode1KVector(b *testing.B) {
+	v := make([]float32, 1024)
+	e := NewEncoder(4100)
+	e.Float32s(v)
+	raw := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(raw)
+		d.Float32s()
+	}
+}

@@ -1,0 +1,343 @@
+// Package musuite is a from-scratch Go implementation of μSuite, the
+// benchmark suite for microservices of Sriraman & Wenisch (IISWC 2018),
+// together with the OS/network characterization harness the paper builds on
+// it.
+//
+// The suite comprises four OLDI services, each a three-tier microservice
+// deployment (front-end client → mid-tier → leaves) over this module's own
+// gRPC-like RPC substrate:
+//
+//   - HDSearch — content-based image similarity search (LSH mid-tier,
+//     distance-kernel leaves)
+//   - Router — replication-based protocol routing for memcached-style
+//     key-value stores (SpookyHash routing, replicated leaves)
+//   - SetAlgebra — set intersections on posting lists for document search
+//   - Recommend — user-based collaborative-filtering rating prediction
+//     (NMF + allknn leaves)
+//
+// Quick start (in-process deployment):
+//
+//	corpus := musuite.NewImageCorpus(musuite.ImageCorpusConfig{N: 10000, Dim: 128, Seed: 1})
+//	cluster, err := musuite.StartHDSearchCluster(musuite.HDSearchClusterConfig{Corpus: corpus})
+//	client, err := musuite.DialHDSearch(cluster.Addr, nil)
+//	neighbors, err := client.Search(corpus.Queries(1, 2)[0], 5)
+//
+// The experiment harness regenerates every figure of the paper's evaluation;
+// see the bench aliases below, cmd/musuite-bench, and EXPERIMENTS.md.
+package musuite
+
+import (
+	"time"
+
+	"musuite/internal/bench"
+	"musuite/internal/core"
+	"musuite/internal/dataset"
+	"musuite/internal/loadgen"
+	"musuite/internal/rpc"
+	"musuite/internal/services/hdsearch"
+	"musuite/internal/services/recommend"
+	"musuite/internal/services/router"
+	"musuite/internal/services/setalgebra"
+	"musuite/internal/stats"
+	"musuite/internal/telemetry"
+	"musuite/internal/trace"
+	"musuite/internal/vec"
+)
+
+// --- framework (paper §IV) ---
+
+// Framework types: the mid-tier microservice framework with blocking
+// pollers, dispatch worker pools, async fan-out, and response threads.
+type (
+	// MidTierOptions configures a mid-tier tier (workers, response
+	// threads, dispatch/wait modes, telemetry probe).
+	MidTierOptions = core.Options
+	// LeafOptions configures a leaf tier.
+	LeafOptions = core.LeafOptions
+	// DispatchMode selects dispatched or in-line request execution.
+	DispatchMode = core.DispatchMode
+	// WaitMode selects blocking or polling idle threads.
+	WaitMode = core.WaitMode
+	// Probe is the telemetry sink reproducing the paper's eBPF/perf
+	// measurements in-process.
+	Probe = telemetry.Probe
+	// Syscall and Overhead enumerate the probe's proxy counters and
+	// OS-overhead latency classes (paper Figs. 11–18).
+	Syscall  = telemetry.Syscall
+	Overhead = telemetry.Overhead
+	// TelemetrySnapshot is a point-in-time copy of probe counters.
+	TelemetrySnapshot = telemetry.Snapshot
+	// Tracer samples requests for per-stage latency attribution; Trace
+	// is one sampled request.
+	Tracer = trace.Tracer
+	Trace  = trace.Trace
+)
+
+// Framework mode constants.
+const (
+	Dispatched = core.Dispatched
+	Inline     = core.Inline
+	// DispatchAuto switches between in-line and dispatched execution by
+	// observed load — the §VII dynamic-adaptation proposal.
+	DispatchAuto = core.DispatchAuto
+	WaitBlocking = core.WaitBlocking
+	WaitPolling  = core.WaitPolling
+	// WaitAdaptive is the spin-then-park hybrid of the paper's §VII
+	// blocking-vs-polling proposal.
+	WaitAdaptive = core.WaitAdaptive
+)
+
+// NewProbe creates a telemetry probe to attach to a mid-tier under study.
+func NewProbe() *Probe { return telemetry.NewProbe() }
+
+// NewTracer creates a 1-in-every sampler retaining keep recent traces.
+func NewTracer(every, keep int) *Tracer { return trace.NewTracer(every, keep) }
+
+// Syscalls lists the tracked syscall proxy classes in display order.
+func Syscalls() []Syscall { return telemetry.Syscalls() }
+
+// Overheads lists the OS-overhead latency classes in display order.
+func Overheads() []Overhead { return telemetry.Overheads() }
+
+// --- datasets ---
+
+// Dataset generators (deterministic synthetic stand-ins for the paper's
+// corpora).
+type (
+	ImageCorpus        = dataset.ImageCorpus
+	ImageCorpusConfig  = dataset.ImageCorpusConfig
+	DocCorpus          = dataset.DocCorpus
+	DocCorpusConfig    = dataset.DocCorpusConfig
+	RatingCorpus       = dataset.RatingCorpus
+	RatingCorpusConfig = dataset.RatingCorpusConfig
+	KVTrace            = dataset.KVTrace
+	KVTraceConfig      = dataset.KVTraceConfig
+	KVOp               = dataset.KVOp
+	Vector             = vec.Vector
+)
+
+// Key-value operation kinds of the Router trace.
+const (
+	KVGet = dataset.KVGet
+	KVSet = dataset.KVSet
+)
+
+// NewImageCorpus generates the HDSearch corpus.
+func NewImageCorpus(cfg ImageCorpusConfig) *ImageCorpus { return dataset.NewImageCorpus(cfg) }
+
+// NewDocCorpus generates the Set Algebra corpus.
+func NewDocCorpus(cfg DocCorpusConfig) *DocCorpus { return dataset.NewDocCorpus(cfg) }
+
+// NewRatingCorpus generates the Recommend corpus.
+func NewRatingCorpus(cfg RatingCorpusConfig) *RatingCorpus { return dataset.NewRatingCorpus(cfg) }
+
+// NewKVTrace generates the Router workload trace.
+func NewKVTrace(cfg KVTraceConfig) *KVTrace { return dataset.NewKVTrace(cfg) }
+
+// --- services ---
+
+// HDSearch deployment and client types.
+type (
+	HDSearchClusterConfig = hdsearch.ClusterConfig
+	HDSearchCluster       = hdsearch.Cluster
+	HDSearchClient        = hdsearch.Client
+	HDSearchNeighbor      = hdsearch.Neighbor
+	// HDSearchIndexKind selects the mid-tier candidate index.
+	HDSearchIndexKind = hdsearch.IndexKind
+)
+
+// The available HDSearch candidate-index structures — the paper's "LSH
+// tables, kd-trees, or k-means clusters" trio.
+const (
+	HDSearchIndexLSH    = hdsearch.IndexLSH
+	HDSearchIndexKDTree = hdsearch.IndexKDTree
+	HDSearchIndexKMeans = hdsearch.IndexKMeans
+)
+
+// StartHDSearchCluster launches an in-process HDSearch deployment.
+func StartHDSearchCluster(cfg HDSearchClusterConfig) (*HDSearchCluster, error) {
+	return hdsearch.StartCluster(cfg)
+}
+
+// DialHDSearch connects a front-end client to an HDSearch mid-tier.
+func DialHDSearch(addr string, opts *RPCClientOptions) (*HDSearchClient, error) {
+	return hdsearch.DialClient(addr, opts)
+}
+
+// Router deployment and client types.
+type (
+	RouterClusterConfig = router.ClusterConfig
+	RouterCluster       = router.Cluster
+	RouterClient        = router.Client
+	// RouterPrefixRule pins a key-prefix namespace to a leaf pool
+	// (McRouter-style prefix routing).
+	RouterPrefixRule = router.PrefixRule
+)
+
+// StartRouterCluster launches an in-process Router deployment.
+func StartRouterCluster(cfg RouterClusterConfig) (*RouterCluster, error) {
+	return router.StartCluster(cfg)
+}
+
+// DialRouter connects a front-end client to a Router mid-tier.
+func DialRouter(addr string, opts *RPCClientOptions) (*RouterClient, error) {
+	return router.DialClient(addr, opts)
+}
+
+// SetAlgebra deployment and client types.
+type (
+	SetAlgebraClusterConfig = setalgebra.ClusterConfig
+	SetAlgebraCluster       = setalgebra.Cluster
+	SetAlgebraClient        = setalgebra.Client
+)
+
+// StartSetAlgebraCluster launches an in-process Set Algebra deployment.
+func StartSetAlgebraCluster(cfg SetAlgebraClusterConfig) (*SetAlgebraCluster, error) {
+	return setalgebra.StartCluster(cfg)
+}
+
+// DialSetAlgebra connects a front-end client to a Set Algebra mid-tier.
+func DialSetAlgebra(addr string, opts *RPCClientOptions) (*SetAlgebraClient, error) {
+	return setalgebra.DialClient(addr, opts)
+}
+
+// Recommend deployment and client types.
+type (
+	RecommendClusterConfig = recommend.ClusterConfig
+	RecommendCluster       = recommend.Cluster
+	RecommendClient        = recommend.Client
+	// RecommendItemRating is one top-N recommendation result.
+	RecommendItemRating = recommend.ItemRating
+)
+
+// StartRecommendCluster launches an in-process Recommend deployment.
+func StartRecommendCluster(cfg RecommendClusterConfig) (*RecommendCluster, error) {
+	return recommend.StartCluster(cfg)
+}
+
+// DialRecommend connects a front-end client to a Recommend mid-tier.
+func DialRecommend(addr string, opts *RPCClientOptions) (*RecommendClient, error) {
+	return recommend.DialClient(addr, opts)
+}
+
+// --- RPC substrate ---
+
+// RPC substrate types (the gRPC stand-in).
+type (
+	RPCClient        = rpc.Client
+	RPCClientOptions = rpc.ClientOptions
+	RPCCall          = rpc.Call
+	// TierStats are a framework tier's operational counters, served on
+	// the reserved core.stats RPC method.
+	TierStats = core.TierStats
+)
+
+// DialRPC opens a raw RPC connection to any tier (e.g. to query its
+// core.stats endpoint).
+func DialRPC(addr string, opts *RPCClientOptions) (*RPCClient, error) {
+	return rpc.Dial(addr, opts)
+}
+
+// QueryStats fetches a tier's operational counters over a client connection.
+func QueryStats(c *RPCClient) (TierStats, error) { return core.QueryStats(c) }
+
+// --- load generation & measurement (paper §V) ---
+
+// Load-generation and measurement types.
+type (
+	IssueFunc        = loadgen.IssueFunc
+	ClosedLoopConfig = loadgen.ClosedLoopConfig
+	ClosedLoopResult = loadgen.ClosedLoopResult
+	OpenLoopConfig   = loadgen.OpenLoopConfig
+	OpenLoopResult   = loadgen.OpenLoopResult
+	SaturationConfig = loadgen.SaturationConfig
+	SaturationResult = loadgen.SaturationResult
+	LoadPhase        = loadgen.LoadPhase
+	PhaseResult      = loadgen.PhaseResult
+	LatencySnapshot  = stats.Snapshot
+	LatencyHistogram = stats.Histogram
+	Violin           = stats.Violin
+)
+
+// RunClosedLoop drives a service in closed-loop mode (saturation probing).
+func RunClosedLoop(issue IssueFunc, cfg ClosedLoopConfig) ClosedLoopResult {
+	return loadgen.RunClosedLoop(issue, cfg)
+}
+
+// RunOpenLoop drives a service with Poisson arrivals, measuring latency
+// from scheduled send time (coordinated-omission safe).
+func RunOpenLoop(issue IssueFunc, cfg OpenLoopConfig) OpenLoopResult {
+	return loadgen.RunOpenLoop(issue, cfg)
+}
+
+// FindSaturation discovers peak sustainable throughput (Fig. 9 methodology).
+func FindSaturation(issue IssueFunc, cfg SaturationConfig) SaturationResult {
+	return loadgen.FindSaturation(issue, cfg)
+}
+
+// NewLatencyHistogram creates a concurrent log-bucketed latency histogram.
+func NewLatencyHistogram() *LatencyHistogram { return stats.NewHistogram() }
+
+// RunSchedule drives a time-varying (diurnal / flash-crowd) load schedule.
+func RunSchedule(issue IssueFunc, phases []LoadPhase, seed int64, drainTimeout time.Duration) []PhaseResult {
+	return loadgen.RunSchedule(issue, phases, seed, drainTimeout)
+}
+
+// FlashCrowd builds a baseline→spike→recovery load schedule.
+func FlashCrowd(baselineQPS, spikeFactor float64, baseline, spike time.Duration) []LoadPhase {
+	return loadgen.FlashCrowd(baselineQPS, spikeFactor, baseline, spike)
+}
+
+// Diurnal builds a staircase load schedule rising to a peak and back.
+func Diurnal(troughQPS, peakQPS float64, stepsPerSide int, total time.Duration) []LoadPhase {
+	return loadgen.Diurnal(troughQPS, peakQPS, stepsPerSide, total)
+}
+
+// --- experiment harness ---
+
+// Experiment harness types regenerating the paper's tables and figures.
+type (
+	Scale         = bench.Scale
+	Instance      = bench.Instance
+	FrameworkMode = bench.FrameworkMode
+	Fig9Row       = bench.Fig9Row
+	LoadPoint     = bench.LoadPoint
+	AblationRow   = bench.AblationRow
+)
+
+// ServiceNames lists the four benchmarks in the paper's order.
+var ServiceNames = bench.ServiceNames
+
+// SmallScale returns the laptop-sized experiment configuration.
+func SmallScale() Scale { return bench.SmallScale() }
+
+// PaperScale approximates the publication's experiment sizes.
+func PaperScale() Scale { return bench.PaperScale() }
+
+// StartService deploys one named benchmark for experimentation.
+func StartService(name string, s Scale, mode FrameworkMode) (*Instance, error) {
+	return bench.StartService(name, s, mode)
+}
+
+// Fig9 regenerates the saturation-throughput experiment.
+func Fig9(s Scale, services []string) ([]Fig9Row, error) { return bench.Fig9(s, services) }
+
+// Characterize regenerates the Figs. 10–19 measurement set.
+func Characterize(s Scale, services []string, mode FrameworkMode) ([]LoadPoint, error) {
+	return bench.Characterize(s, services, mode)
+}
+
+// Ablation regenerates the §VII framework-variant comparison.
+func Ablation(s Scale, services []string, load float64) ([]AblationRow, error) {
+	return bench.Ablation(s, services, load)
+}
+
+// ThreadPoolSweep regenerates the §VII thread-pool-sizing measurement.
+func ThreadPoolSweep(s Scale, service string, workerCounts []int, load float64) ([]bench.ThreadPoolRow, error) {
+	return bench.ThreadPoolSweep(s, service, workerCounts, load)
+}
+
+// FlashCrowdExperiment drives one service through a load spike.
+func FlashCrowdExperiment(s Scale, service string, baselineQPS, spikeFactor float64) ([]PhaseResult, error) {
+	return bench.FlashCrowdExperiment(s, service, baselineQPS, spikeFactor)
+}
