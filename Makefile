@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test short race vet fmt-check bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -count=1 ./...
+
+short:
+	$(GO) test -short -count=1 ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+bench-smoke: build
+	$(GO) run ./cmd/musuite-bench -experiment tableII
+	$(GO) test -run xxx -bench 'BenchmarkTailFanout' -benchtime 200x .
+
+ci: fmt-check vet build race

@@ -6,12 +6,16 @@ package musuite_test
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"musuite"
 	"musuite/internal/bench"
+	"musuite/internal/core"
 	"musuite/internal/loadgen"
+	"musuite/internal/rpc"
 	"musuite/internal/stats"
 	"musuite/internal/telemetry"
 )
@@ -227,4 +231,79 @@ func BenchmarkSec6BLowLoadMedianInflation(b *testing.B) {
 			b.ReportMetric(float64(lo)/float64(mid), "median-ratio")
 		}
 	}
+}
+
+// --- Tail tolerance: hedged requests vs an intermittently slow leaf ---
+// A 3-shard × 2-replica fan-out where one replica stalls 2ms on every 8th
+// request.  The Hedged variant duplicates calls stuck past the tracked p95
+// onto the shard's other replica; p99-ns is the metric to compare.
+
+func benchmarkTailFanout(b *testing.B, tail musuite.TailPolicy) {
+	groups := make([][]string, 3)
+	for s := range groups {
+		for r := 0; r < 2; r++ {
+			var n atomic.Uint64
+			stall := s == 0 && r == 1
+			leaf := core.NewLeaf(func(method string, payload []byte) ([]byte, error) {
+				if stall && n.Add(1)%8 == 0 {
+					time.Sleep(2 * time.Millisecond)
+				}
+				return payload, nil
+			}, &core.LeafOptions{Workers: 4})
+			addr, err := leaf.Start("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(leaf.Close)
+			groups[s] = append(groups[s], addr)
+		}
+	}
+	mt := core.NewMidTier(func(ctx *core.Ctx) {
+		ctx.FanoutAll("work", ctx.Req.Payload, func(results []core.LeafResult) {
+			for _, r := range results {
+				if r.Err != nil {
+					ctx.ReplyError(r.Err)
+					return
+				}
+			}
+			ctx.Reply([]byte("ok"))
+		})
+	}, &core.Options{Workers: 4, Tail: tail})
+	if err := mt.ConnectLeafGroups(groups); err != nil {
+		b.Fatal(err)
+	}
+	addr, err := mt.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(mt.Close)
+	c, err := rpc.Dial(addr, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := c.Call("q", []byte("x")); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns")
+}
+
+func BenchmarkTailFanoutNoHedge(b *testing.B) {
+	benchmarkTailFanout(b, musuite.TailPolicy{})
+}
+
+func BenchmarkTailFanoutHedged(b *testing.B) {
+	benchmarkTailFanout(b, musuite.TailPolicy{
+		HedgePercentile: 0.95,
+		HedgeMinDelay:   500 * time.Microsecond,
+	})
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"musuite/internal/bench"
+	"musuite/internal/core"
 )
 
 func main() {
@@ -31,6 +32,10 @@ func main() {
 		load   = flag.Float64("load", 0, "ablation load (default: middle configured load)")
 		trials = flag.Int("trials", 0, "override trial count")
 		outDir = flag.String("out", "", "directory to also write per-figure TSV data files (experiment=all)")
+
+		replicas   = flag.Int("replicas", 0, "leaf replicas per shard (HDSearch/SetAlgebra/Recommend; 0 = 1)")
+		hedgePct   = flag.Float64("hedge-pct", 0, "hedge leaf calls slower than this latency percentile (0 disables, e.g. 0.95)")
+		hedgeDelay = flag.Duration("hedge-delay", 0, "fixed hedge delay (overrides -hedge-pct)")
 	)
 	flag.Parse()
 
@@ -47,6 +52,13 @@ func main() {
 	if *window > 0 {
 		scale.Window = *window
 	}
+	if *replicas > 0 {
+		scale.LeafReplicas = *replicas
+	}
+	mode := bench.FrameworkMode{Tail: core.TailPolicy{
+		HedgePercentile: *hedgePct,
+		HedgeDelay:      *hedgeDelay,
+	}}
 	if *trials > 0 {
 		scale.Trials = *trials
 	}
@@ -56,7 +68,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*experiment, scale, svcList, *load, *outDir); err != nil {
+	if err := run(*experiment, scale, mode, svcList, *load, *outDir); err != nil {
 		fmt.Fprintln(os.Stderr, "musuite-bench:", err)
 		os.Exit(1)
 	}
@@ -99,7 +111,7 @@ func figureService(fig int) string {
 	return ""
 }
 
-func run(experiment string, scale bench.Scale, services []string, load float64, outDir string) error {
+func run(experiment string, scale bench.Scale, mode bench.FrameworkMode, services []string, load float64, outDir string) error {
 	start := time.Now()
 	defer func() { fmt.Printf("\n(total experiment time: %v)\n", time.Since(start).Round(time.Millisecond)) }()
 
@@ -115,7 +127,7 @@ func run(experiment string, scale bench.Scale, services []string, load float64, 
 		fmt.Print(bench.RenderFig9(rows))
 		return nil
 	case "fig10", "fig19":
-		points, err := bench.Characterize(scale, services, bench.FrameworkMode{})
+		points, err := bench.Characterize(scale, services, mode)
 		if err != nil {
 			return err
 		}
@@ -129,7 +141,7 @@ func run(experiment string, scale bench.Scale, services []string, load float64, 
 		var fig int
 		fmt.Sscanf(experiment, "fig%d", &fig)
 		svc := figureService(fig)
-		points, err := bench.Characterize(scale, []string{svc}, bench.FrameworkMode{})
+		points, err := bench.Characterize(scale, []string{svc}, mode)
 		if err != nil {
 			return err
 		}
@@ -199,7 +211,7 @@ func run(experiment string, scale bench.Scale, services []string, load float64, 
 		}
 		fmt.Print(bench.RenderFig9(rows))
 		fmt.Println()
-		points, err := bench.Characterize(scale, services, bench.FrameworkMode{})
+		points, err := bench.Characterize(scale, services, mode)
 		if err != nil {
 			return err
 		}

@@ -25,8 +25,20 @@ func main() {
 		replicas = flag.Int("replicas", 3, "midtier: replication pool size")
 		maxBytes = flag.Int64("max-bytes", 0, "leaf: store byte budget (0 = unlimited)")
 		workers  = flag.Int("workers", 4, "worker pool size")
+
+		hedgePct    = flag.Float64("hedge-pct", 0, "midtier: hedge leaf calls slower than this latency percentile (0 disables, e.g. 0.95)")
+		hedgeDelay  = flag.Duration("hedge-delay", 0, "midtier: fixed hedge delay (overrides -hedge-pct)")
+		retryBudget = flag.Float64("retry-budget", 0, "midtier: hedge/retry budget as a fraction of primary traffic (0 = default 0.1)")
+		leafRetries = flag.Int("leaf-retries", 0, "midtier: retries per failed leaf call")
 	)
 	flag.Parse()
+
+	tail := core.TailPolicy{
+		HedgePercentile:  *hedgePct,
+		HedgeDelay:       *hedgeDelay,
+		RetryBudgetRatio: *retryBudget,
+		LeafRetries:      *leafRetries,
+	}
 
 	switch *role {
 	case "leaf":
@@ -44,9 +56,13 @@ func main() {
 		if *leaves == "" {
 			fatal("midtier requires -leaves")
 		}
+		// Router replicates at the data level (-replicas spreads each key
+		// across stores), so leaves stay single-replica transport groups;
+		// hedges and retries re-issue on the same store, which is safe for
+		// its idempotent get/set ops.
 		mt := router.NewMidTier(router.MidTierConfig{
 			Replicas: *replicas,
-			Core:     core.Options{Workers: *workers},
+			Core:     core.Options{Workers: *workers, Tail: tail},
 		})
 		if err := mt.ConnectLeaves(strings.Split(*leaves, ",")); err != nil {
 			fatal(err)

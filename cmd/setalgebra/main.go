@@ -30,8 +30,21 @@ func main() {
 		stopTerms = flag.Int("stop-terms", 25, "leaf: stop-list size")
 		seed      = flag.Int64("seed", 1, "dataset seed (must match across tiers)")
 		workers   = flag.Int("workers", 4, "worker pool size")
+
+		replicas    = flag.Int("replicas", 1, "midtier: leaf replicas per shard (-leaves lists them consecutively)")
+		hedgePct    = flag.Float64("hedge-pct", 0, "midtier: hedge leaf calls slower than this latency percentile (0 disables, e.g. 0.95)")
+		hedgeDelay  = flag.Duration("hedge-delay", 0, "midtier: fixed hedge delay (overrides -hedge-pct)")
+		retryBudget = flag.Float64("retry-budget", 0, "midtier: hedge/retry budget as a fraction of primary traffic (0 = default 0.1)")
+		leafRetries = flag.Int("leaf-retries", 0, "midtier: retries per failed leaf call")
 	)
 	flag.Parse()
+
+	tail := core.TailPolicy{
+		HedgePercentile:  *hedgePct,
+		HedgeDelay:       *hedgeDelay,
+		RetryBudgetRatio: *retryBudget,
+		LeafRetries:      *leafRetries,
+	}
 
 	switch *role {
 	case "leaf":
@@ -56,15 +69,20 @@ func main() {
 		if *leaves == "" {
 			fatal("midtier requires -leaves")
 		}
-		mt := setalgebra.NewMidTier(&core.Options{Workers: *workers})
-		if err := mt.ConnectLeaves(strings.Split(*leaves, ",")); err != nil {
+		mt := setalgebra.NewMidTier(&core.Options{Workers: *workers, Tail: tail})
+		groups, err := core.GroupAddrs(strings.Split(*leaves, ","), *replicas)
+		if err != nil {
+			fatal(err)
+		}
+		if err := mt.ConnectLeafGroups(groups); err != nil {
 			fatal(err)
 		}
 		bound, err := mt.Start(*addr)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("setalgebra mid-tier on %s (%d leaves)\n", bound, mt.NumLeaves())
+		fmt.Printf("setalgebra mid-tier on %s (%d leaves × %d replicas)\n",
+			bound, mt.NumLeaves(), *replicas)
 		waitForSignal()
 		mt.Close()
 

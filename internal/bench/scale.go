@@ -30,6 +30,11 @@ type Scale struct {
 	// (paper: 4).
 	Shards int
 
+	// LeafReplicas is the number of leaf processes per shard for
+	// HDSearch/SetAlgebra/Recommend (default 1; Router replicates at the
+	// data level via RouterReplicas instead).
+	LeafReplicas int
+
 	// Framework sizing.
 	Workers, ResponseThreads, LeafWorkers, LeafConns int
 

@@ -46,6 +46,9 @@ func (in *Instance) Close() {
 type FrameworkMode struct {
 	Dispatch core.DispatchMode
 	Wait     core.WaitMode
+	// Tail configures hedged requests and retry budgets on the mid-tier
+	// fan-out (zero value: disabled).
+	Tail core.TailPolicy
 	// Tracer, when set, samples requests for stage-level attribution.
 	Tracer *trace.Tracer
 }
@@ -58,6 +61,7 @@ func midTierOptions(s Scale, mode FrameworkMode, probe *telemetry.Probe) core.Op
 		Dispatch:          mode.Dispatch,
 		Wait:              mode.Wait,
 		LeafConnsPerShard: s.LeafConns,
+		Tail:              mode.Tail,
 		Tracer:            mode.Tracer,
 		Probe:             probe,
 	}
@@ -90,10 +94,11 @@ func StartHDSearch(s Scale, mode FrameworkMode) (*Instance, error) {
 		N: s.HDCorpus, Dim: s.HDDim, Clusters: s.HDClusters, Seed: s.Seed,
 	})
 	cl, err := hdsearch.StartCluster(hdsearch.ClusterConfig{
-		Corpus:  corpus,
-		Shards:  s.Shards,
-		MidTier: midTierOptions(s, mode, probe),
-		Leaf:    leafOptions(s),
+		Corpus:       corpus,
+		Shards:       s.Shards,
+		LeafReplicas: s.LeafReplicas,
+		MidTier:      midTierOptions(s, mode, probe),
+		Leaf:         leafOptions(s),
 	})
 	if err != nil {
 		return nil, err
@@ -169,11 +174,12 @@ func StartSetAlgebra(s Scale, mode FrameworkMode) (*Instance, error) {
 		Docs: s.Docs, VocabSize: s.Vocab, MeanDocLen: s.MeanDocLen, Seed: s.Seed + 300,
 	})
 	cl, err := setalgebra.StartCluster(setalgebra.ClusterConfig{
-		Corpus:    corpus,
-		Shards:    s.Shards,
-		StopTerms: s.StopTerms,
-		MidTier:   midTierOptions(s, mode, probe),
-		Leaf:      leafOptions(s),
+		Corpus:       corpus,
+		Shards:       s.Shards,
+		StopTerms:    s.StopTerms,
+		LeafReplicas: s.LeafReplicas,
+		MidTier:      midTierOptions(s, mode, probe),
+		Leaf:         leafOptions(s),
 	})
 	if err != nil {
 		return nil, err
@@ -205,11 +211,12 @@ func StartRecommend(s Scale, mode FrameworkMode) (*Instance, error) {
 		Users: s.Users, Items: s.Items, Ratings: s.Ratings, Seed: s.Seed + 400,
 	})
 	cl, err := recommend.StartCluster(recommend.ClusterConfig{
-		Corpus:  corpus,
-		Shards:  s.Shards,
-		Seed:    s.Seed + 401,
-		MidTier: midTierOptions(s, mode, probe),
-		Leaf:    leafOptions(s),
+		Corpus:       corpus,
+		Shards:       s.Shards,
+		Seed:         s.Seed + 401,
+		LeafReplicas: s.LeafReplicas,
+		MidTier:      midTierOptions(s, mode, probe),
+		Leaf:         leafOptions(s),
 	})
 	if err != nil {
 		return nil, err

@@ -3,12 +3,57 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"musuite/internal/rpc"
+	"musuite/internal/stats"
 	"musuite/internal/telemetry"
 	"musuite/internal/trace"
+)
+
+// TailPolicy configures tail-tolerant fan-out: hedged requests, retries,
+// and the retry budget bounding both.  The paper (§V–§VI) shows end-to-end
+// latency is hostage to the slowest leaf of every fan-out; this policy adds
+// the canonical recovery mechanisms without letting them amplify overload.
+type TailPolicy struct {
+	// HedgePercentile, in (0,1), arms hedging: a leaf call still pending
+	// after this quantile of observed leaf latency gets a duplicate sent
+	// to another replica, and the first response wins (the loser is
+	// cancelled).  Zero disables hedging unless HedgeDelay is set.
+	HedgePercentile float64
+	// HedgeDelay, when positive, fixes the hedge delay instead of
+	// tracking HedgePercentile through the latency digest.
+	HedgeDelay time.Duration
+	// HedgeMinDelay floors the tracked delay so sub-millisecond leaf
+	// latencies don't turn hedging into a duplicate-everything storm
+	// (default 500µs).
+	HedgeMinDelay time.Duration
+	// RetryBudgetRatio bounds hedges+retries to this fraction of primary
+	// leaf traffic (default 0.1).
+	RetryBudgetRatio float64
+	// RetryBudgetBurst is the budget token bucket's cap and initial
+	// credit (default 10).
+	RetryBudgetBurst int
+	// LeafRetries is the maximum re-issues per leaf call after a
+	// retryable failure — timeout- or connection-class, never
+	// application errors (default 0, no retries).
+	LeafRetries int
+}
+
+// hedging reports whether the policy arms hedged requests.
+func (t TailPolicy) hedging() bool { return t.HedgePercentile > 0 || t.HedgeDelay > 0 }
+
+const (
+	// defaultHedgeMinDelay floors the percentile-tracked hedge delay.
+	defaultHedgeMinDelay = 500 * time.Microsecond
+	// hedgeBootstrapDelay is used until the latency digest has samples.
+	hedgeBootstrapDelay = time.Millisecond
+	// hedgeRefreshEvery is how many latency observations elapse between
+	// recomputations of the cached percentile delay (a quantile scan
+	// walks every histogram bucket, too costly per call).
+	hedgeRefreshEvery = 128
 )
 
 // Options configures a mid-tier microserver.
@@ -42,6 +87,10 @@ type Options struct {
 	// It runs on the network poller and must be fast.  Ignored by the
 	// in-line mode, which has no queue to reorder.
 	Classify func(*rpc.Request) Priority
+	// Tail configures tail-tolerant fan-out (hedged requests, retries,
+	// and the retry budget).  The zero value disables hedging and
+	// retries; replica selection is always on.
+	Tail TailPolicy
 	// Tracer, when set, samples requests for per-stage latency
 	// attribution through the pipeline.
 	Tracer *trace.Tracer
@@ -84,13 +133,25 @@ type MidTier struct {
 	workers   *WorkerPool
 	responses *WorkerPool
 
-	leaves  []*rpc.Pool
+	groups  []*replicaGroup
 	started atomic.Bool
 	closed  atomic.Bool
 
 	arrivals *rateMeter // DispatchAuto's load signal
 	inlined  atomic.Uint64
 	served   atomic.Uint64
+
+	// Tail-tolerance state: the hedge/retry token budget, the leaf
+	// latency digest the percentile-tracked hedge delay derives from,
+	// and the action counters surfaced through core.stats.
+	budget       *retryBudget
+	leafLat      *stats.Histogram
+	latCount     atomic.Uint64
+	hedgeDelayNs atomic.Int64
+	hedges       atomic.Uint64
+	hedgeWins    atomic.Uint64
+	retries      atomic.Uint64
+	budgetDenied atomic.Uint64
 }
 
 // NewMidTier creates a mid-tier with the given request handler.
@@ -102,33 +163,64 @@ func NewMidTier(handler Handler, opts *Options) *MidTier {
 		m.opts.AutoDispatchQPS = 500
 	}
 	m.arrivals = newRateMeter(100 * time.Millisecond)
+	m.budget = newRetryBudget(o.Tail.RetryBudgetRatio, o.Tail.RetryBudgetBurst)
+	m.leafLat = stats.NewHistogram()
 	m.workers = NewBoundedWorkerPool(o.Workers, o.MaxQueueDepth, o.Wait, o.Probe, telemetry.OverheadActiveExe)
 	m.responses = NewWorkerPool(o.ResponseThreads, o.Wait, o.Probe, telemetry.OverheadSched)
 	m.server = rpc.NewServer(m.onRequest, &rpc.ServerOptions{Probe: o.Probe})
 	return m
 }
 
-// ConnectLeaves dials every leaf shard.  Must be called before Start.
+// ConnectLeaves dials every leaf shard with one replica each.  Must be
+// called before Start.
 func (m *MidTier) ConnectLeaves(addrs []string) error {
+	groups, _ := GroupAddrs(addrs, 1)
+	return m.ConnectLeafGroups(groups)
+}
+
+// ConnectLeafGroups dials every leaf shard's replica set: groups[i] lists
+// the addresses of the replicas serving shard i (all must hold the same
+// shard data).  Fanout and CallLeaf route each call to the least-loaded
+// replica of its shard, and hedges/retries go to a different replica than
+// the attempt they back up.  Must be called before Start.
+func (m *MidTier) ConnectLeafGroups(groups [][]string) error {
 	if m.started.Load() {
 		return errors.New("core: ConnectLeaves after Start")
 	}
-	for _, addr := range addrs {
-		pool, err := rpc.DialPool(addr, m.opts.LeafConnsPerShard, &rpc.ClientOptions{
-			Probe:      m.probe,
-			OnResponse: m.onLeafResponse,
-		})
-		if err != nil {
+	for _, addrs := range groups {
+		if len(addrs) == 0 {
 			m.Close()
-			return fmt.Errorf("core: dialing leaf %s: %w", addr, err)
+			return errors.New("core: empty leaf replica group")
 		}
-		m.leaves = append(m.leaves, pool)
+		g := &replicaGroup{}
+		for _, addr := range addrs {
+			pool, err := rpc.DialPool(addr, m.opts.LeafConnsPerShard, &rpc.ClientOptions{
+				Probe:      m.probe,
+				OnResponse: m.onLeafResponse,
+			})
+			if err != nil {
+				g.close()
+				m.Close()
+				return fmt.Errorf("core: dialing leaf %s: %w", addr, err)
+			}
+			g.pools = append(g.pools, pool)
+		}
+		m.groups = append(m.groups, g)
 	}
 	return nil
 }
 
 // NumLeaves reports the number of connected leaf shards.
-func (m *MidTier) NumLeaves() int { return len(m.leaves) }
+func (m *MidTier) NumLeaves() int { return len(m.groups) }
+
+// NumReplicas reports the total leaf replica count across all shards.
+func (m *MidTier) NumReplicas() int {
+	n := 0
+	for _, g := range m.groups {
+		n += g.size()
+	}
+	return n
+}
 
 // Shed reports how many requests the dispatch-queue bound rejected.
 func (m *MidTier) Shed() uint64 { return m.workers.Shed() }
@@ -150,8 +242,8 @@ func (m *MidTier) Close() {
 	if m.server != nil {
 		m.server.Close()
 	}
-	for _, p := range m.leaves {
-		p.Close()
+	for _, g := range m.groups {
+		g.close()
 	}
 	m.workers.Stop()
 	m.responses.Stop()
@@ -247,7 +339,7 @@ type Ctx struct {
 }
 
 // NumLeaves reports the fan-out width available to this request.
-func (c *Ctx) NumLeaves() int { return len(c.mt.leaves) }
+func (c *Ctx) NumLeaves() int { return len(c.mt.groups) }
 
 // Reply completes the request successfully.
 func (c *Ctx) Reply(payload []byte) {
@@ -285,7 +377,9 @@ func (c *Ctx) Fanout(calls []LeafCall, merge func([]LeafResult)) {
 		merge(nil)
 		return
 	}
+	m := c.mt
 	fo := &fanout{
+		mt:      m,
 		results: make([]LeafResult, len(calls)),
 		merge:   merge,
 		tr:      c.tr,
@@ -294,26 +388,25 @@ func (c *Ctx) Fanout(calls []LeafCall, merge func([]LeafResult)) {
 	fo.remaining.Store(int32(len(calls)))
 	// Slots must be fully initialized before the expiry timer can fire.
 	for i, lc := range calls {
-		fo.slot(i, lc.Shard)
+		fo.slot(i, lc)
 	}
-	if d := c.mt.opts.FanoutTimeout; d > 0 {
+	if d := m.opts.FanoutTimeout; d > 0 {
 		fo.timer.Store(time.AfterFunc(d, fo.expire))
 	}
 	for i, lc := range calls {
 		slot := &fo.slots[i]
-		if lc.Shard < 0 || lc.Shard >= len(c.mt.leaves) {
-			fo.deliverSlot(slot, LeafResult{Shard: lc.Shard, Err: fmt.Errorf("core: no such leaf shard %d", lc.Shard)})
+		if lc.Shard < 0 || lc.Shard >= len(m.groups) {
+			fo.deliverSlot(slot, LeafResult{Shard: lc.Shard, Err: fmt.Errorf("core: no such leaf shard %d", lc.Shard)}, nil)
 			continue
 		}
-		client := c.mt.leaves[lc.Shard].Pick()
-		client.Go(lc.Method, lc.Payload, slot, nil)
+		m.issuePrimary(slot)
 	}
 	c.tr.Stamp(trace.StageFanoutIssued)
 }
 
 // FanoutAll broadcasts one payload to every leaf shard.
 func (c *Ctx) FanoutAll(method string, payload []byte, merge func([]LeafResult)) {
-	calls := make([]LeafCall, len(c.mt.leaves))
+	calls := make([]LeafCall, len(c.mt.groups))
 	for i := range calls {
 		calls[i] = LeafCall{Shard: i, Method: method, Payload: payload}
 	}
@@ -321,12 +414,165 @@ func (c *Ctx) FanoutAll(method string, payload []byte, merge func([]LeafResult))
 }
 
 // CallLeaf issues a single synchronous leaf RPC (used by handlers that need
-// a point read rather than a fan-out, e.g. Router gets).
+// a point read rather than a fan-out, e.g. Router gets).  The call goes to
+// the shard's least-loaded replica; retryable failures are re-issued to
+// another replica, up to Tail.LeafRetries and subject to the retry budget.
 func (c *Ctx) CallLeaf(shard int, method string, payload []byte) ([]byte, error) {
-	if shard < 0 || shard >= len(c.mt.leaves) {
+	m := c.mt
+	if shard < 0 || shard >= len(m.groups) {
 		return nil, fmt.Errorf("core: no such leaf shard %d", shard)
 	}
-	return c.mt.leaves[shard].Pick().Call(method, payload)
+	g := m.groups[shard]
+	m.budget.earn()
+	exclude := -1
+	for attempt := 0; ; attempt++ {
+		pool, idx := g.pick(exclude)
+		call := pool.Pick().Go(method, payload, nil, nil)
+		<-call.Done
+		if call.Err == nil {
+			m.observeLeafLatency(call.Received.Sub(call.Sent))
+			return call.Reply, nil
+		}
+		if attempt >= m.opts.Tail.LeafRetries || !rpc.Retryable(call.Err) {
+			return nil, call.Err
+		}
+		if !m.budget.spend() {
+			m.budgetDenied.Add(1)
+			m.probe.IncTail(telemetry.TailBudgetDenied)
+			return nil, call.Err
+		}
+		m.retries.Add(1)
+		m.probe.IncTail(telemetry.TailRetry)
+		exclude = idx
+	}
+}
+
+// issuePrimary sends a slot's first attempt and, when hedging is armed,
+// starts the hedge timer that will duplicate the call if no response lands
+// within the hedge delay.
+func (m *MidTier) issuePrimary(slot *fanoutSlot) {
+	m.budget.earn()
+	m.issueAttempt(slot, -1, attemptPrimary)
+	if m.opts.Tail.hedging() {
+		t := time.AfterFunc(m.hedgeDelay(), func() { m.hedge(slot) })
+		slot.mu.Lock()
+		slot.hedgeTimer = t
+		slot.mu.Unlock()
+		if slot.fired.Load() {
+			// The primary answered (or the fan-out expired) before the
+			// timer was registered; the cancel path missed it, stop here.
+			t.Stop()
+		}
+	}
+}
+
+// issueAttempt sends one copy of the slot's sub-request to a replica of its
+// shard, preferring one not carrying an earlier attempt of the same call.
+func (m *MidTier) issueAttempt(slot *fanoutSlot, exclude int, kind attemptKind) {
+	g := m.groups[slot.shard]
+	pool, idx := g.pick(exclude)
+	client := pool.Pick()
+	call := client.Go(slot.method, slot.payload, slot, nil)
+	slot.mu.Lock()
+	slot.attempts = append(slot.attempts, attempt{call: call, client: client, replica: idx, kind: kind})
+	fired := slot.fired.Load()
+	slot.mu.Unlock()
+	if fired {
+		// The slot completed while this attempt was being issued, so the
+		// cancel sweep may have run before the attempt was tracked.
+		client.Abandon(call)
+	}
+}
+
+// hedge runs on the slot's hedge timer: if the primary is still pending and
+// the retry budget allows, issue a duplicate to another replica.
+func (m *MidTier) hedge(slot *fanoutSlot) {
+	if slot.fired.Load() {
+		return
+	}
+	slot.mu.Lock()
+	if slot.hedged || len(slot.attempts) == 0 {
+		slot.mu.Unlock()
+		return
+	}
+	slot.hedged = true
+	primary := slot.attempts[0].replica
+	slot.mu.Unlock()
+	if !m.budget.spend() {
+		m.budgetDenied.Add(1)
+		m.probe.IncTail(telemetry.TailBudgetDenied)
+		return
+	}
+	m.hedges.Add(1)
+	m.probe.IncTail(telemetry.TailHedge)
+	m.issueAttempt(slot, primary, attemptHedge)
+}
+
+// maybeRetry re-issues a slot's sub-request after a retryable failure,
+// bounded by Tail.LeafRetries per slot and the global retry budget.  It
+// reports whether a retry is now in flight (the slot stays pending).
+func (m *MidTier) maybeRetry(slot *fanoutSlot, failed *rpc.Call) bool {
+	max := m.opts.Tail.LeafRetries
+	if max <= 0 {
+		return false
+	}
+	slot.mu.Lock()
+	if slot.retries >= max {
+		slot.mu.Unlock()
+		return false
+	}
+	slot.retries++
+	exclude := -1
+	for _, a := range slot.attempts {
+		if a.call == failed {
+			exclude = a.replica
+			break
+		}
+	}
+	slot.mu.Unlock()
+	if !m.budget.spend() {
+		m.budgetDenied.Add(1)
+		m.probe.IncTail(telemetry.TailBudgetDenied)
+		return false
+	}
+	m.retries.Add(1)
+	m.probe.IncTail(telemetry.TailRetry)
+	m.issueAttempt(slot, exclude, attemptRetry)
+	return true
+}
+
+// observeLeafLatency feeds the digest behind the percentile-tracked hedge
+// delay.  The quantile scan is amortized: the cached delay refreshes every
+// hedgeRefreshEvery observations rather than per call.
+func (m *MidTier) observeLeafLatency(d time.Duration) {
+	m.leafLat.Record(d)
+	if m.latCount.Add(1)%hedgeRefreshEvery != 0 {
+		return
+	}
+	t := m.opts.Tail
+	if !t.hedging() || t.HedgeDelay > 0 {
+		return
+	}
+	q := m.leafLat.Quantile(t.HedgePercentile)
+	min := t.HedgeMinDelay
+	if min <= 0 {
+		min = defaultHedgeMinDelay
+	}
+	if q < min {
+		q = min
+	}
+	m.hedgeDelayNs.Store(int64(q))
+}
+
+// hedgeDelay is the current delay before a pending leaf call is hedged.
+func (m *MidTier) hedgeDelay() time.Duration {
+	if d := m.opts.Tail.HedgeDelay; d > 0 {
+		return d
+	}
+	if d := m.hedgeDelayNs.Load(); d > 0 {
+		return time.Duration(d)
+	}
+	return hedgeBootstrapDelay
 }
 
 // ErrFanoutTimeout marks a leaf slot whose response missed the fan-out
@@ -337,6 +583,7 @@ var ErrFanoutTimeout = errors.New("core: leaf response timed out")
 // (a leaf response arriving on any reception thread) is matched back to its
 // parent RPC — "all RPC state is explicit" (§IV).
 type fanout struct {
+	mt        *MidTier
 	results   []LeafResult
 	remaining atomic.Int32
 	merge     func([]LeafResult)
@@ -347,35 +594,96 @@ type fanout struct {
 	timer atomic.Pointer[time.Timer]
 }
 
-// fanoutSlot routes one leaf call's completion into its fan-out slot.
-type fanoutSlot struct {
-	fo    *fanout
-	index int
-	shard int
-	fired atomic.Bool
+// attemptKind distinguishes why a call copy was sent, for win-rate counting.
+type attemptKind uint8
+
+const (
+	attemptPrimary attemptKind = iota
+	attemptHedge
+	attemptRetry
+)
+
+// attempt is one issued copy of a slot's sub-request.
+type attempt struct {
+	call    *rpc.Call
+	client  *rpc.Client
+	replica int
+	kind    attemptKind
 }
 
-func (f *fanout) slot(index, shard int) *fanoutSlot {
+// fanoutSlot routes one leaf call's completions into its fan-out slot.  A
+// slot may have several attempts in flight at once (primary + hedge, or a
+// retry); the first to complete wins and the rest are abandoned.
+type fanoutSlot struct {
+	fo      *fanout
+	index   int
+	shard   int
+	fired   atomic.Bool
+	method  string
+	payload []byte
+
+	mu         sync.Mutex // guards the fields below
+	attempts   []attempt
+	hedgeTimer *time.Timer
+	hedged     bool
+	retries    int
+}
+
+func (f *fanout) slot(index int, lc LeafCall) *fanoutSlot {
 	s := &f.slots[index]
 	s.fo = f
 	s.index = index
-	s.shard = shard
+	s.shard = lc.Shard
+	s.method = lc.Method
+	s.payload = lc.Payload
 	return s
+}
+
+// cancelLosers stops the slot's hedge timer and abandons every attempt
+// other than the winner, so late responses are dropped at the reader
+// instead of delivered.  It reports the winning attempt's kind (valid only
+// when found).
+func (s *fanoutSlot) cancelLosers(winner *rpc.Call) (kind attemptKind, found bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.hedgeTimer; t != nil {
+		s.hedgeTimer = nil
+		t.Stop()
+	}
+	for _, a := range s.attempts {
+		if a.call == winner {
+			kind, found = a.kind, true
+			continue
+		}
+		a.client.Abandon(a.call)
+	}
+	return kind, found
 }
 
 // deliver stashes one response and, if it is the last, runs the merge.  All
 // but the final response thread do negligible work (stash + decrement),
-// matching the paper's count-down design.
+// matching the paper's count-down design.  Successful completions feed the
+// hedge-delay digest; retryable failures may re-issue instead of
+// completing the slot.
 func (f *fanout) deliver(call *rpc.Call) {
 	slot := call.Data.(*fanoutSlot)
-	f.deliverSlot(slot, LeafResult{Shard: slot.shard, Reply: call.Reply, Err: call.Err})
+	if call.Err == nil {
+		f.mt.observeLeafLatency(call.Received.Sub(call.Sent))
+	} else if !slot.fired.Load() && rpc.Retryable(call.Err) && f.mt.maybeRetry(slot, call) {
+		return // a retry is in flight; the slot stays pending
+	}
+	f.deliverSlot(slot, LeafResult{Shard: slot.shard, Reply: call.Reply, Err: call.Err}, call)
 }
 
-// deliverSlot completes one slot exactly once (a real response and the
-// fan-out timeout may race; first wins).
-func (f *fanout) deliverSlot(slot *fanoutSlot, res LeafResult) {
+// deliverSlot completes one slot exactly once (concurrent attempts and the
+// fan-out timeout may race; first wins, the rest are cancelled).
+func (f *fanout) deliverSlot(slot *fanoutSlot, res LeafResult, winner *rpc.Call) {
 	if !slot.fired.CompareAndSwap(false, true) {
 		return
+	}
+	if kind, ok := slot.cancelLosers(winner); ok && kind == attemptHedge {
+		f.mt.hedgeWins.Add(1)
+		f.mt.probe.IncTail(telemetry.TailHedgeWin)
 	}
 	f.results[slot.index] = res
 	if f.remaining.Add(-1) == 0 {
@@ -387,10 +695,11 @@ func (f *fanout) deliverSlot(slot *fanoutSlot, res LeafResult) {
 	}
 }
 
-// expire fails every still-pending slot with ErrFanoutTimeout.
+// expire fails every still-pending slot with ErrFanoutTimeout, cancelling
+// any attempts still in flight.
 func (f *fanout) expire() {
 	for i := range f.slots {
 		slot := &f.slots[i]
-		f.deliverSlot(slot, LeafResult{Shard: slot.shard, Err: ErrFanoutTimeout})
+		f.deliverSlot(slot, LeafResult{Shard: slot.shard, Err: ErrFanoutTimeout}, nil)
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"musuite/internal/rpc"
 	"musuite/internal/wire"
 )
@@ -26,8 +28,18 @@ type TierStats struct {
 	// Workers and ResponseThreads are the pool sizes (ResponseThreads is
 	// zero for leaves).
 	Workers, ResponseThreads int
-	// Leaves is the connected leaf count (mid-tier only).
+	// Leaves is the connected leaf shard count (mid-tier only).
 	Leaves int
+	// Replicas is the total leaf replica count across shards (≥ Leaves
+	// when replica groups are configured).
+	Replicas int
+	// Tail-tolerance counters (mid-tier only): hedges issued, hedges
+	// whose duplicate won, retries issued, and hedges/retries suppressed
+	// by the retry budget.
+	Hedges, HedgeWins, Retries, BudgetDenied uint64
+	// HedgeDelay is the current (fixed or percentile-tracked) hedge
+	// delay; zero when hedging is disarmed.
+	HedgeDelay time.Duration
 }
 
 // encodeTierStats serializes stats for the wire.
@@ -41,6 +53,12 @@ func encodeTierStats(s TierStats) []byte {
 	e.Uvarint(uint64(s.Workers))
 	e.Uvarint(uint64(s.ResponseThreads))
 	e.Uvarint(uint64(s.Leaves))
+	e.Uvarint(uint64(s.Replicas))
+	e.Uint64(s.Hedges)
+	e.Uint64(s.HedgeWins)
+	e.Uint64(s.Retries)
+	e.Uint64(s.BudgetDenied)
+	e.Uint64(uint64(s.HedgeDelay))
 	return e.Bytes()
 }
 
@@ -57,6 +75,12 @@ func DecodeTierStats(b []byte) (TierStats, error) {
 	s.Workers = int(d.Uvarint())
 	s.ResponseThreads = int(d.Uvarint())
 	s.Leaves = int(d.Uvarint())
+	s.Replicas = int(d.Uvarint())
+	s.Hedges = d.Uint64()
+	s.HedgeWins = d.Uint64()
+	s.Retries = d.Uint64()
+	s.BudgetDenied = d.Uint64()
+	s.HedgeDelay = time.Duration(d.Uint64())
 	return s, d.Err()
 }
 
@@ -71,7 +95,7 @@ func QueryStats(c *rpc.Client) (TierStats, error) {
 
 // stats snapshots the mid-tier's counters.
 func (m *MidTier) stats() TierStats {
-	return TierStats{
+	s := TierStats{
 		Role:            "midtier",
 		Served:          m.served.Load(),
 		Shed:            m.workers.Shed(),
@@ -79,8 +103,17 @@ func (m *MidTier) stats() TierStats {
 		QueueDepth:      m.workers.QueueDepth(),
 		Workers:         m.workers.Workers(),
 		ResponseThreads: m.responses.Workers(),
-		Leaves:          len(m.leaves),
+		Leaves:          len(m.groups),
+		Replicas:        m.NumReplicas(),
+		Hedges:          m.hedges.Load(),
+		HedgeWins:       m.hedgeWins.Load(),
+		Retries:         m.retries.Load(),
+		BudgetDenied:    m.budgetDenied.Load(),
 	}
+	if m.opts.Tail.hedging() {
+		s.HedgeDelay = m.hedgeDelay()
+	}
+	return s
 }
 
 // statsLeaf snapshots a leaf's counters.

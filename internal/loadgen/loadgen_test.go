@@ -110,6 +110,9 @@ func TestFindSaturationSerialServer(t *testing.T) {
 }
 
 func TestClosedLoopScalesWithParallelServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive load-generation measurement")
+	}
 	// An unlimited-concurrency 5ms server: 8 workers must complete far
 	// more than 1 worker (sleeps overlap regardless of CPU count).
 	svc := fakeService(5 * time.Millisecond)
@@ -121,6 +124,9 @@ func TestClosedLoopScalesWithParallelServer(t *testing.T) {
 }
 
 func TestOpenLoopOfferedLoadIsPoisson(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive load-generation measurement")
+	}
 	const qps = 2000.0
 	res := RunOpenLoop(fakeService(0), OpenLoopConfig{
 		QPS: qps, Duration: time.Second, Seed: 1,
@@ -155,6 +161,9 @@ func TestOpenLoopLatencyIncludesServiceTime(t *testing.T) {
 // server.  A serial server at 2× its capacity must show latencies far above
 // the bare service time.
 func TestNoCoordinatedOmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive load-generation measurement")
+	}
 	// Serial server: 5ms service → 200 QPS capacity.  Offer 400 QPS.
 	res := RunOpenLoop(serialService(5*time.Millisecond), OpenLoopConfig{
 		QPS: 400, Duration: 500 * time.Millisecond, Seed: 3,

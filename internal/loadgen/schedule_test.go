@@ -44,6 +44,9 @@ func TestRunScheduleOffersPerPhase(t *testing.T) {
 // a serial server's capacity must inflate the spike phase's tail latencies
 // far beyond the baseline phase's.
 func TestFlashCrowdSpilloverRaisesTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive load-generation measurement")
+	}
 	// Serial server: 4ms service → 250 QPS capacity.
 	svc := serialService(4 * time.Millisecond)
 	phases := FlashCrowd(100, 6, 400*time.Millisecond, 300*time.Millisecond) // spike at 600 QPS

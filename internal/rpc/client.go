@@ -3,9 +3,9 @@ package rpc
 import (
 	"bufio"
 	"errors"
-	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"musuite/internal/telemetry"
@@ -33,13 +33,23 @@ type Call struct {
 	// framework uses it to associate a leaf response with its fan-out.
 	Data any
 
-	id uint64
+	id        uint64
+	cancelled atomic.Bool
 }
 
 func (c *Call) finish() {
+	if c.cancelled.Load() {
+		// An abandoned call (a hedge's loser, a superseded retry): nobody
+		// is waiting on Done, so delivering — let alone spawning a
+		// goroutine to deliver — would only leak.
+		return
+	}
 	select {
 	case c.Done <- c:
 	default:
+		if c.cancelled.Load() {
+			return
+		}
 		// Done was under-buffered; never block the reader goroutine.
 		go func() { c.Done <- c }()
 	}
@@ -179,6 +189,25 @@ func (c *Client) CallTimeout(method string, payload []byte, d time.Duration) ([]
 	}
 }
 
+// Abandon cancels an outstanding call: its pending-table entry is removed,
+// so a late response is silently discarded at the reader, and the call is
+// never delivered on Done.  Used to cancel the losing side of a hedged
+// request pair.  The server may still execute the request — cancellation
+// stops waiting, not remote work.
+func (c *Client) Abandon(call *Call) {
+	call.cancelled.Store(true)
+	c.mu.Lock()
+	delete(c.pending, call.id)
+	c.mu.Unlock()
+}
+
+// Pending reports the number of in-flight calls awaiting responses.
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
 // failCall completes a pending call with err, if it is still pending.
 func (c *Client) failCall(id uint64, err error) {
 	c.mu.Lock()
@@ -223,7 +252,7 @@ func (c *Client) readLoop() {
 		}
 
 		if f.kind == kindError {
-			call.Err = fmt.Errorf("rpc: remote error: %s", f.payload)
+			call.Err = &RemoteError{Msg: string(f.payload)}
 		} else {
 			call.Reply = make([]byte, len(f.payload))
 			copy(call.Reply, f.payload)
@@ -353,6 +382,36 @@ func (p *Pool) Size() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.clients)
+}
+
+// Outstanding reports the number of in-flight calls across the pool's
+// connections — the load signal replica selection uses ("join the shortest
+// queue").
+func (p *Pool) Outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, c := range p.clients {
+		n += c.Pending()
+	}
+	return n
+}
+
+// Healthy reports whether at least one pooled connection is live.  A dead
+// pool has zero outstanding calls, so replica selection must not read
+// Outstanding alone — an idle-looking corpse would absorb all traffic.
+func (p *Pool) Healthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	for _, c := range p.clients {
+		if !c.Closed() {
+			return true
+		}
+	}
+	return false
 }
 
 // Close closes every pooled connection and stops reconnection.

@@ -1,0 +1,77 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+)
+
+// RemoteError is an application-level failure returned by the server: the
+// request was received, executed, and rejected by the handler (a kindError
+// frame).  It is distinct from transport failures, which leave the request's
+// fate unknown.
+type RemoteError struct {
+	// Msg is the error text produced by the remote handler.
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
+
+// ErrClass partitions call failures by what they imply about the request's
+// fate — which is what decides retry safety.  A connection-class error means
+// the request may never have reached the server, so re-sending it to another
+// replica is safe; a timeout means the caller stopped waiting (hedging a
+// read-mostly OLDI request is safe); an application error means the server
+// processed the request and rejected it, so a retry would only repeat the
+// rejection.
+type ErrClass int
+
+const (
+	// ClassApplication — the remote handler executed and returned an
+	// error.  Not retryable.
+	ClassApplication ErrClass = iota
+	// ClassTimeout — the call's deadline expired before a response.
+	ClassTimeout
+	// ClassConnection — the transport failed (dial, reset, local close).
+	ClassConnection
+)
+
+// String names the class.
+func (c ErrClass) String() string {
+	switch c {
+	case ClassApplication:
+		return "application"
+	case ClassTimeout:
+		return "timeout"
+	case ClassConnection:
+		return "connection"
+	}
+	return "unknown"
+}
+
+// Classify maps a call error to its ErrClass.  Unrecognized errors are
+// transport failures by construction: every handler-produced error crosses
+// the wire as a RemoteError, so anything else came from the connection.
+func Classify(err error) ErrClass {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return ClassApplication
+	}
+	if errors.Is(err, ErrTimeout) {
+		return ClassTimeout
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return ClassTimeout
+	}
+	return ClassConnection
+}
+
+// Retryable reports whether a failed call may safely be re-issued to
+// another replica: true for timeout- and connection-class failures, false
+// for application errors.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	return Classify(err) != ClassApplication
+}

@@ -14,6 +14,10 @@ type ClusterConfig struct {
 	Corpus *dataset.ImageCorpus
 	// Shards is the leaf count (paper: 4-way for HDSearch).
 	Shards int
+	// LeafReplicas is the number of leaf processes serving each shard
+	// (default 1).  With >1 the mid-tier load-balances, hedges, and
+	// retries across the replicas of a shard.
+	LeafReplicas int
 	// Kind selects the candidate index (default IndexLSH; IndexKDTree and
 	// IndexKMeans enable the indexing-structure ablation).
 	Kind IndexKind
@@ -68,22 +72,28 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		cl.Index = IndexStats{Entries: len(cfg.Corpus.Vectors)}
 	}
 
-	leafAddrs := make([]string, cfg.Shards)
+	replicas := cfg.LeafReplicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	leafGroups := make([][]string, cfg.Shards)
 	for s := 0; s < cfg.Shards; s++ {
-		leafOpts := cfg.Leaf
-		leaf := NewLeaf(shards[s], &leafOpts)
-		addr, err := leaf.Start("127.0.0.1:0")
-		if err != nil {
-			cl.Close()
-			return nil, err
+		for r := 0; r < replicas; r++ {
+			leafOpts := cfg.Leaf
+			leaf := NewLeaf(shards[s], &leafOpts)
+			addr, err := leaf.Start("127.0.0.1:0")
+			if err != nil {
+				cl.Close()
+				return nil, err
+			}
+			cl.leaves = append(cl.leaves, leaf)
+			leafGroups[s] = append(leafGroups[s], addr)
 		}
-		cl.leaves = append(cl.leaves, leaf)
-		leafAddrs[s] = addr
 	}
 
 	mtOpts := cfg.MidTier
 	mt := NewMidTier(index, &mtOpts)
-	if err := mt.ConnectLeaves(leafAddrs); err != nil {
+	if err := mt.ConnectLeafGroups(leafGroups); err != nil {
 		cl.Close()
 		return nil, err
 	}

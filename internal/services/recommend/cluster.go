@@ -19,6 +19,11 @@ type ClusterConfig struct {
 	Neighbors int
 	// Seed controls model initialization.
 	Seed int64
+	// LeafReplicas is the number of leaf processes serving each shard
+	// (default 1).  Replicas of a shard share the shard's trained model;
+	// with >1 the mid-tier load-balances, hedges, and retries across
+	// them.
+	LeafReplicas int
 	// MidTier and Leaf configure the framework tiers.
 	MidTier core.Options
 	Leaf    core.LeafOptions
@@ -42,7 +47,11 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	shards := cfg.Corpus.ShardRoundRobin(cfg.Shards)
 	cl := &Cluster{}
-	leafAddrs := make([]string, cfg.Shards)
+	replicas := cfg.LeafReplicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	leafGroups := make([][]string, cfg.Shards)
 	for s := 0; s < cfg.Shards; s++ {
 		lm, err := TrainLeaf(shards[s], LeafConfig{
 			Users: cfg.Corpus.Users, Items: cfg.Corpus.Items,
@@ -55,19 +64,21 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 		cl.Models = append(cl.Models, lm)
-		leafOpts := cfg.Leaf
-		leaf := NewLeaf(lm, &leafOpts)
-		addr, err := leaf.Start("127.0.0.1:0")
-		if err != nil {
-			cl.Close()
-			return nil, err
+		for r := 0; r < replicas; r++ {
+			leafOpts := cfg.Leaf
+			leaf := NewLeaf(lm, &leafOpts)
+			addr, err := leaf.Start("127.0.0.1:0")
+			if err != nil {
+				cl.Close()
+				return nil, err
+			}
+			cl.leaves = append(cl.leaves, leaf)
+			leafGroups[s] = append(leafGroups[s], addr)
 		}
-		cl.leaves = append(cl.leaves, leaf)
-		leafAddrs[s] = addr
 	}
 	mtOpts := cfg.MidTier
 	mt := NewMidTier(&mtOpts)
-	if err := mt.ConnectLeaves(leafAddrs); err != nil {
+	if err := mt.ConnectLeafGroups(leafGroups); err != nil {
 		cl.Close()
 		return nil, err
 	}

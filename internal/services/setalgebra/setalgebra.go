@@ -212,6 +212,10 @@ type ClusterConfig struct {
 	Shards int
 	// StopTerms is the per-shard stop-list size (default 10).
 	StopTerms int
+	// LeafReplicas is the number of leaf processes serving each shard
+	// (default 1).  With >1 the mid-tier load-balances, hedges, and
+	// retries across the replicas of a shard.
+	LeafReplicas int
 	// MidTier and Leaf configure the framework tiers.
 	MidTier core.Options
 	Leaf    core.LeafOptions
@@ -238,21 +242,27 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	shards := ShardCorpus(cfg.Corpus, cfg.Shards, cfg.StopTerms)
 	cl := &Cluster{Shards: shards}
-	leafAddrs := make([]string, cfg.Shards)
+	replicas := cfg.LeafReplicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	leafGroups := make([][]string, cfg.Shards)
 	for s := 0; s < cfg.Shards; s++ {
-		leafOpts := cfg.Leaf
-		leaf := NewLeaf(shards[s], &leafOpts)
-		addr, err := leaf.Start("127.0.0.1:0")
-		if err != nil {
-			cl.Close()
-			return nil, err
+		for r := 0; r < replicas; r++ {
+			leafOpts := cfg.Leaf
+			leaf := NewLeaf(shards[s], &leafOpts)
+			addr, err := leaf.Start("127.0.0.1:0")
+			if err != nil {
+				cl.Close()
+				return nil, err
+			}
+			cl.leaves = append(cl.leaves, leaf)
+			leafGroups[s] = append(leafGroups[s], addr)
 		}
-		cl.leaves = append(cl.leaves, leaf)
-		leafAddrs[s] = addr
 	}
 	mtOpts := cfg.MidTier
 	mt := NewMidTier(&mtOpts)
-	if err := mt.ConnectLeaves(leafAddrs); err != nil {
+	if err := mt.ConnectLeafGroups(leafGroups); err != nil {
 		cl.Close()
 		return nil, err
 	}

@@ -130,11 +130,51 @@ func Overheads() []Overhead {
 	return out
 }
 
+// TailEvent enumerates the tail-tolerance actions of the hedged-request /
+// retry-budget machinery, counted so the win rate (and the budget's bite)
+// can be read alongside the latency distributions they reshape.
+type TailEvent int
+
+const (
+	// TailHedge — a duplicate leaf request was issued after the hedge
+	// delay elapsed without a response.
+	TailHedge TailEvent = iota
+	// TailHedgeWin — the hedge, not the primary, produced the winning
+	// response.
+	TailHedgeWin
+	// TailRetry — a leaf call was re-issued after a retryable
+	// (timeout/connection-class) failure.
+	TailRetry
+	// TailBudgetDenied — a wanted hedge or retry was suppressed because
+	// the retry budget was exhausted.
+	TailBudgetDenied
+	numTailEvents
+)
+
+// String returns the event's display label.
+func (e TailEvent) String() string {
+	names := [...]string{"hedge", "hedge-win", "retry", "budget-denied"}
+	if e < 0 || int(e) >= len(names) {
+		return fmt.Sprintf("tail(%d)", int(e))
+	}
+	return names[e]
+}
+
+// TailEvents lists the tail-tolerance event classes in display order.
+func TailEvents() []TailEvent {
+	out := make([]TailEvent, numTailEvents)
+	for i := range out {
+		out[i] = TailEvent(i)
+	}
+	return out
+}
+
 // Probe collects all counters and distributions for one server under test.
 // A nil *Probe is valid and makes every method a no-op, so components can be
 // run uninstrumented at zero cost.
 type Probe struct {
 	syscalls  [numSyscalls]atomic.Uint64
+	tails     [numTailEvents]atomic.Uint64
 	ctxSwitch atomic.Uint64
 	hitm      atomic.Uint64
 	tcpRetx   atomic.Uint64
@@ -173,6 +213,22 @@ func (p *Probe) SyscallCount(s Syscall) uint64 {
 		return 0
 	}
 	return p.syscalls[s].Load()
+}
+
+// IncTail counts one tail-tolerance event.
+func (p *Probe) IncTail(e TailEvent) {
+	if p == nil {
+		return
+	}
+	p.tails[e].Add(1)
+}
+
+// TailCount reports the tail-tolerance event count for e.
+func (p *Probe) TailCount(e TailEvent) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.tails[e].Load()
 }
 
 // IncContextSwitch counts one voluntary thread block (CS proxy).
@@ -257,6 +313,9 @@ func (p *Probe) Reset() {
 	for i := range p.syscalls {
 		p.syscalls[i].Store(0)
 	}
+	for i := range p.tails {
+		p.tails[i].Store(0)
+	}
 	p.ctxSwitch.Store(0)
 	p.hitm.Store(0)
 	p.tcpRetx.Store(0)
@@ -269,6 +328,7 @@ func (p *Probe) Reset() {
 // experiment harness to difference measurement windows.
 type Snapshot struct {
 	Syscalls       map[Syscall]uint64
+	Tail           map[TailEvent]uint64
 	ContextSwitch  uint64
 	HITM           uint64
 	TCPRetransmits uint64
@@ -276,12 +336,18 @@ type Snapshot struct {
 
 // Snapshot captures the current counter values.
 func (p *Probe) Snapshot() Snapshot {
-	s := Snapshot{Syscalls: make(map[Syscall]uint64, int(numSyscalls))}
+	s := Snapshot{
+		Syscalls: make(map[Syscall]uint64, int(numSyscalls)),
+		Tail:     make(map[TailEvent]uint64, int(numTailEvents)),
+	}
 	if p == nil {
 		return s
 	}
 	for i := Syscall(0); i < numSyscalls; i++ {
 		s.Syscalls[i] = p.syscalls[i].Load()
+	}
+	for i := TailEvent(0); i < numTailEvents; i++ {
+		s.Tail[i] = p.tails[i].Load()
 	}
 	s.ContextSwitch = p.ctxSwitch.Load()
 	s.HITM = p.hitm.Load()
@@ -291,11 +357,19 @@ func (p *Probe) Snapshot() Snapshot {
 
 // Delta returns the per-counter difference cur − prev (clamped at zero).
 func (cur Snapshot) Delta(prev Snapshot) Snapshot {
-	d := Snapshot{Syscalls: make(map[Syscall]uint64, len(cur.Syscalls))}
+	d := Snapshot{
+		Syscalls: make(map[Syscall]uint64, len(cur.Syscalls)),
+		Tail:     make(map[TailEvent]uint64, len(cur.Tail)),
+	}
 	for k, v := range cur.Syscalls {
 		pv := prev.Syscalls[k]
 		if v > pv {
 			d.Syscalls[k] = v - pv
+		}
+	}
+	for k, v := range cur.Tail {
+		if pv := prev.Tail[k]; v > pv {
+			d.Tail[k] = v - pv
 		}
 	}
 	sub := func(a, b uint64) uint64 {

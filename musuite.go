@@ -58,6 +58,9 @@ type (
 	DispatchMode = core.DispatchMode
 	// WaitMode selects blocking or polling idle threads.
 	WaitMode = core.WaitMode
+	// TailPolicy configures tail-tolerant fan-out: hedged leaf requests,
+	// retry budgets, and per-call retries across shard replicas.
+	TailPolicy = core.TailPolicy
 	// Probe is the telemetry sink reproducing the paper's eBPF/perf
 	// measurements in-process.
 	Probe = telemetry.Probe
