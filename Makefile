@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test short race vet fmt-check bench-smoke ci
+.PHONY: build test short race vet fmt-check bench-smoke bench-gate bench-baseline ci
+
+# Gate benchmarks: TailFanout (hedging) and LeafBatching (cross-request
+# coalescing).  -count=5 gives benchgate a mean per metric.
+BENCH_GATE_CMD = $(GO) test -run=NONE -bench='TailFanout|LeafBatching' -benchtime=2s -count=5 .
 
 build:
 	$(GO) build ./...
@@ -28,5 +32,19 @@ fmt-check:
 bench-smoke: build
 	$(GO) run ./cmd/musuite-bench -experiment tableII
 	$(GO) test -run xxx -bench 'BenchmarkTailFanout' -benchtime 200x .
+
+# Run the gate benchmarks and fail on >15% mean regression against the
+# committed baseline.  The raw output goes to a file first so a non-zero
+# test exit is not hidden behind a pipe.
+bench-gate: build
+	$(BENCH_GATE_CMD) > BENCH_ci.txt
+	cat BENCH_ci.txt
+	$(GO) run ./cmd/benchgate -in BENCH_ci.txt -out BENCH_ci.json -baseline BENCH_baseline.json
+
+# Refresh the committed baseline (run on a quiet machine, then commit).
+bench-baseline: build
+	$(BENCH_GATE_CMD) > BENCH_baseline.txt
+	cat BENCH_baseline.txt
+	$(GO) run ./cmd/benchgate -in BENCH_baseline.txt -out BENCH_baseline.json
 
 ci: fmt-check vet build race

@@ -7,6 +7,7 @@ package musuite_test
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -299,6 +300,101 @@ func benchmarkTailFanout(b *testing.B, tail musuite.TailPolicy) {
 
 func BenchmarkTailFanoutNoHedge(b *testing.B) {
 	benchmarkTailFanout(b, musuite.TailPolicy{})
+}
+
+// --- Cross-request leaf batching: amortized per-RPC overhead ---
+// A 2-shard fan-out driven by many concurrent clients.  With batching the
+// mid-tier coalesces the concurrent leaf calls bound for each shard into
+// carrier RPCs, amortizing framing, syscall, and dispatch costs; ns/op is
+// the throughput comparison and p99-ns guards the latency side of the
+// trade.  batch-occupancy reports members per carrier actually achieved.
+
+func benchmarkLeafBatching(b *testing.B, batch musuite.BatchPolicy) {
+	groups := make([][]string, 2)
+	for s := range groups {
+		leaf := core.NewLeaf(func(method string, payload []byte) ([]byte, error) {
+			return payload, nil
+		}, &core.LeafOptions{Workers: 4})
+		addr, err := leaf.Start("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(leaf.Close)
+		groups[s] = []string{addr}
+	}
+	mt := core.NewMidTier(func(ctx *core.Ctx) {
+		ctx.FanoutAll("work", ctx.Req.Payload, func(results []core.LeafResult) {
+			for _, r := range results {
+				if r.Err != nil {
+					ctx.ReplyError(r.Err)
+					return
+				}
+			}
+			ctx.Reply([]byte("ok"))
+		})
+	}, &core.Options{Workers: 4, Batch: batch})
+	if err := mt.ConnectLeafGroups(groups); err != nil {
+		b.Fatal(err)
+	}
+	addr, err := mt.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(mt.Close)
+
+	var mu sync.Mutex
+	lat := make([]time.Duration, 0, b.N)
+	b.SetParallelism(64) // keep well over MaxBatch requests in flight so size, not deadline, flushes
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c, err := rpc.Dial(addr, nil)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		local := make([]time.Duration, 0, 512)
+		done := make(chan *rpc.Call, 1)
+		for pb.Next() {
+			start := time.Now()
+			c.Go("q", []byte("payload-abcdef"), nil, done)
+			if call := <-done; call.Err != nil {
+				b.Error(call.Err)
+				return
+			}
+			local = append(local, time.Since(start))
+		}
+		mu.Lock()
+		lat = append(lat, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns")
+	sc, err := rpc.Dial(addr, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sc.Close()
+	st, err := core.QueryStats(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st.BatchCarriers > 0 {
+		b.ReportMetric(float64(st.BatchMembers)/float64(st.BatchCarriers), "batch-occupancy")
+	}
+}
+
+func BenchmarkLeafBatching(b *testing.B) {
+	b.Run("batch=1", func(b *testing.B) {
+		benchmarkLeafBatching(b, musuite.BatchPolicy{})
+	})
+	b.Run("batch=16", func(b *testing.B) {
+		benchmarkLeafBatching(b, musuite.BatchPolicy{MaxBatch: 16})
+	})
 }
 
 func BenchmarkTailFanoutHedged(b *testing.B) {

@@ -36,6 +36,8 @@ func main() {
 		replicas   = flag.Int("replicas", 0, "leaf replicas per shard (HDSearch/SetAlgebra/Recommend; 0 = 1)")
 		hedgePct   = flag.Float64("hedge-pct", 0, "hedge leaf calls slower than this latency percentile (0 disables, e.g. 0.95)")
 		hedgeDelay = flag.Duration("hedge-delay", 0, "fixed hedge delay (overrides -hedge-pct)")
+		maxBatch   = flag.Int("max-batch", 0, "coalesce up to this many leaf calls per batched RPC (≤1 disables)")
+		batchDelay = flag.Duration("batch-delay", 0, "fixed batch flush delay (0 tracks the leaf-latency digest)")
 	)
 	flag.Parse()
 
@@ -55,10 +57,13 @@ func main() {
 	if *replicas > 0 {
 		scale.LeafReplicas = *replicas
 	}
-	mode := bench.FrameworkMode{Tail: core.TailPolicy{
-		HedgePercentile: *hedgePct,
-		HedgeDelay:      *hedgeDelay,
-	}}
+	mode := bench.FrameworkMode{
+		Tail: core.TailPolicy{
+			HedgePercentile: *hedgePct,
+			HedgeDelay:      *hedgeDelay,
+		},
+		Batch: core.BatchPolicy{MaxBatch: *maxBatch, Delay: *batchDelay},
+	}
 	if *trials > 0 {
 		scale.Trials = *trials
 	}

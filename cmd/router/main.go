@@ -30,6 +30,8 @@ func main() {
 		hedgeDelay  = flag.Duration("hedge-delay", 0, "midtier: fixed hedge delay (overrides -hedge-pct)")
 		retryBudget = flag.Float64("retry-budget", 0, "midtier: hedge/retry budget as a fraction of primary traffic (0 = default 0.1)")
 		leafRetries = flag.Int("leaf-retries", 0, "midtier: retries per failed leaf call")
+		maxBatch    = flag.Int("max-batch", 0, "midtier: coalesce up to this many leaf calls per batched RPC (≤1 disables)")
+		batchDelay  = flag.Duration("batch-delay", 0, "midtier: fixed batch flush delay (0 tracks the leaf-latency digest)")
 	)
 	flag.Parse()
 
@@ -39,6 +41,7 @@ func main() {
 		RetryBudgetRatio: *retryBudget,
 		LeafRetries:      *leafRetries,
 	}
+	batch := core.BatchPolicy{MaxBatch: *maxBatch, Delay: *batchDelay}
 
 	switch *role {
 	case "leaf":
@@ -62,7 +65,7 @@ func main() {
 		// its idempotent get/set ops.
 		mt := router.NewMidTier(router.MidTierConfig{
 			Replicas: *replicas,
-			Core:     core.Options{Workers: *workers, Tail: tail},
+			Core:     core.Options{Workers: *workers, Tail: tail, Batch: batch},
 		})
 		if err := mt.ConnectLeaves(strings.Split(*leaves, ",")); err != nil {
 			fatal(err)

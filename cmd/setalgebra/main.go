@@ -36,6 +36,8 @@ func main() {
 		hedgeDelay  = flag.Duration("hedge-delay", 0, "midtier: fixed hedge delay (overrides -hedge-pct)")
 		retryBudget = flag.Float64("retry-budget", 0, "midtier: hedge/retry budget as a fraction of primary traffic (0 = default 0.1)")
 		leafRetries = flag.Int("leaf-retries", 0, "midtier: retries per failed leaf call")
+		maxBatch    = flag.Int("max-batch", 0, "midtier: coalesce up to this many leaf calls per batched RPC (≤1 disables)")
+		batchDelay  = flag.Duration("batch-delay", 0, "midtier: fixed batch flush delay (0 tracks the leaf-latency digest)")
 	)
 	flag.Parse()
 
@@ -45,6 +47,7 @@ func main() {
 		RetryBudgetRatio: *retryBudget,
 		LeafRetries:      *leafRetries,
 	}
+	batch := core.BatchPolicy{MaxBatch: *maxBatch, Delay: *batchDelay}
 
 	switch *role {
 	case "leaf":
@@ -69,7 +72,7 @@ func main() {
 		if *leaves == "" {
 			fatal("midtier requires -leaves")
 		}
-		mt := setalgebra.NewMidTier(&core.Options{Workers: *workers, Tail: tail})
+		mt := setalgebra.NewMidTier(&core.Options{Workers: *workers, Tail: tail, Batch: batch})
 		groups, err := core.GroupAddrs(strings.Split(*leaves, ","), *replicas)
 		if err != nil {
 			fatal(err)

@@ -49,6 +49,9 @@ type FrameworkMode struct {
 	// Tail configures hedged requests and retry budgets on the mid-tier
 	// fan-out (zero value: disabled).
 	Tail core.TailPolicy
+	// Batch configures cross-request coalescing of leaf RPCs on the
+	// mid-tier fan-out (zero value: disabled).
+	Batch core.BatchPolicy
 	// Tracer, when set, samples requests for stage-level attribution.
 	Tracer *trace.Tracer
 }
@@ -62,6 +65,7 @@ func midTierOptions(s Scale, mode FrameworkMode, probe *telemetry.Probe) core.Op
 		Wait:              mode.Wait,
 		LeafConnsPerShard: s.LeafConns,
 		Tail:              mode.Tail,
+		Batch:             mode.Batch,
 		Tracer:            mode.Tracer,
 		Probe:             probe,
 	}

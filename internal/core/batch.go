@@ -1,0 +1,125 @@
+package core
+
+import (
+	"time"
+
+	"musuite/internal/rpc"
+	"musuite/internal/telemetry"
+)
+
+// Adaptive cross-request batching.  Every front-end request fans out to all
+// leaves, so at high QPS the mid-tier issues a stream of small leaf RPCs
+// whose per-call framing, syscall, and scheduling costs dominate (the
+// overheads the paper's §VI–§VII characterization measures one at a time).
+// A per-leaf-replica batcher coalesces outstanding calls bound for the same
+// replica into one carrier RPC, flushing on whichever comes first of
+// MaxBatch members or an adaptive delay — a small fraction of the tracked
+// leaf-latency digest, floored by MinDelay, so waiting for batch-mates
+// never costs a meaningful share of the latency it amortizes.
+
+// BatchPolicy configures cross-request batching of leaf RPCs.
+type BatchPolicy struct {
+	// MaxBatch caps the members coalesced into one carrier RPC; reaching
+	// it flushes immediately.  Values ≤ 1 disable batching.
+	MaxBatch int
+	// Delay, when positive, fixes the flush delay instead of tracking the
+	// leaf-latency digest.
+	Delay time.Duration
+	// MinDelay floors the digest-tracked delay (default 20µs) so noisy
+	// early samples cannot collapse it to zero and defeat coalescing.
+	MinDelay time.Duration
+	// Percentile, in (0,1), is the leaf-latency quantile the adaptive
+	// delay follows (default 0.5, the median).
+	Percentile float64
+	// Fraction scales the tracked quantile into the flush delay (default
+	// 1/8): a batch waits at most a small slice of a typical leaf call.
+	Fraction float64
+}
+
+// enabled reports whether the policy turns batching on.
+func (b BatchPolicy) enabled() bool { return b.MaxBatch > 1 }
+
+const (
+	// defaultBatchMinDelay floors the digest-tracked flush delay.
+	defaultBatchMinDelay = 20 * time.Microsecond
+	// defaultBatchPercentile is the tracked leaf-latency quantile.
+	defaultBatchPercentile = 0.5
+	// defaultBatchFraction scales the quantile into the flush delay.
+	defaultBatchFraction = 0.125
+	// batchBootstrapDelay is used until the latency digest has samples.
+	batchBootstrapDelay = 50 * time.Microsecond
+)
+
+// newBatcher wraps one replica's connection pool with a batcher driven by
+// this mid-tier's adaptive delay and telemetry.
+func (m *MidTier) newBatcher(pool *rpc.Pool) *rpc.Batcher {
+	return rpc.NewBatcher(pool, rpc.BatcherOptions{
+		MaxBatch: m.opts.Batch.MaxBatch,
+		Delay:    m.batchDelay,
+		OnFlush:  m.onBatchFlush,
+	})
+}
+
+// batchDelay is the flush delay armed when a batcher's queue goes from
+// empty to non-empty: the fixed Delay if configured, else the cached
+// digest-tracked value, else a bootstrap constant.
+func (m *MidTier) batchDelay() time.Duration {
+	if d := m.opts.Batch.Delay; d > 0 {
+		return d
+	}
+	if d := m.batchDelayNs.Load(); d > 0 {
+		return time.Duration(d)
+	}
+	if d := m.opts.Batch.MinDelay; d > 0 {
+		return d
+	}
+	return batchBootstrapDelay
+}
+
+// refreshBatchDelay recomputes the cached adaptive flush delay from the
+// leaf-latency digest.  Called from the same amortized refresh point as the
+// hedge delay (every hedgeRefreshEvery observations), since a quantile scan
+// is too costly per call.
+func (m *MidTier) refreshBatchDelay() {
+	p := m.opts.Batch
+	if !p.enabled() || p.Delay > 0 {
+		return
+	}
+	pct := p.Percentile
+	if pct <= 0 || pct >= 1 {
+		pct = defaultBatchPercentile
+	}
+	frac := p.Fraction
+	if frac <= 0 {
+		frac = defaultBatchFraction
+	}
+	min := p.MinDelay
+	if min <= 0 {
+		min = defaultBatchMinDelay
+	}
+	d := time.Duration(float64(m.leafLat.Quantile(pct)) * frac)
+	if d < min {
+		d = min
+	}
+	m.batchDelayNs.Store(int64(d))
+}
+
+// onBatchFlush feeds the occupancy and flush-cause counters surfaced
+// through core.stats and the probe.
+func (m *MidTier) onBatchFlush(items int, cause rpc.FlushCause) {
+	m.batchCarriers.Add(1)
+	m.batchMembers.Add(uint64(items))
+	m.probe.IncBatch(telemetry.BatchCarriers)
+	m.probe.AddBatch(telemetry.BatchMembers, uint64(items))
+	switch cause {
+	case rpc.FlushSize:
+		m.batchFlushSize.Add(1)
+		m.probe.IncBatch(telemetry.BatchFlushSize)
+	case rpc.FlushDeadline:
+		m.batchFlushDeadline.Add(1)
+		m.probe.IncBatch(telemetry.BatchFlushDeadline)
+	case rpc.FlushShutdown:
+		m.batchFlushShutdown.Add(1)
+		m.probe.IncBatch(telemetry.BatchFlushShutdown)
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"musuite/internal/rpc"
+	"musuite/internal/telemetry"
+)
+
+// TestBatchingCoalescesFanout drives a batching mid-tier with enough
+// concurrency that cross-request coalescing must occur, and checks the
+// correctness invariants: every request merges once, every leaf call is
+// answered, and the carrier traffic is visible in the stats.
+func TestBatchingCoalescesFanout(t *testing.T) {
+	addrA, leafA := startWorkLeaf(t, noDelay)
+	addrB, leafB := startWorkLeaf(t, noDelay)
+	probe := telemetry.NewProbe()
+	addr, mt := startTailMidTier(t, [][]string{{addrA}, {addrB}}, &Options{
+		Workers: 4,
+		Probe:   probe,
+		Batch:   BatchPolicy{MaxBatch: 8, Delay: 200 * time.Microsecond},
+	}, nil)
+
+	const goroutines, perG = 16, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := rpc.Dial(addr, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perG; i++ {
+				if _, err := c.Call("q", []byte("x")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if served := leafA.Served() + leafB.Served(); served != 2*total {
+		t.Fatalf("leaves served %d calls, want %d", served, 2*total)
+	}
+	st := mt.stats()
+	if st.BatchMembers != 2*total {
+		t.Fatalf("BatchMembers=%d, want every leaf call (%d) to pass through a batcher",
+			st.BatchMembers, 2*total)
+	}
+	if st.BatchCarriers >= st.BatchMembers {
+		t.Fatalf("carriers=%d members=%d: no coalescing happened under %d concurrent clients",
+			st.BatchCarriers, st.BatchMembers, goroutines)
+	}
+	if st.BatchFlushSize+st.BatchFlushDeadline+st.BatchFlushShutdown != st.BatchCarriers {
+		t.Fatalf("flush causes %d+%d+%d don't sum to carriers %d",
+			st.BatchFlushSize, st.BatchFlushDeadline, st.BatchFlushShutdown, st.BatchCarriers)
+	}
+	if st.BatchDelay <= 0 {
+		t.Fatalf("BatchDelay=%v, want positive while batching is enabled", st.BatchDelay)
+	}
+	snap := probe.Snapshot()
+	if snap.Batch[telemetry.BatchCarriers] != st.BatchCarriers ||
+		snap.Batch[telemetry.BatchMembers] != st.BatchMembers {
+		t.Fatalf("probe batch counters %v disagree with stats (%d carriers / %d members)",
+			snap.Batch, st.BatchCarriers, st.BatchMembers)
+	}
+}
+
+// TestBatchDisabledByDefault checks the zero-value policy leaves the batch
+// counters untouched and the stats delay zeroed.
+func TestBatchDisabledByDefault(t *testing.T) {
+	addrA, _ := startWorkLeaf(t, noDelay)
+	addr, mt := startTailMidTier(t, [][]string{{addrA}}, &Options{Workers: 2}, nil)
+	c, err := rpc.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Call("q", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := mt.stats()
+	if st.BatchCarriers != 0 || st.BatchMembers != 0 || st.BatchDelay != 0 {
+		t.Fatalf("batching disabled yet stats show %+v", st)
+	}
+}
+
+// TestBatchDelayAdaptsToLeafLatency checks the digest-tracked flush delay:
+// after enough slow-leaf observations it must sit at Fraction × quantile
+// rather than the bootstrap constant, and the MinDelay floor must hold when
+// leaves are fast.
+func TestBatchDelayAdaptsToLeafLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive digest tracking")
+	}
+	addrSlow, _ := startWorkLeaf(t, func() time.Duration { return 2 * time.Millisecond })
+	addr, mt := startTailMidTier(t, [][]string{{addrSlow}}, &Options{
+		Workers: 2,
+		Batch:   BatchPolicy{MaxBatch: 4, Fraction: 0.25},
+	}, nil)
+	c, err := rpc.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The cached delay refreshes every hedgeRefreshEvery leaf latency
+	// observations; push well past one refresh window.
+	for i := 0; i < 2*hedgeRefreshEvery; i++ {
+		if _, err := c.Call("q", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := mt.batchDelay()
+	// Median leaf latency ≥ 2ms, so 0.25 × p50 ≥ 500µs — far above both
+	// the bootstrap constant and the default floor.
+	if got < 200*time.Microsecond {
+		t.Fatalf("adaptive delay %v did not track the 2ms leaf digest", got)
+	}
+
+	// Fast leaves: the floor must hold.  Feed the digest sub-floor samples
+	// directly; past a refresh window the cached delay must sit at the floor.
+	addrFast, _ := startWorkLeaf(t, noDelay)
+	_, mtFast := startTailMidTier(t, [][]string{{addrFast}}, &Options{
+		Workers: 2,
+		Batch:   BatchPolicy{MaxBatch: 4, MinDelay: 100 * time.Microsecond},
+	}, nil)
+	for i := 0; i < 2*hedgeRefreshEvery; i++ {
+		mtFast.observeLeafLatency(time.Microsecond)
+	}
+	if got := mtFast.batchDelay(); got != 100*time.Microsecond {
+		t.Fatalf("floored delay = %v, want the 100µs MinDelay", got)
+	}
+}
+
+// TestBatchShutdownFlushDelivery checks close ordering: members still queued
+// when the mid-tier closes are flushed (FlushShutdown) before the pools go
+// down, so in-flight front-end requests complete rather than hang.
+func TestBatchShutdownFlushDelivery(t *testing.T) {
+	addrA, _ := startWorkLeaf(t, noDelay)
+	probe := telemetry.NewProbe()
+	mt := NewMidTier(func(ctx *Ctx) {
+		ctx.FanoutAll("work", ctx.Req.Payload, func(results []LeafResult) {
+			for _, r := range results {
+				if r.Err != nil {
+					ctx.ReplyError(r.Err)
+					return
+				}
+			}
+			ctx.Reply([]byte("ok"))
+		})
+	}, &Options{
+		Workers: 2,
+		Probe:   probe,
+		// A flush delay far beyond the test's lifetime: only Close can
+		// flush whatever sits in a queue at teardown.
+		Batch: BatchPolicy{MaxBatch: 64, Delay: time.Hour},
+	})
+	if err := mt.ConnectLeafGroups([][]string{{addrA}}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := mt.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rpc.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan *rpc.Call, 4)
+	for i := 0; i < 4; i++ {
+		c.Go("q", []byte("x"), nil, done)
+	}
+	// Give the fan-out time to enqueue the leaf calls into the batcher,
+	// then close: the shutdown flush must deliver them.
+	time.Sleep(50 * time.Millisecond)
+	go mt.Close()
+	for i := 0; i < 4; i++ {
+		select {
+		case <-done:
+			// Completed — either with the merged reply (shutdown flush
+			// delivered the leaf call) or a close-time error; hanging
+			// forever is the failure mode this test rejects.
+		case <-time.After(5 * time.Second):
+			t.Fatal("request hung across close: queued batch members were dropped, not flushed")
+		}
+	}
+	if got := mt.batchFlushShutdown.Load(); got == 0 {
+		t.Fatal("no shutdown flush recorded despite queued members at close")
+	}
+}

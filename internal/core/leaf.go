@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -13,6 +14,14 @@ import (
 // (distance kernels, set intersections, kNN prediction) typically costs.
 type LeafHandler func(method string, payload []byte) ([]byte, error)
 
+// LeafBatchHandler computes a whole carrier batch at once: parallel method
+// and payload slices in, parallel reply and error slices out (same length,
+// errs[i] non-nil for a rejected item).  Services install one when the
+// computation has a vectorized form — shared decode state, per-user
+// neighborhood caching, duplicate-payload elision — that beats running the
+// scalar handler per item.
+type LeafBatchHandler func(methods []string, payloads [][]byte) ([][]byte, []error)
+
 // LeafOptions configures a leaf microserver.
 type LeafOptions struct {
 	// Workers sizes the leaf's worker pool (default 4).  The paper pins
@@ -21,8 +30,27 @@ type LeafOptions struct {
 	Workers int
 	// Wait selects blocking (default) or polling idle workers.
 	Wait WaitMode
+	// BatchHandler, when set, executes batched carrier RPCs vectorized;
+	// otherwise batch members run through the scalar handler one by one.
+	// Either way a whole carrier is one worker task, amortizing the
+	// dispatch hand-off across its members.
+	BatchHandler LeafBatchHandler
 	// Probe receives telemetry; nil disables instrumentation.
 	Probe *telemetry.Probe
+}
+
+// LeafOptionsWithBatch clones opts (nil allowed) and installs batch as the
+// BatchHandler unless the caller already set one — the hook services use to
+// default their vectorized handler while letting callers override it.
+func LeafOptionsWithBatch(opts *LeafOptions, batch LeafBatchHandler) *LeafOptions {
+	var out LeafOptions
+	if opts != nil {
+		out = *opts
+	}
+	if out.BatchHandler == nil {
+		out.BatchHandler = batch
+	}
+	return &out
 }
 
 // Leaf is a leaf microserver: an RPC server that dispatches requests to a
@@ -32,6 +60,7 @@ type Leaf struct {
 	server  *rpc.Server
 	workers *WorkerPool
 	handler LeafHandler
+	batch   LeafBatchHandler
 	served  atomic.Uint64
 	closed  atomic.Bool
 }
@@ -42,6 +71,7 @@ func NewLeaf(handler LeafHandler, opts *LeafOptions) *Leaf {
 		workers = 4
 		wait    = WaitBlocking
 		probe   *telemetry.Probe
+		batch   LeafBatchHandler
 	)
 	if opts != nil {
 		if opts.Workers > 0 {
@@ -49,8 +79,9 @@ func NewLeaf(handler LeafHandler, opts *LeafOptions) *Leaf {
 		}
 		wait = opts.Wait
 		probe = opts.Probe
+		batch = opts.BatchHandler
 	}
-	l := &Leaf{handler: handler}
+	l := &Leaf{handler: handler, batch: batch}
 	l.workers = NewWorkerPool(workers, wait, probe, telemetry.OverheadActiveExe)
 	l.server = rpc.NewServer(l.onRequest, &rpc.ServerOptions{Probe: probe})
 	return l
@@ -76,6 +107,10 @@ func (l *Leaf) onRequest(req *rpc.Request) {
 		req.Reply(encodeTierStats(l.stats()))
 		return
 	}
+	if req.Method == rpc.BatchMethod {
+		l.onBatch(req)
+		return
+	}
 	req.DetachPayload()
 	err := l.workers.Submit(func() {
 		defer l.served.Add(1)
@@ -94,4 +129,87 @@ func (l *Leaf) onRequest(req *rpc.Request) {
 	if err != nil {
 		req.ReplyError(err)
 	}
+}
+
+// onBatch executes a batched carrier RPC.  The whole carrier is one worker
+// task — the member requests share a single dispatch hand-off and a single
+// reply write, which is the point of batching — and each member's result
+// rides back as a per-item status, so one poisoned item fails alone.
+func (l *Leaf) onBatch(req *rpc.Request) {
+	req.DetachPayload()
+	err := l.workers.Submit(func() {
+		items, err := rpc.DecodeBatch(req.Payload)
+		if err != nil {
+			req.ReplyError(err)
+			return
+		}
+		replies, errs := l.runBatch(items)
+		l.served.Add(uint64(len(items)))
+		req.Reply(rpc.EncodeBatchReply(replies, errs))
+	})
+	if err != nil {
+		req.ReplyError(err)
+	}
+}
+
+// runBatch executes batch members through the vectorized handler when one
+// is installed, else the scalar handler per item.  A scalar panic fails
+// only its item; a vectorized panic (or a mis-shaped result) fails every
+// member individually — never re-executed scalar, since the vectorized run
+// may already have had effects, and never a carrier-level error, which the
+// mid-tier would misread as a retryable transport failure.
+func (l *Leaf) runBatch(items []rpc.BatchItem) ([][]byte, []error) {
+	methods := make([]string, len(items))
+	payloads := make([][]byte, len(items))
+	for i := range items {
+		methods[i] = items[i].Method
+		payloads[i] = items[i].Payload
+	}
+	if l.batch != nil {
+		replies, errs, ok := l.runVectorized(methods, payloads)
+		if ok {
+			return replies, errs
+		}
+		replies = make([][]byte, len(items))
+		errs = make([]error, len(items))
+		for i := range errs {
+			errs[i] = errVectorizedBatch
+		}
+		return replies, errs
+	}
+	replies := make([][]byte, len(items))
+	errs := make([]error, len(items))
+	for i := range items {
+		replies[i], errs[i] = l.runOne(methods[i], payloads[i])
+	}
+	return replies, errs
+}
+
+// errVectorizedBatch marks members of a batch whose vectorized handler
+// panicked or returned mis-shaped results.
+var errVectorizedBatch = errors.New("leaf batch handler failed")
+
+// runVectorized guards the vectorized handler; ok is false on panic or a
+// result whose shape does not match the input.
+func (l *Leaf) runVectorized(methods []string, payloads [][]byte) (replies [][]byte, errs []error, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			replies, errs, ok = nil, nil, false
+		}
+	}()
+	replies, errs = l.batch(methods, payloads)
+	if len(replies) != len(methods) || len(errs) != len(methods) {
+		return nil, nil, false
+	}
+	return replies, errs, true
+}
+
+// runOne guards one scalar execution within a batch.
+func (l *Leaf) runOne(method string, payload []byte) (reply []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("leaf handler panic: %v", r)
+		}
+	}()
+	return l.handler(method, payload)
 }

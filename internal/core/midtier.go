@@ -91,6 +91,10 @@ type Options struct {
 	// and the retry budget).  The zero value disables hedging and
 	// retries; replica selection is always on.
 	Tail TailPolicy
+	// Batch configures adaptive cross-request batching of leaf RPCs: calls
+	// bound for the same leaf replica coalesce into one carrier RPC.  The
+	// zero value disables batching (every leaf call is its own RPC).
+	Batch BatchPolicy
 	// Tracer, when set, samples requests for per-stage latency
 	// attribution through the pipeline.
 	Tracer *trace.Tracer
@@ -152,6 +156,15 @@ type MidTier struct {
 	hedgeWins    atomic.Uint64
 	retries      atomic.Uint64
 	budgetDenied atomic.Uint64
+
+	// Batching state: the cached digest-tracked flush delay and the
+	// occupancy/flush-cause counters surfaced through core.stats.
+	batchDelayNs       atomic.Int64
+	batchCarriers      atomic.Uint64
+	batchMembers       atomic.Uint64
+	batchFlushSize     atomic.Uint64
+	batchFlushDeadline atomic.Uint64
+	batchFlushShutdown atomic.Uint64
 }
 
 // NewMidTier creates a mid-tier with the given request handler.
@@ -204,6 +217,9 @@ func (m *MidTier) ConnectLeafGroups(groups [][]string) error {
 				return fmt.Errorf("core: dialing leaf %s: %w", addr, err)
 			}
 			g.pools = append(g.pools, pool)
+			if m.opts.Batch.enabled() {
+				g.batchers = append(g.batchers, m.newBatcher(pool))
+			}
 		}
 		m.groups = append(m.groups, g)
 	}
@@ -468,19 +484,28 @@ func (m *MidTier) issuePrimary(slot *fanoutSlot) {
 
 // issueAttempt sends one copy of the slot's sub-request to a replica of its
 // shard, preferring one not carrying an earlier attempt of the same call.
+// With batching enabled the call enqueues on the picked replica's batcher
+// (a hedge or retry thereby coalesces into that replica's next carrier);
+// otherwise it goes straight to a pooled connection.
 func (m *MidTier) issueAttempt(slot *fanoutSlot, exclude int, kind attemptKind) {
 	g := m.groups[slot.shard]
 	pool, idx := g.pick(exclude)
-	client := pool.Pick()
-	call := client.Go(slot.method, slot.payload, slot, nil)
+	a := attempt{replica: idx, kind: kind}
+	if b := g.batcher(idx); b != nil {
+		a.batcher = b
+		a.call = b.Go(slot.method, slot.payload, slot, nil)
+	} else {
+		a.client = pool.Pick()
+		a.call = a.client.Go(slot.method, slot.payload, slot, nil)
+	}
 	slot.mu.Lock()
-	slot.attempts = append(slot.attempts, attempt{call: call, client: client, replica: idx, kind: kind})
+	slot.attempts = append(slot.attempts, a)
 	fired := slot.fired.Load()
 	slot.mu.Unlock()
 	if fired {
 		// The slot completed while this attempt was being issued, so the
 		// cancel sweep may have run before the attempt was tracked.
-		client.Abandon(call)
+		a.abandon()
 	}
 }
 
@@ -542,13 +567,20 @@ func (m *MidTier) maybeRetry(slot *fanoutSlot, failed *rpc.Call) bool {
 }
 
 // observeLeafLatency feeds the digest behind the percentile-tracked hedge
-// delay.  The quantile scan is amortized: the cached delay refreshes every
-// hedgeRefreshEvery observations rather than per call.
+// delay and the digest-tracked batch flush delay.  The quantile scans are
+// amortized: the cached delays refresh every hedgeRefreshEvery observations
+// rather than per call.
 func (m *MidTier) observeLeafLatency(d time.Duration) {
 	m.leafLat.Record(d)
 	if m.latCount.Add(1)%hedgeRefreshEvery != 0 {
 		return
 	}
+	m.refreshHedgeDelay()
+	m.refreshBatchDelay()
+}
+
+// refreshHedgeDelay recomputes the cached percentile-tracked hedge delay.
+func (m *MidTier) refreshHedgeDelay() {
 	t := m.opts.Tail
 	if !t.hedging() || t.HedgeDelay > 0 {
 		return
@@ -603,12 +635,23 @@ const (
 	attemptRetry
 )
 
-// attempt is one issued copy of a slot's sub-request.
+// attempt is one issued copy of a slot's sub-request.  Exactly one of
+// client (direct send) or batcher (batched send) is set.
 type attempt struct {
 	call    *rpc.Call
 	client  *rpc.Client
+	batcher *rpc.Batcher
 	replica int
 	kind    attemptKind
+}
+
+// abandon cancels the attempt's call through whichever path issued it.
+func (a *attempt) abandon() {
+	if a.batcher != nil {
+		a.batcher.Abandon(a.call)
+	} else {
+		a.client.Abandon(a.call)
+	}
 }
 
 // fanoutSlot routes one leaf call's completions into its fan-out slot.  A
@@ -650,12 +693,13 @@ func (s *fanoutSlot) cancelLosers(winner *rpc.Call) (kind attemptKind, found boo
 		s.hedgeTimer = nil
 		t.Stop()
 	}
-	for _, a := range s.attempts {
+	for i := range s.attempts {
+		a := &s.attempts[i]
 		if a.call == winner {
 			kind, found = a.kind, true
 			continue
 		}
-		a.client.Abandon(a.call)
+		a.abandon()
 	}
 	return kind, found
 }

@@ -14,6 +14,9 @@ import (
 // from a replica that is slow or backed up.
 type replicaGroup struct {
 	pools []*rpc.Pool
+	// batchers, when cross-request batching is enabled, parallels pools:
+	// batchers[i] coalesces calls bound for replica i into carrier RPCs.
+	batchers []*rpc.Batcher
 	// rr rotates the scan start so ties (the common idle case) spread
 	// round-robin instead of pinning replica 0.
 	rr atomic.Uint32
@@ -21,6 +24,14 @@ type replicaGroup struct {
 
 // size reports the replica count.
 func (g *replicaGroup) size() int { return len(g.pools) }
+
+// batcher returns replica idx's batcher, or nil when batching is disabled.
+func (g *replicaGroup) batcher(idx int) *rpc.Batcher {
+	if idx < len(g.batchers) {
+		return g.batchers[idx]
+	}
+	return nil
+}
 
 // pick selects a replica by least-outstanding-calls, breaking ties
 // round-robin.  exclude (-1 for none) skips a replica already carrying an
@@ -57,8 +68,12 @@ func (g *replicaGroup) pick(exclude int) (*rpc.Pool, int) {
 	return g.pools[best], best
 }
 
-// close shuts every replica's pool down.
+// close shuts every replica down: batchers flush their queued members
+// first so nothing sits unsent when the pools beneath them close.
 func (g *replicaGroup) close() {
+	for _, b := range g.batchers {
+		b.Close()
+	}
 	for _, p := range g.pools {
 		p.Close()
 	}

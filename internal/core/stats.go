@@ -40,6 +40,14 @@ type TierStats struct {
 	// HedgeDelay is the current (fixed or percentile-tracked) hedge
 	// delay; zero when hedging is disarmed.
 	HedgeDelay time.Duration
+	// Cross-request batching counters (mid-tier only): carrier RPCs sent,
+	// member calls they transported (BatchMembers / BatchCarriers is the
+	// mean batch occupancy), and the flush-cause breakdown.
+	BatchCarriers, BatchMembers                            uint64
+	BatchFlushSize, BatchFlushDeadline, BatchFlushShutdown uint64
+	// BatchDelay is the current (fixed or digest-tracked) flush delay;
+	// zero when batching is disabled.
+	BatchDelay time.Duration
 }
 
 // encodeTierStats serializes stats for the wire.
@@ -59,6 +67,12 @@ func encodeTierStats(s TierStats) []byte {
 	e.Uint64(s.Retries)
 	e.Uint64(s.BudgetDenied)
 	e.Uint64(uint64(s.HedgeDelay))
+	e.Uint64(s.BatchCarriers)
+	e.Uint64(s.BatchMembers)
+	e.Uint64(s.BatchFlushSize)
+	e.Uint64(s.BatchFlushDeadline)
+	e.Uint64(s.BatchFlushShutdown)
+	e.Uint64(uint64(s.BatchDelay))
 	return e.Bytes()
 }
 
@@ -81,6 +95,12 @@ func DecodeTierStats(b []byte) (TierStats, error) {
 	s.Retries = d.Uint64()
 	s.BudgetDenied = d.Uint64()
 	s.HedgeDelay = time.Duration(d.Uint64())
+	s.BatchCarriers = d.Uint64()
+	s.BatchMembers = d.Uint64()
+	s.BatchFlushSize = d.Uint64()
+	s.BatchFlushDeadline = d.Uint64()
+	s.BatchFlushShutdown = d.Uint64()
+	s.BatchDelay = time.Duration(d.Uint64())
 	return s, d.Err()
 }
 
@@ -109,9 +129,18 @@ func (m *MidTier) stats() TierStats {
 		HedgeWins:       m.hedgeWins.Load(),
 		Retries:         m.retries.Load(),
 		BudgetDenied:    m.budgetDenied.Load(),
+
+		BatchCarriers:      m.batchCarriers.Load(),
+		BatchMembers:       m.batchMembers.Load(),
+		BatchFlushSize:     m.batchFlushSize.Load(),
+		BatchFlushDeadline: m.batchFlushDeadline.Load(),
+		BatchFlushShutdown: m.batchFlushShutdown.Load(),
 	}
 	if m.opts.Tail.hedging() {
 		s.HedgeDelay = m.hedgeDelay()
+	}
+	if m.opts.Batch.enabled() {
+		s.BatchDelay = m.batchDelay()
 	}
 	return s
 }

@@ -1,0 +1,384 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"musuite/internal/wire"
+)
+
+// Cross-request batching.  At high load the mid-tier's fan-out issues many
+// small leaf RPCs whose per-call framing, syscall, and scheduling costs
+// dominate; a Batcher coalesces outstanding calls bound for the same leaf
+// replica into one carrier RPC.  The carrier payload is a length-prefixed
+// sequence of (method, payload) sub-messages and its reply carries a status
+// byte per item, so one poisoned item fails alone without condemning its
+// batch-mates or being mistaken for a transport failure.
+
+// BatchMethod is the reserved method name of a batched carrier RPC.
+const BatchMethod = "rpc.batch"
+
+// BatchItem is one member request inside a carrier payload.
+type BatchItem struct {
+	Method  string
+	Payload []byte
+}
+
+// Per-item status bytes in a carrier reply.
+const (
+	batchOK  = 0 // reply payload follows
+	batchErr = 1 // error text follows
+)
+
+// BatchItemError is an application-level failure of one member of a batch:
+// the leaf received the carrier, executed this item, and rejected it, while
+// the carrier RPC itself (and possibly every other item) succeeded.
+// Classify maps it to ClassApplication so a per-item rejection is never
+// retried as if the whole batch had hit a connection failure.
+type BatchItemError struct {
+	// Msg is the error text produced by the remote handler for this item.
+	Msg string
+}
+
+func (e *BatchItemError) Error() string { return "rpc: batch item error: " + e.Msg }
+
+// EncodeBatch encodes member requests into a carrier payload.
+func EncodeBatch(items []BatchItem) []byte {
+	size := 8
+	for i := range items {
+		size += len(items[i].Method) + len(items[i].Payload) + 8
+	}
+	enc := wire.NewEncoder(size)
+	enc.Uvarint(uint64(len(items)))
+	for i := range items {
+		enc.String(items[i].Method)
+		enc.BytesField(items[i].Payload)
+	}
+	return enc.Bytes()
+}
+
+// DecodeBatch decodes a carrier payload into its member requests.
+func DecodeBatch(b []byte) ([]BatchItem, error) {
+	dec := wire.NewDecoder(b)
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > wire.MaxSliceLen {
+		return nil, wire.ErrTooLarge
+	}
+	items := make([]BatchItem, n)
+	for i := range items {
+		items[i].Method = dec.String()
+		items[i].Payload = dec.BytesField()
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// EncodeBatchReply encodes per-item results into a carrier reply.
+// replies[i] is encoded when errs[i] is nil, the error text otherwise; the
+// two slices are parallel to the decoded request items.
+func EncodeBatchReply(replies [][]byte, errs []error) []byte {
+	size := 8
+	for i := range replies {
+		size += len(replies[i]) + 8
+	}
+	enc := wire.NewEncoder(size)
+	enc.Uvarint(uint64(len(replies)))
+	for i := range replies {
+		if errs[i] != nil {
+			enc.Uint8(batchErr)
+			enc.String(errs[i].Error())
+		} else {
+			enc.Uint8(batchOK)
+			enc.BytesField(replies[i])
+		}
+	}
+	return enc.Bytes()
+}
+
+// DecodeBatchReply decodes a carrier reply, expecting exactly want items.
+// errs[i] is a *BatchItemError for items the leaf rejected; the outer error
+// reports a malformed reply (a transport-class failure for the whole batch).
+func DecodeBatchReply(b []byte, want int) (replies [][]byte, errs []error, err error) {
+	dec := wire.NewDecoder(b)
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return nil, nil, err
+	}
+	if n != want {
+		return nil, nil, fmt.Errorf("rpc: batch reply carries %d items, want %d", n, want)
+	}
+	replies = make([][]byte, n)
+	errs = make([]error, n)
+	for i := 0; i < n; i++ {
+		switch dec.Uint8() {
+		case batchOK:
+			replies[i] = dec.BytesField()
+		case batchErr:
+			errs[i] = &BatchItemError{Msg: dec.String()}
+		default:
+			return nil, nil, fmt.Errorf("rpc: batch reply item %d: unknown status", i)
+		}
+	}
+	if err := dec.Err(); err != nil {
+		return nil, nil, err
+	}
+	return replies, errs, nil
+}
+
+// FlushCause says why a batch left the queue.
+type FlushCause int
+
+const (
+	// FlushSize — the queue reached MaxBatch members.
+	FlushSize FlushCause = iota
+	// FlushDeadline — the flush delay armed at first enqueue expired.
+	FlushDeadline
+	// FlushShutdown — the batcher closed with members still queued.
+	FlushShutdown
+)
+
+// String names the cause.
+func (c FlushCause) String() string {
+	switch c {
+	case FlushSize:
+		return "size"
+	case FlushDeadline:
+		return "deadline"
+	case FlushShutdown:
+		return "shutdown"
+	}
+	return "unknown"
+}
+
+// BatcherOptions configures a Batcher.
+type BatcherOptions struct {
+	// MaxBatch caps members per carrier RPC; reaching it flushes
+	// immediately.  Values below 2 degrade to per-call sends.
+	MaxBatch int
+	// Delay returns the flush delay armed when the queue goes from empty
+	// to non-empty.  It is consulted per arm, so an adaptive policy (a
+	// fraction of the tracked leaf-latency digest) takes effect without
+	// reconfiguring the batcher.  nil means a fixed 50µs.
+	Delay func() time.Duration
+	// OnFlush, when set, observes every flush with its member count and
+	// cause — the occupancy/flush-cause telemetry feed.
+	OnFlush func(items int, cause FlushCause)
+}
+
+// Batcher coalesces calls bound for one destination pool into carrier RPCs.
+// A batch is flushed by whichever comes first of MaxBatch members or the
+// flush delay; member calls complete individually, exactly as if they had
+// been sent alone (same OnResponse hook, same Done delivery), so fan-out
+// bookkeeping, hedging, and retries upstream never see the carrier.
+type Batcher struct {
+	pool       *Pool
+	maxBatch   int
+	delay      func() time.Duration
+	onFlush    func(int, FlushCause)
+	onResponse func(*Call)
+
+	mu     sync.Mutex
+	queue  []*Call
+	timer  *time.Timer
+	gen    uint64 // flush generation; disarms stale deadline timers
+	closed bool
+}
+
+// NewBatcher wraps pool with a batcher.  Member completions run the pool's
+// OnResponse hook, preserving the response-thread hand-off of unbatched
+// calls.
+func NewBatcher(pool *Pool, opts BatcherOptions) *Batcher {
+	b := &Batcher{
+		pool:     pool,
+		maxBatch: opts.MaxBatch,
+		delay:    opts.Delay,
+		onFlush:  opts.OnFlush,
+	}
+	if b.maxBatch < 1 {
+		b.maxBatch = 1
+	}
+	if b.delay == nil {
+		b.delay = func() time.Duration { return 50 * time.Microsecond }
+	}
+	if pool.opts != nil {
+		b.onResponse = pool.opts.OnResponse
+	}
+	return b
+}
+
+// Go enqueues an asynchronous call for the batcher's destination.  The
+// returned Call completes like a Client.Go call; Sent is the enqueue
+// instant, so observed latency includes time spent waiting for batch-mates.
+func (b *Batcher) Go(method string, payload []byte, data any, done chan *Call) *Call {
+	if done == nil {
+		done = make(chan *Call, 1)
+	}
+	call := &Call{Method: method, Payload: payload, Data: data, Done: done, Sent: time.Now()}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		call.Err = ErrClientClosed
+		b.complete(call)
+		return call
+	}
+	b.queue = append(b.queue, call)
+	if len(b.queue) >= b.maxBatch {
+		members := b.takeLocked()
+		b.mu.Unlock()
+		b.send(members, FlushSize)
+		return call
+	}
+	if len(b.queue) == 1 {
+		gen := b.gen
+		b.timer = time.AfterFunc(b.delay(), func() { b.deadlineFlush(gen) })
+	}
+	b.mu.Unlock()
+	return call
+}
+
+// takeLocked claims the queued members and disarms the deadline timer.
+func (b *Batcher) takeLocked() []*Call {
+	members := b.queue
+	b.queue = nil
+	b.gen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return members
+}
+
+func (b *Batcher) deadlineFlush(gen uint64) {
+	b.mu.Lock()
+	if b.closed || gen != b.gen || len(b.queue) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	members := b.takeLocked()
+	b.mu.Unlock()
+	b.send(members, FlushDeadline)
+}
+
+// Abandon cancels a batched call.  A still-queued member is removed before
+// it is ever sent; a member already in flight is marked cancelled so the
+// demultiplexer discards its slot of the carrier reply.  Mirrors
+// Client.Abandon for the losing side of a hedged pair.
+func (b *Batcher) Abandon(call *Call) {
+	call.cancelled.Store(true)
+	b.mu.Lock()
+	for i, m := range b.queue {
+		if m == call {
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			break
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Close flushes any queued members as a final carrier and rejects further
+// enqueues.  It does not close the underlying pool.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	members := b.takeLocked()
+	b.mu.Unlock()
+	if len(members) > 0 {
+		b.send(members, FlushShutdown)
+	}
+}
+
+// send ships claimed members as one carrier RPC (or, for a lone survivor,
+// as a plain call — no carrier overhead when nothing coalesced).
+func (b *Batcher) send(members []*Call, cause FlushCause) {
+	live := members[:0]
+	for _, m := range members {
+		if !m.cancelled.Load() {
+			live = append(live, m)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	if b.onFlush != nil {
+		b.onFlush(len(live), cause)
+	}
+	if len(live) == 1 {
+		b.pool.Pick().start(live[0])
+		return
+	}
+	items := make([]BatchItem, len(live))
+	for i, m := range live {
+		items[i] = BatchItem{Method: m.Method, Payload: m.Payload}
+	}
+	carrier := &Call{
+		Method:  BatchMethod,
+		Payload: EncodeBatch(items),
+		Done:    make(chan *Call, 1),
+		onDone:  func(c *Call) { b.demux(live, c) },
+	}
+	b.pool.Pick().start(carrier)
+}
+
+// demux distributes a carrier completion to its member calls on the reader
+// goroutine — the same goroutine unbatched completions arrive on.
+func (b *Batcher) demux(members []*Call, carrier *Call) {
+	received := carrier.Received
+	if received.IsZero() {
+		received = time.Now()
+	}
+	if carrier.Err != nil {
+		// Whole-carrier failure: a transport- or server-level error with
+		// every member's fate unknown.  Each member fails with the
+		// carrier's error so per-item retry policy sees its true class.
+		for _, m := range members {
+			if m.cancelled.Load() {
+				continue
+			}
+			m.Err = carrier.Err
+			m.Received = received
+			b.complete(m)
+		}
+		return
+	}
+	replies, errs, err := DecodeBatchReply(carrier.Reply, len(members))
+	if err != nil {
+		for _, m := range members {
+			if m.cancelled.Load() {
+				continue
+			}
+			m.Err = err
+			m.Received = received
+			b.complete(m)
+		}
+		return
+	}
+	for i, m := range members {
+		if m.cancelled.Load() {
+			continue
+		}
+		m.Reply = replies[i]
+		m.Err = errs[i]
+		m.Received = received
+		b.complete(m)
+	}
+}
+
+// complete mirrors Client.complete for members that never traversed a
+// client of their own (carrier demux, closed-batcher rejection).
+func (b *Batcher) complete(call *Call) {
+	if b.onResponse != nil {
+		b.onResponse(call)
+	}
+	call.finish()
+}

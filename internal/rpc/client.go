@@ -35,6 +35,12 @@ type Call struct {
 
 	id        uint64
 	cancelled atomic.Bool
+
+	// onDone, when set, replaces the normal completion path (OnResponse
+	// hook + Done delivery).  The batcher sets it on the carrier call of a
+	// batched RPC so the response is demultiplexed to the member calls
+	// instead of being delivered as a call of its own.
+	onDone func(*Call)
 }
 
 func (c *Call) finish() {
@@ -130,13 +136,20 @@ func (c *Client) Go(method string, payload []byte, data any, done chan *Call) *C
 		done = make(chan *Call, 1)
 	}
 	call := &Call{Method: method, Payload: payload, Data: data, Done: done}
+	c.start(call)
+	return call
+}
 
+// start registers a caller-constructed call and writes its request frame.
+// Shared by Go and the batcher (which sends prebuilt carrier calls and,
+// for single-member flushes, the member call itself).
+func (c *Client) start(call *Call) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		call.Err = ErrClientClosed
 		c.complete(call)
-		return call
+		return
 	}
 	c.nextID++
 	call.id = c.nextID
@@ -146,17 +159,20 @@ func (c *Client) Go(method string, payload []byte, data any, done chan *Call) *C
 	call.Sent = time.Now()
 	c.wmu.Lock()
 	err := writeFrame(c.conn, &c.wbuf, &frame{
-		kind: kindRequest, id: call.id, method: method, payload: payload,
+		kind: kindRequest, id: call.id, method: call.Method, payload: call.Payload,
 	}, c.probe)
 	c.wmu.Unlock()
 	if err != nil {
 		c.failCall(call.id, err)
 	}
-	return call
 }
 
 // complete runs the OnResponse hook (if any) and delivers the call.
 func (c *Client) complete(call *Call) {
+	if call.onDone != nil {
+		call.onDone(call)
+		return
+	}
 	if c.onResponse != nil {
 		c.onResponse(call)
 	}

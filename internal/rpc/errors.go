@@ -50,10 +50,19 @@ func (c ErrClass) String() string {
 
 // Classify maps a call error to its ErrClass.  Unrecognized errors are
 // transport failures by construction: every handler-produced error crosses
-// the wire as a RemoteError, so anything else came from the connection.
+// the wire as a RemoteError — or, for one member of a batched RPC, as a
+// BatchItemError — so anything else came from the connection.
 func Classify(err error) ErrClass {
 	var re *RemoteError
 	if errors.As(err, &re) {
+		return ClassApplication
+	}
+	// A per-item failure inside an otherwise-delivered batch: the leaf
+	// executed the item and rejected it.  Without this case the default
+	// below would misclassify it as a connection failure and retry work
+	// the server already completed.
+	var be *BatchItemError
+	if errors.As(err, &be) {
 		return ClassApplication
 	}
 	if errors.Is(err, ErrTimeout) {

@@ -129,23 +129,41 @@ func ShardCorpus(c *dataset.ImageCorpus, n int) []LeafData {
 	return out
 }
 
-// NewLeaf builds the HDSearch leaf microservice over one shard.
+// leafKNN runs the distance kernel for one scoring call against the shard.
+func leafKNN(data LeafData, payload []byte) ([]byte, error) {
+	query, ids, k, err := DecodeLeafRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	local := knn.Subset(query, data.Vectors, ids, k)
+	out := make([]Neighbor, len(local))
+	for i, n := range local {
+		out[i] = Neighbor{PointID: data.GlobalID[n.ID], Distance: n.Distance}
+	}
+	return EncodeNeighbors(out), nil
+}
+
+// NewLeaf builds the HDSearch leaf microservice over one shard.  Batched
+// carriers run all their distance kernels as one worker task, amortizing
+// dispatch and framing across the batch; each query still fails alone.
 func NewLeaf(data LeafData, opts *core.LeafOptions) *core.Leaf {
 	return core.NewLeaf(func(method string, payload []byte) ([]byte, error) {
 		if method != MethodLeafKNN {
 			return nil, fmt.Errorf("hdsearch leaf: unknown method %q", method)
 		}
-		query, ids, k, err := DecodeLeafRequest(payload)
-		if err != nil {
-			return nil, err
+		return leafKNN(data, payload)
+	}, core.LeafOptionsWithBatch(opts, func(methods []string, payloads [][]byte) ([][]byte, []error) {
+		replies := make([][]byte, len(methods))
+		errs := make([]error, len(methods))
+		for i := range methods {
+			if methods[i] != MethodLeafKNN {
+				errs[i] = fmt.Errorf("hdsearch leaf: unknown method %q", methods[i])
+				continue
+			}
+			replies[i], errs[i] = leafKNN(data, payloads[i])
 		}
-		local := knn.Subset(query, data.Vectors, ids, k)
-		out := make([]Neighbor, len(local))
-		for i, n := range local {
-			out[i] = Neighbor{PointID: data.GlobalID[n.ID], Distance: n.Distance}
-		}
-		return EncodeNeighbors(out), nil
-	}, opts)
+		return replies, errs
+	}))
 }
 
 // --- mid-tier ---

@@ -151,12 +151,23 @@ func TrainLeaf(ratings []dataset.Rating, cfg LeafConfig) (*LeafModel, error) {
 // the item, weighted by similarity.  ok is false when the shard has never
 // seen the user or the item.
 func (lm *LeafModel) Predict(user, item int) (float64, bool) {
-	if user < 0 || user >= len(lm.userKnown) || item < 0 || item >= len(lm.itemKnown) {
+	if !lm.canRate(user, item) {
 		return 0, false
 	}
-	if !lm.userKnown[user] || !lm.itemKnown[item] {
-		return 0, false
-	}
+	return lm.predictWith(lm.neighborhood(user), user, item), true
+}
+
+// canRate reports whether this shard has observations for both the user and
+// the item.
+func (lm *LeafModel) canRate(user, item int) bool {
+	return user >= 0 && user < len(lm.userKnown) &&
+		item >= 0 && item < len(lm.itemKnown) &&
+		lm.userKnown[user] && lm.itemKnown[item]
+}
+
+// neighborhood computes the allknn user neighborhood — the dominant cost of
+// a prediction (an exhaustive scan over the shard's latent user vectors).
+func (lm *LeafModel) neighborhood(user int) []knn.Neighbor {
 	// Exclude the query user and users with no observations in this shard.
 	exclude := map[int]bool{user: true}
 	for u, known := range lm.userKnown {
@@ -164,8 +175,11 @@ func (lm *LeafModel) Predict(user, item int) (float64, bool) {
 			exclude[u] = true
 		}
 	}
-	neighbors := knn.AllKNN(lm.userVecs[user], lm.userVecs, lm.neighbors, knn.CosineMetric, exclude)
+	return knn.AllKNN(lm.userVecs[user], lm.userVecs, lm.neighbors, knn.CosineMetric, exclude)
+}
 
+// predictWith scores item from a precomputed neighborhood of user.
+func (lm *LeafModel) predictWith(neighbors []knn.Neighbor, user, item int) float64 {
 	var weighted, weights float64
 	for _, n := range neighbors {
 		sim := 1 - float64(n.Distance) // cosine similarity
@@ -183,7 +197,30 @@ func (lm *LeafModel) Predict(user, item int) (float64, bool) {
 		// model.
 		rating = lm.model.Predict(user, item)
 	}
-	return clamp(rating), true
+	return clamp(rating)
+}
+
+// PredictBatch predicts many {user, item} pairs (parallel slices), running
+// each distinct user's neighborhood scan once no matter how many pairs of
+// the batch share the user — the multi-pair form a batched carrier unlocks.
+func (lm *LeafModel) PredictBatch(users, items []int) ([]float64, []bool) {
+	ratings := make([]float64, len(users))
+	oks := make([]bool, len(users))
+	hoods := make(map[int][]knn.Neighbor)
+	for i := range users {
+		user, item := users[i], items[i]
+		if !lm.canRate(user, item) {
+			continue
+		}
+		hood, cached := hoods[user]
+		if !cached {
+			hood = lm.neighborhood(user)
+			hoods[user] = hood
+		}
+		ratings[i] = lm.predictWith(hood, user, item)
+		oks[i] = true
+	}
+	return ratings, oks
 }
 
 // DirectPredict is the pure factor-model prediction, exposed for the
@@ -212,6 +249,8 @@ func clamp(r float64) float64 {
 }
 
 // NewLeaf builds the Recommend leaf microservice over a trained model.
+// Batched carriers take the multi-pair prediction path: predictions sharing
+// a user reuse one neighborhood scan (PredictBatch).
 func NewLeaf(lm *LeafModel, opts *core.LeafOptions) *core.Leaf {
 	return core.NewLeaf(func(method string, payload []byte) ([]byte, error) {
 		switch method {
@@ -226,7 +265,35 @@ func NewLeaf(lm *LeafModel, opts *core.LeafOptions) *core.Leaf {
 			return lm.handleTopN(payload)
 		}
 		return nil, errUnknownMethod("leaf", method)
-	}, opts)
+	}, core.LeafOptionsWithBatch(opts, func(methods []string, payloads [][]byte) ([][]byte, []error) {
+		replies := make([][]byte, len(methods))
+		errs := make([]error, len(methods))
+		users := make([]int, 0, len(methods))
+		items := make([]int, 0, len(methods))
+		slots := make([]int, 0, len(methods)) // member index per gathered pair
+		for i := range methods {
+			switch methods[i] {
+			case MethodPredict:
+				user, item, err := DecodePredictRequest(payloads[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				users = append(users, user)
+				items = append(items, item)
+				slots = append(slots, i)
+			case MethodTopN:
+				replies[i], errs[i] = lm.handleTopN(payloads[i])
+			default:
+				errs[i] = errUnknownMethod("leaf", methods[i])
+			}
+		}
+		ratings, oks := lm.PredictBatch(users, items)
+		for j, i := range slots {
+			replies[i] = EncodePredictResponse(ratings[j], oks[j])
+		}
+		return replies, errs
+	}))
 }
 
 // --- mid-tier ---

@@ -100,35 +100,49 @@ func DecodeFound(b []byte) (bool, error) {
 
 // --- leaf ---
 
+// applyOp executes one store operation for a leaf request.
+func applyOp(store *memcache.Store, method string, payload []byte) ([]byte, error) {
+	switch method {
+	case MethodGet:
+		key, err := DecodeKey(payload)
+		if err != nil {
+			return nil, err
+		}
+		value, found := store.Get(key)
+		return EncodeGetResponse(found, value), nil
+	case MethodSet:
+		key, value, err := DecodeKeyValue(payload)
+		if err != nil {
+			return nil, err
+		}
+		store.Set(key, value, 0)
+		return nil, nil
+	case MethodDelete:
+		key, err := DecodeKey(payload)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeFound(store.Delete(key)), nil
+	}
+	return nil, fmt.Errorf("router leaf: unknown method %q", method)
+}
+
 // NewLeaf wraps a memcache store as a Router leaf microservice, rewriting
 // RPC requests into local store operations exactly as the paper's leaf
-// rewrites gRPC queries against its memcached process.
+// rewrites gRPC queries against its memcached process.  A batched carrier
+// is the multiget/multiset form: its operations run in order as one worker
+// task against the store, one dispatch hand-off for the lot.
 func NewLeaf(store *memcache.Store, opts *core.LeafOptions) *core.Leaf {
 	return core.NewLeaf(func(method string, payload []byte) ([]byte, error) {
-		switch method {
-		case MethodGet:
-			key, err := DecodeKey(payload)
-			if err != nil {
-				return nil, err
-			}
-			value, found := store.Get(key)
-			return EncodeGetResponse(found, value), nil
-		case MethodSet:
-			key, value, err := DecodeKeyValue(payload)
-			if err != nil {
-				return nil, err
-			}
-			store.Set(key, value, 0)
-			return nil, nil
-		case MethodDelete:
-			key, err := DecodeKey(payload)
-			if err != nil {
-				return nil, err
-			}
-			return EncodeFound(store.Delete(key)), nil
+		return applyOp(store, method, payload)
+	}, core.LeafOptionsWithBatch(opts, func(methods []string, payloads [][]byte) ([][]byte, []error) {
+		replies := make([][]byte, len(methods))
+		errs := make([]error, len(methods))
+		for i := range methods {
+			replies[i], errs[i] = applyOp(store, methods[i], payloads[i])
 		}
-		return nil, fmt.Errorf("router leaf: unknown method %q", method)
-	}, opts)
+		return replies, errs
+	}))
 }
 
 // --- mid-tier ---

@@ -113,25 +113,51 @@ func ShardCorpus(c *dataset.DocCorpus, n, stopTerms int) []LeafData {
 	return out
 }
 
+// intersect runs one multi-term intersection against the shard's index.
+func intersect(data LeafData, payload []byte) ([]byte, error) {
+	terms, err := DecodeTerms(payload)
+	if err != nil {
+		return nil, err
+	}
+	local := data.Index.Search(terms)
+	global := make([]uint32, len(local))
+	for i, id := range local {
+		global[i] = data.GlobalID[id]
+	}
+	// Local IDs are sorted; under round-robin sharding the global
+	// mapping is monotone, so the list stays sorted for compression.
+	return EncodeCompressedDocIDs(global)
+}
+
 // NewLeaf builds the Set Algebra leaf microservice over one indexed shard.
+// A batched carrier intersects each member's term set as one worker task,
+// and identical term payloads within the batch — common when several
+// front-end requests query trending terms at once — are intersected once
+// and their compressed result shared.
 func NewLeaf(data LeafData, opts *core.LeafOptions) *core.Leaf {
 	return core.NewLeaf(func(method string, payload []byte) ([]byte, error) {
 		if method != MethodIntersect {
 			return nil, fmt.Errorf("setalgebra leaf: unknown method %q", method)
 		}
-		terms, err := DecodeTerms(payload)
-		if err != nil {
-			return nil, err
+		return intersect(data, payload)
+	}, core.LeafOptionsWithBatch(opts, func(methods []string, payloads [][]byte) ([][]byte, []error) {
+		replies := make([][]byte, len(methods))
+		errs := make([]error, len(methods))
+		seen := make(map[string]int, len(methods))
+		for i := range methods {
+			if methods[i] != MethodIntersect {
+				errs[i] = fmt.Errorf("setalgebra leaf: unknown method %q", methods[i])
+				continue
+			}
+			if j, dup := seen[string(payloads[i])]; dup {
+				replies[i], errs[i] = replies[j], errs[j]
+				continue
+			}
+			replies[i], errs[i] = intersect(data, payloads[i])
+			seen[string(payloads[i])] = i
 		}
-		local := data.Index.Search(terms)
-		global := make([]uint32, len(local))
-		for i, id := range local {
-			global[i] = data.GlobalID[id]
-		}
-		// Local IDs are sorted; under round-robin sharding the global
-		// mapping is monotone, so the list stays sorted for compression.
-		return EncodeCompressedDocIDs(global)
-	}, opts)
+		return replies, errs
+	}))
 }
 
 // --- mid-tier ---

@@ -169,12 +169,52 @@ func TailEvents() []TailEvent {
 	return out
 }
 
+// BatchEvent enumerates the cross-request leaf-batching actions of the
+// mid-tier's per-replica batchers, counted so batch occupancy
+// (BatchMembers / BatchCarriers) and the flush-cause mix can be read
+// alongside the per-RPC overheads batching amortizes.
+type BatchEvent int
+
+const (
+	// BatchCarriers — carrier RPCs (including lone-member sends) that left
+	// a batcher.
+	BatchCarriers BatchEvent = iota
+	// BatchMembers — member calls those carriers transported.
+	BatchMembers
+	// BatchFlushSize — flushes triggered by the queue reaching MaxBatch.
+	BatchFlushSize
+	// BatchFlushDeadline — flushes triggered by the adaptive delay expiring.
+	BatchFlushDeadline
+	// BatchFlushShutdown — flushes triggered by batcher close.
+	BatchFlushShutdown
+	numBatchEvents
+)
+
+// String returns the event's display label.
+func (e BatchEvent) String() string {
+	names := [...]string{"carriers", "members", "flush-size", "flush-deadline", "flush-shutdown"}
+	if e < 0 || int(e) >= len(names) {
+		return fmt.Sprintf("batch(%d)", int(e))
+	}
+	return names[e]
+}
+
+// BatchEvents lists the batching event classes in display order.
+func BatchEvents() []BatchEvent {
+	out := make([]BatchEvent, numBatchEvents)
+	for i := range out {
+		out[i] = BatchEvent(i)
+	}
+	return out
+}
+
 // Probe collects all counters and distributions for one server under test.
 // A nil *Probe is valid and makes every method a no-op, so components can be
 // run uninstrumented at zero cost.
 type Probe struct {
 	syscalls  [numSyscalls]atomic.Uint64
 	tails     [numTailEvents]atomic.Uint64
+	batches   [numBatchEvents]atomic.Uint64
 	ctxSwitch atomic.Uint64
 	hitm      atomic.Uint64
 	tcpRetx   atomic.Uint64
@@ -229,6 +269,30 @@ func (p *Probe) TailCount(e TailEvent) uint64 {
 		return 0
 	}
 	return p.tails[e].Load()
+}
+
+// IncBatch counts one batching event.
+func (p *Probe) IncBatch(e BatchEvent) {
+	if p == nil {
+		return
+	}
+	p.batches[e].Add(1)
+}
+
+// AddBatch counts n batching events (member counts arrive per flush).
+func (p *Probe) AddBatch(e BatchEvent, n uint64) {
+	if p == nil {
+		return
+	}
+	p.batches[e].Add(n)
+}
+
+// BatchCount reports the batching event count for e.
+func (p *Probe) BatchCount(e BatchEvent) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.batches[e].Load()
 }
 
 // IncContextSwitch counts one voluntary thread block (CS proxy).
@@ -316,6 +380,9 @@ func (p *Probe) Reset() {
 	for i := range p.tails {
 		p.tails[i].Store(0)
 	}
+	for i := range p.batches {
+		p.batches[i].Store(0)
+	}
 	p.ctxSwitch.Store(0)
 	p.hitm.Store(0)
 	p.tcpRetx.Store(0)
@@ -329,6 +396,7 @@ func (p *Probe) Reset() {
 type Snapshot struct {
 	Syscalls       map[Syscall]uint64
 	Tail           map[TailEvent]uint64
+	Batch          map[BatchEvent]uint64
 	ContextSwitch  uint64
 	HITM           uint64
 	TCPRetransmits uint64
@@ -339,6 +407,7 @@ func (p *Probe) Snapshot() Snapshot {
 	s := Snapshot{
 		Syscalls: make(map[Syscall]uint64, int(numSyscalls)),
 		Tail:     make(map[TailEvent]uint64, int(numTailEvents)),
+		Batch:    make(map[BatchEvent]uint64, int(numBatchEvents)),
 	}
 	if p == nil {
 		return s
@@ -348,6 +417,9 @@ func (p *Probe) Snapshot() Snapshot {
 	}
 	for i := TailEvent(0); i < numTailEvents; i++ {
 		s.Tail[i] = p.tails[i].Load()
+	}
+	for i := BatchEvent(0); i < numBatchEvents; i++ {
+		s.Batch[i] = p.batches[i].Load()
 	}
 	s.ContextSwitch = p.ctxSwitch.Load()
 	s.HITM = p.hitm.Load()
@@ -360,6 +432,7 @@ func (cur Snapshot) Delta(prev Snapshot) Snapshot {
 	d := Snapshot{
 		Syscalls: make(map[Syscall]uint64, len(cur.Syscalls)),
 		Tail:     make(map[TailEvent]uint64, len(cur.Tail)),
+		Batch:    make(map[BatchEvent]uint64, len(cur.Batch)),
 	}
 	for k, v := range cur.Syscalls {
 		pv := prev.Syscalls[k]
@@ -370,6 +443,11 @@ func (cur Snapshot) Delta(prev Snapshot) Snapshot {
 	for k, v := range cur.Tail {
 		if pv := prev.Tail[k]; v > pv {
 			d.Tail[k] = v - pv
+		}
+	}
+	for k, v := range cur.Batch {
+		if pv := prev.Batch[k]; v > pv {
+			d.Batch[k] = v - pv
 		}
 	}
 	sub := func(a, b uint64) uint64 {

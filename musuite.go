@@ -61,6 +61,9 @@ type (
 	// TailPolicy configures tail-tolerant fan-out: hedged leaf requests,
 	// retry budgets, and per-call retries across shard replicas.
 	TailPolicy = core.TailPolicy
+	// BatchPolicy configures adaptive cross-request coalescing of leaf
+	// RPCs at the mid-tier.
+	BatchPolicy = core.BatchPolicy
 	// Probe is the telemetry sink reproducing the paper's eBPF/perf
 	// measurements in-process.
 	Probe = telemetry.Probe
