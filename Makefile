@@ -1,10 +1,12 @@
 GO ?= go
 
-.PHONY: build test short race vet fmt-check bench-smoke bench-gate bench-baseline ci
+.PHONY: build test short race vet fmt-check bench-smoke bench-gate bench-baseline profile ci
 
-# Gate benchmarks: TailFanout (hedging) and LeafBatching (cross-request
-# coalescing).  -count=5 gives benchgate a mean per metric.
-BENCH_GATE_CMD = $(GO) test -run=NONE -bench='TailFanout|LeafBatching' -benchtime=2s -count=5 .
+# Gate benchmarks: TailFanout (hedging), LeafBatching (cross-request
+# coalescing), and HotPathAllocs (per-call allocation budget).  -count=5
+# gives benchgate a mean per metric; -benchmem adds B/op and allocs/op so
+# memory regressions gate alongside latency.
+BENCH_GATE_CMD = $(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs' -benchtime=2s -count=5 -benchmem .
 
 build:
 	$(GO) build ./...
@@ -46,5 +48,12 @@ bench-baseline: build
 	$(BENCH_GATE_CMD) > BENCH_baseline.txt
 	cat BENCH_baseline.txt
 	$(GO) run ./cmd/benchgate -in BENCH_baseline.txt -out BENCH_baseline.json
+
+# Collect cpu/heap/mutex profiles from the gate benchmarks for hot-path
+# work.  Inspect with e.g.:  go tool pprof musuite.test profile/cpu.out
+profile: build
+	mkdir -p profile
+	$(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs' -benchtime=2s -benchmem \
+		-cpuprofile profile/cpu.out -memprofile profile/mem.out -mutexprofile profile/mutex.out .
 
 ci: fmt-check vet build race

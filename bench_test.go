@@ -403,3 +403,45 @@ func BenchmarkTailFanoutHedged(b *testing.B) {
 		HedgeMinDelay:   500 * time.Microsecond,
 	})
 }
+
+// --- Hot-path allocation budget ---
+// One warmed client against an echo leaf, run under -benchmem.  The client
+// half of the path is allocation-free in steady state (pinned exactly by
+// rpc's TestClientSteadyStateAllocFree); what remains in allocs/op is the
+// server-side per-request envelope, so this benchmark is the budget the
+// gate holds the whole round trip to.
+
+func BenchmarkHotPathAllocs(b *testing.B) {
+	leaf := core.NewLeaf(func(method string, payload []byte) ([]byte, error) {
+		return payload, nil
+	}, &core.LeafOptions{Workers: 2})
+	addr, err := leaf.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(leaf.Close)
+	c, err := rpc.Dial(addr, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+
+	payload := []byte("hot-path-payload")
+	done := make(chan *rpc.Call, 1)
+	roundTrip := func() {
+		c.Go("q", payload, nil, done)
+		call := <-done
+		if call.Err != nil {
+			b.Fatal(call.Err)
+		}
+		call.Release()
+	}
+	for i := 0; i < 200; i++ {
+		roundTrip() // fill the call, buffer, and encoder pools first
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip()
+	}
+}

@@ -40,6 +40,9 @@ func main() {
 		leafRetries = flag.Int("leaf-retries", 0, "midtier: retries per failed leaf call")
 		maxBatch    = flag.Int("max-batch", 0, "midtier: coalesce up to this many leaf calls per batched RPC (≤1 disables)")
 		batchDelay  = flag.Duration("batch-delay", 0, "midtier: fixed batch flush delay (0 tracks the leaf-latency digest)")
+
+		writeCoalesce = flag.Bool("write-coalesce", true, "coalesce concurrent response/request frames into batched write syscalls")
+		pendingShards = flag.Int("pending-shards", 0, "midtier: pending-table shards per leaf connection (0 = default 8, rounded to a power of two)")
 	)
 	flag.Parse()
 
@@ -61,7 +64,10 @@ func main() {
 		if *shard < 0 || *shard >= *shards {
 			fatal(fmt.Sprintf("shard %d outside 0..%d", *shard, *shards-1))
 		}
-		leaf := hdsearch.NewLeaf(shardData[*shard], &core.LeafOptions{Workers: *workers})
+		leaf := hdsearch.NewLeaf(shardData[*shard], &core.LeafOptions{
+			Workers:              *workers,
+			DisableWriteCoalesce: !*writeCoalesce,
+		})
 		bound, err := leaf.Start(*addr)
 		if err != nil {
 			fatal(err)
@@ -79,7 +85,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		mt := hdsearch.NewMidTier(index, &core.Options{Workers: *workers, Tail: tail, Batch: batch})
+		mt := hdsearch.NewMidTier(index, &core.Options{
+			Workers:              *workers,
+			Tail:                 tail,
+			Batch:                batch,
+			PendingShards:        *pendingShards,
+			DisableWriteCoalesce: !*writeCoalesce,
+		})
 		groups, err := core.GroupAddrs(strings.Split(*leaves, ","), *replicas)
 		if err != nil {
 			fatal(err)

@@ -38,6 +38,9 @@ func main() {
 		hedgeDelay = flag.Duration("hedge-delay", 0, "fixed hedge delay (overrides -hedge-pct)")
 		maxBatch   = flag.Int("max-batch", 0, "coalesce up to this many leaf calls per batched RPC (≤1 disables)")
 		batchDelay = flag.Duration("batch-delay", 0, "fixed batch flush delay (0 tracks the leaf-latency digest)")
+
+		writeCoalesce = flag.Bool("write-coalesce", true, "coalesce concurrent frames into batched write syscalls on both tiers")
+		pendingShards = flag.Int("pending-shards", 0, "pending-table shards per leaf connection (0 = default 8, rounded to a power of two)")
 	)
 	flag.Parse()
 
@@ -62,7 +65,9 @@ func main() {
 			HedgePercentile: *hedgePct,
 			HedgeDelay:      *hedgeDelay,
 		},
-		Batch: core.BatchPolicy{MaxBatch: *maxBatch, Delay: *batchDelay},
+		Batch:                core.BatchPolicy{MaxBatch: *maxBatch, Delay: *batchDelay},
+		PendingShards:        *pendingShards,
+		DisableWriteCoalesce: !*writeCoalesce,
 	}
 	if *trials > 0 {
 		scale.Trials = *trials

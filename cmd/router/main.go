@@ -32,6 +32,9 @@ func main() {
 		leafRetries = flag.Int("leaf-retries", 0, "midtier: retries per failed leaf call")
 		maxBatch    = flag.Int("max-batch", 0, "midtier: coalesce up to this many leaf calls per batched RPC (≤1 disables)")
 		batchDelay  = flag.Duration("batch-delay", 0, "midtier: fixed batch flush delay (0 tracks the leaf-latency digest)")
+
+		writeCoalesce = flag.Bool("write-coalesce", true, "coalesce concurrent response/request frames into batched write syscalls")
+		pendingShards = flag.Int("pending-shards", 0, "midtier: pending-table shards per leaf connection (0 = default 8, rounded to a power of two)")
 	)
 	flag.Parse()
 
@@ -46,7 +49,10 @@ func main() {
 	switch *role {
 	case "leaf":
 		store := memcache.New(memcache.Config{MaxBytes: *maxBytes})
-		leaf := router.NewLeaf(store, &core.LeafOptions{Workers: *workers})
+		leaf := router.NewLeaf(store, &core.LeafOptions{
+			Workers:              *workers,
+			DisableWriteCoalesce: !*writeCoalesce,
+		})
 		bound, err := leaf.Start(*addr)
 		if err != nil {
 			fatal(err)
@@ -65,7 +71,13 @@ func main() {
 		// its idempotent get/set ops.
 		mt := router.NewMidTier(router.MidTierConfig{
 			Replicas: *replicas,
-			Core:     core.Options{Workers: *workers, Tail: tail, Batch: batch},
+			Core: core.Options{
+				Workers:              *workers,
+				Tail:                 tail,
+				Batch:                batch,
+				PendingShards:        *pendingShards,
+				DisableWriteCoalesce: !*writeCoalesce,
+			},
 		})
 		if err := mt.ConnectLeaves(strings.Split(*leaves, ",")); err != nil {
 			fatal(err)

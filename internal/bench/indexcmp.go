@@ -51,7 +51,7 @@ func IndexComparison(s Scale, load float64) ([]IndexRow, error) {
 			Shards:  s.Shards,
 			Kind:    kind,
 			MidTier: midTierOptions(s, FrameworkMode{}, nil),
-			Leaf:    leafOptions(s),
+			Leaf:    leafOptions(s, FrameworkMode{}),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("indexcmp %s: %w", kind, err)

@@ -52,6 +52,12 @@ type FrameworkMode struct {
 	// Batch configures cross-request coalescing of leaf RPCs on the
 	// mid-tier fan-out (zero value: disabled).
 	Batch core.BatchPolicy
+	// PendingShards overrides the mid-tier's per-connection pending-table
+	// shard count (0 = default 8, rounded to a power of two).
+	PendingShards int
+	// DisableWriteCoalesce reverts both tiers to one write syscall per
+	// frame instead of coalescing concurrent frames into batched writes.
+	DisableWriteCoalesce bool
 	// Tracer, when set, samples requests for stage-level attribution.
 	Tracer *trace.Tracer
 }
@@ -59,20 +65,25 @@ type FrameworkMode struct {
 // midTierOptions builds the instrumented mid-tier options for a scale.
 func midTierOptions(s Scale, mode FrameworkMode, probe *telemetry.Probe) core.Options {
 	return core.Options{
-		Workers:           s.Workers,
-		ResponseThreads:   s.ResponseThreads,
-		Dispatch:          mode.Dispatch,
-		Wait:              mode.Wait,
-		LeafConnsPerShard: s.LeafConns,
-		Tail:              mode.Tail,
-		Batch:             mode.Batch,
-		Tracer:            mode.Tracer,
-		Probe:             probe,
+		Workers:              s.Workers,
+		ResponseThreads:      s.ResponseThreads,
+		Dispatch:             mode.Dispatch,
+		Wait:                 mode.Wait,
+		LeafConnsPerShard:    s.LeafConns,
+		Tail:                 mode.Tail,
+		Batch:                mode.Batch,
+		PendingShards:        mode.PendingShards,
+		DisableWriteCoalesce: mode.DisableWriteCoalesce,
+		Tracer:               mode.Tracer,
+		Probe:                probe,
 	}
 }
 
-func leafOptions(s Scale) core.LeafOptions {
-	return core.LeafOptions{Workers: s.LeafWorkers}
+func leafOptions(s Scale, mode FrameworkMode) core.LeafOptions {
+	return core.LeafOptions{
+		Workers:              s.LeafWorkers,
+		DisableWriteCoalesce: mode.DisableWriteCoalesce,
+	}
 }
 
 // StartService deploys the named benchmark at the given scale and mode.
@@ -102,7 +113,7 @@ func StartHDSearch(s Scale, mode FrameworkMode) (*Instance, error) {
 		Shards:       s.Shards,
 		LeafReplicas: s.LeafReplicas,
 		MidTier:      midTierOptions(s, mode, probe),
-		Leaf:         leafOptions(s),
+		Leaf:         leafOptions(s, mode),
 	})
 	if err != nil {
 		return nil, err
@@ -133,7 +144,7 @@ func StartRouter(s Scale, mode FrameworkMode) (*Instance, error) {
 		Leaves:   s.RouterLeaves,
 		Replicas: s.RouterReplicas,
 		MidTier:  midTierOptions(s, mode, probe),
-		Leaf:     leafOptions(s),
+		Leaf:     leafOptions(s, mode),
 	})
 	if err != nil {
 		return nil, err
@@ -183,7 +194,7 @@ func StartSetAlgebra(s Scale, mode FrameworkMode) (*Instance, error) {
 		StopTerms:    s.StopTerms,
 		LeafReplicas: s.LeafReplicas,
 		MidTier:      midTierOptions(s, mode, probe),
-		Leaf:         leafOptions(s),
+		Leaf:         leafOptions(s, mode),
 	})
 	if err != nil {
 		return nil, err
@@ -220,7 +231,7 @@ func StartRecommend(s Scale, mode FrameworkMode) (*Instance, error) {
 		Seed:         s.Seed + 401,
 		LeafReplicas: s.LeafReplicas,
 		MidTier:      midTierOptions(s, mode, probe),
-		Leaf:         leafOptions(s),
+		Leaf:         leafOptions(s, mode),
 	})
 	if err != nil {
 		return nil, err

@@ -3,16 +3,28 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"musuite/internal/rpc"
 	"musuite/internal/telemetry"
+	"musuite/internal/wire"
 )
 
 // LeafHandler computes one leaf response.  It runs on a leaf worker thread
 // and may take the tens-to-hundreds of microseconds that leaf computation
 // (distance kernels, set intersections, kNN prediction) typically costs.
+// The payload is valid only for the duration of the call; the returned
+// reply may alias it (the reply is copied to the wire before the payload's
+// backing storage is recycled).
 type LeafHandler func(method string, payload []byte) ([]byte, error)
+
+// EncodedLeafHandler is the allocation-free form of LeafHandler: instead of
+// returning a reply slice, the handler appends its encoded reply to a
+// pooled encoder the leaf provides (and recycles after the reply is copied
+// to the wire).  Services on the hot path implement this form so a
+// steady-state leaf response allocates nothing.
+type EncodedLeafHandler func(method string, payload []byte, reply *wire.Encoder) error
 
 // LeafBatchHandler computes a whole carrier batch at once: parallel method
 // and payload slices in, parallel reply and error slices out (same length,
@@ -35,6 +47,9 @@ type LeafOptions struct {
 	// Either way a whole carrier is one worker task, amortizing the
 	// dispatch hand-off across its members.
 	BatchHandler LeafBatchHandler
+	// DisableWriteCoalesce reverts the leaf's server to one write syscall
+	// per response frame instead of coalescing concurrent responses.
+	DisableWriteCoalesce bool
 	// Probe receives telemetry; nil disables instrumentation.
 	Probe *telemetry.Probe
 }
@@ -60,18 +75,39 @@ type Leaf struct {
 	server  *rpc.Server
 	workers *WorkerPool
 	handler LeafHandler
+	encoded EncodedLeafHandler
 	batch   LeafBatchHandler
+	// runFn and batchFn are the worker-pool entry points, bound once so the
+	// per-request submit carries no closure.
+	runFn   func(any)
+	batchFn func(any)
 	served  atomic.Uint64
 	closed  atomic.Bool
 }
 
 // NewLeaf creates a leaf microserver around handler.
 func NewLeaf(handler LeafHandler, opts *LeafOptions) *Leaf {
+	l := newLeaf(opts)
+	l.handler = handler
+	return l
+}
+
+// NewLeafEncoded creates a leaf whose handler encodes replies into a pooled
+// encoder instead of returning fresh slices — the zero-allocation handler
+// form.
+func NewLeafEncoded(handler EncodedLeafHandler, opts *LeafOptions) *Leaf {
+	l := newLeaf(opts)
+	l.encoded = handler
+	return l
+}
+
+func newLeaf(opts *LeafOptions) *Leaf {
 	var (
-		workers = 4
-		wait    = WaitBlocking
-		probe   *telemetry.Probe
-		batch   LeafBatchHandler
+		workers  = 4
+		wait     = WaitBlocking
+		probe    *telemetry.Probe
+		batch    LeafBatchHandler
+		coalesce = true
 	)
 	if opts != nil {
 		if opts.Workers > 0 {
@@ -80,10 +116,16 @@ func NewLeaf(handler LeafHandler, opts *LeafOptions) *Leaf {
 		wait = opts.Wait
 		probe = opts.Probe
 		batch = opts.BatchHandler
+		coalesce = !opts.DisableWriteCoalesce
 	}
-	l := &Leaf{handler: handler, batch: batch}
+	l := &Leaf{batch: batch}
+	l.runFn = l.runScalar
+	l.batchFn = l.runBatchTask
 	l.workers = NewWorkerPool(workers, wait, probe, telemetry.OverheadActiveExe)
-	l.server = rpc.NewServer(l.onRequest, &rpc.ServerOptions{Probe: probe})
+	l.server = rpc.NewServer(l.onRequest, &rpc.ServerOptions{
+		Probe:                probe,
+		DisableWriteCoalesce: !coalesce,
+	})
 	return l
 }
 
@@ -107,82 +149,137 @@ func (l *Leaf) onRequest(req *rpc.Request) {
 		req.Reply(encodeTierStats(l.stats()))
 		return
 	}
+	// The payload must outlive the poller's read buffer; a pooled copy
+	// costs no steady-state allocation and is recycled once the worker has
+	// replied (every reply/payload byte is copied to the wire before then).
+	req.DetachPayloadPooled()
+	fn := l.runFn
 	if req.Method == rpc.BatchMethod {
-		l.onBatch(req)
-		return
+		fn = l.batchFn
 	}
-	req.DetachPayload()
-	err := l.workers.Submit(func() {
-		defer l.served.Add(1)
-		defer func() {
-			if r := recover(); r != nil {
-				req.ReplyError(fmt.Errorf("leaf handler panic: %v", r))
-			}
-		}()
-		reply, err := l.handler(req.Method, req.Payload)
-		if err != nil {
+	if err := l.workers.SubmitArg(fn, req); err != nil {
+		req.ReplyError(err)
+		req.ReleasePayload()
+	}
+}
+
+// runScalar executes one plain request on a worker thread.
+func (l *Leaf) runScalar(a any) {
+	req := a.(*rpc.Request)
+	defer l.served.Add(1)
+	defer req.ReleasePayload()
+	defer func() {
+		if r := recover(); r != nil {
+			req.ReplyError(fmt.Errorf("leaf handler panic: %v", r))
+		}
+	}()
+	if l.encoded != nil {
+		e := wire.GetEncoder()
+		if err := l.encoded(req.Method, req.Payload, e); err != nil {
 			req.ReplyError(err)
 		} else {
-			req.Reply(reply)
+			req.Reply(e.Bytes())
 		}
-	})
+		wire.PutEncoder(e)
+		return
+	}
+	reply, err := l.handler(req.Method, req.Payload)
 	if err != nil {
 		req.ReplyError(err)
+	} else {
+		req.Reply(reply)
 	}
 }
 
-// onBatch executes a batched carrier RPC.  The whole carrier is one worker
-// task — the member requests share a single dispatch hand-off and a single
-// reply write, which is the point of batching — and each member's result
-// rides back as a per-item status, so one poisoned item fails alone.
-func (l *Leaf) onBatch(req *rpc.Request) {
-	req.DetachPayload()
-	err := l.workers.Submit(func() {
-		items, err := rpc.DecodeBatch(req.Payload)
-		if err != nil {
-			req.ReplyError(err)
+// batchScratch recycles the parallel method/payload slices of a decoded
+// carrier across batch executions.
+type batchScratch struct {
+	methods  []string
+	payloads [][]byte
+}
+
+var batchScratches = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func getBatchScratch() *batchScratch {
+	sc := batchScratches.Get().(*batchScratch)
+	sc.methods = sc.methods[:0]
+	sc.payloads = sc.payloads[:0]
+	return sc
+}
+
+func putBatchScratch(sc *batchScratch) {
+	for i := range sc.methods {
+		sc.methods[i] = ""
+	}
+	for i := range sc.payloads {
+		sc.payloads[i] = nil
+	}
+	batchScratches.Put(sc)
+}
+
+// runBatchTask executes a batched carrier RPC on a worker thread.  The
+// whole carrier is one worker task — the member requests share a single
+// dispatch hand-off and a single reply write, which is the point of
+// batching — and each member's result rides back as a per-item status, so
+// one poisoned item fails alone.
+func (l *Leaf) runBatchTask(a any) {
+	req := a.(*rpc.Request)
+	defer req.ReleasePayload()
+	sc := getBatchScratch()
+	defer putBatchScratch(sc)
+	var err error
+	sc.methods, sc.payloads, err = rpc.DecodeBatchInto(req.Payload, sc.methods, sc.payloads)
+	if err != nil {
+		req.ReplyError(err)
+		return
+	}
+	enc := wire.GetEncoder()
+	l.appendBatchReplies(enc, sc)
+	l.served.Add(uint64(len(sc.methods)))
+	req.Reply(enc.Bytes())
+	wire.PutEncoder(enc)
+}
+
+// appendBatchReplies runs every member and streams the carrier reply into
+// enc.  Vectorized handlers run as before; scalar members (encoded or
+// legacy) are encoded straight into the carrier so no per-member reply
+// slice survives the loop.  A scalar panic fails only its item; a
+// vectorized panic (or a mis-shaped result) fails every member
+// individually — never re-executed scalar, since the vectorized run may
+// already have had effects, and never a carrier-level error, which the
+// mid-tier would misread as a retryable transport failure.
+func (l *Leaf) appendBatchReplies(enc *wire.Encoder, sc *batchScratch) {
+	n := len(sc.methods)
+	if l.batch != nil {
+		replies, errs, ok := l.runVectorized(sc.methods, sc.payloads)
+		if ok {
+			rpc.AppendBatchReply(enc, replies, errs)
 			return
 		}
-		replies, errs := l.runBatch(items)
-		l.served.Add(uint64(len(items)))
-		req.Reply(rpc.EncodeBatchReply(replies, errs))
-	})
-	if err != nil {
-		req.ReplyError(err)
-	}
-}
-
-// runBatch executes batch members through the vectorized handler when one
-// is installed, else the scalar handler per item.  A scalar panic fails
-// only its item; a vectorized panic (or a mis-shaped result) fails every
-// member individually — never re-executed scalar, since the vectorized run
-// may already have had effects, and never a carrier-level error, which the
-// mid-tier would misread as a retryable transport failure.
-func (l *Leaf) runBatch(items []rpc.BatchItem) ([][]byte, []error) {
-	methods := make([]string, len(items))
-	payloads := make([][]byte, len(items))
-	for i := range items {
-		methods[i] = items[i].Method
-		payloads[i] = items[i].Payload
-	}
-	if l.batch != nil {
-		replies, errs, ok := l.runVectorized(methods, payloads)
-		if ok {
-			return replies, errs
+		rpc.AppendBatchReplyHeader(enc, n)
+		for i := 0; i < n; i++ {
+			rpc.AppendBatchReplyItem(enc, nil, errVectorizedBatch)
 		}
-		replies = make([][]byte, len(items))
-		errs = make([]error, len(items))
-		for i := range errs {
-			errs[i] = errVectorizedBatch
+		return
+	}
+	rpc.AppendBatchReplyHeader(enc, n)
+	if l.encoded != nil {
+		member := wire.GetEncoder()
+		for i := range sc.methods {
+			member.Reset()
+			if err := l.runOneEncoded(sc.methods[i], sc.payloads[i], member); err != nil {
+				rpc.AppendBatchReplyItem(enc, nil, err)
+			} else {
+				rpc.AppendBatchReplyItem(enc, member.Bytes(), nil)
+			}
 		}
-		return replies, errs
+		wire.PutEncoder(member)
+		return
 	}
-	replies := make([][]byte, len(items))
-	errs := make([]error, len(items))
-	for i := range items {
-		replies[i], errs[i] = l.runOne(methods[i], payloads[i])
+	for i := range sc.methods {
+		reply, err := l.runOne(sc.methods[i], sc.payloads[i])
+		rpc.AppendBatchReplyItem(enc, reply, err)
 	}
-	return replies, errs
 }
 
 // errVectorizedBatch marks members of a batch whose vectorized handler
@@ -212,4 +309,15 @@ func (l *Leaf) runOne(method string, payload []byte) (reply []byte, err error) {
 		}
 	}()
 	return l.handler(method, payload)
+}
+
+// runOneEncoded guards one encoded scalar execution within a batch.  On
+// panic e may hold a partial encoding; callers must discard it.
+func (l *Leaf) runOneEncoded(method string, payload []byte, e *wire.Encoder) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("leaf handler panic: %v", r)
+		}
+	}()
+	return l.encoded(method, payload, e)
 }

@@ -95,6 +95,13 @@ type Options struct {
 	// bound for the same leaf replica coalesce into one carrier RPC.  The
 	// zero value disables batching (every leaf call is its own RPC).
 	Batch BatchPolicy
+	// PendingShards is the per-connection pending-table shard count
+	// (default 8, rounded up to a power of two by the rpc client).
+	PendingShards int
+	// DisableWriteCoalesce reverts both the server side and every leaf
+	// connection to one write syscall per frame instead of coalescing
+	// concurrent frames into batched writes.
+	DisableWriteCoalesce bool
 	// Tracer, when set, samples requests for per-stage latency
 	// attribution through the pipeline.
 	Tracer *trace.Tracer
@@ -136,6 +143,11 @@ type MidTier struct {
 	server    *rpc.Server
 	workers   *WorkerPool
 	responses *WorkerPool
+	// deliverFn routes one completed leaf call to its fan-out, handleFn
+	// one dispatched request context to the handler; each is allocated
+	// once so the per-response and per-request submits carry no closure.
+	deliverFn func(any)
+	handleFn  func(any)
 
 	groups  []*replicaGroup
 	started atomic.Bool
@@ -180,7 +192,19 @@ func NewMidTier(handler Handler, opts *Options) *MidTier {
 	m.leafLat = stats.NewHistogram()
 	m.workers = NewBoundedWorkerPool(o.Workers, o.MaxQueueDepth, o.Wait, o.Probe, telemetry.OverheadActiveExe)
 	m.responses = NewWorkerPool(o.ResponseThreads, o.Wait, o.Probe, telemetry.OverheadSched)
-	m.server = rpc.NewServer(m.onRequest, &rpc.ServerOptions{Probe: o.Probe})
+	m.deliverFn = func(a any) {
+		call := a.(*rpc.Call)
+		call.Data.(*fanoutSlot).fo.deliver(call)
+	}
+	m.handleFn = func(a any) {
+		ctx := a.(*Ctx)
+		ctx.tr.Stamp(trace.StageWorkerStart)
+		m.handler(ctx)
+	}
+	m.server = rpc.NewServer(m.onRequest, &rpc.ServerOptions{
+		Probe:                o.Probe,
+		DisableWriteCoalesce: o.DisableWriteCoalesce,
+	})
 	return m
 }
 
@@ -208,8 +232,10 @@ func (m *MidTier) ConnectLeafGroups(groups [][]string) error {
 		g := &replicaGroup{}
 		for _, addr := range addrs {
 			pool, err := rpc.DialPool(addr, m.opts.LeafConnsPerShard, &rpc.ClientOptions{
-				Probe:      m.probe,
-				OnResponse: m.onLeafResponse,
+				Probe:                m.probe,
+				OnResponse:           m.onLeafResponse,
+				PendingShards:        m.opts.PendingShards,
+				DisableWriteCoalesce: m.opts.DisableWriteCoalesce,
 			})
 			if err != nil {
 				g.close()
@@ -298,10 +324,7 @@ func (m *MidTier) onRequest(req *rpc.Request) {
 		pri = m.opts.Classify(req)
 	}
 	handoffStart := time.Now()
-	err := m.workers.SubmitPriority(func() {
-		ctx.tr.Stamp(trace.StageWorkerStart)
-		m.handler(ctx)
-	}, pri)
+	err := m.workers.SubmitPriorityArg(m.handleFn, ctx, pri)
 	if err != nil {
 		req.ReplyError(err)
 		return
@@ -313,17 +336,20 @@ func (m *MidTier) onRequest(req *rpc.Request) {
 }
 
 // onLeafResponse runs on a leaf connection's reader goroutine; it forwards
-// the completed call to the response thread pool.
-func (m *MidTier) onLeafResponse(call *rpc.Call) {
+// the completed call to the response thread pool.  Consuming the call
+// (returning true) transfers ownership to the fan-out, which releases the
+// struct back to the call pool after stashing the slot's result.
+func (m *MidTier) onLeafResponse(call *rpc.Call) bool {
 	slot, ok := call.Data.(*fanoutSlot)
 	if !ok || slot == nil {
-		return // a direct (non-fanout) call; nothing to route
+		return false // a direct (non-fanout) call; deliver on Done
 	}
-	if err := m.responses.Submit(func() { slot.fo.deliver(call) }); err != nil {
+	if err := m.responses.SubmitArg(m.deliverFn, call); err != nil {
 		// Pool stopped mid-flight (shutdown); deliver inline so the
 		// fan-out still completes.
 		slot.fo.deliver(call)
 	}
+	return true
 }
 
 // LeafCall names one sub-request of a fan-out.
@@ -339,7 +365,9 @@ type LeafCall struct {
 type LeafResult struct {
 	// Shard indexes the leaf that produced this result.
 	Shard int
-	// Reply is the response payload (nil on error).
+	// Reply is the response payload (nil on error).  It may alias a pooled
+	// buffer that is recycled when the merge callback returns: a merge that
+	// needs reply bytes past its own return must copy them.
 	Reply []byte
 	// Err is the per-leaf failure, if any.
 	Err error
@@ -393,40 +421,45 @@ func (c *Ctx) Fanout(calls []LeafCall, merge func([]LeafResult)) {
 		merge(nil)
 		return
 	}
-	m := c.mt
-	fo := &fanout{
-		mt:      m,
-		results: make([]LeafResult, len(calls)),
-		merge:   merge,
-		tr:      c.tr,
-		slots:   make([]fanoutSlot, len(calls)),
-	}
-	fo.remaining.Store(int32(len(calls)))
+	fo := getFanout(c.mt, len(calls), merge, c.tr)
 	// Slots must be fully initialized before the expiry timer can fire.
 	for i, lc := range calls {
-		fo.slot(i, lc)
+		fo.slot(i, lc.Shard, lc.Method, lc.Payload)
 	}
+	c.runFanout(fo)
+}
+
+// FanoutAll broadcasts one payload to every leaf shard.  The calls are
+// synthesized straight into the fan-out's slots — no LeafCall slice.
+func (c *Ctx) FanoutAll(method string, payload []byte, merge func([]LeafResult)) {
+	n := len(c.mt.groups)
+	if n == 0 {
+		merge(nil)
+		return
+	}
+	fo := getFanout(c.mt, n, merge, c.tr)
+	for i := 0; i < n; i++ {
+		fo.slot(i, i, method, payload)
+	}
+	c.runFanout(fo)
+}
+
+// runFanout arms the expiry timer and issues every slot's primary attempt.
+func (c *Ctx) runFanout(fo *fanout) {
+	m := c.mt
 	if d := m.opts.FanoutTimeout; d > 0 {
+		fo.refs.Add(1) // expiry hold: released by expire or a won Stop
 		fo.timer.Store(time.AfterFunc(d, fo.expire))
 	}
-	for i, lc := range calls {
+	for i := range fo.slots {
 		slot := &fo.slots[i]
-		if lc.Shard < 0 || lc.Shard >= len(m.groups) {
-			fo.deliverSlot(slot, LeafResult{Shard: lc.Shard, Err: fmt.Errorf("core: no such leaf shard %d", lc.Shard)}, nil)
+		if slot.shard < 0 || slot.shard >= len(m.groups) {
+			fo.deliverSlot(slot, LeafResult{Shard: slot.shard, Err: fmt.Errorf("core: no such leaf shard %d", slot.shard)}, nil)
 			continue
 		}
 		m.issuePrimary(slot)
 	}
 	c.tr.Stamp(trace.StageFanoutIssued)
-}
-
-// FanoutAll broadcasts one payload to every leaf shard.
-func (c *Ctx) FanoutAll(method string, payload []byte, merge func([]LeafResult)) {
-	calls := make([]LeafCall, len(c.mt.groups))
-	for i := range calls {
-		calls[i] = LeafCall{Shard: i, Method: method, Payload: payload}
-	}
-	c.Fanout(calls, merge)
 }
 
 // CallLeaf issues a single synchronous leaf RPC (used by handlers that need
@@ -447,15 +480,19 @@ func (c *Ctx) CallLeaf(shard int, method string, payload []byte) ([]byte, error)
 		<-call.Done
 		if call.Err == nil {
 			m.observeLeafLatency(call.Received.Sub(call.Sent))
-			return call.Reply, nil
+			reply := call.DetachReply()
+			call.Release()
+			return reply, nil
 		}
-		if attempt >= m.opts.Tail.LeafRetries || !rpc.Retryable(call.Err) {
-			return nil, call.Err
+		err := call.Err
+		call.Release()
+		if attempt >= m.opts.Tail.LeafRetries || !rpc.Retryable(err) {
+			return nil, err
 		}
 		if !m.budget.spend() {
 			m.budgetDenied.Add(1)
 			m.probe.IncTail(telemetry.TailBudgetDenied)
-			return nil, call.Err
+			return nil, err
 		}
 		m.retries.Add(1)
 		m.probe.IncTail(telemetry.TailRetry)
@@ -468,16 +505,28 @@ func (c *Ctx) CallLeaf(shard int, method string, payload []byte) ([]byte, error)
 // within the hedge delay.
 func (m *MidTier) issuePrimary(slot *fanoutSlot) {
 	m.budget.earn()
+	hedging := m.opts.Tail.hedging()
+	if hedging {
+		// The hedge timer's hold must exist before the primary attempt can
+		// complete, or a fast response could recycle the fan-out under the
+		// timer registration below.
+		slot.fo.refs.Add(1)
+	}
 	m.issueAttempt(slot, -1, attemptPrimary)
-	if m.opts.Tail.hedging() {
-		t := time.AfterFunc(m.hedgeDelay(), func() { m.hedge(slot) })
+	if hedging {
+		t := time.AfterFunc(m.hedgeDelay(), func() {
+			defer slot.fo.unref()
+			m.hedge(slot)
+		})
 		slot.mu.Lock()
 		slot.hedgeTimer = t
 		slot.mu.Unlock()
 		if slot.fired.Load() {
 			// The primary answered (or the fan-out expired) before the
 			// timer was registered; the cancel path missed it, stop here.
-			t.Stop()
+			if t.Stop() {
+				slot.fo.unref() // the callback will never run
+			}
 		}
 	}
 }
@@ -491,12 +540,18 @@ func (m *MidTier) issueAttempt(slot *fanoutSlot, exclude int, kind attemptKind) 
 	g := m.groups[slot.shard]
 	pool, idx := g.pick(exclude)
 	a := attempt{replica: idx, kind: kind}
+	// The attempt's fan-out hold must predate the send: the response can
+	// land (and run the count-down) before GoRef even returns.
+	slot.fo.refs.Add(1)
+	// The ref is captured before the frame is written, so a completion that
+	// races this return (and recycles the call) leaves only a harmlessly
+	// stale ref behind — abandons through it are no-ops.
 	if b := g.batcher(idx); b != nil {
 		a.batcher = b
-		a.call = b.Go(slot.method, slot.payload, slot, nil)
+		a.ref = b.GoRef(slot.method, slot.payload, slot, nil)
 	} else {
 		a.client = pool.Pick()
-		a.call = a.client.Go(slot.method, slot.payload, slot, nil)
+		a.ref = a.client.GoRef(slot.method, slot.payload, slot, nil)
 	}
 	slot.mu.Lock()
 	slot.attempts = append(slot.attempts, a)
@@ -505,7 +560,9 @@ func (m *MidTier) issueAttempt(slot *fanoutSlot, exclude int, kind attemptKind) 
 	if fired {
 		// The slot completed while this attempt was being issued, so the
 		// cancel sweep may have run before the attempt was tracked.
-		a.abandon()
+		if a.abandon() {
+			slot.fo.unref()
+		}
 	}
 }
 
@@ -547,9 +604,10 @@ func (m *MidTier) maybeRetry(slot *fanoutSlot, failed *rpc.Call) bool {
 		return false
 	}
 	slot.retries++
+	failedRef := failed.Ref()
 	exclude := -1
 	for _, a := range slot.attempts {
-		if a.call == failed {
+		if a.ref == failedRef {
 			exclude = a.replica
 			break
 		}
@@ -614,9 +672,22 @@ var ErrFanoutTimeout = errors.New("core: leaf response timed out")
 // fanout is the shared data structure through which an asynchronous event
 // (a leaf response arriving on any reception thread) is matched back to its
 // parent RPC — "all RPC state is explicit" (§IV).
+//
+// Fan-outs are pooled: all the per-request machinery (the struct, the
+// result/buffer/slot slices, each slot's inline attempt storage) is reused
+// across requests.  Recycling is guarded by refs, a count of every party
+// that may still touch the struct; a reference that provably can never be
+// dropped (an attempt whose delivery was suppressed after it left our
+// hands, e.g. a cancelled carrier member discarded by the batch demux)
+// simply strands the fan-out to the garbage collector — correctness never
+// depends on the pool.
 type fanout struct {
-	mt        *MidTier
-	results   []LeafResult
+	mt      *MidTier
+	results []LeafResult
+	// bufs holds each winning call's pooled reply buffer so results[i].Reply
+	// stays valid through the merge; all are released right after merge
+	// returns.
+	bufs      []*rpc.Buf
 	remaining atomic.Int32
 	merge     func([]LeafResult)
 	tr        *trace.Trace
@@ -624,6 +695,69 @@ type fanout struct {
 	// timer is set after AfterFunc returns; the callback can beat the
 	// store, in which case there is nothing left worth stopping.
 	timer atomic.Pointer[time.Timer]
+	// refs counts the outstanding holds on this struct: one for the merge,
+	// one per issued attempt (dropped on delivery, or by the abandoner when
+	// the abandon provably suppressed delivery), one per armed timer
+	// (dropped by the callback, or by whoever wins Stop).  At zero the
+	// fan-out recycles.
+	refs atomic.Int32
+}
+
+// fanoutPool recycles fan-out machinery across requests.
+var fanoutPool = sync.Pool{New: func() any { return new(fanout) }}
+
+// getFanout readies a pooled fan-out for n slots.
+func getFanout(m *MidTier, n int, merge func([]LeafResult), tr *trace.Trace) *fanout {
+	f := fanoutPool.Get().(*fanout)
+	f.mt = m
+	f.merge = merge
+	f.tr = tr
+	if cap(f.slots) < n {
+		f.results = make([]LeafResult, n)
+		f.bufs = make([]*rpc.Buf, n)
+		f.slots = make([]fanoutSlot, n)
+	} else {
+		f.results = f.results[:n]
+		f.bufs = f.bufs[:n]
+		f.slots = f.slots[:n]
+	}
+	f.remaining.Store(int32(n))
+	f.refs.Store(1) // the merge hold
+	return f
+}
+
+// unref drops one hold; the last one recycles the fan-out.
+func (f *fanout) unref() {
+	if f.refs.Add(-1) == 0 {
+		f.recycle()
+	}
+}
+
+// recycle severs request-lifetime references and pools the machinery.  It
+// runs only once refs hits zero: every delivery has landed and every timer
+// has resolved, so nothing can reach the slots anymore.
+func (f *fanout) recycle() {
+	f.mt = nil
+	f.merge = nil
+	f.tr = nil
+	f.timer.Store(nil)
+	for i := range f.results {
+		f.results[i] = LeafResult{}
+	}
+	for i := range f.slots {
+		s := &f.slots[i]
+		s.fo = nil
+		s.method = ""
+		s.payload = nil
+		s.hedgeTimer = nil
+		s.hedged = false
+		s.retries = 0
+		for j := range s.attempts {
+			s.attempts[j] = attempt{}
+		}
+		s.attempts = nil
+	}
+	fanoutPool.Put(f)
 }
 
 // attemptKind distinguishes why a call copy was sent, for win-rate counting.
@@ -635,23 +769,28 @@ const (
 	attemptRetry
 )
 
-// attempt is one issued copy of a slot's sub-request.  Exactly one of
-// client (direct send) or batcher (batched send) is set.
+// attempt is one issued copy of a slot's sub-request, tracked by a
+// generation-stamped ref — never by the Call pointer, whose struct may be
+// recycled into an unrelated RPC the moment its consumer releases it.
+// Exactly one of client (direct send) or batcher (batched send) is set.
 type attempt struct {
-	call    *rpc.Call
+	ref     rpc.CallRef
 	client  *rpc.Client
 	batcher *rpc.Batcher
 	replica int
 	kind    attemptKind
 }
 
-// abandon cancels the attempt's call through whichever path issued it.
-func (a *attempt) abandon() {
+// abandon cancels the attempt's call through whichever path issued it.  A
+// ref whose call already completed (and was recycled) no longer matches its
+// generation, so the abandon is a no-op.  It reports whether delivery was
+// provably suppressed here (the abandoner then owns the attempt's fan-out
+// hold); false means a delivery happened or may still be in flight.
+func (a *attempt) abandon() bool {
 	if a.batcher != nil {
-		a.batcher.Abandon(a.call)
-	} else {
-		a.client.Abandon(a.call)
+		return a.batcher.AbandonRef(a.ref)
 	}
+	return a.client.AbandonRef(a.ref)
 }
 
 // fanoutSlot routes one leaf call's completions into its fan-out slot.  A
@@ -670,15 +809,20 @@ type fanoutSlot struct {
 	hedgeTimer *time.Timer
 	hedged     bool
 	retries    int
+	// attemptsArr is attempts' inline storage: a primary plus one hedge or
+	// retry fit without a heap slice, and the array recycles with the slot.
+	attemptsArr [2]attempt
 }
 
-func (f *fanout) slot(index int, lc LeafCall) *fanoutSlot {
+func (f *fanout) slot(index, shard int, method string, payload []byte) *fanoutSlot {
 	s := &f.slots[index]
 	s.fo = f
 	s.index = index
-	s.shard = lc.Shard
-	s.method = lc.Method
-	s.payload = lc.Payload
+	s.shard = shard
+	s.method = method
+	s.payload = payload
+	s.fired.Store(false)
+	s.attempts = s.attemptsArr[:0]
 	return s
 }
 
@@ -686,20 +830,28 @@ func (f *fanout) slot(index int, lc LeafCall) *fanoutSlot {
 // other than the winner, so late responses are dropped at the reader
 // instead of delivered.  It reports the winning attempt's kind (valid only
 // when found).
-func (s *fanoutSlot) cancelLosers(winner *rpc.Call) (kind attemptKind, found bool) {
+func (s *fanoutSlot) cancelLosers(winner rpc.CallRef) (kind attemptKind, found bool) {
+	released := 0
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if t := s.hedgeTimer; t != nil {
 		s.hedgeTimer = nil
-		t.Stop()
+		if t.Stop() {
+			released++ // the hedge callback will never run; its hold is ours
+		}
 	}
 	for i := range s.attempts {
 		a := &s.attempts[i]
-		if a.call == winner {
+		if a.ref == winner {
 			kind, found = a.kind, true
 			continue
 		}
-		a.abandon()
+		if a.abandon() {
+			released++ // delivery suppressed; the attempt hold is ours
+		}
+	}
+	s.mu.Unlock()
+	for ; released > 0; released-- {
+		s.fo.unref()
 	}
 	return kind, found
 }
@@ -714,28 +866,54 @@ func (f *fanout) deliver(call *rpc.Call) {
 	if call.Err == nil {
 		f.mt.observeLeafLatency(call.Received.Sub(call.Sent))
 	} else if !slot.fired.Load() && rpc.Retryable(call.Err) && f.mt.maybeRetry(slot, call) {
-		return // a retry is in flight; the slot stays pending
+		// A retry is in flight; the slot stays pending and this failed
+		// copy — which the fan-out owns, having consumed it — retires.
+		// (The retry took its own hold before this one drops.)
+		call.Release()
+		f.unref()
+		return
 	}
 	f.deliverSlot(slot, LeafResult{Shard: slot.shard, Reply: call.Reply, Err: call.Err}, call)
+	f.unref() // this delivery's attempt hold
 }
 
 // deliverSlot completes one slot exactly once (concurrent attempts and the
-// fan-out timeout may race; first wins, the rest are cancelled).
+// fan-out timeout may race; first wins, the rest are cancelled).  The
+// fan-out owns winner (nil for a timeout expiry): the loser of the race is
+// released immediately, the winner after its pooled reply buffer — which
+// res.Reply aliases — has been stashed for the merge.
 func (f *fanout) deliverSlot(slot *fanoutSlot, res LeafResult, winner *rpc.Call) {
 	if !slot.fired.CompareAndSwap(false, true) {
+		winner.Release()
 		return
 	}
-	if kind, ok := slot.cancelLosers(winner); ok && kind == attemptHedge {
+	var winnerRef rpc.CallRef
+	if winner != nil {
+		winnerRef = winner.Ref()
+	}
+	if kind, ok := slot.cancelLosers(winnerRef); ok && kind == attemptHedge {
 		f.mt.hedgeWins.Add(1)
 		f.mt.probe.IncTail(telemetry.TailHedgeWin)
 	}
 	f.results[slot.index] = res
+	if winner != nil {
+		f.bufs[slot.index] = winner.TakeReplyBuf()
+		winner.Release()
+	}
 	if f.remaining.Add(-1) == 0 {
-		if t := f.timer.Load(); t != nil {
-			t.Stop()
+		if t := f.timer.Load(); t != nil && t.Stop() {
+			f.unref() // expire will never run; its hold is ours
 		}
 		f.tr.Stamp(trace.StageLastLeafResponse)
 		f.merge(f.results)
+		// The merge has returned (and with it the front-end reply has been
+		// copied to the write path), so every reply view is dead: recycle
+		// the buffers backing them.
+		for i, b := range f.bufs {
+			b.Release()
+			f.bufs[i] = nil
+		}
+		f.unref() // the merge hold
 	}
 }
 
@@ -746,4 +924,5 @@ func (f *fanout) expire() {
 		slot := &f.slots[i]
 		f.deliverSlot(slot, LeafResult{Shard: slot.shard, Err: ErrFanoutTimeout}, nil)
 	}
+	f.unref() // the expiry hold taken when the timer was armed
 }

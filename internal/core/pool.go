@@ -103,9 +103,50 @@ const (
 
 // task carries one queued unit of work and its enqueue instant, from which
 // the dispatch/wakeup latency (the paper's Active-Exe analog) is measured.
+// Work arrives either as a closure (fn) or, on the hot path, as a shared
+// function plus argument (argFn/arg) so per-task closure allocation is
+// avoided.
 type task struct {
 	fn       func()
+	argFn    func(any)
+	arg      any
 	enqueued time.Time
+}
+
+// taskRing is a growable circular FIFO of tasks.  A plain slice queue
+// (append at the tail, reslice [1:] at the head) erodes its backing
+// capacity on every dequeue and reallocates steadily; the ring reuses one
+// backing array so a steady-state enqueue/dequeue cycle allocates nothing.
+type taskRing struct {
+	buf  []task
+	head int
+	n    int
+}
+
+func (r *taskRing) len() int { return r.n }
+
+func (r *taskRing) push(t task) {
+	if r.n == len(r.buf) {
+		next := make([]task, max(2*len(r.buf), 8))
+		for i := 0; i < r.n; i++ {
+			next[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = next, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = t
+	r.n++
+}
+
+func (r *taskRing) pop() task {
+	t := r.buf[r.head]
+	r.buf[r.head] = task{} // drop references for the collector
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return t
+}
+
+func (r *taskRing) reset() {
+	r.buf, r.head, r.n = nil, 0, 0
 }
 
 // WorkerPool is a fixed-size thread pool fed by a producer–consumer queue.
@@ -121,8 +162,8 @@ type task struct {
 type WorkerPool struct {
 	mu     *telemetry.Mutex
 	cond   *telemetry.Cond
-	queue  []task // normal-priority FIFO
-	urgent []task // high-priority FIFO, always drained first
+	queue  taskRing // normal-priority FIFO
+	urgent taskRing // high-priority FIFO, always drained first
 	closed bool
 
 	mode     WaitMode
@@ -189,21 +230,39 @@ func (p *WorkerPool) Submit(fn func()) error {
 // SubmitPriority enqueues fn in the given class; high-priority work is
 // executed before any queued normal work.
 func (p *WorkerPool) SubmitPriority(fn func(), pri Priority) error {
-	t := task{fn: fn, enqueued: time.Now()}
+	return p.enqueue(task{fn: fn, enqueued: time.Now()}, pri)
+}
+
+// SubmitArg enqueues fn(arg) at normal priority.  Passing a long-lived fn
+// with a per-task arg avoids the closure allocation Submit would incur —
+// the leaf-response hot path routes every completed call this way (a
+// pointer arg boxes into the interface word without allocating).
+func (p *WorkerPool) SubmitArg(fn func(any), arg any) error {
+	return p.enqueue(task{argFn: fn, arg: arg, enqueued: time.Now()}, PriorityNormal)
+}
+
+// SubmitPriorityArg is SubmitArg with a priority class — the request
+// dispatch hot path, where the closure SubmitPriority would allocate per
+// request is replaced by one long-lived fn and the request context as arg.
+func (p *WorkerPool) SubmitPriorityArg(fn func(any), arg any, pri Priority) error {
+	return p.enqueue(task{argFn: fn, arg: arg, enqueued: time.Now()}, pri)
+}
+
+func (p *WorkerPool) enqueue(t task, pri Priority) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return ErrPoolClosed
 	}
-	if p.maxDepth > 0 && len(p.queue)+len(p.urgent) >= p.maxDepth {
+	if p.maxDepth > 0 && p.queue.len()+p.urgent.len() >= p.maxDepth {
 		p.mu.Unlock()
 		p.shed.Add(1)
 		return ErrQueueFull
 	}
 	if pri == PriorityHigh {
-		p.urgent = append(p.urgent, t)
+		p.urgent.push(t)
 	} else {
-		p.queue = append(p.queue, t)
+		p.queue.push(t)
 	}
 	// The hand-off signal is the write(2)-on-eventfd analog.  Polling
 	// workers never park, so only the modes with parked waiters signal.
@@ -219,7 +278,7 @@ func (p *WorkerPool) SubmitPriority(fn func(), pri Priority) error {
 func (p *WorkerPool) QueueDepth() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.queue) + len(p.urgent)
+	return p.queue.len() + p.urgent.len()
 }
 
 // Stop drains nothing: queued but unexecuted tasks are dropped.  It blocks
@@ -232,8 +291,8 @@ func (p *WorkerPool) Stop() {
 		return
 	}
 	p.closed = true
-	p.queue = nil
-	p.urgent = nil
+	p.queue.reset()
+	p.urgent.reset()
 	// Wake any parked workers (blocking or adaptive); harmlessly a no-op
 	// for polling workers, which observe the closed flag on their next
 	// spin.
@@ -251,7 +310,11 @@ func (p *WorkerPool) run() {
 			return
 		}
 		p.probe.ObserveOverhead(p.overhead, time.Since(t.enqueued))
-		t.fn()
+		if t.argFn != nil {
+			t.argFn(t.arg)
+		} else {
+			t.fn()
+		}
 	}
 }
 
@@ -260,7 +323,7 @@ func (p *WorkerPool) next() (task, bool) {
 	spins := 0
 	for {
 		p.mu.Lock()
-		for len(p.queue) == 0 && len(p.urgent) == 0 && !p.closed {
+		for p.queue.len() == 0 && p.urgent.len() == 0 && !p.closed {
 			switch p.mode {
 			case WaitBlocking:
 				p.cond.Wait()
@@ -287,12 +350,10 @@ func (p *WorkerPool) next() (task, bool) {
 			return task{}, false
 		}
 		var t task
-		if len(p.urgent) > 0 {
-			t = p.urgent[0]
-			p.urgent = p.urgent[1:]
+		if p.urgent.len() > 0 {
+			t = p.urgent.pop()
 		} else {
-			t = p.queue[0]
-			p.queue = p.queue[1:]
+			t = p.queue.pop()
 		}
 		// Consuming the hand-off is the read(2)-on-eventfd analog.
 		p.probe.IncSyscall(telemetry.SysRead)

@@ -199,6 +199,26 @@ func (s *Store) Gets(key string) ([]byte, uint64, bool) {
 	return val, cas, true
 }
 
+// View invokes visit with key's live value while holding the shard lock —
+// the zero-copy read Router's leaf uses to stream a value straight into a
+// reply encoder.  The slice is valid only during visit and must not be
+// retained or modified.  Recency and hit/miss accounting match Get.
+func (s *Store) View(key string, visit func(value []byte)) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	e := s.lookupLocked(sh, key)
+	if e == nil {
+		sh.mu.Unlock()
+		s.misses.Add(1)
+		return false
+	}
+	sh.lru.MoveToFront(e.elem)
+	visit(e.value)
+	sh.mu.Unlock()
+	s.hits.Add(1)
+	return true
+}
+
 // Set unconditionally stores key=value with optional TTL (0 = no expiry).
 func (s *Store) Set(key string, value []byte, ttl time.Duration) {
 	v := make([]byte, len(value))

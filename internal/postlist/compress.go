@@ -17,7 +17,13 @@ var ErrCorruptPostings = errors.New("postlist: corrupt compressed postings")
 // CompressIDs delta+varint encodes a sorted, duplicate-free ID list.
 // Unsorted input is an error (the caller owns list discipline).
 func CompressIDs(ids []uint32) ([]byte, error) {
-	out := make([]byte, 0, len(ids)+4)
+	return CompressIDsInto(make([]byte, 0, len(ids)+4), ids)
+}
+
+// CompressIDsInto is CompressIDs appending to dst, so hot-path callers can
+// reuse a scratch buffer across requests.
+func CompressIDsInto(dst []byte, ids []uint32) ([]byte, error) {
+	out := dst
 	// Leading count makes the empty/garbage distinction unambiguous.
 	out = appendUvarint(out, uint64(len(ids)))
 	prev := uint32(0)
@@ -37,25 +43,28 @@ func CompressIDs(ids []uint32) ([]byte, error) {
 
 // DecompressIDs reverses CompressIDs.
 func DecompressIDs(b []byte) ([]uint32, error) {
+	return DecompressIDsInto(nil, b)
+}
+
+// DecompressIDsInto reverses CompressIDs, appending the IDs to dst so
+// hot-path callers can reuse capacity; a decode error returns dst unchanged.
+func DecompressIDsInto(dst []uint32, b []byte) ([]uint32, error) {
 	n, rest, err := takeUvarint(b)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	if n > uint64(len(b))*5+1 {
 		// A varint encodes at least... each ID takes ≥1 byte, so a
 		// count beyond the remaining bytes is corruption.
-		return nil, ErrCorruptPostings
+		return dst, ErrCorruptPostings
 	}
-	if n == 0 {
-		return nil, nil
-	}
-	out := make([]uint32, 0, n)
+	out := dst
 	prev := uint64(0)
 	for i := uint64(0); i < n; i++ {
 		var d uint64
 		d, rest, err = takeUvarint(rest)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		var v uint64
 		if i == 0 {
@@ -64,7 +73,7 @@ func DecompressIDs(b []byte) ([]uint32, error) {
 			v = prev + d
 		}
 		if v > 0xFFFFFFFF || (i > 0 && d == 0) {
-			return nil, ErrCorruptPostings
+			return dst, ErrCorruptPostings
 		}
 		out = append(out, uint32(v))
 		prev = v

@@ -79,25 +79,75 @@ func DecodeBatch(b []byte) ([]BatchItem, error) {
 	return items, nil
 }
 
+// DecodeBatchInto decodes a carrier payload into parallel method/payload
+// slices, reusing the capacity of the scratch the caller passes (pass
+// methods[:0]/payloads[:0] of recycled slices).  Payloads are views into b,
+// valid only while b is.  Method names are interned against the previous
+// item — a fan-out's carrier typically repeats one method, so in steady
+// state decoding a whole batch allocates nothing.
+func DecodeBatchInto(b []byte, methods []string, payloads [][]byte) ([]string, [][]byte, error) {
+	dec := wire.NewDecoder(b)
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return methods, payloads, err
+	}
+	if n < 0 || n > wire.MaxSliceLen {
+		return methods, payloads, wire.ErrTooLarge
+	}
+	for i := 0; i < n; i++ {
+		mview := dec.BytesView()
+		if last := len(methods) - 1; last >= 0 && string(mview) == methods[last] {
+			methods = append(methods, methods[last])
+		} else {
+			methods = append(methods, string(mview))
+		}
+		payloads = append(payloads, dec.BytesView())
+	}
+	if err := dec.Err(); err != nil {
+		return methods, payloads, err
+	}
+	return methods, payloads, nil
+}
+
+// AppendBatchReplyHeader begins a streamed carrier reply of n items in enc;
+// follow with exactly n AppendBatchReplyItem calls.
+func AppendBatchReplyHeader(enc *wire.Encoder, n int) {
+	enc.Uvarint(uint64(n))
+}
+
+// AppendBatchReplyItem encodes one item's result: reply on a nil err, the
+// error text otherwise.  The leaf's streamed batch path encodes each member
+// straight into the carrier encoder this way, with no per-member reply
+// slice surviving the loop.
+func AppendBatchReplyItem(enc *wire.Encoder, reply []byte, err error) {
+	if err != nil {
+		enc.Uint8(batchErr)
+		enc.String(err.Error())
+	} else {
+		enc.Uint8(batchOK)
+		enc.BytesField(reply)
+	}
+}
+
+// AppendBatchReply encodes per-item results into enc — the pooled-encoder
+// form of EncodeBatchReply.  replies[i] is encoded when errs[i] is nil, the
+// error text otherwise; the two slices are parallel to the decoded request
+// items.
+func AppendBatchReply(enc *wire.Encoder, replies [][]byte, errs []error) {
+	AppendBatchReplyHeader(enc, len(replies))
+	for i := range replies {
+		AppendBatchReplyItem(enc, replies[i], errs[i])
+	}
+}
+
 // EncodeBatchReply encodes per-item results into a carrier reply.
-// replies[i] is encoded when errs[i] is nil, the error text otherwise; the
-// two slices are parallel to the decoded request items.
 func EncodeBatchReply(replies [][]byte, errs []error) []byte {
 	size := 8
 	for i := range replies {
 		size += len(replies[i]) + 8
 	}
 	enc := wire.NewEncoder(size)
-	enc.Uvarint(uint64(len(replies)))
-	for i := range replies {
-		if errs[i] != nil {
-			enc.Uint8(batchErr)
-			enc.String(errs[i].Error())
-		} else {
-			enc.Uint8(batchOK)
-			enc.BytesField(replies[i])
-		}
-	}
+	AppendBatchReply(enc, replies, errs)
 	return enc.Bytes()
 }
 
@@ -171,6 +221,16 @@ type BatcherOptions struct {
 	OnFlush func(items int, cause FlushCause)
 }
 
+// memberSlices recycles the member slices a flush hands to its demux.
+var memberSlices = sync.Pool{New: func() any { return make([]*Call, 0, 32) }}
+
+func putMemberSlice(s []*Call) {
+	for i := range s {
+		s[i] = nil
+	}
+	memberSlices.Put(s[:0]) //nolint:staticcheck // slice header indirection is fine here
+}
+
 // Batcher coalesces calls bound for one destination pool into carrier RPCs.
 // A batch is flushed by whichever comes first of MaxBatch members or the
 // flush delay; member calls complete individually, exactly as if they had
@@ -181,7 +241,7 @@ type Batcher struct {
 	maxBatch   int
 	delay      func() time.Duration
 	onFlush    func(int, FlushCause)
-	onResponse func(*Call)
+	onResponse func(*Call) bool
 
 	mu     sync.Mutex
 	queue  []*Call
@@ -215,32 +275,58 @@ func NewBatcher(pool *Pool, opts BatcherOptions) *Batcher {
 // Go enqueues an asynchronous call for the batcher's destination.  The
 // returned Call completes like a Client.Go call; Sent is the enqueue
 // instant, so observed latency includes time spent waiting for batch-mates.
+// A non-nil done must be buffered, as for Client.Go.
 func (b *Batcher) Go(method string, payload []byte, data any, done chan *Call) *Call {
-	if done == nil {
-		done = make(chan *Call, 1)
-	}
-	call := &Call{Method: method, Payload: payload, Data: data, Done: done, Sent: time.Now()}
+	call := b.newCall(method, payload, data, done)
+	b.enqueue(call)
+	return call
+}
 
+// GoRef is Go returning a generation-stamped reference, captured before the
+// call can complete (see Client.GoRef).
+func (b *Batcher) GoRef(method string, payload []byte, data any, done chan *Call) CallRef {
+	call := b.newCall(method, payload, data, done)
+	ref := call.Ref()
+	b.enqueue(call)
+	return ref
+}
+
+func (b *Batcher) newCall(method string, payload []byte, data any, done chan *Call) *Call {
+	call := getCall()
+	call.Method, call.Payload, call.Data = method, payload, data
+	if done == nil {
+		done = call.ownedDone()
+	} else if cap(done) == 0 {
+		panic("rpc: done channel must be buffered")
+	}
+	call.Done = done
+	call.Sent = time.Now()
+	return call
+}
+
+func (b *Batcher) enqueue(call *Call) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
 		call.Err = ErrClientClosed
 		b.complete(call)
-		return call
+		return
+	}
+	if b.queue == nil {
+		b.queue = memberSlices.Get().([]*Call)
 	}
 	b.queue = append(b.queue, call)
 	if len(b.queue) >= b.maxBatch {
 		members := b.takeLocked()
 		b.mu.Unlock()
 		b.send(members, FlushSize)
-		return call
+		return
 	}
 	if len(b.queue) == 1 {
 		gen := b.gen
 		b.timer = time.AfterFunc(b.delay(), func() { b.deadlineFlush(gen) })
 	}
 	b.mu.Unlock()
-	return call
 }
 
 // takeLocked claims the queued members and disarms the deadline timer.
@@ -266,20 +352,42 @@ func (b *Batcher) deadlineFlush(gen uint64) {
 	b.send(members, FlushDeadline)
 }
 
-// Abandon cancels a batched call.  A still-queued member is removed before
-// it is ever sent; a member already in flight is marked cancelled so the
-// demultiplexer discards its slot of the carrier reply.  Mirrors
-// Client.Abandon for the losing side of a hedged pair.
+// Abandon cancels a batched call.  Valid only while the caller still owns
+// the call; prefer AbandonRef when its consumer may recycle it concurrently.
 func (b *Batcher) Abandon(call *Call) {
-	call.cancelled.Store(true)
+	b.AbandonRef(call.Ref())
+}
+
+// AbandonRef cancels the referenced member if its generation is still
+// current.  A still-queued member is removed (and recycled) before it is
+// ever sent; a member already in flight is marked cancelled so the
+// demultiplexer discards its slot of the carrier reply.  Mirrors
+// Client.AbandonRef for the losing side of a hedged pair.
+//
+// It reports whether the member was removed from the queue here — a true
+// return guarantees the call will never be delivered; false means the
+// member was already claimed for a carrier (its delivery or discard is the
+// send/demux path's business).
+func (b *Batcher) AbandonRef(r CallRef) bool {
+	if r.call == nil {
+		return false
+	}
+	r.call.cancelAt(r.gen)
 	b.mu.Lock()
 	for i, m := range b.queue {
-		if m == call {
+		// Pointer + generation must both match: the struct may have been
+		// recycled and re-enqueued here as an unrelated member.
+		if m == r.call && m.gen.Load() == r.gen {
 			b.queue = append(b.queue[:i], b.queue[i+1:]...)
-			break
+			b.mu.Unlock()
+			// Never sent, removed under the lock: this goroutine is the
+			// sole owner now, so the struct can go straight back.
+			m.Release()
+			return true
 		}
 	}
 	b.mu.Unlock()
+	return false
 }
 
 // Close flushes any queued members as a final carrier and rejects further
@@ -303,82 +411,128 @@ func (b *Batcher) Close() {
 func (b *Batcher) send(members []*Call, cause FlushCause) {
 	live := members[:0]
 	for _, m := range members {
-		if !m.cancelled.Load() {
-			live = append(live, m)
+		if m.isCancelled() {
+			// Cancelled after being claimed from the queue: the abandon
+			// path could no longer remove it, so ownership is ours.
+			m.Release()
+			continue
 		}
+		live = append(live, m)
 	}
 	if len(live) == 0 {
+		putMemberSlice(members)
 		return
 	}
 	if b.onFlush != nil {
 		b.onFlush(len(live), cause)
 	}
 	if len(live) == 1 {
-		b.pool.Pick().start(live[0])
+		call := live[0]
+		putMemberSlice(members)
+		b.pool.Pick().start(call)
 		return
 	}
-	items := make([]BatchItem, len(live))
-	for i, m := range live {
-		items[i] = BatchItem{Method: m.Method, Payload: m.Payload}
+	enc := wire.GetEncoder()
+	enc.Uvarint(uint64(len(live)))
+	for _, m := range live {
+		enc.String(m.Method)
+		enc.BytesField(m.Payload)
 	}
-	carrier := &Call{
-		Method:  BatchMethod,
-		Payload: EncodeBatch(items),
-		Done:    make(chan *Call, 1),
-		onDone:  func(c *Call) { b.demux(live, c) },
-	}
+	carrier := getCall()
+	carrier.Method = BatchMethod
+	carrier.Payload = enc.Bytes()
+	carrier.onDone = func(c *Call) { b.demux(live, c) }
 	b.pool.Pick().start(carrier)
+	// start copies the payload into the connection's write buffer before
+	// returning, so the carrier encoder can recycle immediately.
+	wire.PutEncoder(enc)
 }
 
 // demux distributes a carrier completion to its member calls on the reader
-// goroutine — the same goroutine unbatched completions arrive on.
+// goroutine — the same goroutine unbatched completions arrive on.  Member
+// replies are views into the carrier's pooled reply buffer, shared by
+// reference count instead of copied per member.
 func (b *Batcher) demux(members []*Call, carrier *Call) {
 	received := carrier.Received
 	if received.IsZero() {
 		received = time.Now()
 	}
-	if carrier.Err != nil {
-		// Whole-carrier failure: a transport- or server-level error with
-		// every member's fate unknown.  Each member fails with the
-		// carrier's error so per-item retry policy sees its true class.
+	failAll := func(err error) {
 		for _, m := range members {
-			if m.cancelled.Load() {
-				continue
-			}
-			m.Err = carrier.Err
-			m.Received = received
-			b.complete(m)
-		}
-		return
-	}
-	replies, errs, err := DecodeBatchReply(carrier.Reply, len(members))
-	if err != nil {
-		for _, m := range members {
-			if m.cancelled.Load() {
+			if m.isCancelled() {
+				m.Release()
 				continue
 			}
 			m.Err = err
 			m.Received = received
 			b.complete(m)
 		}
+	}
+	if carrier.Err != nil {
+		// Whole-carrier failure: a transport- or server-level error with
+		// every member's fate unknown.  Each member fails with the
+		// carrier's error so per-item retry policy sees its true class.
+		failAll(carrier.Err)
+		carrier.Release()
+		putMemberSlice(members)
 		return
 	}
+	var d wire.Decoder
+	d.Reset(carrier.Reply)
+	n := int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		failAll(err)
+		carrier.Release()
+		putMemberSlice(members)
+		return
+	}
+	if n != len(members) {
+		failAll(fmt.Errorf("rpc: batch reply carries %d items, want %d", n, len(members)))
+		carrier.Release()
+		putMemberSlice(members)
+		return
+	}
+	cbuf := carrier.TakeReplyBuf()
 	for i, m := range members {
-		if m.cancelled.Load() {
+		var view []byte
+		var merr error
+		switch d.Uint8() {
+		case batchOK:
+			view = d.BytesView()
+		case batchErr:
+			merr = &BatchItemError{Msg: d.String()}
+		default:
+			merr = fmt.Errorf("rpc: batch reply item %d: unknown status", i)
+		}
+		if err := d.Err(); err != nil {
+			merr, view = err, nil
+		}
+		if m.isCancelled() {
+			m.Release()
 			continue
 		}
-		m.Reply = replies[i]
-		m.Err = errs[i]
+		if view != nil && cbuf != nil {
+			// The member's reply aliases the carrier buffer; share it by
+			// reference so the buffer survives until every member's
+			// consumer has released its view.
+			cbuf.Retain()
+			m.replyBuf = cbuf
+		}
+		m.Reply = view
+		m.Err = merr
 		m.Received = received
 		b.complete(m)
 	}
+	cbuf.Release()
+	carrier.Release()
+	putMemberSlice(members)
 }
 
 // complete mirrors Client.complete for members that never traversed a
 // client of their own (carrier demux, closed-batcher rejection).
 func (b *Batcher) complete(call *Call) {
-	if b.onResponse != nil {
-		b.onResponse(call)
+	if b.onResponse != nil && b.onResponse(call) {
+		return
 	}
 	call.finish()
 }

@@ -1,0 +1,87 @@
+package rpc
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Reply-buffer pooling.  The reader goroutine copies each response payload
+// out of the connection's frame buffer (which is reused for the next frame)
+// into a Buf drawn from a size-classed pool.  Whoever consumes the reply —
+// the mid-tier merge path, a synchronous caller, the batch demultiplexer —
+// releases the Buf once the bytes are dead, so steady-state reception
+// allocates nothing.  Bufs are reference counted because one carrier reply
+// can back many batch members' reply views at once.
+
+// bufMinBits..bufMaxBits bound the pooled size classes (256 B … 1 MiB).
+// Replies above the top class are plainly allocated and never pooled; one
+// giant response must not pin a megabyte in every pool shard.
+const (
+	bufMinBits = 8
+	bufMaxBits = 20
+)
+
+var bufPools [bufMaxBits - bufMinBits + 1]sync.Pool
+
+// Buf is a pooled, reference-counted byte buffer holding one reply payload.
+type Buf struct {
+	b     []byte
+	class int8 // pool index, -1 for unpooled oversize buffers
+	refs  atomic.Int32
+}
+
+// grabBuf returns a Buf with at least n bytes of capacity, length n, and a
+// reference count of one.
+func grabBuf(n int) *Buf {
+	cls := bufClass(n)
+	if cls < 0 {
+		b := &Buf{b: make([]byte, n), class: -1}
+		b.refs.Store(1)
+		return b
+	}
+	v := bufPools[cls].Get()
+	if v == nil {
+		b := &Buf{b: make([]byte, n, 1<<(cls+bufMinBits)), class: int8(cls)}
+		b.refs.Store(1)
+		return b
+	}
+	b := v.(*Buf)
+	b.b = b.b[:n]
+	b.refs.Store(1)
+	return b
+}
+
+// bufClass maps a payload size to its pool index, or -1 for oversize.
+func bufClass(n int) int {
+	if n > 1<<bufMaxBits {
+		return -1
+	}
+	bitsLen := bits.Len(uint(n - 1))
+	if n <= 1<<bufMinBits {
+		bitsLen = bufMinBits
+	}
+	return bitsLen - bufMinBits
+}
+
+// bytes returns the buffer's payload slice.
+func (b *Buf) bytes() []byte { return b.b }
+
+// Retain adds a reference; every Retain needs a matching Release.
+func (b *Buf) Retain() { b.refs.Add(1) }
+
+// Release drops a reference and recycles the buffer when the last one goes.
+// After the caller's Release, any slice aliasing the Buf is invalid: the
+// memory may back an unrelated reply on another connection.
+func (b *Buf) Release() {
+	if b == nil {
+		return
+	}
+	if b.refs.Add(-1) != 0 {
+		return
+	}
+	if b.class < 0 {
+		return
+	}
+	bufPools[b.class].Put(b)
+}

@@ -42,16 +42,45 @@ func TestAbandonDropsResponse(t *testing.T) {
 }
 
 func TestFinishDropsCancelledCall(t *testing.T) {
-	// A cancelled call with an unbuffered Done channel must be dropped,
-	// not handed to a forwarding goroutine that blocks forever.
-	call := &Call{Done: make(chan *Call)}
-	call.cancelled.Store(true)
+	// A cancelled call must be dropped by finish, not delivered.
+	call := &Call{Done: make(chan *Call, 1)}
+	call.cancelAt(call.gen.Load())
 	call.finish()
 	select {
 	case <-call.Done:
 		t.Fatal("cancelled call delivered")
 	case <-time.After(50 * time.Millisecond):
 	}
+}
+
+func TestStaleCancelDoesNotStick(t *testing.T) {
+	// A cancel aimed at generation g must not affect the call once it has
+	// been recycled into generation g+1 (a late Abandon via a stale ref).
+	call := getCall()
+	gen := call.gen.Load()
+	call.Release()
+	call.cancelAt(gen) // stale: references the released generation
+	if reused := getCall(); reused == call {
+		if reused.isCancelled() {
+			t.Fatal("stale cancel marker cancelled the recycled call")
+		}
+		reused.Release()
+	}
+}
+
+func TestGoPanicsOnUnbufferedDone(t *testing.T) {
+	_, addr := echoServer(t, nil)
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Go accepted an unbuffered done channel")
+		}
+	}()
+	c.Go("echo", []byte("x"), nil, make(chan *Call))
 }
 
 func TestFinishDeliversLiveCall(t *testing.T) {

@@ -15,11 +15,19 @@ import (
 // design keeps no thread bound to a call: the client writes the request,
 // continues with other work, and a shared reader goroutine later matches the
 // response to this struct through the pending table.
+//
+// Calls are pooled.  A call obtained from Go/GoRef may be returned to the
+// pool with Release once its consumer is done with it; callers that never
+// Release simply fall back to garbage collection.  After Release the Call —
+// including Reply, unless detached first — must not be touched: the struct
+// may immediately carry an unrelated RPC.
 type Call struct {
 	// Method and Payload describe the request.
 	Method  string
 	Payload []byte
-	// Reply holds the response payload after completion.
+	// Reply holds the response payload after completion.  It may alias a
+	// pooled buffer owned by the Call; DetachReply keeps the bytes alive
+	// past Release.
 	Reply []byte
 	// Err holds the failure, if any.
 	Err error
@@ -33,31 +41,153 @@ type Call struct {
 	// framework uses it to associate a leaf response with its fan-out.
 	Data any
 
-	id        uint64
-	cancelled atomic.Bool
+	id uint64
+	// gen counts the struct's reuses.  Every cancellation and reference is
+	// stamped with the generation it was issued against, so a late Abandon
+	// from a hedge loser's previous life can never touch the call's next
+	// occupant.
+	gen atomic.Uint32
+	// cancelled holds a cancellation marker — zero for never cancelled,
+	// cancelMarker(g) for a cancel issued against generation g.  Markers
+	// only ever increase, so a stale cancel cannot clobber a newer one.
+	cancelled atomic.Uint64
 
 	// onDone, when set, replaces the normal completion path (OnResponse
 	// hook + Done delivery).  The batcher sets it on the carrier call of a
 	// batched RPC so the response is demultiplexed to the member calls
 	// instead of being delivered as a call of its own.
 	onDone func(*Call)
+
+	// replyBuf is the pooled buffer backing Reply, recycled on Release.
+	replyBuf *Buf
+	// ownDone is the call's resident completion channel, allocated once
+	// per struct lifetime and reused across recycles when the caller
+	// passes done == nil.
+	ownDone chan *Call
+	pooled  bool
+}
+
+// callPool recycles Call structs across RPCs.
+var callPool = sync.Pool{New: func() any { return &Call{pooled: true} }}
+
+// getCall returns a zeroed pooled call.
+func getCall() *Call {
+	return callPool.Get().(*Call)
+}
+
+func cancelMarker(gen uint32) uint64 { return uint64(gen)<<1 | 1 }
+
+// cancelAt records a cancellation against generation gen.  Markers are
+// raised monotonically: a cancel from a stale generation is a no-op once a
+// newer one (or the same) has been recorded.
+func (c *Call) cancelAt(gen uint32) {
+	m := cancelMarker(gen)
+	for {
+		cur := c.cancelled.Load()
+		if cur >= m || c.cancelled.CompareAndSwap(cur, m) {
+			return
+		}
+	}
+}
+
+// isCancelled reports whether this generation of the call was abandoned.
+func (c *Call) isCancelled() bool {
+	return c.cancelled.Load() == cancelMarker(c.gen.Load())
+}
+
+// Ref returns a generation-stamped reference to the call, valid for
+// AbandonRef and identity comparison even after the call is released — a
+// stale ref simply stops matching.  Capture it while the call is still
+// owned (before Release or Done delivery).
+func (c *Call) Ref() CallRef {
+	return CallRef{call: c, id: c.id, gen: c.gen.Load()}
+}
+
+// CallRef is a weak, generation-stamped handle on a Call.  The zero value
+// references nothing.  Refs are comparable: two refs are equal exactly when
+// they name the same call in the same lifetime.
+type CallRef struct {
+	call *Call
+	id   uint64
+	gen  uint32
+}
+
+// DetachReply removes Reply from the call's pooled-buffer accounting and
+// returns it: the bytes stay valid after Release (they are left to the
+// garbage collector instead of the pool).
+func (c *Call) DetachReply() []byte {
+	b := c.Reply
+	c.replyBuf = nil
+	return b
+}
+
+// TakeReplyBuf detaches and returns the pooled buffer backing Reply (nil
+// when the reply is unpooled or empty).  The caller assumes the buffer's
+// reference and must Release it once Reply's bytes are dead — the mid-tier
+// holds these across a fan-out and releases them after the merge callback
+// returns.
+func (c *Call) TakeReplyBuf() *Buf {
+	b := c.replyBuf
+	c.replyBuf = nil
+	return b
+}
+
+// Release returns the call to the pool.  Only the call's consumer — whoever
+// received it on Done or observed it via a consuming OnResponse hook — may
+// call it, exactly once; the struct, and Reply unless detached, must not be
+// touched afterwards.  Safe no-op for calls not drawn from the pool.
+func (c *Call) Release() {
+	if c == nil || !c.pooled {
+		return
+	}
+	if c.replyBuf != nil {
+		c.replyBuf.Release()
+		c.replyBuf = nil
+	}
+	if c.ownDone != nil {
+		// Drain a delivery nobody consumed so the next occupant starts
+		// with an empty channel.
+		select {
+		case <-c.ownDone:
+		default:
+		}
+	}
+	c.Method = ""
+	c.Payload = nil
+	c.Reply = nil
+	c.Err = nil
+	c.Done = nil
+	c.Sent = time.Time{}
+	c.Received = time.Time{}
+	c.Data = nil
+	c.id = 0
+	c.onDone = nil
+	c.gen.Add(1)
+	callPool.Put(c)
+}
+
+// ownedDone returns the call's resident buffered completion channel.
+func (c *Call) ownedDone() chan *Call {
+	if c.ownDone == nil {
+		c.ownDone = make(chan *Call, 1)
+	}
+	return c.ownDone
 }
 
 func (c *Call) finish() {
-	if c.cancelled.Load() {
+	if c.isCancelled() {
 		// An abandoned call (a hedge's loser, a superseded retry): nobody
-		// is waiting on Done, so delivering — let alone spawning a
-		// goroutine to deliver — would only leak.
+		// is waiting on Done, so delivering would only confuse.
 		return
 	}
 	select {
 	case c.Done <- c:
 	default:
-		if c.cancelled.Load() {
-			return
-		}
-		// Done was under-buffered; never block the reader goroutine.
-		go func() { c.Done <- c }()
+		// Done is full: the caller shares one channel among more in-flight
+		// calls than its capacity.  Go rejects unbuffered channels, so
+		// this blocks the reader only against a consumer that is actively
+		// draining — backpressure, not a leaked goroutine per delivery.
+		c.Done <- c
 	}
 }
 
@@ -67,10 +197,32 @@ type ClientOptions struct {
 	Probe *telemetry.Probe
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
-	// OnResponse, when set, is invoked on the reader goroutine right
-	// after a call completes, before Done delivery.  The mid-tier
-	// framework uses it to hand responses to its response-thread pool.
-	OnResponse func(*Call)
+	// OnResponse, when set, is invoked on the reader goroutine right after
+	// a call completes.  Returning true means the hook consumed the call —
+	// ownership transferred, no Done delivery — which is how the mid-tier
+	// hands fan-out responses to its response-thread pool.  Returning
+	// false falls through to normal Done delivery.
+	OnResponse func(*Call) bool
+	// PendingShards is the pending-table shard count, rounded up to a
+	// power of two (default 8).  More shards spread pending-table lock
+	// traffic at the cost of a little memory per connection.
+	PendingShards int
+	// DisableWriteCoalesce reverts to one write syscall per frame instead
+	// of coalescing concurrently submitted frames into batched writes.
+	DisableWriteCoalesce bool
+}
+
+// defaultPendingShards balances lock spread against footprint: at 8, two
+// response threads plus a burst of senders rarely collide on one shard.
+const defaultPendingShards = 8
+
+// pendingShard is one stripe of the pending table.  Padded so neighbouring
+// shards' locks do not share a cache line (the HITM source striping exists
+// to eliminate).
+type pendingShard struct {
+	mu    *telemetry.Mutex
+	calls map[uint64]*Call
+	_     [48]byte
 }
 
 // Client is one TCP connection multiplexing many concurrent calls.
@@ -79,15 +231,23 @@ type Client struct {
 	br    *bufio.Reader
 	probe *telemetry.Probe
 
+	// wq coalesces writes; wmu/wbuf serve the uncoalesced fallback.
+	wq   *writeQueue
 	wmu  *telemetry.Mutex
 	wbuf []byte
 
-	mu      sync.Mutex // guards pending, nextID, closed
-	pending map[uint64]*Call
-	nextID  uint64
-	closed  bool
+	// The pending table, sharded by call ID so concurrent senders and the
+	// reader contend per-stripe, with an atomic in-flight count so load
+	// probes (JSQ replica selection) never touch a lock.
+	shards    []pendingShard
+	shardMask uint64
+	nextID    atomic.Uint64
+	inflight  atomic.Int64
 
-	onResponse func(*Call)
+	closed     atomic.Bool
+	connClosed atomic.Bool
+
+	onResponse func(*Call) bool
 	readerDone chan struct{}
 }
 
@@ -96,7 +256,9 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 	var (
 		probe      *telemetry.Probe
 		timeout    = 5 * time.Second
-		onResponse func(*Call)
+		onResponse func(*Call) bool
+		nshards    = defaultPendingShards
+		coalesce   = true
 	)
 	if opts != nil {
 		probe = opts.Probe
@@ -104,6 +266,13 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 			timeout = opts.DialTimeout
 		}
 		onResponse = opts.OnResponse
+		if opts.PendingShards > 0 {
+			nshards = 1
+			for nshards < opts.PendingShards {
+				nshards <<= 1
+			}
+		}
+		coalesce = !opts.DisableWriteCoalesce
 	}
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -117,10 +286,19 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 		conn:       conn,
 		br:         bufio.NewReaderSize(&countingConn{Conn: conn, probe: probe}, 64<<10),
 		probe:      probe,
-		wmu:        telemetry.NewMutex(probe),
-		pending:    make(map[uint64]*Call),
+		shards:     make([]pendingShard, nshards),
+		shardMask:  uint64(nshards - 1),
 		onResponse: onResponse,
 		readerDone: make(chan struct{}),
+	}
+	for i := range c.shards {
+		c.shards[i].mu = telemetry.NewMutex(probe)
+		c.shards[i].calls = make(map[uint64]*Call)
+	}
+	if coalesce {
+		c.wq = newWriteQueue(conn, probe, func(error) { c.closeConn() })
+	} else {
+		c.wmu = telemetry.NewMutex(probe)
 	}
 	probe.IncSyscall(telemetry.SysClone)
 	go c.readLoop()
@@ -128,43 +306,74 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 }
 
 // Go issues an asynchronous call carrying opaque data.  done may be nil, in
-// which case a buffered channel is allocated.  The returned Call is
-// delivered on done when the response (or failure) arrives; the OnResponse
-// hook, if configured, fires exactly once per call on every completion path.
+// which case the call's own buffered channel is used.  A non-nil done must
+// be buffered — with enough slack for every call that shares it — or Go
+// panics; completion delivery must never require a goroutine per call.  The
+// returned Call is delivered on done when the response (or failure)
+// arrives; the OnResponse hook, if configured, fires exactly once per call
+// on every completion path.
 func (c *Client) Go(method string, payload []byte, data any, done chan *Call) *Call {
+	call := getCall()
+	call.Method, call.Payload, call.Data = method, payload, data
 	if done == nil {
-		done = make(chan *Call, 1)
+		done = call.ownedDone()
+	} else if cap(done) == 0 {
+		panic("rpc: done channel must be buffered")
 	}
-	call := &Call{Method: method, Payload: payload, Data: data, Done: done}
+	call.Done = done
 	c.start(call)
 	return call
 }
 
-// start registers a caller-constructed call and writes its request frame.
-// Shared by Go and the batcher (which sends prebuilt carrier calls and,
-// for single-member flushes, the member call itself).
-func (c *Client) start(call *Call) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+// GoRef is Go returning a generation-stamped reference alongside nothing
+// else: the ref is captured before the request can complete, so it is safe
+// to use for Abandon even if the response races the send and the consumer
+// has already recycled the call.
+func (c *Client) GoRef(method string, payload []byte, data any, done chan *Call) CallRef {
+	call := getCall()
+	call.Method, call.Payload, call.Data = method, payload, data
+	if done == nil {
+		done = call.ownedDone()
+	} else if cap(done) == 0 {
+		panic("rpc: done channel must be buffered")
+	}
+	call.Done = done
+	return c.start(call)
+}
+
+// start registers a caller-constructed call and writes its request frame,
+// returning a ref captured before the frame hits the wire.  Shared by Go
+// and the batcher (which sends prebuilt carrier calls and, for
+// single-member flushes, the member call itself).
+func (c *Client) start(call *Call) CallRef {
+	id := c.nextID.Add(1)
+	call.id = id
+	ref := CallRef{call: call, id: id, gen: call.gen.Load()}
+	sh := &c.shards[id&c.shardMask]
+	sh.mu.Lock()
+	if c.closed.Load() {
+		sh.mu.Unlock()
 		call.Err = ErrClientClosed
 		c.complete(call)
-		return
+		return ref
 	}
-	c.nextID++
-	call.id = c.nextID
-	c.pending[call.id] = call
-	c.mu.Unlock()
+	sh.calls[id] = call
+	sh.mu.Unlock()
+	c.inflight.Add(1)
 
 	call.Sent = time.Now()
-	c.wmu.Lock()
-	err := writeFrame(c.conn, &c.wbuf, &frame{
-		kind: kindRequest, id: call.id, method: call.Method, payload: call.Payload,
-	}, c.probe)
-	c.wmu.Unlock()
-	if err != nil {
-		c.failCall(call.id, err)
+	var err error
+	if c.wq != nil {
+		err = c.wq.enqueue(kindRequest, id, call.Method, call.Payload)
+	} else {
+		c.wmu.Lock()
+		err = writeFrame(c.conn, &c.wbuf, kindRequest, id, call.Method, call.Payload, c.probe)
+		c.wmu.Unlock()
 	}
+	if err != nil {
+		c.failCall(id, err)
+	}
+	return ref
 }
 
 // complete runs the OnResponse hook (if any) and delivers the call.
@@ -173,16 +382,19 @@ func (c *Client) complete(call *Call) {
 		call.onDone(call)
 		return
 	}
-	if c.onResponse != nil {
-		c.onResponse(call)
+	if c.onResponse != nil && c.onResponse(call) {
+		return // consumed: ownership passed to the hook
 	}
 	call.finish()
 }
 
 // Call issues a synchronous RPC and waits for the response.
 func (c *Client) Call(method string, payload []byte) ([]byte, error) {
-	call := <-c.Go(method, payload, nil, nil).Done
-	return call.Reply, call.Err
+	call := c.Go(method, payload, nil, nil)
+	<-call.Done
+	reply, err := call.DetachReply(), call.Err
+	call.Release()
+	return reply, err
 }
 
 // CallTimeout is Call with a deadline.  On expiry the call is abandoned
@@ -193,46 +405,85 @@ func (c *Client) CallTimeout(method string, payload []byte, d time.Duration) ([]
 	defer timer.Stop()
 	select {
 	case <-call.Done:
-		return call.Reply, call.Err
 	case <-timer.C:
 		c.failCall(call.id, ErrTimeout)
 		<-call.Done
-		if call.Err == nil {
-			// The response raced the timeout and won; accept it.
-			return call.Reply, nil
+		if call.Err != nil {
+			call.Release()
+			return nil, ErrTimeout
 		}
-		return nil, call.Err
+		// The response raced the timeout and won; accept it.
 	}
+	reply, err := call.DetachReply(), call.Err
+	call.Release()
+	return reply, err
 }
 
 // Abandon cancels an outstanding call: its pending-table entry is removed,
 // so a late response is silently discarded at the reader, and the call is
-// never delivered on Done.  Used to cancel the losing side of a hedged
-// request pair.  The server may still execute the request — cancellation
-// stops waiting, not remote work.
+// never delivered on Done.  Valid only while the caller still owns the call
+// (before Release); prefer AbandonRef where the call's consumer may recycle
+// it concurrently.  The server may still execute the request —
+// cancellation stops waiting, not remote work.
 func (c *Client) Abandon(call *Call) {
-	call.cancelled.Store(true)
-	c.mu.Lock()
-	delete(c.pending, call.id)
-	c.mu.Unlock()
+	c.AbandonRef(call.Ref())
 }
 
-// Pending reports the number of in-flight calls awaiting responses.
+// AbandonRef cancels the referenced call if its generation is still
+// current.  Used to cancel the losing side of a hedged request pair: the
+// loser's consumer may complete and recycle it at any moment, which a stale
+// ref tolerates by doing nothing.
+//
+// It reports whether the pending-table entry was removed here — a true
+// return guarantees the call will never be delivered (no Done send, no
+// OnResponse); false means delivery already happened or is in flight.
+func (c *Client) AbandonRef(r CallRef) bool {
+	if r.call == nil {
+		return false
+	}
+	r.call.cancelAt(r.gen)
+	if r.id == 0 {
+		return false
+	}
+	sh := &c.shards[r.id&c.shardMask]
+	sh.mu.Lock()
+	_, ok := sh.calls[r.id]
+	if ok {
+		delete(sh.calls, r.id)
+	}
+	sh.mu.Unlock()
+	if ok {
+		// The abandoned call is never completed or released here — the
+		// abandoner does not own it; the struct falls to the collector.
+		c.inflight.Add(-1)
+	}
+	return ok
+}
+
+// Pending reports the number of in-flight calls awaiting responses.  Reads
+// one atomic: the JSQ load probe costs no lock.
 func (c *Client) Pending() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.pending)
+	return int(c.inflight.Load())
+}
+
+// claim removes and returns the pending call for id.
+func (c *Client) claim(id uint64) (*Call, bool) {
+	sh := &c.shards[id&c.shardMask]
+	sh.mu.Lock()
+	call, ok := sh.calls[id]
+	if ok {
+		delete(sh.calls, id)
+	}
+	sh.mu.Unlock()
+	if ok {
+		c.inflight.Add(-1)
+	}
+	return call, ok
 }
 
 // failCall completes a pending call with err, if it is still pending.
 func (c *Client) failCall(id uint64, err error) {
-	c.mu.Lock()
-	call, ok := c.pending[id]
-	if ok {
-		delete(c.pending, id)
-	}
-	c.mu.Unlock()
-	if ok {
+	if call, ok := c.claim(id); ok {
 		call.Err = err
 		c.complete(call)
 	}
@@ -253,15 +504,10 @@ func (c *Client) readLoop() {
 		}
 		received := time.Now()
 
-		// Pending-table lookup under the lock: the read-mostly shared
-		// state access we classify as the RCU analog.
+		// Pending-table lookup under the shard lock: the read-mostly
+		// shared state access we classify as the RCU analog.
 		lookupStart := time.Now()
-		c.mu.Lock()
-		call, ok := c.pending[f.id]
-		if ok {
-			delete(c.pending, f.id)
-		}
-		c.mu.Unlock()
+		call, ok := c.claim(f.id)
 		c.probe.ObserveOverhead(telemetry.OverheadRCU, time.Since(lookupStart))
 		if !ok {
 			continue // abandoned (timed-out) call
@@ -270,8 +516,12 @@ func (c *Client) readLoop() {
 		if f.kind == kindError {
 			call.Err = &RemoteError{Msg: string(f.payload)}
 		} else {
-			call.Reply = make([]byte, len(f.payload))
-			copy(call.Reply, f.payload)
+			// Copy the payload out of the frame buffer (reused for the
+			// next frame) into a pooled reply buffer owned by the call.
+			buf := grabBuf(len(f.payload))
+			copy(buf.bytes(), f.payload)
+			call.replyBuf = buf
+			call.Reply = buf.bytes()
 		}
 		call.Received = received
 		c.complete(call)
@@ -283,31 +533,41 @@ func (c *Client) failAll(err error) {
 	if errors.Is(err, net.ErrClosed) {
 		err = ErrClientClosed
 	}
-	c.mu.Lock()
-	c.closed = true
-	calls := make([]*Call, 0, len(c.pending))
-	for _, call := range c.pending {
-		calls = append(calls, call)
+	c.closed.Store(true)
+	var calls []*Call
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, call := range sh.calls {
+			calls = append(calls, call)
+		}
+		clear(sh.calls)
+		sh.mu.Unlock()
 	}
-	c.pending = make(map[uint64]*Call)
-	c.mu.Unlock()
+	c.inflight.Add(int64(-len(calls)))
 	for _, call := range calls {
 		call.Err = err
 		c.complete(call)
 	}
 }
 
-// Close shuts the connection down and fails any in-flight calls.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+// closeConn closes the socket once, counting the close syscall.
+func (c *Client) closeConn() error {
+	if !c.connClosed.CompareAndSwap(false, true) {
 		return nil
 	}
-	c.closed = true
-	c.mu.Unlock()
 	err := c.conn.Close()
 	c.probe.IncSyscall(telemetry.SysClose)
+	return err
+}
+
+// Close shuts the connection down and fails any in-flight calls.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) && c.connClosed.Load() {
+		<-c.readerDone
+		return nil
+	}
+	err := c.closeConn()
 	<-c.readerDone
 	return err
 }
@@ -318,9 +578,7 @@ func (c *Client) Addr() string { return c.conn.RemoteAddr().String() }
 // Closed reports whether the connection has shut down (locally closed or
 // failed).
 func (c *Client) Closed() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.closed
+	return c.closed.Load()
 }
 
 // reconnectBackoff rate-limits per-slot redial attempts so a dead
@@ -332,15 +590,25 @@ const reconnectBackoff = 250 * time.Millisecond
 // each destination; a Pool models that connection set.  Dead connections
 // are redialed transparently (with backoff), so a leaf that restarts is
 // picked back up without reconfiguring the mid-tier.
+//
+// Every slot is an atomic pointer and redials happen on a background
+// goroutine, so Pick, Outstanding, and Healthy never block behind a lock —
+// and in particular a dead leaf no longer stalls every caller of the pool
+// behind one slot's dial.
 type Pool struct {
-	addr string
-	opts *ClientOptions
+	addr   string
+	opts   *ClientOptions
+	slots  []poolSlot
+	next   atomic.Uint32
+	closed atomic.Bool
+}
 
-	mu      sync.Mutex
-	clients []*Client
-	lastTry []time.Time
-	next    int
-	closed  bool
+// poolSlot is one connection slot: the live client, the last redial
+// attempt's time, and a flag claiming the in-flight redial.
+type poolSlot struct {
+	client  atomic.Pointer[Client]
+	lastTry atomic.Int64
+	dialing atomic.Bool
 }
 
 // DialPool opens n connections to addr.
@@ -348,67 +616,81 @@ func DialPool(addr string, n int, opts *ClientOptions) (*Pool, error) {
 	if n < 1 {
 		n = 1
 	}
-	p := &Pool{
-		addr:    addr,
-		opts:    opts,
-		clients: make([]*Client, 0, n),
-		lastTry: make([]time.Time, n),
-	}
-	for i := 0; i < n; i++ {
+	p := &Pool{addr: addr, opts: opts, slots: make([]poolSlot, n)}
+	for i := range p.slots {
 		c, err := Dial(addr, opts)
 		if err != nil {
 			p.Close()
 			return nil, err
 		}
-		p.clients = append(p.clients, c)
+		p.slots[i].client.Store(c)
 	}
 	return p, nil
 }
 
-// Pick returns the next connection round-robin, transparently redialing a
-// slot whose connection has died (subject to backoff).  A still-dead
-// destination returns the dead client, whose calls fail fast.
+// Pick returns the next connection round-robin.  A slot whose connection
+// has died is redialed in the background (subject to backoff) while the
+// dead client is returned so its caller fails fast — nobody waits out a
+// dial on the request path.
 func (p *Pool) Pick() *Client {
-	p.mu.Lock()
-	i := p.next % len(p.clients)
-	p.next++
-	c := p.clients[i]
-	if !p.closed && c.Closed() && time.Since(p.lastTry[i]) >= reconnectBackoff {
-		p.lastTry[i] = time.Now()
-		opts := p.opts
-		// Keep the dial short: a worker is waiting on this path.
-		var dialOpts ClientOptions
-		if opts != nil {
-			dialOpts = *opts
-		}
-		if dialOpts.DialTimeout <= 0 || dialOpts.DialTimeout > time.Second {
-			dialOpts.DialTimeout = time.Second
-		}
-		if nc, err := Dial(p.addr, &dialOpts); err == nil {
-			p.clients[i] = nc
-			c = nc
-		}
+	s := &p.slots[int(p.next.Add(1)-1)%len(p.slots)]
+	c := s.client.Load()
+	if p.closed.Load() || !c.Closed() {
+		return c
 	}
-	p.mu.Unlock()
+	now := time.Now().UnixNano()
+	last := s.lastTry.Load()
+	if now-last < int64(reconnectBackoff) || !s.lastTry.CompareAndSwap(last, now) {
+		return c
+	}
+	if !s.dialing.CompareAndSwap(false, true) {
+		return c
+	}
+	go p.redial(s, c)
 	return c
 }
 
-// Size reports the number of pooled connections.
-func (p *Pool) Size() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.clients)
+// redial replaces a dead slot's client off the request path and swaps the
+// replacement in.
+func (p *Pool) redial(s *poolSlot, dead *Client) {
+	defer s.dialing.Store(false)
+	var dialOpts ClientOptions
+	if p.opts != nil {
+		dialOpts = *p.opts
+	}
+	if dialOpts.DialTimeout <= 0 || dialOpts.DialTimeout > time.Second {
+		dialOpts.DialTimeout = time.Second
+	}
+	nc, err := Dial(p.addr, &dialOpts)
+	if err != nil {
+		return
+	}
+	if p.closed.Load() {
+		nc.Close()
+		return
+	}
+	if !s.client.CompareAndSwap(dead, nc) {
+		// Someone else replaced the slot; discard ours.
+		nc.Close()
+		return
+	}
+	dead.Close() // reap the dead client's reader and descriptor
+	if p.closed.Load() {
+		// Close raced the swap; make sure the new client dies too.
+		nc.Close()
+	}
 }
+
+// Size reports the number of pooled connections.
+func (p *Pool) Size() int { return len(p.slots) }
 
 // Outstanding reports the number of in-flight calls across the pool's
 // connections — the load signal replica selection uses ("join the shortest
-// queue").
+// queue").  Lock-free: one atomic load per connection.
 func (p *Pool) Outstanding() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for _, c := range p.clients {
-		n += c.Pending()
+	for i := range p.slots {
+		n += p.slots[i].client.Load().Pending()
 	}
 	return n
 }
@@ -417,13 +699,11 @@ func (p *Pool) Outstanding() int {
 // pool has zero outstanding calls, so replica selection must not read
 // Outstanding alone — an idle-looking corpse would absorb all traffic.
 func (p *Pool) Healthy() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return false
 	}
-	for _, c := range p.clients {
-		if !c.Closed() {
+	for i := range p.slots {
+		if !p.slots[i].client.Load().Closed() {
 			return true
 		}
 	}
@@ -432,12 +712,10 @@ func (p *Pool) Healthy() bool {
 
 // Close closes every pooled connection and stops reconnection.
 func (p *Pool) Close() {
-	p.mu.Lock()
-	p.closed = true
-	clients := make([]*Client, len(p.clients))
-	copy(clients, p.clients)
-	p.mu.Unlock()
-	for _, c := range clients {
-		c.Close()
+	p.closed.Store(true)
+	for i := range p.slots {
+		if c := p.slots[i].client.Load(); c != nil {
+			c.Close()
+		}
 	}
 }

@@ -49,37 +49,45 @@ type frame struct {
 	id      uint64
 	method  string
 	payload []byte
+	// buf is the full-capacity backing storage payload points into, kept
+	// separately so repeated reads reuse one allocation (payload's own
+	// capacity erodes by the header length on every frame).
+	buf []byte
+	// hdr is the length-prefix scratch; a function-local array would be
+	// heap-allocated per frame once it escapes into io.ReadFull.
+	hdr [4]byte
 }
 
 const frameHeaderLen = 4 + 1 + 8 + 2
 
-// appendFrame encodes f into buf (reusing capacity) and returns the result.
-func appendFrame(buf []byte, f *frame) ([]byte, error) {
-	if len(f.method) > 0xFFFF {
-		return buf, fmt.Errorf("rpc: method name too long (%d bytes)", len(f.method))
+// appendFrame encodes one frame onto the end of buf (reusing capacity,
+// never truncating — the write coalescer accumulates several frames in one
+// buffer) and returns the result.  On error buf is unmodified.
+func appendFrame(buf []byte, kind byte, id uint64, method string, payload []byte) ([]byte, error) {
+	if len(method) > 0xFFFF {
+		return buf, fmt.Errorf("rpc: method name too long (%d bytes)", len(method))
 	}
-	body := 1 + 8 + 2 + len(f.method) + len(f.payload)
+	body := 1 + 8 + 2 + len(method) + len(payload)
 	if body > MaxFrameSize {
 		return buf, ErrFrameTooLarge
 	}
-	buf = buf[:0]
 	buf = append(buf, byte(body), byte(body>>8), byte(body>>16), byte(body>>24))
-	buf = append(buf, f.kind)
-	id := f.id
+	buf = append(buf, kind)
 	buf = append(buf,
 		byte(id), byte(id>>8), byte(id>>16), byte(id>>24),
 		byte(id>>32), byte(id>>40), byte(id>>48), byte(id>>56))
-	ml := len(f.method)
+	ml := len(method)
 	buf = append(buf, byte(ml), byte(ml>>8))
-	buf = append(buf, f.method...)
-	buf = append(buf, f.payload...)
+	buf = append(buf, method...)
+	buf = append(buf, payload...)
 	return buf, nil
 }
 
-// writeFrame sends f on w under the caller's write lock, counting one
-// sendmsg proxy and observing the Net_tx overhead class.
-func writeFrame(w io.Writer, buf *[]byte, f *frame, probe *telemetry.Probe) error {
-	enc, err := appendFrame(*buf, f)
+// writeFrame sends one frame on w under the caller's write lock, counting
+// one sendmsg proxy and observing the Net_tx overhead class.  The
+// uncoalesced path (-write-coalesce=false).
+func writeFrame(w io.Writer, buf *[]byte, kind byte, id uint64, method string, payload []byte, probe *telemetry.Probe) error {
+	enc, err := appendFrame((*buf)[:0], kind, id, method, payload)
 	if err != nil {
 		return err
 	}
@@ -110,21 +118,20 @@ func readFrame(br *bufio.Reader, f *frame, probe *telemetry.Probe) (firstByte ti
 	}
 	firstByte = time.Now()
 
-	var hdr [4]byte
-	if _, err = io.ReadFull(br, hdr[:]); err != nil {
+	if _, err = io.ReadFull(br, f.hdr[:]); err != nil {
 		return firstByte, err
 	}
-	body := int(hdr[0]) | int(hdr[1])<<8 | int(hdr[2])<<16 | int(hdr[3])<<24
+	body := int(f.hdr[0]) | int(f.hdr[1])<<8 | int(f.hdr[2])<<16 | int(f.hdr[3])<<24
 	if body < 1+8+2 {
 		return firstByte, fmt.Errorf("rpc: malformed frame body length %d", body)
 	}
 	if body > MaxFrameSize {
 		return firstByte, ErrFrameTooLarge
 	}
-	if cap(f.payload) < body {
-		f.payload = make([]byte, body)
+	if cap(f.buf) < body {
+		f.buf = make([]byte, body)
 	}
-	raw := f.payload[:body]
+	raw := f.buf[:body]
 	if _, err = io.ReadFull(br, raw); err != nil {
 		return firstByte, err
 	}
@@ -138,7 +145,12 @@ func readFrame(br *bufio.Reader, f *frame, probe *telemetry.Probe) (firstByte ti
 	if 11+ml > body {
 		return firstByte, fmt.Errorf("rpc: method length %d exceeds frame", ml)
 	}
-	f.method = string(raw[11 : 11+ml])
+	// Interned method: consecutive frames from one peer overwhelmingly
+	// repeat the same method, and string comparison against a []byte does
+	// not allocate, so the conversion runs only when the method changes.
+	if mview := raw[11 : 11+ml]; string(mview) != f.method {
+		f.method = string(mview)
+	}
 	f.payload = raw[11+ml : body]
 	probe.ObserveOverhead(telemetry.OverheadHardirq, time.Since(drained))
 	return firstByte, nil

@@ -1,0 +1,47 @@
+package rpc
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameRead feeds arbitrary bytes to readFrame.  Malformed input must
+// surface as an error, never a panic or an out-of-bounds payload view; a
+// frame that does decode must survive an appendFrame→readFrame round trip
+// bit-for-bit, which pins the header layout both directions at once.
+func FuzzFrameRead(f *testing.F) {
+	valid, _ := appendFrame(nil, kindRequest, 42, "search.knn", []byte("query-bytes"))
+	f.Add(valid)
+	empty, _ := appendFrame(nil, kindResponse, 1, "", nil)
+	f.Add(empty)
+	// Length prefix claiming far more body than follows.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1})
+	// Body length below the fixed header minimum.
+	f.Add([]byte{3, 0, 0, 0, 1, 2, 3})
+	// Method length overrunning the declared body.
+	f.Add([]byte{12, 0, 0, 0, 1, 9, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		var fr frame
+		if _, err := readFrame(br, &fr, nil); err != nil {
+			return
+		}
+		if len(fr.payload) > len(data) {
+			t.Fatalf("payload %d bytes exceeds %d-byte input", len(fr.payload), len(data))
+		}
+		reenc, err := appendFrame(nil, fr.kind, fr.id, fr.method, fr.payload)
+		if err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		var fr2 frame
+		if _, err := readFrame(bufio.NewReader(bytes.NewReader(reenc)), &fr2, nil); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if fr2.kind != fr.kind || fr2.id != fr.id || fr2.method != fr.method ||
+			!bytes.Equal(fr2.payload, fr.payload) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", fr2, fr)
+		}
+	})
+}

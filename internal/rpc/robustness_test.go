@@ -107,7 +107,7 @@ func TestClientSurvivesStrayResponses(t *testing.T) {
 		// Shower the client with responses for calls it never made...
 		var buf []byte
 		for id := uint64(1000); id < 1010; id++ {
-			buf, _ = appendFrame(buf, &frame{kind: kindResponse, id: id, payload: []byte("stray")})
+			buf, _ = appendFrame(buf[:0], kindResponse, id, "", []byte("stray"))
 			conn.Write(buf)
 		}
 		// ...then serve its actual request (ID 1).
@@ -120,7 +120,7 @@ func TestClientSurvivesStrayResponses(t *testing.T) {
 		if _, err := readFull(conn, raw); err != nil {
 			return
 		}
-		buf, _ = appendFrame(buf, &frame{kind: kindResponse, id: 1, payload: []byte("real")})
+		buf, _ = appendFrame(buf[:0], kindResponse, 1, "", []byte("real"))
 		conn.Write(buf)
 	}()
 

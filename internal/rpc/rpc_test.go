@@ -324,13 +324,14 @@ func TestOnResponseHook(t *testing.T) {
 	_, addr := echoServer(t, nil)
 	var hookCalls int
 	var mu sync.Mutex
-	c, err := Dial(addr, &ClientOptions{OnResponse: func(call *Call) {
+	c, err := Dial(addr, &ClientOptions{OnResponse: func(call *Call) bool {
 		mu.Lock()
 		hookCalls++
 		mu.Unlock()
 		if call.Received.IsZero() {
 			t.Error("Received not stamped before hook")
 		}
+		return false
 	}})
 	if err != nil {
 		t.Fatal(err)
@@ -352,7 +353,7 @@ func TestFrameEncodeDecodeProperty(t *testing.T) {
 			method = method[:1000]
 		}
 		in := frame{kind: kindRequest, id: id, method: method, payload: payload}
-		enc, err := appendFrame(nil, &in)
+		enc, err := appendFrame(nil, in.kind, in.id, in.method, in.payload)
 		if err != nil {
 			return false
 		}
@@ -371,7 +372,7 @@ func TestFrameEncodeDecodeProperty(t *testing.T) {
 
 func TestMethodTooLong(t *testing.T) {
 	in := frame{kind: kindRequest, method: strings.Repeat("m", 70000)}
-	if _, err := appendFrame(nil, &in); err == nil {
+	if _, err := appendFrame(nil, in.kind, in.id, in.method, in.payload); err == nil {
 		t.Fatal("oversized method accepted")
 	}
 }

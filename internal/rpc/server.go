@@ -28,19 +28,22 @@ type Request struct {
 	FirstByte time.Time
 	Arrival   time.Time
 
-	id      uint64
-	conn    *serverConn
-	replied bool
+	id         uint64
+	conn       *serverConn
+	replied    bool
+	payloadBuf *Buf
 }
 
 // Reply sends a successful response.  It is safe to call from any goroutine
-// but must be called exactly once per request.
+// but must be called exactly once per request.  The payload is copied into
+// the connection's write buffer before Reply returns, so the caller may
+// immediately reuse (or recycle) its storage.
 func (r *Request) Reply(payload []byte) {
 	if r.replied {
 		return
 	}
 	r.replied = true
-	r.conn.send(&frame{kind: kindResponse, id: r.id, payload: payload})
+	r.conn.send(kindResponse, r.id, payload)
 	r.conn.srv.probe.ObserveOverhead(telemetry.OverheadNet, time.Since(r.Arrival))
 }
 
@@ -50,7 +53,7 @@ func (r *Request) ReplyError(err error) {
 		return
 	}
 	r.replied = true
-	r.conn.send(&frame{kind: kindError, id: r.id, payload: []byte(err.Error())})
+	r.conn.send(kindError, r.id, []byte(err.Error()))
 	r.conn.srv.probe.ObserveOverhead(telemetry.OverheadNet, time.Since(r.Arrival))
 }
 
@@ -63,6 +66,30 @@ func (r *Request) DetachPayload() {
 	r.Payload = p
 }
 
+// DetachPayloadPooled is DetachPayload drawing from the reply-buffer pool:
+// the copy costs no allocation in steady state, but the caller owes a
+// ReleasePayload once the payload bytes are dead (after Reply, and after
+// any slice aliasing them).  Handlers whose payload outlives the request in
+// ways they do not control — e.g. fan-out sub-payloads sitting in batch
+// queues — must use DetachPayload instead.
+func (r *Request) DetachPayloadPooled() {
+	buf := grabBuf(len(r.Payload))
+	copy(buf.bytes(), r.Payload)
+	r.payloadBuf = buf
+	r.Payload = buf.bytes()
+}
+
+// ReleasePayload recycles the pooled payload taken by DetachPayloadPooled;
+// a no-op otherwise.  The payload (and anything aliasing it) is invalid
+// afterwards.
+func (r *Request) ReleasePayload() {
+	if r.payloadBuf != nil {
+		r.payloadBuf.Release()
+		r.payloadBuf = nil
+		r.Payload = nil
+	}
+}
+
 // Handler processes one request.  It runs on the network poller goroutine of
 // the connection that received the frame; implementations that follow the
 // paper's dispatch design immediately hand off to a worker pool.
@@ -72,12 +99,16 @@ type Handler func(*Request)
 type ServerOptions struct {
 	// Probe receives telemetry; nil disables instrumentation.
 	Probe *telemetry.Probe
+	// DisableWriteCoalesce reverts to one write syscall per response frame
+	// instead of coalescing concurrent responses into batched writes.
+	DisableWriteCoalesce bool
 }
 
 // Server accepts connections and feeds decoded requests to its handler.
 type Server struct {
-	handler Handler
-	probe   *telemetry.Probe
+	handler  Handler
+	probe    *telemetry.Probe
+	coalesce bool
 
 	mu     sync.Mutex
 	lis    net.Listener
@@ -89,13 +120,16 @@ type Server struct {
 // NewServer returns a server that invokes handler for every request.
 func NewServer(handler Handler, opts *ServerOptions) *Server {
 	var probe *telemetry.Probe
+	coalesce := true
 	if opts != nil {
 		probe = opts.Probe
+		coalesce = !opts.DisableWriteCoalesce
 	}
 	return &Server{
-		handler: handler,
-		probe:   probe,
-		conns:   make(map[*serverConn]struct{}),
+		handler:  handler,
+		probe:    probe,
+		coalesce: coalesce,
+		conns:    make(map[*serverConn]struct{}),
 	}
 }
 
@@ -133,7 +167,11 @@ func (s *Server) acceptLoop(lis net.Listener) {
 			conn: conn,
 			br:   bufio.NewReaderSize(&countingConn{Conn: conn, probe: s.probe}, 64<<10),
 		}
-		sc.wmu = telemetry.NewMutex(s.probe)
+		if s.coalesce {
+			sc.wq = newWriteQueue(conn, s.probe, func(error) { conn.Close() })
+		} else {
+			sc.wmu = telemetry.NewMutex(s.probe)
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -185,12 +223,14 @@ func (s *Server) dropConn(c *serverConn) {
 }
 
 // serverConn is one accepted connection: a blocking reader (network poller)
-// plus a write lock shared by whichever goroutines send responses.
+// plus either a coalescing write queue or (with coalescing disabled) a
+// write lock shared by whichever goroutines send responses.
 type serverConn struct {
 	srv  *Server
 	conn net.Conn
 	br   *bufio.Reader
 
+	wq   *writeQueue
 	wmu  *telemetry.Mutex
 	wbuf []byte
 }
@@ -228,12 +268,17 @@ func (sc *serverConn) readLoop() {
 	}
 }
 
-// send serializes one response frame onto the connection.  Multiple response
-// threads contend here — the socket-lock futex/HITM source the paper
-// identifies.
-func (sc *serverConn) send(f *frame) {
+// send serializes one response frame onto the connection.  With coalescing,
+// concurrent response threads append under a short lock and share one write
+// syscall; the uncoalesced fallback contends on the write mutex per frame —
+// the socket-lock futex/HITM source the paper identifies.
+func (sc *serverConn) send(kind byte, id uint64, payload []byte) {
+	if sc.wq != nil {
+		_ = sc.wq.enqueue(kind, id, "", payload)
+		return
+	}
 	sc.wmu.Lock()
-	err := writeFrame(sc.conn, &sc.wbuf, f, sc.srv.probe)
+	err := writeFrame(sc.conn, &sc.wbuf, kind, id, "", payload, sc.srv.probe)
 	sc.wmu.Unlock()
 	if err != nil {
 		sc.conn.Close()

@@ -12,6 +12,7 @@ package hdsearch
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"musuite/internal/core"
 	"musuite/internal/dataset"
@@ -73,33 +74,44 @@ func DecodeLeafRequest(b []byte) (query vec.Vector, ids []uint32, k int, err err
 	return query, ids, k, d.Err()
 }
 
-// EncodeNeighbors encodes a distance-sorted result list.
-func EncodeNeighbors(ns []Neighbor) []byte {
-	e := wire.NewEncoder(8 + 8*len(ns))
+// AppendNeighbors appends a distance-sorted result list to e — the
+// streaming form the leaf and mid-tier reply paths use with pooled
+// encoders.
+func AppendNeighbors(e *wire.Encoder, ns []Neighbor) {
 	e.Uvarint(uint64(len(ns)))
 	for _, n := range ns {
 		e.Uint32(n.PointID)
 		e.Float32(n.Distance)
 	}
+}
+
+// EncodeNeighbors encodes a distance-sorted result list.
+func EncodeNeighbors(ns []Neighbor) []byte {
+	e := wire.NewEncoder(8 + 8*len(ns))
+	AppendNeighbors(e, ns)
 	return e.Bytes()
+}
+
+// DecodeNeighborsInto decodes a result list, appending to dst so callers can
+// reuse capacity across replies.
+func DecodeNeighborsInto(dst []Neighbor, b []byte) ([]Neighbor, error) {
+	d := wire.NewDecoder(b)
+	n := int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return dst, err
+	}
+	if n > wire.MaxSliceLen/8 {
+		return dst, wire.ErrTooLarge
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, Neighbor{PointID: d.Uint32(), Distance: d.Float32()})
+	}
+	return dst, d.Err()
 }
 
 // DecodeNeighbors decodes a result list.
 func DecodeNeighbors(b []byte) ([]Neighbor, error) {
-	d := wire.NewDecoder(b)
-	n := int(d.Uvarint())
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
-	if n > wire.MaxSliceLen/8 {
-		return nil, wire.ErrTooLarge
-	}
-	out := make([]Neighbor, n)
-	for i := range out {
-		out[i].PointID = d.Uint32()
-		out[i].Distance = d.Float32()
-	}
-	return out, d.Err()
+	return DecodeNeighborsInto(nil, b)
 }
 
 // --- leaf ---
@@ -129,41 +141,50 @@ func ShardCorpus(c *dataset.ImageCorpus, n int) []LeafData {
 	return out
 }
 
-// leafKNN runs the distance kernel for one scoring call against the shard.
-func leafKNN(data LeafData, payload []byte) ([]byte, error) {
-	query, ids, k, err := DecodeLeafRequest(payload)
-	if err != nil {
-		return nil, err
-	}
-	local := knn.Subset(query, data.Vectors, ids, k)
-	out := make([]Neighbor, len(local))
-	for i, n := range local {
-		out[i] = Neighbor{PointID: data.GlobalID[n.ID], Distance: n.Distance}
-	}
-	return EncodeNeighbors(out), nil
+// leafScratch recycles the decoded query vector and candidate-ID list of a
+// scoring call across requests served by the same leaf worker pool.
+type leafScratch struct {
+	query []float32
+	ids   []uint32
 }
 
-// NewLeaf builds the HDSearch leaf microservice over one shard.  Batched
-// carriers run all their distance kernels as one worker task, amortizing
-// dispatch and framing across the batch; each query still fails alone.
+var leafScratches = sync.Pool{New: func() any { return new(leafScratch) }}
+
+// leafKNN runs the distance kernel for one scoring call against the shard,
+// streaming the distance-sorted global-ID list into reply.  The request
+// decodes into pooled scratch (nothing decoded survives the call) and the
+// reply bytes go straight into the leaf's pooled encoder, so a steady-state
+// scoring call allocates only the top-k selection itself.
+func leafKNN(data LeafData, payload []byte, reply *wire.Encoder) error {
+	sc := leafScratches.Get().(*leafScratch)
+	defer leafScratches.Put(sc)
+	d := wire.NewDecoder(payload)
+	k := int(d.Uvarint())
+	sc.query = d.Float32sInto(sc.query[:0])
+	sc.ids = d.Uint32sInto(sc.ids[:0])
+	if err := d.Err(); err != nil {
+		return err
+	}
+	local := knn.Subset(vec.Vector(sc.query), data.Vectors, sc.ids, k)
+	reply.Uvarint(uint64(len(local)))
+	for _, n := range local {
+		reply.Uint32(data.GlobalID[n.ID])
+		reply.Float32(n.Distance)
+	}
+	return nil
+}
+
+// NewLeaf builds the HDSearch leaf microservice over one shard.  The handler
+// uses the encoded form, so scalar requests and batch-carrier members alike
+// stream their result lists into pooled encoders; a whole carrier still runs
+// as one worker task, and each query still fails alone.
 func NewLeaf(data LeafData, opts *core.LeafOptions) *core.Leaf {
-	return core.NewLeaf(func(method string, payload []byte) ([]byte, error) {
+	return core.NewLeafEncoded(func(method string, payload []byte, reply *wire.Encoder) error {
 		if method != MethodLeafKNN {
-			return nil, fmt.Errorf("hdsearch leaf: unknown method %q", method)
+			return fmt.Errorf("hdsearch leaf: unknown method %q", method)
 		}
-		return leafKNN(data, payload)
-	}, core.LeafOptionsWithBatch(opts, func(methods []string, payloads [][]byte) ([][]byte, []error) {
-		replies := make([][]byte, len(methods))
-		errs := make([]error, len(methods))
-		for i := range methods {
-			if methods[i] != MethodLeafKNN {
-				errs[i] = fmt.Errorf("hdsearch leaf: unknown method %q", methods[i])
-				continue
-			}
-			replies[i], errs[i] = leafKNN(data, payloads[i])
-		}
-		return replies, errs
-	}))
+		return leafKNN(data, payload, reply)
+	}, opts)
 }
 
 // --- mid-tier ---
@@ -192,6 +213,29 @@ func BuildIndex(shards []LeafData, cfg IndexConfig) (*lsh.Index, error) {
 		}
 	}
 	return idx, nil
+}
+
+// mergeScratch recycles the flattened candidate list the mid-tier response
+// path builds from the per-shard replies.
+type mergeScratch struct{ all []knn.Neighbor }
+
+var mergeScratches = sync.Pool{New: func() any { return new(mergeScratch) }}
+
+// appendNeighborList decodes one shard's encoded neighbor list, appending
+// each entry to dst without materializing an intermediate slice.
+func appendNeighborList(dst []knn.Neighbor, b []byte) ([]knn.Neighbor, error) {
+	d := wire.NewDecoder(b)
+	n := int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return dst, err
+	}
+	if n > wire.MaxSliceLen/8 {
+		return dst, wire.ErrTooLarge
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, knn.Neighbor{ID: d.Uint32(), Distance: d.Float32()})
+	}
+	return dst, d.Err()
 }
 
 // NewMidTier builds the HDSearch mid-tier microservice around a prebuilt
@@ -228,31 +272,36 @@ func NewMidTier(index CandidateIndex, opts *core.Options) *core.MidTier {
 			})
 		}
 		// Response path: merge per-shard distance-sorted lists into the
-		// final k-NN across all shards.
+		// final k-NN across all shards.  The per-shard replies decode
+		// straight into one pooled flat candidate list (they may alias
+		// pooled reply buffers recycled when this merge returns, so each
+		// entry is copied out here, by value), and the final reply streams
+		// through a pooled encoder.
 		ctx.Fanout(calls, func(results []core.LeafResult) {
-			lists := make([][]knn.Neighbor, 0, len(results))
+			sc := mergeScratches.Get().(*mergeScratch)
+			defer mergeScratches.Put(sc)
+			sc.all = sc.all[:0]
 			for _, r := range results {
 				if r.Err != nil {
 					ctx.ReplyError(r.Err)
 					return
 				}
-				ns, err := DecodeNeighbors(r.Reply)
+				var err error
+				sc.all, err = appendNeighborList(sc.all, r.Reply)
 				if err != nil {
 					ctx.ReplyError(err)
 					return
 				}
-				list := make([]knn.Neighbor, len(ns))
-				for i, n := range ns {
-					list[i] = knn.Neighbor{ID: n.PointID, Distance: n.Distance}
-				}
-				lists = append(lists, list)
 			}
-			merged := knn.Merge(lists, k)
-			out := make([]Neighbor, len(merged))
-			for i, n := range merged {
-				out[i] = Neighbor{PointID: n.ID, Distance: n.Distance}
+			merged := knn.Select(sc.all, k)
+			e := wire.GetEncoder()
+			e.Uvarint(uint64(len(merged)))
+			for _, n := range merged {
+				e.Uint32(n.ID)
+				e.Float32(n.Distance)
 			}
-			ctx.Reply(EncodeNeighbors(out))
+			ctx.Reply(e.Bytes())
+			wire.PutEncoder(e)
 		})
 	}, opts)
 }

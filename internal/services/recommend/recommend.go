@@ -248,23 +248,27 @@ func clamp(r float64) float64 {
 	return r
 }
 
-// NewLeaf builds the Recommend leaf microservice over a trained model.
-// Batched carriers take the multi-pair prediction path: predictions sharing
-// a user reuse one neighborhood scan (PredictBatch).
+// NewLeaf builds the Recommend leaf microservice over a trained model.  The
+// scalar handler uses the encoded form, streaming each prediction into the
+// leaf's pooled reply encoder; batched carriers take the multi-pair
+// prediction path, where predictions sharing a user reuse one neighborhood
+// scan (PredictBatch).
 func NewLeaf(lm *LeafModel, opts *core.LeafOptions) *core.Leaf {
-	return core.NewLeaf(func(method string, payload []byte) ([]byte, error) {
+	return core.NewLeafEncoded(func(method string, payload []byte, reply *wire.Encoder) error {
 		switch method {
 		case MethodPredict:
 			user, item, err := DecodePredictRequest(payload)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rating, ok := lm.Predict(user, item)
-			return EncodePredictResponse(rating, ok), nil
+			reply.Bool(ok)
+			reply.Float64(rating)
+			return nil
 		case MethodTopN:
-			return lm.handleTopN(payload)
+			return lm.appendTopN(payload, reply)
 		}
-		return nil, errUnknownMethod("leaf", method)
+		return errUnknownMethod("leaf", method)
 	}, core.LeafOptionsWithBatch(opts, func(methods []string, payloads [][]byte) ([][]byte, []error) {
 		replies := make([][]byte, len(methods))
 		errs := make([]error, len(methods))
@@ -348,11 +352,16 @@ func NewMidTier(opts *core.Options) *core.MidTier {
 					n++
 				}
 			}
+			e := wire.GetEncoder()
 			if n == 0 {
-				ctx.Reply(EncodePredictResponse(0, false))
-				return
+				e.Bool(false)
+				e.Float64(0)
+			} else {
+				e.Bool(true)
+				e.Float64(sum / float64(n))
 			}
-			ctx.Reply(EncodePredictResponse(sum/float64(n), true))
+			ctx.Reply(e.Bytes())
+			wire.PutEncoder(e)
 		})
 	}, opts)
 }

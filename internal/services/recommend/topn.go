@@ -121,6 +121,27 @@ func (lm *LeafModel) handleTopN(payload []byte) ([]byte, error) {
 	return EncodeTopNResponse(recs, rated32), nil
 }
 
+// appendTopN is handleTopN in streaming form: the response goes straight
+// into the leaf's pooled reply encoder (same wire layout as
+// EncodeTopNResponse).
+func (lm *LeafModel) appendTopN(payload []byte, reply *wire.Encoder) error {
+	user, n, err := DecodeTopNRequest(payload)
+	if err != nil {
+		return err
+	}
+	recs, rated, _ := lm.TopN(user, n)
+	reply.Uvarint(uint64(len(recs)))
+	for _, r := range recs {
+		reply.Uvarint(uint64(r.Item))
+		reply.Float64(r.Rating)
+	}
+	reply.Uvarint(uint64(len(rated)))
+	for _, item := range rated {
+		reply.Uint32(uint32(item))
+	}
+	return nil
+}
+
 // mergeTopN combines per-leaf recommendations: per-item ratings are averaged
 // across the leaves that scored the item, items rated by the user in any
 // shard are dropped, and the global top-n remains.

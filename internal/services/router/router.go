@@ -100,49 +100,58 @@ func DecodeFound(b []byte) (bool, error) {
 
 // --- leaf ---
 
-// applyOp executes one store operation for a leaf request.
-func applyOp(store *memcache.Store, method string, payload []byte) ([]byte, error) {
+// applyOp executes one store operation for a leaf request, streaming the
+// reply into the pooled encoder.  Set values are read by view (the store
+// copies them in) and get values stream out under the store's shard lock, so
+// the only steady-state allocation is the key string the store's map index
+// requires.
+func applyOp(store *memcache.Store, method string, payload []byte, reply *wire.Encoder) error {
+	d := wire.NewDecoder(payload)
 	switch method {
 	case MethodGet:
-		key, err := DecodeKey(payload)
-		if err != nil {
-			return nil, err
+		key := d.String()
+		if err := d.Err(); err != nil {
+			return err
 		}
-		value, found := store.Get(key)
-		return EncodeGetResponse(found, value), nil
+		found := store.View(key, func(value []byte) {
+			reply.Bool(true)
+			reply.BytesField(value)
+		})
+		if !found {
+			reply.Bool(false)
+			reply.BytesField(nil)
+		}
+		return nil
 	case MethodSet:
-		key, value, err := DecodeKeyValue(payload)
-		if err != nil {
-			return nil, err
+		key := d.String()
+		value := d.BytesView()
+		if err := d.Err(); err != nil {
+			return err
 		}
 		store.Set(key, value, 0)
-		return nil, nil
+		return nil
 	case MethodDelete:
-		key, err := DecodeKey(payload)
-		if err != nil {
-			return nil, err
+		key := d.String()
+		if err := d.Err(); err != nil {
+			return err
 		}
-		return EncodeFound(store.Delete(key)), nil
+		reply.Bool(store.Delete(key))
+		return nil
 	}
-	return nil, fmt.Errorf("router leaf: unknown method %q", method)
+	return fmt.Errorf("router leaf: unknown method %q", method)
 }
 
 // NewLeaf wraps a memcache store as a Router leaf microservice, rewriting
 // RPC requests into local store operations exactly as the paper's leaf
-// rewrites gRPC queries against its memcached process.  A batched carrier
-// is the multiget/multiset form: its operations run in order as one worker
-// task against the store, one dispatch hand-off for the lot.
+// rewrites gRPC queries against its memcached process.  The handler uses the
+// encoded form; a batched carrier is the multiget/multiset form, its
+// operations running in order as one worker task against the store, one
+// dispatch hand-off for the lot and every member reply streamed into the
+// carrier's pooled encoder.
 func NewLeaf(store *memcache.Store, opts *core.LeafOptions) *core.Leaf {
-	return core.NewLeaf(func(method string, payload []byte) ([]byte, error) {
-		return applyOp(store, method, payload)
-	}, core.LeafOptionsWithBatch(opts, func(methods []string, payloads [][]byte) ([][]byte, []error) {
-		replies := make([][]byte, len(methods))
-		errs := make([]error, len(methods))
-		for i := range methods {
-			replies[i], errs[i] = applyOp(store, methods[i], payloads[i])
-		}
-		return replies, errs
-	}))
+	return core.NewLeafEncoded(func(method string, payload []byte, reply *wire.Encoder) error {
+		return applyOp(store, method, payload, reply)
+	}, opts)
 }
 
 // --- mid-tier ---

@@ -10,6 +10,8 @@ package setalgebra
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"musuite/internal/core"
 	"musuite/internal/dataset"
@@ -113,7 +115,9 @@ func ShardCorpus(c *dataset.DocCorpus, n, stopTerms int) []LeafData {
 	return out
 }
 
-// intersect runs one multi-term intersection against the shard's index.
+// intersect runs one multi-term intersection against the shard's index —
+// the slice-returning form the vectorized batch handler uses so duplicate
+// payloads can share one reply.
 func intersect(data LeafData, payload []byte) ([]byte, error) {
 	terms, err := DecodeTerms(payload)
 	if err != nil {
@@ -129,17 +133,64 @@ func intersect(data LeafData, payload []byte) ([]byte, error) {
 	return EncodeCompressedDocIDs(global)
 }
 
+// leafScratch recycles a scalar intersection's decoded term list, mapped
+// global-ID list, and compressed output across requests.
+type leafScratch struct {
+	terms  []int
+	global []uint32
+	comp   []byte
+}
+
+var leafScratches = sync.Pool{New: func() any { return new(leafScratch) }}
+
+// intersectEncoded is intersect in streaming form: the request decodes into
+// pooled scratch and the compressed posting list goes straight into the
+// leaf's pooled reply encoder, so a steady-state scalar intersection
+// allocates only what the index search itself does.
+func intersectEncoded(data LeafData, payload []byte, reply *wire.Encoder) error {
+	sc := leafScratches.Get().(*leafScratch)
+	defer leafScratches.Put(sc)
+	d := wire.NewDecoder(payload)
+	n := int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n > wire.MaxSliceLen/4 {
+		return wire.ErrTooLarge
+	}
+	sc.terms = sc.terms[:0]
+	for i := 0; i < n; i++ {
+		sc.terms = append(sc.terms, int(d.Uvarint()))
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	local := data.Index.Search(sc.terms)
+	sc.global = sc.global[:0]
+	for _, id := range local {
+		sc.global = append(sc.global, data.GlobalID[id])
+	}
+	comp, err := postlist.CompressIDsInto(sc.comp[:0], sc.global)
+	if err != nil {
+		return err
+	}
+	sc.comp = comp
+	reply.Raw(comp)
+	return nil
+}
+
 // NewLeaf builds the Set Algebra leaf microservice over one indexed shard.
-// A batched carrier intersects each member's term set as one worker task,
-// and identical term payloads within the batch — common when several
-// front-end requests query trending terms at once — are intersected once
-// and their compressed result shared.
+// Scalar intersections take the encoded zero-copy path; a batched carrier
+// intersects each member's term set as one worker task, and identical term
+// payloads within the batch — common when several front-end requests query
+// trending terms at once — are intersected once and their compressed result
+// shared.
 func NewLeaf(data LeafData, opts *core.LeafOptions) *core.Leaf {
-	return core.NewLeaf(func(method string, payload []byte) ([]byte, error) {
+	return core.NewLeafEncoded(func(method string, payload []byte, reply *wire.Encoder) error {
 		if method != MethodIntersect {
-			return nil, fmt.Errorf("setalgebra leaf: unknown method %q", method)
+			return fmt.Errorf("setalgebra leaf: unknown method %q", method)
 		}
-		return intersect(data, payload)
+		return intersectEncoded(data, payload, reply)
 	}, core.LeafOptionsWithBatch(opts, func(methods []string, payloads [][]byte) ([][]byte, []error) {
 		replies := make([][]byte, len(methods))
 		errs := make([]error, len(methods))
@@ -162,6 +213,12 @@ func NewLeaf(data LeafData, opts *core.LeafOptions) *core.Leaf {
 
 // --- mid-tier ---
 
+// mergeScratch recycles the flattened ID list the mid-tier union builds
+// from the per-shard compressed replies.
+type mergeScratch struct{ all []uint32 }
+
+var mergeScratches = sync.Pool{New: func() any { return new(mergeScratch) }}
+
 // NewMidTier builds the Set Algebra mid-tier: forward terms to every leaf,
 // union the intersected posting lists received.  Call ConnectLeaves then
 // Start.
@@ -175,21 +232,39 @@ func NewMidTier(opts *core.Options) *core.MidTier {
 			ctx.ReplyError(err)
 			return
 		}
+		// Response path: each shard's compressed list decompresses
+		// straight into one pooled flat slice (the replies may alias
+		// pooled buffers recycled when this merge returns, so the IDs are
+		// materialized here), which is then sorted and deduplicated in
+		// place — the union — and streamed out via a pooled encoder.
 		ctx.FanoutAll(MethodIntersect, ctx.Req.Payload, func(results []core.LeafResult) {
-			lists := make([][]uint32, 0, len(results))
+			sc := mergeScratches.Get().(*mergeScratch)
+			defer mergeScratches.Put(sc)
+			sc.all = sc.all[:0]
 			for _, r := range results {
 				if r.Err != nil {
 					ctx.ReplyError(r.Err)
 					return
 				}
-				ids, err := DecodeCompressedDocIDs(r.Reply)
+				var err error
+				sc.all, err = postlist.DecompressIDsInto(sc.all, r.Reply)
 				if err != nil {
 					ctx.ReplyError(err)
 					return
 				}
-				lists = append(lists, ids)
 			}
-			ctx.Reply(EncodeDocIDs(postlist.UnionIDs(lists...)))
+			all := sc.all
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			union := all[:0]
+			for i, id := range all {
+				if i == 0 || id != union[len(union)-1] {
+					union = append(union, id)
+				}
+			}
+			e := wire.GetEncoder()
+			e.Uint32s(union)
+			ctx.Reply(e.Bytes())
+			wire.PutEncoder(e)
 		})
 	}, opts)
 }

@@ -11,6 +11,7 @@ package wire
 import (
 	"errors"
 	"math"
+	"sync"
 )
 
 // ErrTruncated reports a decode past the end of the buffer.
@@ -31,6 +32,32 @@ type Encoder struct {
 // NewEncoder returns an encoder with the given initial capacity.
 func NewEncoder(capacity int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// encPool recycles encoders across requests.  Handlers on the hot path
+// encode every reply into a pooled encoder and return it once the bytes
+// have been consumed (the RPC layer copies the reply into its write buffer
+// synchronously), so steady-state encoding allocates nothing.
+var encPool = sync.Pool{
+	New: func() any { return &Encoder{buf: make([]byte, 0, 512)} },
+}
+
+// GetEncoder returns a reset pooled encoder.  Pair with PutEncoder once the
+// encoded bytes are no longer referenced.
+func GetEncoder() *Encoder {
+	e := encPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder recycles e.  The caller must not touch e or any slice obtained
+// from e.Bytes() afterwards.  Oversized scratch is dropped rather than
+// pooled so one giant reply does not pin its buffer forever.
+func PutEncoder(e *Encoder) {
+	if e == nil || cap(e.buf) > 1<<20 {
+		return
+	}
+	encPool.Put(e)
 }
 
 // Bytes returns the encoded buffer.  The slice aliases internal storage and
@@ -96,6 +123,12 @@ func (e *Encoder) BytesField(b []byte) {
 	e.buf = append(e.buf, b...)
 }
 
+// Raw appends b with no length prefix — for payloads whose framing is
+// already part of their own encoding (e.g. compressed posting lists).
+func (e *Encoder) Raw(b []byte) {
+	e.buf = append(e.buf, b...)
+}
+
 // String appends a length-prefixed string.
 func (e *Encoder) String(s string) {
 	e.Uvarint(uint64(len(s)))
@@ -146,6 +179,12 @@ type Decoder struct {
 
 // NewDecoder returns a decoder over b.  The decoder does not copy b.
 func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Reset repoints d at b and clears any sticky error, letting callers keep a
+// decoder on the stack (or in scratch) instead of allocating one per message.
+func (d *Decoder) Reset(b []byte) {
+	d.buf, d.off, d.err = b, 0, nil
+}
 
 // Err returns the first decode error, if any.
 func (d *Decoder) Err() error { return d.err }
@@ -266,6 +305,78 @@ func (d *Decoder) BytesField() []byte {
 	return out
 }
 
+// BytesView reads a length-prefixed byte field without copying: the result
+// aliases the decoder's underlying buffer and is valid only as long as that
+// buffer is.  The hot-path accessor for decode-in-place.
+func (d *Decoder) BytesView() []byte {
+	return d.take(d.sliceLen())
+}
+
+// prefixedLen reads a uvarint element count and validates that width×n
+// bytes actually remain, so a corrupt length prefix fails with ErrTruncated
+// before any allocation is sized from it.
+func (d *Decoder) prefixedLen(width int) int {
+	n := d.sliceLen()
+	if d.err != nil {
+		return 0
+	}
+	if n*width > d.Remaining() {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	return n
+}
+
+// Float32sInto reads a length-prefixed []float32 into dst, reusing its
+// capacity.  It returns the filled slice (which may be a new allocation when
+// dst is too small) — the no-copy decode path for request scratch.
+func (d *Decoder) Float32sInto(dst []float32) []float32 {
+	n := d.prefixedLen(4)
+	if d.err != nil || n == 0 {
+		return dst[:0]
+	}
+	if cap(dst) < n {
+		dst = make([]float32, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = d.Float32()
+	}
+	return dst
+}
+
+// Uint32sInto reads a length-prefixed []uint32 into dst, reusing capacity.
+func (d *Decoder) Uint32sInto(dst []uint32) []uint32 {
+	n := d.prefixedLen(4)
+	if d.err != nil || n == 0 {
+		return dst[:0]
+	}
+	if cap(dst) < n {
+		dst = make([]uint32, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = d.Uint32()
+	}
+	return dst
+}
+
+// Uint64sInto reads a length-prefixed []uint64 into dst, reusing capacity.
+func (d *Decoder) Uint64sInto(dst []uint64) []uint64 {
+	n := d.prefixedLen(8)
+	if d.err != nil || n == 0 {
+		return dst[:0]
+	}
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = d.Uint64()
+	}
+	return dst
+}
+
 // String reads a length-prefixed string.
 func (d *Decoder) String() string {
 	n := d.sliceLen()
@@ -278,7 +389,7 @@ func (d *Decoder) String() string {
 
 // Float32s reads a length-prefixed []float32.
 func (d *Decoder) Float32s() []float32 {
-	n := d.sliceLen()
+	n := d.prefixedLen(4)
 	if d.err != nil || n == 0 {
 		return nil
 	}
@@ -294,7 +405,7 @@ func (d *Decoder) Float32s() []float32 {
 
 // Uint64s reads a length-prefixed []uint64.
 func (d *Decoder) Uint64s() []uint64 {
-	n := d.sliceLen()
+	n := d.prefixedLen(8)
 	if d.err != nil || n == 0 {
 		return nil
 	}
@@ -310,7 +421,7 @@ func (d *Decoder) Uint64s() []uint64 {
 
 // Uint32s reads a length-prefixed []uint32.
 func (d *Decoder) Uint32s() []uint32 {
-	n := d.sliceLen()
+	n := d.prefixedLen(4)
 	if d.err != nil || n == 0 {
 		return nil
 	}
@@ -324,9 +435,11 @@ func (d *Decoder) Uint32s() []uint32 {
 	return out
 }
 
-// Strings reads a length-prefixed []string.
+// Strings reads a length-prefixed []string.  Each string costs at least one
+// length byte, so the element count is validated against Remaining before
+// the slice is sized.
 func (d *Decoder) Strings() []string {
-	n := d.sliceLen()
+	n := d.prefixedLen(1)
 	if d.err != nil || n == 0 {
 		return nil
 	}
