@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet fmt-check bench-smoke bench-gate bench-baseline profile ci
+.PHONY: build test short race vet fmt-check bench-smoke bench-gate bench-baseline profile resize-demo drain-churn ci
 
 # Gate benchmarks: TailFanout (hedging), LeafBatching (cross-request
 # coalescing), and HotPathAllocs (per-call allocation budget).  -count=5
@@ -55,5 +55,19 @@ profile: build
 	mkdir -p profile
 	$(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs' -benchtime=2s -benchmem \
 		-cpuprofile profile/cpu.out -memprofile profile/mem.out -mutexprofile profile/mutex.out .
+
+# Watch a live resize: Router serves a steady load while a leaf group is
+# added and then gracefully drained mid-window.  Jump routing keeps key
+# placements stable through both transitions; the output's acceptance line
+# confirms zero failed requests.
+resize-demo: build
+	$(GO) run ./cmd/musuite-bench -experiment resize -routing jump -window 2s -load 500
+
+# Long-soak topology churn under the race detector (the nightly CI job).
+# Override the cycle count: make drain-churn CYCLES=500
+CYCLES ?= 100
+drain-churn:
+	MUSUITE_DRAIN_CHURN_CYCLES=$(CYCLES) $(GO) test -race -count=1 -timeout 20m \
+		-run TestDrainChurnStress ./internal/core
 
 ci: fmt-check vet build race

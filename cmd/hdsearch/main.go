@@ -16,6 +16,7 @@ import (
 	"strings"
 	"syscall"
 
+	"musuite/internal/cluster"
 	"musuite/internal/core"
 	"musuite/internal/dataset"
 	"musuite/internal/services/hdsearch"
@@ -43,6 +44,9 @@ func main() {
 
 		writeCoalesce = flag.Bool("write-coalesce", true, "coalesce concurrent response/request frames into batched write syscalls")
 		pendingShards = flag.Int("pending-shards", 0, "midtier: pending-table shards per leaf connection (0 = default 8, rounded to a power of two)")
+
+		routing   = flag.String("routing", "modulo", "midtier: key placement strategy: modulo | jump (jump keeps placements stable through resizes)")
+		adminAddr = flag.String("admin", "", "midtier: topology admin listener (empty disables; \":0\" picks a port)")
 	)
 	flag.Parse()
 
@@ -53,6 +57,10 @@ func main() {
 		LeafRetries:      *leafRetries,
 	}
 	batch := core.BatchPolicy{MaxBatch: *maxBatch, Delay: *batchDelay}
+	strategy, err := cluster.ParseRouting(*routing)
+	if err != nil {
+		fatal(err)
+	}
 
 	corpus := dataset.NewImageCorpus(dataset.ImageCorpusConfig{
 		N: *n, Dim: *dim, Clusters: 16, Seed: *seed,
@@ -90,6 +98,7 @@ func main() {
 			Tail:                 tail,
 			Batch:                batch,
 			PendingShards:        *pendingShards,
+			Routing:              strategy,
 			DisableWriteCoalesce: !*writeCoalesce,
 		})
 		groups, err := core.GroupAddrs(strings.Split(*leaves, ","), *replicas)
@@ -105,6 +114,14 @@ func main() {
 		}
 		fmt.Printf("hdsearch mid-tier on %s (index: %d entries, %d leaves × %d replicas)\n",
 			bound, index.Size(), mt.NumLeaves(), *replicas)
+		if *adminAddr != "" {
+			adm, adminBound, err := cluster.ServeAdmin(mt.Topology(), *adminAddr)
+			if err != nil {
+				fatal(err)
+			}
+			defer adm.Close()
+			fmt.Printf("hdsearch topology admin on %s\n", adminBound)
+		}
 		waitForSignal()
 		mt.Close()
 

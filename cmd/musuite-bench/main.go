@@ -18,13 +18,14 @@ import (
 	"time"
 
 	"musuite/internal/bench"
+	"musuite/internal/cluster"
 	"musuite/internal/core"
 )
 
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"tableII | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | fig18 | fig19 | ablation | threadpool | flashcrowd | trace | indexcmp | all")
+			"tableII | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | fig18 | fig19 | ablation | threadpool | flashcrowd | trace | indexcmp | resize | all")
 		scaleName = flag.String("scale", "small", "small | paper")
 		services  = flag.String("services", strings.Join(bench.ServiceNames, ","),
 			"comma-separated service subset")
@@ -41,8 +42,15 @@ func main() {
 
 		writeCoalesce = flag.Bool("write-coalesce", true, "coalesce concurrent frames into batched write syscalls on both tiers")
 		pendingShards = flag.Int("pending-shards", 0, "pending-table shards per leaf connection (0 = default 8, rounded to a power of two)")
+		routing       = flag.String("routing", "modulo", "mid-tier key placement strategy: modulo | jump (jump keeps placements stable through resizes)")
 	)
 	flag.Parse()
+
+	strategy, err := cluster.ParseRouting(*routing)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "musuite-bench:", err)
+		os.Exit(2)
+	}
 
 	var scale bench.Scale
 	switch *scaleName {
@@ -66,6 +74,7 @@ func main() {
 			HedgeDelay:      *hedgeDelay,
 		},
 		Batch:                core.BatchPolicy{MaxBatch: *maxBatch, Delay: *batchDelay},
+		Routing:              strategy,
 		PendingShards:        *pendingShards,
 		DisableWriteCoalesce: !*writeCoalesce,
 	}
@@ -201,6 +210,16 @@ func run(experiment string, scale bench.Scale, mode bench.FrameworkMode, service
 		}
 		fmt.Printf("%s @ %g QPS — ", services[0], load)
 		fmt.Print(tracer.Report())
+		return nil
+	case "resize":
+		if load <= 0 {
+			load = scale.Loads[0]
+		}
+		phases, err := bench.Resize(scale, mode, load)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderResize(phases, load))
 		return nil
 	case "flashcrowd":
 		if load <= 0 {

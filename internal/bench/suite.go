@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"musuite/internal/cluster"
 	"musuite/internal/core"
 	"musuite/internal/dataset"
 	"musuite/internal/loadgen"
@@ -52,6 +53,9 @@ type FrameworkMode struct {
 	// Batch configures cross-request coalescing of leaf RPCs on the
 	// mid-tier fan-out (zero value: disabled).
 	Batch core.BatchPolicy
+	// Routing selects the mid-tier's key→shard placement strategy (nil =
+	// modulo).  cluster.Jump keeps placements stable through resizes.
+	Routing cluster.Router
 	// PendingShards overrides the mid-tier's per-connection pending-table
 	// shard count (0 = default 8, rounded to a power of two).
 	PendingShards int
@@ -72,6 +76,7 @@ func midTierOptions(s Scale, mode FrameworkMode, probe *telemetry.Probe) core.Op
 		LeafConnsPerShard:    s.LeafConns,
 		Tail:                 mode.Tail,
 		Batch:                mode.Batch,
+		Routing:              mode.Routing,
 		PendingShards:        mode.PendingShards,
 		DisableWriteCoalesce: mode.DisableWriteCoalesce,
 		Tracer:               mode.Tracer,

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAdminRoundTrip(t *testing.T) {
+	addrs := startLeaves(t, 3)
+	topo := New(testConfig())
+	defer topo.Close()
+	if err := topo.Bootstrap([][]string{{addrs[0]}, {addrs[1]}}); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+
+	adm, bound, err := ServeAdmin(topo, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeAdmin: %v", err)
+	}
+	defer adm.Close()
+	cli, err := DialAdmin(bound)
+	if err != nil {
+		t.Fatalf("DialAdmin: %v", err)
+	}
+	defer cli.Close()
+
+	v, err := cli.Topology()
+	if err != nil {
+		t.Fatalf("Topology: %v", err)
+	}
+	if v.Epoch != 1 || len(v.Groups) != 2 || v.Router != "modulo" {
+		t.Fatalf("Topology = %+v, want epoch 1, 2 groups, modulo", v)
+	}
+	if v.Groups[0].Addrs[0] != addrs[0] || v.Groups[0].State != "active" {
+		t.Fatalf("Groups[0] = %+v, want active %s", v.Groups[0], addrs[0])
+	}
+
+	shard, err := cli.Add([]string{addrs[2]})
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if shard != 2 {
+		t.Errorf("Add shard = %d, want 2", shard)
+	}
+	// Duplicate adds are rejected server-side and the error text survives
+	// the wire round trip.
+	if _, err := cli.Add([]string{addrs[2]}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate leaf address") {
+		t.Errorf("Add(dup) = %v, want duplicate-address error", err)
+	}
+
+	if err := cli.Drain(shard, time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := cli.Remove(1); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := cli.Remove(0); err == nil ||
+		!strings.Contains(err.Error(), "last leaf group") {
+		t.Errorf("Remove(last) = %v, want last-group refusal", err)
+	}
+
+	v, err = cli.Topology()
+	if err != nil {
+		t.Fatalf("Topology after mutations: %v", err)
+	}
+	// Bootstrap + add + drain + remove = four publishes.
+	if v.Epoch != 4 || len(v.Groups) != 1 {
+		t.Fatalf("final view = %+v, want epoch 4 with 1 group", v)
+	}
+	if v.Groups[0].Addrs[0] != addrs[0] {
+		t.Errorf("surviving group = %s, want %s", v.Groups[0].Addrs[0], addrs[0])
+	}
+}
+
+func TestAdminViewCodecRoundTrip(t *testing.T) {
+	in := View{
+		Epoch:  7,
+		Router: "jump",
+		Groups: []GroupView{
+			{Shard: 0, Addrs: []string{"a:1", "a:2"}, State: "active", Outstanding: 3},
+			{Shard: 1, Addrs: []string{"b:1"}, State: "draining"},
+		},
+	}
+	out, err := DecodeView(EncodeView(in))
+	if err != nil {
+		t.Fatalf("DecodeView: %v", err)
+	}
+	if out.Epoch != in.Epoch || out.Router != in.Router || len(out.Groups) != 2 {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+	if out.Groups[0].Outstanding != 3 || out.Groups[0].Addrs[1] != "a:2" ||
+		out.Groups[1].State != "draining" {
+		t.Fatalf("round trip groups = %+v, want %+v", out.Groups, in.Groups)
+	}
+}
+
+func TestAdminUnknownMethod(t *testing.T) {
+	addrs := startLeaves(t, 1)
+	topo := New(testConfig())
+	defer topo.Close()
+	if err := topo.Bootstrap([][]string{{addrs[0]}}); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	adm, bound, err := ServeAdmin(topo, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeAdmin: %v", err)
+	}
+	defer adm.Close()
+	cli, err := DialAdmin(bound)
+	if err != nil {
+		t.Fatalf("DialAdmin: %v", err)
+	}
+	defer cli.Close()
+	if _, err := cli.rpc.Call("admin.bogus", nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown admin method") {
+		t.Errorf("bogus method = %v, want unknown-method error", err)
+	}
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import "fmt"
+
+// Router maps a key hash onto one of n shards.  Strategies differ in how
+// placements move when n changes: Modulo reshuffles almost every key, Jump
+// moves only the ~1/(n+1) of keys that must move — the property that keeps
+// a key-addressed service's hit rate intact through a resize.
+//
+// Implementations must be stateless value types: a Router is embedded in
+// every topology snapshot and consulted on the request hot path, so Shard
+// must be allocation-free and safe for unlimited concurrent use.
+type Router interface {
+	// Shard maps hash onto [0, n).  n ≤ 0 returns -1.
+	Shard(hash uint64, n int) int
+	// Name identifies the strategy ("modulo", "jump") for flags and
+	// operator-facing views.
+	Name() string
+}
+
+// Modulo is the classic hash-mod-N placement every μSuite service shipped
+// with: perfectly balanced, but a resize remaps nearly all keys.
+type Modulo struct{}
+
+// Shard maps hash onto [0, n) by remainder.
+func (Modulo) Shard(hash uint64, n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return int(hash % uint64(n))
+}
+
+// Name identifies the strategy.
+func (Modulo) Name() string { return "modulo" }
+
+// Jump is Lamping & Veach's jump consistent hash: O(ln n) time, zero state,
+// and when the shard count grows from n to n+1 exactly the expected 1/(n+1)
+// fraction of keys moves (all onto the new shard).  Shrinking by dropping
+// the highest shard index is equally minimal, which is why DrainGroup pairs
+// best with draining the last shard under this strategy.
+type Jump struct{}
+
+// Shard maps hash onto [0, n) with the jump consistent hash construction.
+func (Jump) Shard(hash uint64, n int) int {
+	if n <= 0 {
+		return -1
+	}
+	key := hash
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// Name identifies the strategy.
+func (Jump) Name() string { return "jump" }
+
+// ParseRouting resolves a -routing flag value to a strategy.  The empty
+// string selects Modulo, the historical default.
+func ParseRouting(name string) (Router, error) {
+	switch name {
+	case "", "modulo":
+		return Modulo{}, nil
+	case "jump", "consistent":
+		return Jump{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown routing strategy %q (want modulo or jump)", name)
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestShardDomains(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, r := range []Router{Modulo{}, Jump{}} {
+		if got := r.Shard(42, 0); got != -1 {
+			t.Errorf("%s.Shard(n=0) = %d, want -1", r.Name(), got)
+		}
+		if got := r.Shard(42, -3); got != -1 {
+			t.Errorf("%s.Shard(n<0) = %d, want -1", r.Name(), got)
+		}
+		for n := 1; n <= 16; n++ {
+			for i := 0; i < 200; i++ {
+				h := rng.Uint64()
+				if got := r.Shard(h, n); got < 0 || got >= n {
+					t.Fatalf("%s.Shard(%d, %d) = %d, out of [0,%d)", r.Name(), h, n, got, n)
+				}
+			}
+		}
+	}
+}
+
+// TestJumpMinimalMovement checks the defining property of jump consistent
+// hashing: growing from n to n+1 shards moves only ~1/(n+1) of keys, and
+// every moved key lands on the new highest shard.  (Modulo, by contrast,
+// moves almost everything.)
+func TestJumpMinimalMovement(t *testing.T) {
+	const keys = 20000
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{4, 8, 12} {
+		moved := 0
+		for i := 0; i < keys; i++ {
+			h := rng.Uint64()
+			before := Jump{}.Shard(h, n)
+			after := Jump{}.Shard(h, n+1)
+			if before != after {
+				moved++
+				if after != n {
+					t.Fatalf("n=%d: moved key landed on shard %d, want new shard %d", n, after, n)
+				}
+			}
+		}
+		frac := float64(moved) / keys
+		want := 1.0 / float64(n+1)
+		if frac < want*0.7 || frac > want*1.3 {
+			t.Errorf("n=%d→%d moved %.3f of keys, want ≈%.3f", n, n+1, frac, want)
+		}
+	}
+}
+
+// TestModuloMovesMostKeys documents why Jump exists: a modulo resize
+// reshuffles the large majority of placements.
+func TestModuloMovesMostKeys(t *testing.T) {
+	const keys, n = 20000, 8
+	rng := rand.New(rand.NewSource(3))
+	moved := 0
+	for i := 0; i < keys; i++ {
+		h := rng.Uint64()
+		if (Modulo{}).Shard(h, n) != (Modulo{}).Shard(h, n+1) {
+			moved++
+		}
+	}
+	if frac := float64(moved) / keys; frac < 0.5 {
+		t.Errorf("modulo resize moved only %.3f of keys; expected a majority", frac)
+	}
+}
+
+func TestParseRouting(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"", "modulo", true},
+		{"modulo", "modulo", true},
+		{"jump", "jump", true},
+		{"consistent", "jump", true},
+		{"rendezvous", "", false},
+	}
+	for _, c := range cases {
+		r, err := ParseRouting(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseRouting(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && r.Name() != c.want {
+			t.Errorf("ParseRouting(%q) = %s, want %s", c.in, r.Name(), c.want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"musuite/internal/cluster"
 	"musuite/internal/rpc"
 	"musuite/internal/stats"
 	"musuite/internal/telemetry"
@@ -95,6 +96,10 @@ type Options struct {
 	// bound for the same leaf replica coalesce into one carrier RPC.  The
 	// zero value disables batching (every leaf call is its own RPC).
 	Batch BatchPolicy
+	// Routing selects the key→shard placement strategy (default
+	// cluster.Modulo, the classic hash-mod-N).  cluster.Jump keeps
+	// ~n/(n+1) of key placements stable through a resize.
+	Routing cluster.Router
 	// PendingShards is the per-connection pending-table shard count
 	// (default 8, rounded up to a power of two by the rpc client).
 	PendingShards int
@@ -149,7 +154,10 @@ type MidTier struct {
 	deliverFn func(any)
 	handleFn  func(any)
 
-	groups  []*replicaGroup
+	// topo owns the live leaf topology: an epoch-versioned snapshot chain
+	// the hot path reads lock-free, and the add/drain/remove operations
+	// that mutate it at runtime.
+	topo    *cluster.Topology
 	started atomic.Bool
 	closed  atomic.Bool
 
@@ -205,13 +213,32 @@ func NewMidTier(handler Handler, opts *Options) *MidTier {
 		Probe:                o.Probe,
 		DisableWriteCoalesce: o.DisableWriteCoalesce,
 	})
+	cfg := cluster.Config{
+		Dial: func(addr string) (*rpc.Pool, error) {
+			return rpc.DialPool(addr, o.LeafConnsPerShard, &rpc.ClientOptions{
+				Probe:                m.probe,
+				OnResponse:           m.onLeafResponse,
+				PendingShards:        o.PendingShards,
+				DisableWriteCoalesce: o.DisableWriteCoalesce,
+			})
+		},
+		Router: o.Routing,
+		Probe:  o.Probe,
+	}
+	if o.Batch.enabled() {
+		cfg.NewBatcher = m.newBatcher
+	}
+	m.topo = cluster.New(cfg)
 	return m
 }
 
 // ConnectLeaves dials every leaf shard with one replica each.  Must be
 // called before Start.
 func (m *MidTier) ConnectLeaves(addrs []string) error {
-	groups, _ := GroupAddrs(addrs, 1)
+	groups, err := GroupAddrs(addrs, 1)
+	if err != nil {
+		return err
+	}
 	return m.ConnectLeafGroups(groups)
 }
 
@@ -224,45 +251,44 @@ func (m *MidTier) ConnectLeafGroups(groups [][]string) error {
 	if m.started.Load() {
 		return errors.New("core: ConnectLeaves after Start")
 	}
-	for _, addrs := range groups {
-		if len(addrs) == 0 {
-			m.Close()
-			return errors.New("core: empty leaf replica group")
-		}
-		g := &replicaGroup{}
-		for _, addr := range addrs {
-			pool, err := rpc.DialPool(addr, m.opts.LeafConnsPerShard, &rpc.ClientOptions{
-				Probe:                m.probe,
-				OnResponse:           m.onLeafResponse,
-				PendingShards:        m.opts.PendingShards,
-				DisableWriteCoalesce: m.opts.DisableWriteCoalesce,
-			})
-			if err != nil {
-				g.close()
-				m.Close()
-				return fmt.Errorf("core: dialing leaf %s: %w", addr, err)
-			}
-			g.pools = append(g.pools, pool)
-			if m.opts.Batch.enabled() {
-				g.batchers = append(g.batchers, m.newBatcher(pool))
-			}
-		}
-		m.groups = append(m.groups, g)
+	if err := m.topo.Bootstrap(groups); err != nil {
+		m.Close()
+		return err
 	}
 	return nil
 }
 
+// Topology exposes the mid-tier's live leaf topology — the runtime admin
+// surface (cluster.ServeAdmin) binds to it.
+func (m *MidTier) Topology() *cluster.Topology { return m.topo }
+
+// AddLeafGroup dials a new leaf replica group and places it in service at
+// runtime, returning its shard index.  Requests already in flight keep the
+// leaf count they arrived with; requests arriving after the publish see the
+// new shard.
+func (m *MidTier) AddLeafGroup(addrs []string) (int, error) {
+	return m.topo.AddGroup(addrs)
+}
+
+// DrainLeafGroup gracefully removes shard's leaf group at runtime: new
+// requests route around it, in-flight requests (and their queued batch
+// members) finish against it, then its batchers flush and its pools close.
+// deadline bounds the wait (≤ 0 selects cluster.DefaultDrainDeadline).
+func (m *MidTier) DrainLeafGroup(shard int, deadline time.Duration) error {
+	return m.topo.DrainGroup(shard, deadline)
+}
+
+// RemoveLeafGroup forcefully removes shard's leaf group, failing its
+// in-flight calls.  Prefer DrainLeafGroup.
+func (m *MidTier) RemoveLeafGroup(shard int) error {
+	return m.topo.RemoveGroup(shard)
+}
+
 // NumLeaves reports the number of connected leaf shards.
-func (m *MidTier) NumLeaves() int { return len(m.groups) }
+func (m *MidTier) NumLeaves() int { return m.topo.Current().NumLeaves() }
 
 // NumReplicas reports the total leaf replica count across all shards.
-func (m *MidTier) NumReplicas() int {
-	n := 0
-	for _, g := range m.groups {
-		n += g.size()
-	}
-	return n
-}
+func (m *MidTier) NumReplicas() int { return m.topo.Current().NumReplicas() }
 
 // Shed reports how many requests the dispatch-queue bound rejected.
 func (m *MidTier) Shed() uint64 { return m.workers.Shed() }
@@ -284,9 +310,7 @@ func (m *MidTier) Close() {
 	if m.server != nil {
 		m.server.Close()
 	}
-	for _, g := range m.groups {
-		g.close()
-	}
+	m.topo.Close()
 	m.workers.Stop()
 	m.responses.Stop()
 }
@@ -297,7 +321,12 @@ func (m *MidTier) onRequest(req *rpc.Request) {
 		req.Reply(encodeTierStats(m.stats()))
 		return
 	}
-	ctx := &Ctx{Req: req, mt: m}
+	// The request pins the topology snapshot it arrived under: every
+	// routing read for its lifetime (NumLeaves, fan-out, point reads,
+	// hedges, retries) resolves against this one epoch, and a concurrent
+	// drain waits for the pin before closing anything the request may
+	// still call.  Released in finish (or below if dispatch sheds it).
+	ctx := &Ctx{Req: req, mt: m, snap: m.topo.Acquire()}
 	ctx.tr = m.opts.Tracer.Sample()
 	ctx.tr.StampAt(trace.StageArrival, req.Arrival)
 	inline := m.opts.Dispatch == Inline
@@ -327,6 +356,9 @@ func (m *MidTier) onRequest(req *rpc.Request) {
 	err := m.workers.SubmitPriorityArg(m.handleFn, ctx, pri)
 	if err != nil {
 		req.ReplyError(err)
+		// Shed before the handler ever ran: release the pin directly
+		// (not via finish, which would count the request as served).
+		ctx.snap.Release()
 		return
 	}
 	ctx.tr.Stamp(trace.StageEnqueued)
@@ -378,12 +410,23 @@ type Ctx struct {
 	// Req is the originating front-end request.
 	Req *rpc.Request
 	mt  *MidTier
-	tr  *trace.Trace
-	fin atomic.Bool
+	// snap is the topology snapshot pinned at arrival; every routing
+	// decision this request makes reads it, so the leaf count and shard
+	// placement cannot change under a request mid-flight.
+	snap *cluster.Snapshot
+	tr   *trace.Trace
+	fin  atomic.Bool
 }
 
-// NumLeaves reports the fan-out width available to this request.
-func (c *Ctx) NumLeaves() int { return len(c.mt.groups) }
+// NumLeaves reports the fan-out width available to this request.  It is
+// stable for the request's lifetime even while the cluster resizes: the
+// value comes from the snapshot pinned at arrival.
+func (c *Ctx) NumLeaves() int { return c.snap.NumLeaves() }
+
+// Snapshot is the topology snapshot pinned for this request — handlers that
+// make several placement decisions (a route computed here, a shard read
+// there) take it once so all of them agree on one epoch.
+func (c *Ctx) Snapshot() *cluster.Snapshot { return c.snap }
 
 // Reply completes the request successfully.
 func (c *Ctx) Reply(payload []byte) {
@@ -397,11 +440,13 @@ func (c *Ctx) ReplyError(err error) {
 	c.finish()
 }
 
-// finish counts the completion and closes out the sampled trace, once.
+// finish counts the completion, releases the topology pin, and closes out
+// the sampled trace, once.
 func (c *Ctx) finish() {
 	if !c.fin.CompareAndSwap(false, true) {
 		return
 	}
+	c.snap.Release()
 	c.mt.served.Add(1)
 	if c.tr == nil {
 		return
@@ -421,7 +466,7 @@ func (c *Ctx) Fanout(calls []LeafCall, merge func([]LeafResult)) {
 		merge(nil)
 		return
 	}
-	fo := getFanout(c.mt, len(calls), merge, c.tr)
+	fo := getFanout(c.mt, c.snap, len(calls), merge, c.tr)
 	// Slots must be fully initialized before the expiry timer can fire.
 	for i, lc := range calls {
 		fo.slot(i, lc.Shard, lc.Method, lc.Payload)
@@ -432,12 +477,12 @@ func (c *Ctx) Fanout(calls []LeafCall, merge func([]LeafResult)) {
 // FanoutAll broadcasts one payload to every leaf shard.  The calls are
 // synthesized straight into the fan-out's slots — no LeafCall slice.
 func (c *Ctx) FanoutAll(method string, payload []byte, merge func([]LeafResult)) {
-	n := len(c.mt.groups)
+	n := c.snap.NumLeaves()
 	if n == 0 {
 		merge(nil)
 		return
 	}
-	fo := getFanout(c.mt, n, merge, c.tr)
+	fo := getFanout(c.mt, c.snap, n, merge, c.tr)
 	for i := 0; i < n; i++ {
 		fo.slot(i, i, method, payload)
 	}
@@ -453,7 +498,7 @@ func (c *Ctx) runFanout(fo *fanout) {
 	}
 	for i := range fo.slots {
 		slot := &fo.slots[i]
-		if slot.shard < 0 || slot.shard >= len(m.groups) {
+		if slot.shard < 0 || slot.shard >= fo.snap.NumLeaves() {
 			fo.deliverSlot(slot, LeafResult{Shard: slot.shard, Err: fmt.Errorf("core: no such leaf shard %d", slot.shard)}, nil)
 			continue
 		}
@@ -468,14 +513,16 @@ func (c *Ctx) runFanout(fo *fanout) {
 // another replica, up to Tail.LeafRetries and subject to the retry budget.
 func (c *Ctx) CallLeaf(shard int, method string, payload []byte) ([]byte, error) {
 	m := c.mt
-	if shard < 0 || shard >= len(m.groups) {
+	if shard < 0 || shard >= c.snap.NumLeaves() {
 		return nil, fmt.Errorf("core: no such leaf shard %d", shard)
 	}
-	g := m.groups[shard]
+	// The caller's pinned snapshot keeps the group's pools open for the
+	// whole (synchronous) call, retries included.
+	g := c.snap.Group(shard)
 	m.budget.earn()
 	exclude := -1
 	for attempt := 0; ; attempt++ {
-		pool, idx := g.pick(exclude)
+		pool, idx := g.Pick(exclude)
 		call := pool.Pick().Go(method, payload, nil, nil)
 		<-call.Done
 		if call.Err == nil {
@@ -537,8 +584,19 @@ func (m *MidTier) issuePrimary(slot *fanoutSlot) {
 // (a hedge or retry thereby coalesces into that replica's next carrier);
 // otherwise it goes straight to a pooled connection.
 func (m *MidTier) issueAttempt(slot *fanoutSlot, exclude int, kind attemptKind) {
-	g := m.groups[slot.shard]
-	pool, idx := g.pick(exclude)
+	// Late issuers — a hedge timer, a retry racing the fan-out expiry —
+	// can outlive the request's own pin.  TryPin succeeds only while some
+	// pin is still held, which proves the request is unanswered and the
+	// shard's pools are guaranteed open for the duration of this send; a
+	// failure proves the request was already answered (every slot fired),
+	// so there is nothing worth issuing — and the shard may be mid-drain.
+	snap := slot.fo.snap
+	if !snap.TryPin() {
+		return
+	}
+	defer snap.Release()
+	g := snap.Group(slot.shard)
+	pool, idx := g.Pick(exclude)
 	a := attempt{replica: idx, kind: kind}
 	// The attempt's fan-out hold must predate the send: the response can
 	// land (and run the count-down) before GoRef even returns.
@@ -546,7 +604,7 @@ func (m *MidTier) issueAttempt(slot *fanoutSlot, exclude int, kind attemptKind) 
 	// The ref is captured before the frame is written, so a completion that
 	// races this return (and recycles the call) leaves only a harmlessly
 	// stale ref behind — abandons through it are no-ops.
-	if b := g.batcher(idx); b != nil {
+	if b := g.Batcher(idx); b != nil {
 		a.batcher = b
 		a.ref = b.GoRef(slot.method, slot.payload, slot, nil)
 	} else {
@@ -682,7 +740,14 @@ var ErrFanoutTimeout = errors.New("core: leaf response timed out")
 // simply strands the fan-out to the garbage collector — correctness never
 // depends on the pool.
 type fanout struct {
-	mt      *MidTier
+	mt *MidTier
+	// snap is the parent request's pinned topology snapshot, borrowed (not
+	// re-pinned) for the fan-out's lifetime: slot shard indices resolve
+	// against it, and late attempt issuers TryPin it before touching its
+	// groups.  The pointer stays valid even after the request's pin drops —
+	// only the liveness of the pools behind it is then in question, which
+	// is exactly what TryPin checks.
+	snap    *cluster.Snapshot
 	results []LeafResult
 	// bufs holds each winning call's pooled reply buffer so results[i].Reply
 	// stays valid through the merge; all are released right after merge
@@ -707,9 +772,10 @@ type fanout struct {
 var fanoutPool = sync.Pool{New: func() any { return new(fanout) }}
 
 // getFanout readies a pooled fan-out for n slots.
-func getFanout(m *MidTier, n int, merge func([]LeafResult), tr *trace.Trace) *fanout {
+func getFanout(m *MidTier, snap *cluster.Snapshot, n int, merge func([]LeafResult), tr *trace.Trace) *fanout {
 	f := fanoutPool.Get().(*fanout)
 	f.mt = m
+	f.snap = snap
 	f.merge = merge
 	f.tr = tr
 	if cap(f.slots) < n {
@@ -738,6 +804,7 @@ func (f *fanout) unref() {
 // has resolved, so nothing can reach the slots anymore.
 func (f *fanout) recycle() {
 	f.mt = nil
+	f.snap = nil
 	f.merge = nil
 	f.tr = nil
 	f.timer.Store(nil)

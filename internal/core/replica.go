@@ -1,89 +1,22 @@
 package core
 
-import (
-	"fmt"
-	"sync/atomic"
-
-	"musuite/internal/rpc"
-)
-
-// replicaGroup is one leaf shard's replica set.  Each replica is an
-// independent connection pool to one leaf process serving the same shard
-// data; the group routes each call to the replica with the fewest
-// outstanding calls (join-the-shortest-queue), which steers traffic away
-// from a replica that is slow or backed up.
-type replicaGroup struct {
-	pools []*rpc.Pool
-	// batchers, when cross-request batching is enabled, parallels pools:
-	// batchers[i] coalesces calls bound for replica i into carrier RPCs.
-	batchers []*rpc.Batcher
-	// rr rotates the scan start so ties (the common idle case) spread
-	// round-robin instead of pinning replica 0.
-	rr atomic.Uint32
-}
-
-// size reports the replica count.
-func (g *replicaGroup) size() int { return len(g.pools) }
-
-// batcher returns replica idx's batcher, or nil when batching is disabled.
-func (g *replicaGroup) batcher(idx int) *rpc.Batcher {
-	if idx < len(g.batchers) {
-		return g.batchers[idx]
-	}
-	return nil
-}
-
-// pick selects a replica by least-outstanding-calls, breaking ties
-// round-robin.  exclude (-1 for none) skips a replica already carrying an
-// attempt of the same call, so hedges and retries land elsewhere when the
-// group has anywhere else to land.  Dead replicas are skipped while a live
-// one exists; if every candidate is dead, pick falls back to round-robin and
-// lets the pool's transparent redial take its shot.
-func (g *replicaGroup) pick(exclude int) (*rpc.Pool, int) {
-	n := len(g.pools)
-	if n == 1 {
-		return g.pools[0], 0
-	}
-	start := int(g.rr.Add(1)) % n
-	best, bestOut := -1, 0
-	for i := 0; i < n; i++ {
-		idx := (start + i) % n
-		if idx == exclude {
-			continue
-		}
-		p := g.pools[idx]
-		if !p.Healthy() {
-			continue
-		}
-		if out := p.Outstanding(); best < 0 || out < bestOut {
-			best, bestOut = idx, out
-		}
-	}
-	if best < 0 {
-		best = start
-		if best == exclude {
-			best = (best + 1) % n
-		}
-	}
-	return g.pools[best], best
-}
-
-// close shuts every replica down: batchers flush their queued members
-// first so nothing sits unsent when the pools beneath them close.
-func (g *replicaGroup) close() {
-	for _, b := range g.batchers {
-		b.Close()
-	}
-	for _, p := range g.pools {
-		p.Close()
-	}
-}
+import "fmt"
 
 // GroupAddrs reshapes a flat leaf address list into replica groups of
 // replicas consecutive addresses — the CLI form
 // `-leaves s0a,s0b,s1a,s1b -replicas 2`.  replicas ≤ 1 yields one
 // single-replica group per address (the classic ConnectLeaves topology).
+// A repeated address is rejected: the same leaf process serving two shard
+// slots (or two replica slots of one shard) silently halves capacity and
+// breaks the replica-diversity assumption hedges and retries rely on.
 func GroupAddrs(addrs []string, replicas int) ([][]string, error) {
+	seen := make(map[string]struct{}, len(addrs))
+	for _, a := range addrs {
+		if _, dup := seen[a]; dup {
+			return nil, fmt.Errorf("core: duplicate leaf address %s", a)
+		}
+		seen[a] = struct{}{}
+	}
 	if replicas <= 1 {
 		groups := make([][]string, len(addrs))
 		for i, a := range addrs {

@@ -48,6 +48,14 @@ type TierStats struct {
 	// BatchDelay is the current (fixed or digest-tracked) flush delay;
 	// zero when batching is disabled.
 	BatchDelay time.Duration
+	// Epoch is the cluster topology version (mid-tier only); it increments
+	// on every add/drain/remove, so a monitor can detect a resize by
+	// watching this gauge.
+	Epoch uint64
+	// Topology mutation counters (mid-tier only): leaf groups added,
+	// gracefully drained, forcefully removed, and drains whose quiescence
+	// wait exceeded its deadline.
+	TopoAdds, TopoDrains, TopoRemoves, TopoDrainTimeouts uint64
 }
 
 // encodeTierStats serializes stats for the wire.
@@ -73,6 +81,11 @@ func encodeTierStats(s TierStats) []byte {
 	e.Uint64(s.BatchFlushDeadline)
 	e.Uint64(s.BatchFlushShutdown)
 	e.Uint64(uint64(s.BatchDelay))
+	e.Uint64(s.Epoch)
+	e.Uint64(s.TopoAdds)
+	e.Uint64(s.TopoDrains)
+	e.Uint64(s.TopoRemoves)
+	e.Uint64(s.TopoDrainTimeouts)
 	return e.Bytes()
 }
 
@@ -101,6 +114,11 @@ func DecodeTierStats(b []byte) (TierStats, error) {
 	s.BatchFlushDeadline = d.Uint64()
 	s.BatchFlushShutdown = d.Uint64()
 	s.BatchDelay = time.Duration(d.Uint64())
+	s.Epoch = d.Uint64()
+	s.TopoAdds = d.Uint64()
+	s.TopoDrains = d.Uint64()
+	s.TopoRemoves = d.Uint64()
+	s.TopoDrainTimeouts = d.Uint64()
 	return s, d.Err()
 }
 
@@ -115,6 +133,8 @@ func QueryStats(c *rpc.Client) (TierStats, error) {
 
 // stats snapshots the mid-tier's counters.
 func (m *MidTier) stats() TierStats {
+	snap := m.topo.Current()
+	topo := m.topo.Stats()
 	s := TierStats{
 		Role:            "midtier",
 		Served:          m.served.Load(),
@@ -123,8 +143,8 @@ func (m *MidTier) stats() TierStats {
 		QueueDepth:      m.workers.QueueDepth(),
 		Workers:         m.workers.Workers(),
 		ResponseThreads: m.responses.Workers(),
-		Leaves:          len(m.groups),
-		Replicas:        m.NumReplicas(),
+		Leaves:          snap.NumLeaves(),
+		Replicas:        snap.NumReplicas(),
 		Hedges:          m.hedges.Load(),
 		HedgeWins:       m.hedgeWins.Load(),
 		Retries:         m.retries.Load(),
@@ -135,6 +155,12 @@ func (m *MidTier) stats() TierStats {
 		BatchFlushSize:     m.batchFlushSize.Load(),
 		BatchFlushDeadline: m.batchFlushDeadline.Load(),
 		BatchFlushShutdown: m.batchFlushShutdown.Load(),
+
+		Epoch:             topo.Epoch,
+		TopoAdds:          topo.Adds,
+		TopoDrains:        topo.Drains,
+		TopoRemoves:       topo.Removes,
+		TopoDrainTimeouts: topo.DrainTimeouts,
 	}
 	if m.opts.Tail.hedging() {
 		s.HedgeDelay = m.hedgeDelay()

@@ -125,6 +125,13 @@ func (c *Cluster) Accuracy(query vec.Vector, reported []Neighbor) float32 {
 	return vec.CosineSimilarity(got, want)
 }
 
+// MidTier exposes the deployment's framework mid-tier — the runtime
+// topology admin surface (cluster.ServeAdmin on MidTier().Topology())
+// hangs off it.  HDSearch shards its LSH corpus by table position, so a
+// resize shifts which vectors each shard index serves; add/drain here is
+// for failure drills, not data-aware resharding.
+func (c *Cluster) MidTier() *core.MidTier { return c.midTier }
+
 // Close tears the deployment down.
 func (c *Cluster) Close() {
 	if c.midTier != nil {

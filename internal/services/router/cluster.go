@@ -1,8 +1,11 @@
 package router
 
 import (
+	"errors"
+	"sync"
 	"time"
 
+	"musuite/internal/cluster"
 	"musuite/internal/core"
 	"musuite/internal/memcache"
 )
@@ -29,15 +32,50 @@ type ClusterConfig struct {
 	Leaf    core.LeafOptions
 }
 
+// leafNode bundles one leaf's process-local pieces — the store, the serving
+// leaf, and its optional sweeper — so runtime add/drain can manage them as a
+// unit alongside the mid-tier's topology entry.
+type leafNode struct {
+	addr    string
+	store   *memcache.Store
+	leaf    *core.Leaf
+	sweeper *memcache.Sweeper
+}
+
+// stop shuts the node's server and sweeper down.
+func (n *leafNode) stop() {
+	n.leaf.Close()
+	if n.sweeper != nil {
+		n.sweeper.Stop()
+	}
+}
+
 // Cluster is a running Router deployment.
 type Cluster struct {
 	// Addr is the mid-tier address front-ends dial.
 	Addr string
 
-	stores   []*memcache.Store
-	leaves   []*core.Leaf
-	sweepers []*memcache.Sweeper
-	midTier  *core.MidTier
+	cfg     ClusterConfig
+	midTier *core.MidTier
+
+	mu    sync.Mutex
+	nodes []*leafNode
+}
+
+// startLeaf spawns one leaf node (store + serving leaf + optional sweeper).
+func startLeaf(cfg *ClusterConfig) (*leafNode, error) {
+	store := memcache.New(memcache.Config{MaxBytes: cfg.StoreBytes})
+	leafOpts := cfg.Leaf
+	leaf := NewLeaf(store, &leafOpts)
+	addr, err := leaf.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	n := &leafNode{addr: addr, store: store, leaf: leaf}
+	if cfg.SweepInterval > 0 {
+		n.sweeper = store.StartSweeper(cfg.SweepInterval)
+	}
+	return n, nil
 }
 
 // StartCluster launches the deployment.
@@ -51,23 +89,16 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Replicas > cfg.Leaves {
 		cfg.Replicas = cfg.Leaves
 	}
-	cl := &Cluster{}
+	cl := &Cluster{cfg: cfg}
 	leafAddrs := make([]string, cfg.Leaves)
 	for i := 0; i < cfg.Leaves; i++ {
-		store := memcache.New(memcache.Config{MaxBytes: cfg.StoreBytes})
-		leafOpts := cfg.Leaf
-		leaf := NewLeaf(store, &leafOpts)
-		addr, err := leaf.Start("127.0.0.1:0")
+		n, err := startLeaf(&cfg)
 		if err != nil {
 			cl.Close()
 			return nil, err
 		}
-		cl.stores = append(cl.stores, store)
-		cl.leaves = append(cl.leaves, leaf)
-		if cfg.SweepInterval > 0 {
-			cl.sweepers = append(cl.sweepers, store.StartSweeper(cfg.SweepInterval))
-		}
-		leafAddrs[i] = addr
+		cl.nodes = append(cl.nodes, n)
+		leafAddrs[i] = n.addr
 	}
 
 	mt := NewMidTier(MidTierConfig{Replicas: cfg.Replicas, PrefixRules: cfg.PrefixRules, Core: cfg.MidTier})
@@ -86,12 +117,58 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	return cl, nil
 }
 
+// MidTier exposes the deployment's mid-tier — resize drivers and the admin
+// surface (cluster.ServeAdmin on MidTier().Topology()) hang off it.
+func (c *Cluster) MidTier() *core.MidTier { return c.midTier }
+
+// AddLeaf spins up a whole new leaf node — store, serving leaf — and places
+// it in the mid-tier's topology at runtime, returning its shard index.
+func (c *Cluster) AddLeaf() (int, error) {
+	n, err := startLeaf(&c.cfg)
+	if err != nil {
+		return 0, err
+	}
+	shard, err := c.midTier.AddLeafGroup([]string{n.addr})
+	if err != nil {
+		n.stop()
+		return 0, err
+	}
+	c.mu.Lock()
+	c.nodes = append(c.nodes, n)
+	c.mu.Unlock()
+	return shard, nil
+}
+
+// DrainLeaf gracefully retires shard's leaf node: the mid-tier drains the
+// group (in-flight traffic finishes, pools close), then the leaf server and
+// its sweeper stop.  Shards above shift down one index, mirroring the
+// topology.  The node also stops on a drain timeout — the topology closed
+// the group anyway — but stays up when the drain was rejected outright.
+func (c *Cluster) DrainLeaf(shard int, deadline time.Duration) error {
+	err := c.midTier.DrainLeafGroup(shard, deadline)
+	if err != nil && !errors.Is(err, cluster.ErrDrainTimeout) {
+		return err
+	}
+	c.mu.Lock()
+	if shard >= 0 && shard < len(c.nodes) {
+		n := c.nodes[shard]
+		c.nodes = append(c.nodes[:shard], c.nodes[shard+1:]...)
+		c.mu.Unlock()
+		n.stop()
+	} else {
+		c.mu.Unlock()
+	}
+	return err
+}
+
 // StoreStats returns per-leaf store statistics (replication and balance
 // diagnostics).
 func (c *Cluster) StoreStats() []memcache.Stats {
-	out := make([]memcache.Stats, len(c.stores))
-	for i, s := range c.stores {
-		out[i] = s.Stats()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]memcache.Stats, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.store.Stats()
 	}
 	return out
 }
@@ -99,9 +176,11 @@ func (c *Cluster) StoreStats() []memcache.Stats {
 // LeafHolding reports which leaf indexes currently hold key — used by tests
 // to verify replication placement.
 func (c *Cluster) LeafHolding(key string) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var out []int
-	for i, s := range c.stores {
-		if _, ok := s.Get(key); ok {
+	for i, n := range c.nodes {
+		if _, ok := n.store.Get(key); ok {
 			out = append(out, i)
 		}
 	}
@@ -110,23 +189,30 @@ func (c *Cluster) LeafHolding(key string) []int {
 
 // KillLeaf closes one leaf server to exercise fault paths.
 func (c *Cluster) KillLeaf(i int) {
-	if i >= 0 && i < len(c.leaves) {
-		c.leaves[i].Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i >= 0 && i < len(c.nodes) {
+		c.nodes[i].leaf.Close()
 	}
 }
 
 // NumLeaves reports the leaf count.
-func (c *Cluster) NumLeaves() int { return len(c.leaves) }
+func (c *Cluster) NumLeaves() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
 
 // Close tears the deployment down.
 func (c *Cluster) Close() {
 	if c.midTier != nil {
 		c.midTier.Close()
 	}
-	for _, l := range c.leaves {
-		l.Close()
-	}
-	for _, sw := range c.sweepers {
-		sw.Stop()
+	c.mu.Lock()
+	nodes := c.nodes
+	c.nodes = nil
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.stop()
 	}
 }

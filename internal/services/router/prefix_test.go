@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"musuite/internal/cluster"
 	"musuite/internal/core"
 )
 
@@ -47,7 +48,7 @@ func TestRouteTableLongestPrefixMatch(t *testing.T) {
 		{"other:key", map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true, 5: true}},
 	}
 	for _, c := range cases {
-		shards := rt.route(c.key, 6)
+		shards := rt.route(c.key, cluster.Modulo{}, 6)
 		for _, s := range shards {
 			if !c.pool[s] {
 				t.Errorf("key %q routed to %d outside pool", c.key, s)
@@ -58,7 +59,7 @@ func TestRouteTableLongestPrefixMatch(t *testing.T) {
 
 func TestRouteTableReplicationWithinPool(t *testing.T) {
 	rt := newRouteTable([]PrefixRule{{Prefix: "a:", Leaves: []int{1, 3, 5}}}, 2)
-	shards := rt.route("a:key", 8)
+	shards := rt.route("a:key", cluster.Modulo{}, 8)
 	if len(shards) != 2 {
 		t.Fatalf("got %v", shards)
 	}
@@ -69,7 +70,7 @@ func TestRouteTableReplicationWithinPool(t *testing.T) {
 	}
 	// Replication clamps to pool size, not total leaves.
 	rt1 := newRouteTable([]PrefixRule{{Prefix: "a:", Leaves: []int{2}}}, 3)
-	if got := rt1.route("a:key", 8); len(got) != 1 || got[0] != 2 {
+	if got := rt1.route("a:key", cluster.Modulo{}, 8); len(got) != 1 || got[0] != 2 {
 		t.Fatalf("single-leaf pool: %v", got)
 	}
 }

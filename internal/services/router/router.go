@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"musuite/internal/cluster"
 	"musuite/internal/core"
 	"musuite/internal/memcache"
 	"musuite/internal/rpc"
@@ -180,13 +181,34 @@ type MidTierConfig struct {
 
 // Replicas returns the leaf shards storing key given numLeaves and the
 // replication factor: the SpookyHash-selected primary and the next r−1
-// shards, all distinct.
+// shards, all distinct.  The primary comes from the classic modulo
+// placement; ReplicasRouted generalizes over the strategy.
 func Replicas(key string, numLeaves, r int) []int {
-	pool := make([]int, numLeaves)
-	for i := range pool {
-		pool[i] = i
+	return ReplicasRouted(key, cluster.Modulo{}, numLeaves, r)
+}
+
+// ReplicasRouted places key on r distinct shards of numLeaves total: the
+// strategy-selected primary (SpookyHash of the key fed through the routing
+// strategy) and the next r−1 shard indices.  Under cluster.Jump the primary
+// placement survives a resize for all but ~1/(n+1) of keys, which keeps a
+// resized Router deployment's hit rate largely intact.
+func ReplicasRouted(key string, router cluster.Router, numLeaves, r int) []int {
+	if numLeaves <= 0 {
+		return nil
 	}
-	return ReplicasInPool(key, pool, r)
+	if r < 1 {
+		r = 1
+	}
+	if r > numLeaves {
+		r = numLeaves
+	}
+	h := spooky.Hash64([]byte(key), hashSeed)
+	primary := router.Shard(h, numLeaves)
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		out[i] = (primary + i) % numLeaves
+	}
+	return out
 }
 
 // ReplicasInPool places key on r distinct members of an explicit leaf pool:
@@ -228,14 +250,18 @@ func newRouteTable(rules []PrefixRule, replicas int) *routeTable {
 	return &routeTable{rules: ordered, replicas: replicas}
 }
 
-// route returns the replica set for key over numLeaves total leaves.
-func (rt *routeTable) route(key string, numLeaves int) []int {
+// route returns the replica set for key.  Callers pass the strategy and
+// leaf count read from one pinned topology snapshot, so every route
+// computed for one request agrees on one epoch even while the cluster
+// resizes.  Prefix-pinned pools name explicit leaf indexes and keep their
+// in-pool modulo placement.
+func (rt *routeTable) route(key string, router cluster.Router, numLeaves int) []int {
 	for _, rule := range rt.rules {
 		if strings.HasPrefix(key, rule.Prefix) && len(rule.Leaves) > 0 {
 			return ReplicasInPool(key, rule.Leaves, rt.replicas)
 		}
 	}
-	return Replicas(key, numLeaves, rt.replicas)
+	return ReplicasRouted(key, router, numLeaves, rt.replicas)
 }
 
 // NewMidTier builds the Router mid-tier.  Call ConnectLeaves then Start.
@@ -258,7 +284,8 @@ func NewMidTier(cfg MidTierConfig) *core.MidTier {
 			}
 			// Forward the set to every replica in the pool so the
 			// same data resides on several leaves.
-			shards := table.route(key, ctx.NumLeaves())
+			snap := ctx.Snapshot()
+			shards := table.route(key, snap.Router(), snap.NumLeaves())
 			calls := make([]core.LeafCall, len(shards))
 			for i, s := range shards {
 				calls[i] = core.LeafCall{Shard: s, Method: MethodSet, Payload: ctx.Req.Payload}
@@ -278,7 +305,8 @@ func NewMidTier(cfg MidTierConfig) *core.MidTier {
 				ctx.ReplyError(err)
 				return
 			}
-			shards := table.route(key, ctx.NumLeaves())
+			snap := ctx.Snapshot()
+			shards := table.route(key, snap.Router(), snap.NumLeaves())
 			shard := shards[pickSeq.Add(1)%uint64(len(shards))]
 			ctx.Fanout([]core.LeafCall{{Shard: shard, Method: MethodGet, Payload: ctx.Req.Payload}},
 				func(results []core.LeafResult) {
@@ -295,7 +323,8 @@ func NewMidTier(cfg MidTierConfig) *core.MidTier {
 				ctx.ReplyError(err)
 				return
 			}
-			shards := table.route(key, ctx.NumLeaves())
+			snap := ctx.Snapshot()
+			shards := table.route(key, snap.Router(), snap.NumLeaves())
 			calls := make([]core.LeafCall, len(shards))
 			for i, s := range shards {
 				calls[i] = core.LeafCall{Shard: s, Method: MethodDelete, Payload: ctx.Req.Payload}

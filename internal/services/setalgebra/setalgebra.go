@@ -378,6 +378,12 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	return cl, nil
 }
 
+// MidTier exposes the deployment's framework mid-tier — the runtime
+// topology admin surface (cluster.ServeAdmin on MidTier().Topology())
+// hangs off it.  Set Algebra partitions posting lists per shard, so
+// add/drain here is for failure drills, not data-aware resharding.
+func (c *Cluster) MidTier() *core.MidTier { return c.midTier }
+
 // Close tears the deployment down.
 func (c *Cluster) Close() {
 	if c.midTier != nil {

@@ -208,6 +208,45 @@ func BatchEvents() []BatchEvent {
 	return out
 }
 
+// TopoEvent enumerates the cluster-topology mutations of the mid-tier's
+// epoch-versioned leaf map, counted so elastic operation (groups entering
+// and leaving service under load) can be read alongside the latency
+// distributions the transitions may disturb.
+type TopoEvent int
+
+const (
+	// TopoAdd — a leaf replica group was dialed and placed in service.
+	TopoAdd TopoEvent = iota
+	// TopoDrain — a leaf group was removed gracefully: routing stopped,
+	// outstanding and batched calls completed, pools closed.
+	TopoDrain
+	// TopoRemove — a leaf group was removed forcefully, failing its
+	// in-flight calls.
+	TopoRemove
+	// TopoDrainTimeout — a drain's quiescence wait exceeded its deadline
+	// and the group was closed with work still pending.
+	TopoDrainTimeout
+	numTopoEvents
+)
+
+// String returns the event's display label.
+func (e TopoEvent) String() string {
+	names := [...]string{"add", "drain", "remove", "drain-timeout"}
+	if e < 0 || int(e) >= len(names) {
+		return fmt.Sprintf("topo(%d)", int(e))
+	}
+	return names[e]
+}
+
+// TopoEvents lists the topology event classes in display order.
+func TopoEvents() []TopoEvent {
+	out := make([]TopoEvent, numTopoEvents)
+	for i := range out {
+		out[i] = TopoEvent(i)
+	}
+	return out
+}
+
 // Probe collects all counters and distributions for one server under test.
 // A nil *Probe is valid and makes every method a no-op, so components can be
 // run uninstrumented at zero cost.
@@ -215,6 +254,7 @@ type Probe struct {
 	syscalls  [numSyscalls]atomic.Uint64
 	tails     [numTailEvents]atomic.Uint64
 	batches   [numBatchEvents]atomic.Uint64
+	topos     [numTopoEvents]atomic.Uint64
 	ctxSwitch atomic.Uint64
 	hitm      atomic.Uint64
 	tcpRetx   atomic.Uint64
@@ -293,6 +333,22 @@ func (p *Probe) BatchCount(e BatchEvent) uint64 {
 		return 0
 	}
 	return p.batches[e].Load()
+}
+
+// IncTopo counts one topology mutation.
+func (p *Probe) IncTopo(e TopoEvent) {
+	if p == nil {
+		return
+	}
+	p.topos[e].Add(1)
+}
+
+// TopoCount reports the topology event count for e.
+func (p *Probe) TopoCount(e TopoEvent) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.topos[e].Load()
 }
 
 // IncContextSwitch counts one voluntary thread block (CS proxy).
@@ -383,6 +439,9 @@ func (p *Probe) Reset() {
 	for i := range p.batches {
 		p.batches[i].Store(0)
 	}
+	for i := range p.topos {
+		p.topos[i].Store(0)
+	}
 	p.ctxSwitch.Store(0)
 	p.hitm.Store(0)
 	p.tcpRetx.Store(0)
@@ -397,6 +456,7 @@ type Snapshot struct {
 	Syscalls       map[Syscall]uint64
 	Tail           map[TailEvent]uint64
 	Batch          map[BatchEvent]uint64
+	Topo           map[TopoEvent]uint64
 	ContextSwitch  uint64
 	HITM           uint64
 	TCPRetransmits uint64
@@ -408,6 +468,7 @@ func (p *Probe) Snapshot() Snapshot {
 		Syscalls: make(map[Syscall]uint64, int(numSyscalls)),
 		Tail:     make(map[TailEvent]uint64, int(numTailEvents)),
 		Batch:    make(map[BatchEvent]uint64, int(numBatchEvents)),
+		Topo:     make(map[TopoEvent]uint64, int(numTopoEvents)),
 	}
 	if p == nil {
 		return s
@@ -421,6 +482,9 @@ func (p *Probe) Snapshot() Snapshot {
 	for i := BatchEvent(0); i < numBatchEvents; i++ {
 		s.Batch[i] = p.batches[i].Load()
 	}
+	for i := TopoEvent(0); i < numTopoEvents; i++ {
+		s.Topo[i] = p.topos[i].Load()
+	}
 	s.ContextSwitch = p.ctxSwitch.Load()
 	s.HITM = p.hitm.Load()
 	s.TCPRetransmits = p.tcpRetx.Load()
@@ -433,6 +497,7 @@ func (cur Snapshot) Delta(prev Snapshot) Snapshot {
 		Syscalls: make(map[Syscall]uint64, len(cur.Syscalls)),
 		Tail:     make(map[TailEvent]uint64, len(cur.Tail)),
 		Batch:    make(map[BatchEvent]uint64, len(cur.Batch)),
+		Topo:     make(map[TopoEvent]uint64, len(cur.Topo)),
 	}
 	for k, v := range cur.Syscalls {
 		pv := prev.Syscalls[k]
@@ -448,6 +513,11 @@ func (cur Snapshot) Delta(prev Snapshot) Snapshot {
 	for k, v := range cur.Batch {
 		if pv := prev.Batch[k]; v > pv {
 			d.Batch[k] = v - pv
+		}
+	}
+	for k, v := range cur.Topo {
+		if pv := prev.Topo[k]; v > pv {
+			d.Topo[k] = v - pv
 		}
 	}
 	sub := func(a, b uint64) uint64 {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"musuite/internal/bench"
+	"musuite/internal/cluster"
 	"musuite/internal/core"
 	"musuite/internal/dataset"
 	"musuite/internal/loadgen"
@@ -104,6 +105,47 @@ func Syscalls() []Syscall { return telemetry.Syscalls() }
 
 // Overheads lists the OS-overhead latency classes in display order.
 func Overheads() []Overhead { return telemetry.Overheads() }
+
+// --- live cluster topology ---
+
+// Live-topology types: the epoch-versioned leaf topology every mid-tier
+// serves from, its routing strategies, and the runtime admin surface.
+type (
+	// ClusterTopology owns a mid-tier's leaf groups and the add/drain/
+	// remove operations that resize it under load (MidTier.Topology()).
+	ClusterTopology = cluster.Topology
+	// ClusterView is an operator-facing description of the topology.
+	ClusterView = cluster.View
+	// ClusterRouter maps key hashes onto shards; ModuloRouting and
+	// JumpRouting are the shipped strategies.
+	ClusterRouter = cluster.Router
+	// TopologyAdmin is the runtime admin listener a service binary exposes
+	// with -admin; TopologyAdminClient is the operator's typed handle.
+	TopologyAdmin       = cluster.AdminServer
+	TopologyAdminClient = cluster.AdminClient
+)
+
+// The shipped routing strategies.
+var (
+	// ModuloRouting is the classic hash-mod-N placement (the default).
+	ModuloRouting ClusterRouter = cluster.Modulo{}
+	// JumpRouting is jump consistent hashing: only ~1/(n+1) of key
+	// placements move when the shard count changes.
+	JumpRouting ClusterRouter = cluster.Jump{}
+)
+
+// ParseRouting resolves a -routing flag value ("modulo", "jump") to a
+// strategy.
+func ParseRouting(name string) (ClusterRouter, error) { return cluster.ParseRouting(name) }
+
+// ServeTopologyAdmin exposes a mid-tier's topology on its own admin
+// listener (":0" picks a port), returning the server and bound address.
+func ServeTopologyAdmin(t *ClusterTopology, addr string) (*TopologyAdmin, string, error) {
+	return cluster.ServeAdmin(t, addr)
+}
+
+// DialTopologyAdmin connects an operator client to a -admin listener.
+func DialTopologyAdmin(addr string) (*TopologyAdminClient, error) { return cluster.DialAdmin(addr) }
 
 // --- datasets ---
 
@@ -309,6 +351,8 @@ type (
 	Fig9Row       = bench.Fig9Row
 	LoadPoint     = bench.LoadPoint
 	AblationRow   = bench.AblationRow
+	// ResizePhase is one window of the live-resize experiment.
+	ResizePhase = bench.ResizePhase
 )
 
 // ServiceNames lists the four benchmarks in the paper's order.
@@ -346,4 +390,10 @@ func ThreadPoolSweep(s Scale, service string, workerCounts []int, load float64) 
 // FlashCrowdExperiment drives one service through a load spike.
 func FlashCrowdExperiment(s Scale, service string, baselineQPS, spikeFactor float64) ([]PhaseResult, error) {
 	return bench.FlashCrowdExperiment(s, service, baselineQPS, spikeFactor)
+}
+
+// ResizeExperiment measures Router latency while a leaf group is added and
+// drained under steady load — the live-topology experiment.
+func ResizeExperiment(s Scale, mode FrameworkMode, qps float64) ([]ResizePhase, error) {
+	return bench.Resize(s, mode, qps)
 }
