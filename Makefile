@@ -3,10 +3,12 @@ GO ?= go
 .PHONY: build test short race vet fmt-check bench-smoke bench-gate bench-baseline profile resize-demo drain-churn ci
 
 # Gate benchmarks: TailFanout (hedging), LeafBatching (cross-request
-# coalescing), and HotPathAllocs (per-call allocation budget).  -count=5
-# gives benchgate a mean per metric; -benchmem adds B/op and allocs/op so
-# memory regressions gate alongside latency.
-BENCH_GATE_CMD = $(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs' -benchtime=2s -count=5 -benchmem .
+# coalescing), HotPathAllocs (per-call allocation budget), and the leaf
+# compute kernels — LeafScan (SoA norm-trick scan), TopK (streaming
+# selection), IntersectBitset (dense-range posting-list intersection).
+# -count=5 gives benchgate a mean per metric; -benchmem adds B/op and
+# allocs/op so memory regressions gate alongside latency.
+BENCH_GATE_CMD = $(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs|LeafScan|TopK|IntersectBitset' -benchtime=2s -count=5 -benchmem .
 
 build:
 	$(GO) build ./...
@@ -53,7 +55,7 @@ bench-baseline: build
 # work.  Inspect with e.g.:  go tool pprof musuite.test profile/cpu.out
 profile: build
 	mkdir -p profile
-	$(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs' -benchtime=2s -benchmem \
+	$(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs|LeafScan|TopK|IntersectBitset' -benchtime=2s -benchmem \
 		-cpuprofile profile/cpu.out -memprofile profile/mem.out -mutexprofile profile/mutex.out .
 
 # Watch a live resize: Router serves a steady load while a leaf group is

@@ -6,6 +6,7 @@ package musuite_test
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -15,10 +16,14 @@ import (
 	"musuite"
 	"musuite/internal/bench"
 	"musuite/internal/core"
+	"musuite/internal/kernel"
+	"musuite/internal/knn"
 	"musuite/internal/loadgen"
+	"musuite/internal/postlist"
 	"musuite/internal/rpc"
 	"musuite/internal/stats"
 	"musuite/internal/telemetry"
+	"musuite/internal/vec"
 )
 
 // benchScale shrinks datasets so cluster setup stays under a second per
@@ -444,4 +449,128 @@ func BenchmarkHotPathAllocs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		roundTrip()
 	}
+}
+
+// --- Leaf compute kernels ---
+// The tentpole microbenchmarks the gate holds: a single-query full-shard
+// scan through the SoA store's norm-trick kernel vs the pre-engine scalar
+// path, streaming top-k selection vs reference select, and the dense-range
+// bitset posting-list intersection vs the galloping kernel.
+
+// leafScanCorpus builds the benchmark shard once: 100k points × 64 dims,
+// both as a kernel store and as the []vec.Vector layout the pre-engine path
+// scanned.
+func leafScanCorpus() (*kernel.Store, []vec.Vector, []float32) {
+	const n, dim = 100_000, 64
+	r := rand.New(rand.NewSource(7))
+	data := make([]float32, n*dim)
+	for i := range data {
+		data[i] = float32(r.NormFloat64())
+	}
+	s, err := kernel.FromFlat(data, dim)
+	if err != nil {
+		panic(err)
+	}
+	vecs := make([]vec.Vector, n)
+	for i := range vecs {
+		vecs[i] = vec.Vector(s.Row(i))
+	}
+	q := make([]float32, dim)
+	for i := range q {
+		q[i] = float32(r.NormFloat64())
+	}
+	return s, vecs, q
+}
+
+func BenchmarkLeafScan(b *testing.B) {
+	s, vecs, q := leafScanCorpus()
+	const k = 10
+	b.Run("engine", func(b *testing.B) {
+		eng := musuite.NewKernel(musuite.KernelConfig{})
+		var dst []knn.Neighbor
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			dst, err = eng.Scan(s, q, k, dst[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepr", func(b *testing.B) {
+		// The pre-engine leaf computation: per-point diff-squared distance
+		// into the heap-based reference selection.
+		for i := 0; i < b.N; i++ {
+			if got := knn.BruteForce(vec.Vector(q), vecs, k); len(got) != k {
+				b.Fatal("short result")
+			}
+		}
+	})
+}
+
+func BenchmarkTopK(b *testing.B) {
+	const n, k = 100_000, 10
+	r := rand.New(rand.NewSource(11))
+	cands := make([]knn.Neighbor, n)
+	for i := range cands {
+		cands[i] = knn.Neighbor{ID: uint32(i), Distance: r.Float32()}
+	}
+	b.Run("stream", func(b *testing.B) {
+		top := kernel.NewTopK(k)
+		var dst []knn.Neighbor
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			top.Reset(k)
+			// The engine's scan idiom: one inline threshold compare
+			// rejects almost every candidate without a heap call.
+			thr := top.Threshold()
+			for _, c := range cands {
+				if c.Distance <= thr {
+					top.Consider(c.ID, c.Distance)
+					thr = top.Threshold()
+				}
+			}
+			dst = top.AppendSorted(dst[:0])
+		}
+		if len(dst) != k {
+			b.Fatal("short result")
+		}
+	})
+	b.Run("select", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := knn.Select(cands, k); len(got) != k {
+				b.Fatal("short result")
+			}
+		}
+	})
+}
+
+func BenchmarkIntersectBitset(b *testing.B) {
+	// Dense overlap: two lists covering half of a 64k-document range — the
+	// shape the span heuristic routes to the bitset kernel.
+	r := rand.New(rand.NewSource(13))
+	build := func() *postlist.PostingList {
+		ids := make([]uint32, 0, 32_000)
+		for id := uint32(0); id < 64_000; id++ {
+			if r.Intn(2) == 0 {
+				ids = append(ids, id)
+			}
+		}
+		return postlist.New(ids)
+	}
+	pa, pb := build(), build()
+	b.Run("bitset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := postlist.Intersect2Bitset(pa, pb); got.Len() == 0 {
+				b.Fatal("empty intersection")
+			}
+		}
+	})
+	b.Run("skip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := postlist.Intersect2Skip(pa, pb); got.Len() == 0 {
+				b.Fatal("empty intersection")
+			}
+		}
+	})
 }

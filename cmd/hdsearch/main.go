@@ -19,6 +19,7 @@ import (
 	"musuite/internal/cluster"
 	"musuite/internal/core"
 	"musuite/internal/dataset"
+	"musuite/internal/kernel"
 	"musuite/internal/services/hdsearch"
 )
 
@@ -47,6 +48,9 @@ func main() {
 
 		routing   = flag.String("routing", "modulo", "midtier: key placement strategy: modulo | jump (jump keeps placements stable through resizes)")
 		adminAddr = flag.String("admin", "", "midtier: topology admin listener (empty disables; \":0\" picks a port)")
+
+		leafPar = flag.Int("leaf-parallelism", 0, "leaf: worker goroutines per kernel scan (0 = NumCPU)")
+		scalar  = flag.Bool("scalar-kernels", false, "leaf: use the reference scalar kernels (disables the tuned SoA engine)")
 	)
 	flag.Parse()
 
@@ -75,13 +79,14 @@ func main() {
 		leaf := hdsearch.NewLeaf(shardData[*shard], &core.LeafOptions{
 			Workers:              *workers,
 			DisableWriteCoalesce: !*writeCoalesce,
+			Kernel:               kernel.New(kernel.Config{Parallelism: *leafPar, ForceScalar: *scalar}),
 		})
 		bound, err := leaf.Start(*addr)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("hdsearch leaf shard %d/%d serving %d vectors on %s\n",
-			*shard, *shards, len(shardData[*shard].Vectors), bound)
+			*shard, *shards, shardData[*shard].Store.Len(), bound)
 		waitForSignal()
 		leaf.Close()
 

@@ -43,6 +43,8 @@ func main() {
 		writeCoalesce = flag.Bool("write-coalesce", true, "coalesce concurrent frames into batched write syscalls on both tiers")
 		pendingShards = flag.Int("pending-shards", 0, "pending-table shards per leaf connection (0 = default 8, rounded to a power of two)")
 		routing       = flag.String("routing", "modulo", "mid-tier key placement strategy: modulo | jump (jump keeps placements stable through resizes)")
+		leafPar       = flag.Int("leaf-parallelism", 0, "worker goroutines per leaf kernel scan (0 = NumCPU, 1 = serial)")
+		scalarKernels = flag.Bool("scalar-kernels", false, "pin leaves to the reference scalar kernels (ablation baseline for the SoA engine)")
 	)
 	flag.Parse()
 
@@ -77,6 +79,8 @@ func main() {
 		Routing:              strategy,
 		PendingShards:        *pendingShards,
 		DisableWriteCoalesce: !*writeCoalesce,
+		LeafParallelism:      *leafPar,
+		ScalarKernels:        *scalarKernels,
 	}
 	if *trials > 0 {
 		scale.Trials = *trials

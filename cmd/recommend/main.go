@@ -17,6 +17,7 @@ import (
 	"musuite/internal/cluster"
 	"musuite/internal/core"
 	"musuite/internal/dataset"
+	"musuite/internal/kernel"
 	"musuite/internal/services/recommend"
 )
 
@@ -47,6 +48,9 @@ func main() {
 
 		routing   = flag.String("routing", "modulo", "midtier: key placement strategy: modulo | jump (jump keeps placements stable through resizes)")
 		adminAddr = flag.String("admin", "", "midtier: topology admin listener (empty disables; \":0\" picks a port)")
+
+		leafPar = flag.Int("leaf-parallelism", 0, "leaf: worker goroutines per kernel scan (0 = NumCPU)")
+		scalar  = flag.Bool("scalar-kernels", false, "leaf: use the reference scalar kernels (disables the tuned SoA engine)")
 	)
 	flag.Parse()
 
@@ -73,8 +77,10 @@ func main() {
 		shardRatings := corpus.ShardRoundRobin(*shards)[*shard]
 		fmt.Printf("recommend leaf shard %d/%d: factorizing %d ratings (rank %d)...\n",
 			*shard, *shards, len(shardRatings), *rank)
+		eng := kernel.New(kernel.Config{Parallelism: *leafPar, ForceScalar: *scalar})
 		lm, err := recommend.TrainLeaf(shardRatings, recommend.LeafConfig{
 			Users: *users, Items: *items, Rank: *rank, Seed: *seed + int64(*shard),
+			Core: core.LeafOptions{Kernel: eng},
 		})
 		if err != nil {
 			fatal(err)
@@ -82,6 +88,7 @@ func main() {
 		leaf := recommend.NewLeaf(lm, &core.LeafOptions{
 			Workers:              *workers,
 			DisableWriteCoalesce: !*writeCoalesce,
+			Kernel:               eng,
 		})
 		bound, err := leaf.Start(*addr)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"musuite/internal/cluster"
 	"musuite/internal/core"
 	"musuite/internal/dataset"
+	"musuite/internal/kernel"
 	"musuite/internal/loadgen"
 	"musuite/internal/rpc"
 	"musuite/internal/services/hdsearch"
@@ -62,6 +63,12 @@ type FrameworkMode struct {
 	// DisableWriteCoalesce reverts both tiers to one write syscall per
 	// frame instead of coalescing concurrent frames into batched writes.
 	DisableWriteCoalesce bool
+	// LeafParallelism caps the worker goroutines a leaf kernel scan may
+	// recruit (0 = NumCPU, 1 = serial).
+	LeafParallelism int
+	// ScalarKernels pins the leaves to the reference scalar kernels — the
+	// ablation baseline for the tuned SoA engine.
+	ScalarKernels bool
 	// Tracer, when set, samples requests for stage-level attribution.
 	Tracer *trace.Tracer
 }
@@ -88,6 +95,10 @@ func leafOptions(s Scale, mode FrameworkMode) core.LeafOptions {
 	return core.LeafOptions{
 		Workers:              s.LeafWorkers,
 		DisableWriteCoalesce: mode.DisableWriteCoalesce,
+		Kernel: kernel.New(kernel.Config{
+			Parallelism: mode.LeafParallelism,
+			ForceScalar: mode.ScalarKernels,
+		}),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"musuite/internal/kernel"
 	"musuite/internal/rpc"
 	"musuite/internal/telemetry"
 	"musuite/internal/wire"
@@ -52,6 +53,24 @@ type LeafOptions struct {
 	DisableWriteCoalesce bool
 	// Probe receives telemetry; nil disables instrumentation.
 	Probe *telemetry.Probe
+	// Kernel is the compute engine the leaf's handlers scan with; services
+	// call EnsureLeafKernel so a leaf always has one, and its counters feed
+	// the leaf's TierStats (KernelPoints/KernelNanos).
+	Kernel *kernel.Engine
+}
+
+// EnsureLeafKernel clones opts (nil allowed) and fills in a compute engine
+// wired to the options' probe if the caller did not supply one — the hook
+// services use so every leaf owns per-leaf kernel counters.
+func EnsureLeafKernel(opts *LeafOptions) *LeafOptions {
+	var out LeafOptions
+	if opts != nil {
+		out = *opts
+	}
+	if out.Kernel == nil {
+		out.Kernel = kernel.New(kernel.Config{Probe: out.Probe})
+	}
+	return &out
 }
 
 // LeafOptionsWithBatch clones opts (nil allowed) and installs batch as the
@@ -81,6 +100,7 @@ type Leaf struct {
 	// per-request submit carries no closure.
 	runFn   func(any)
 	batchFn func(any)
+	kern    *kernel.Engine
 	served  atomic.Uint64
 	closed  atomic.Bool
 }
@@ -107,6 +127,7 @@ func newLeaf(opts *LeafOptions) *Leaf {
 		wait     = WaitBlocking
 		probe    *telemetry.Probe
 		batch    LeafBatchHandler
+		kern     *kernel.Engine
 		coalesce = true
 	)
 	if opts != nil {
@@ -116,9 +137,10 @@ func newLeaf(opts *LeafOptions) *Leaf {
 		wait = opts.Wait
 		probe = opts.Probe
 		batch = opts.BatchHandler
+		kern = opts.Kernel
 		coalesce = !opts.DisableWriteCoalesce
 	}
-	l := &Leaf{batch: batch}
+	l := &Leaf{batch: batch, kern: kern}
 	l.runFn = l.runScalar
 	l.batchFn = l.runBatchTask
 	l.workers = NewWorkerPool(workers, wait, probe, telemetry.OverheadActiveExe)

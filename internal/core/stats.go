@@ -56,6 +56,11 @@ type TierStats struct {
 	// gracefully drained, forcefully removed, and drains whose quiescence
 	// wait exceeded its deadline.
 	TopoAdds, TopoDrains, TopoRemoves, TopoDrainTimeouts uint64
+	// Compute-engine counters (leaf only): candidate points scored by the
+	// leaf's kernel scans and wall nanoseconds spent inside them —
+	// KernelPoints/KernelNanos·1e9 is the points-scanned/s throughput that
+	// says whether the leaf is compute-bound.
+	KernelPoints, KernelNanos uint64
 }
 
 // encodeTierStats serializes stats for the wire.
@@ -86,6 +91,8 @@ func encodeTierStats(s TierStats) []byte {
 	e.Uint64(s.TopoDrains)
 	e.Uint64(s.TopoRemoves)
 	e.Uint64(s.TopoDrainTimeouts)
+	e.Uint64(s.KernelPoints)
+	e.Uint64(s.KernelNanos)
 	return e.Bytes()
 }
 
@@ -119,6 +126,8 @@ func DecodeTierStats(b []byte) (TierStats, error) {
 	s.TopoDrains = d.Uint64()
 	s.TopoRemoves = d.Uint64()
 	s.TopoDrainTimeouts = d.Uint64()
+	s.KernelPoints = d.Uint64()
+	s.KernelNanos = d.Uint64()
 	return s, d.Err()
 }
 
@@ -173,10 +182,16 @@ func (m *MidTier) stats() TierStats {
 
 // statsLeaf snapshots a leaf's counters.
 func (l *Leaf) stats() TierStats {
-	return TierStats{
+	s := TierStats{
 		Role:       "leaf",
 		Served:     l.served.Load(),
 		QueueDepth: l.workers.QueueDepth(),
 		Workers:    l.workers.Workers(),
 	}
+	if l.kern != nil {
+		ks := l.kern.Stats()
+		s.KernelPoints = ks.Points
+		s.KernelNanos = ks.Nanos
+	}
+	return s
 }

@@ -10,6 +10,7 @@ func TestTierStatsRoundTrip(t *testing.T) {
 	in := TierStats{
 		Role: "midtier", Served: 42, Shed: 3, Inlined: 7,
 		QueueDepth: 2, Workers: 4, ResponseThreads: 2, Leaves: 16,
+		KernelPoints: 123456, KernelNanos: 7890,
 	}
 	got, err := DecodeTierStats(encodeTierStats(in))
 	if err != nil {

@@ -82,6 +82,9 @@ func Build(points []vec.Vector, refs []Ref, cfg Config) (*Tree, error) {
 // Size reports the number of indexed points.
 func (t *Tree) Size() int { return len(t.points) }
 
+// Dim reports the indexed vector dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
 // build recursively partitions idxs.
 func (t *Tree) build(idxs []int, bucket int) *node {
 	if len(idxs) <= bucket {

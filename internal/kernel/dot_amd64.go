@@ -1,0 +1,39 @@
+//go:build amd64
+
+package kernel
+
+// The tuned dot product dispatches to a hand-written AVX2+FMA kernel when
+// the CPU supports it (detected once via CPUID below).  The kernel computes
+// the same Σ aᵢ·bᵢ reduction as dotGeneric with a different association
+// order, so results may differ from the pure-Go path in the last ulps —
+// which is why equivalence against the scalar reference is specified with a
+// tolerance, while serial/parallel/tiled engine paths stay bit-identical
+// (they all call the same dot8).
+
+// dotSIMD computes the dot product of a[0:n]·b[0:n].  n must be a positive
+// multiple of 8; the Go wrapper handles tails.  Implemented in dot_amd64.s.
+//
+//go:noescape
+func dotSIMD(a, b *float32, n int) float32
+
+// cpuidex executes CPUID with the given leaf/subleaf.
+func cpuidex(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (requires OSXSAVE).
+func xgetbv0() (eax, edx uint32)
+
+func init() {
+	// AVX2 FMA needs: CPUID.1:ECX FMA(12), OSXSAVE(27), AVX(28); the OS
+	// saving XMM+YMM state (XCR0 bits 1–2); and CPUID.(7,0):EBX AVX2(5).
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const fmaBit, osxsaveBit, avxBit = 1 << 12, 1 << 27, 1 << 28
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return
+	}
+	if xcr0, _ := xgetbv0(); xcr0&6 != 6 {
+		return
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2Bit = 1 << 5
+	useSIMD = ebx7&avx2Bit != 0
+}

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package kernel
+
+// Non-amd64 builds always take the portable unrolled Go kernel.
+
+func dotSIMD(a, b *float32, n int) float32 { panic("kernel: dotSIMD without SIMD support") }

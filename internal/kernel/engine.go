@@ -1,0 +1,466 @@
+package kernel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"musuite/internal/knn"
+	"musuite/internal/telemetry"
+	"musuite/internal/vec"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Parallelism caps how many cores one request's scan may use
+	// (0 = NumCPU; 1 = serial).  The -leaf-parallelism flag lands here.
+	Parallelism int
+	// ForceScalar switches every scan to the scalar reference kernels
+	// (diff-squared distance, no tiling, no parallelism) — the
+	// -scalar-kernels flag, kept so equivalence is testable end to end.
+	ForceScalar bool
+	// Probe receives kernel counters alongside the engine's own; nil
+	// disables.
+	Probe *telemetry.Probe
+}
+
+// Engine executes leaf scans.  It is a thin config plus counters — the
+// helper goroutines live in one process-global pool — so every leaf can own
+// an engine (making its TierStats counters per-leaf) without goroutine cost.
+type Engine struct {
+	par    int
+	scalar bool
+	probe  *telemetry.Probe
+
+	scans  atomic.Uint64
+	points atomic.Uint64
+	nanos  atomic.Uint64
+}
+
+// New builds an engine.
+func New(cfg Config) *Engine {
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	return &Engine{par: par, scalar: cfg.ForceScalar, probe: cfg.Probe}
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the process-wide default engine (NumCPU parallelism,
+// tuned kernels) — the fallback for components constructed without one.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New(Config{}) })
+	return defaultEngine
+}
+
+func (e *Engine) orDefault() *Engine {
+	if e == nil {
+		return Default()
+	}
+	return e
+}
+
+// Stats is the engine's cumulative accounting.
+type Stats struct {
+	// Scans counts kernel invocations; Points the candidate rows scored;
+	// Nanos the wall time inside the kernels.  Points/Nanos is the
+	// points-scanned/s throughput TierStats and telemetry surface.
+	Scans, Points, Nanos uint64
+}
+
+// Stats snapshots the counters.
+func (e *Engine) Stats() Stats {
+	if e == nil {
+		return Stats{}
+	}
+	return Stats{Scans: e.scans.Load(), Points: e.points.Load(), Nanos: e.nanos.Load()}
+}
+
+func (e *Engine) account(points int, start time.Time) {
+	d := uint64(time.Since(start))
+	e.scans.Add(1)
+	e.points.Add(uint64(points))
+	e.nanos.Add(d)
+	if e.probe != nil {
+		e.probe.AddKernel(telemetry.KernelScans, 1)
+		e.probe.AddKernel(telemetry.KernelPoints, uint64(points))
+		e.probe.AddKernel(telemetry.KernelNanos, d)
+	}
+}
+
+// --- inner kernels ---
+
+// useSIMD is set by per-arch init when the CPU has a vector dot kernel
+// (AVX2+FMA on amd64).  All tuned engine paths go through the same dot8, so
+// which kernel runs never affects serial/parallel/tile equivalence.
+var useSIMD bool
+
+// dot8 is the one inner loop every tuned distance reduces to under the norm
+// trick ‖q−p‖² = ‖q‖²+‖p‖²−2·q·p: the vector kernel when the CPU has one,
+// else the 8-way unrolled scalar loop.  Short vectors skip the SIMD call —
+// the call overhead exceeds the win below ~4 blocks.
+func dot8(a, b []float32) float32 {
+	n := len(a)
+	b = b[:n] // one bounds check; the unrolled body elides the rest
+	if useSIMD && n >= 32 {
+		n8 := n &^ 7
+		s := dotSIMD(&a[0], &b[0], n8)
+		for i := n8; i < n; i++ {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+	return dotGeneric(a, b)
+}
+
+// dotGeneric is the portable 8-way unrolled dot product.
+func dotGeneric(a, b []float32) float32 {
+	n := len(a)
+	var s0, s1, s2, s3, s4, s5, s6, s7 float32
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+		s4 += a[i+4] * b[i+4]
+		s5 += a[i+5] * b[i+5]
+		s6 += a[i+6] * b[i+6]
+		s7 += a[i+7] * b[i+7]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))
+}
+
+// normDist is the per-(query, point) distance every engine path shares —
+// serial, parallel, and tiled scans therefore produce bit-identical floats.
+// The clamp absorbs the small negative results cancellation can produce for
+// near-duplicate points.
+func normDist(q []float32, qn float32, row []float32, rowNorm float32) float32 {
+	d := qn + rowNorm - 2*dot8(q, row)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// --- scratch pooling ---
+
+// scanScratch recycles the per-worker heaps of one scan.  heaps is sized
+// par (or par×queries for the tile kernel) and reused across requests.
+type scanScratch struct {
+	heaps []TopK
+}
+
+var scanScratches = sync.Pool{New: func() any { return new(scanScratch) }}
+
+func getScratch(heaps, k int) *scanScratch {
+	sc := scanScratches.Get().(*scanScratch)
+	if cap(sc.heaps) < heaps {
+		sc.heaps = make([]TopK, heaps)
+	} else {
+		sc.heaps = sc.heaps[:heaps]
+	}
+	for i := range sc.heaps {
+		sc.heaps[i].Reset(k)
+	}
+	return sc
+}
+
+// mergeAppend folds heaps[1:] into heaps[0] and drains it sorted into dst.
+func mergeAppend(heaps []TopK, dst []knn.Neighbor) []knn.Neighbor {
+	for i := 1; i < len(heaps); i++ {
+		heaps[0].Merge(&heaps[i])
+	}
+	return heaps[0].AppendSorted(dst)
+}
+
+// --- full-store scan ---
+
+// Scan scores the query against every store row and appends the k nearest
+// (by squared Euclidean distance, ties by ID) to dst.
+func (e *Engine) Scan(s *Store, q []float32, k int, dst []knn.Neighbor) ([]knn.Neighbor, error) {
+	e = e.orDefault()
+	if len(q) != s.dim && s.n > 0 {
+		return dst, vec.ErrDimensionMismatch
+	}
+	start := time.Now()
+	sc := getScratch(e.par, k)
+	if e.scalar {
+		scanScalarRange(s, q, 0, s.n, &sc.heaps[0])
+	} else {
+		qn := dot8(q, q)
+		parallelFor(e.par, s.n, func(w, lo, hi int) {
+			scanRange(s, q, qn, lo, hi, &sc.heaps[w])
+		})
+	}
+	dst = mergeAppend(sc.heaps, dst)
+	scanScratches.Put(sc)
+	e.account(s.n, start)
+	return dst, nil
+}
+
+// scanRange is the tuned per-chunk loop: stream rows, norm-trick distance,
+// threshold test before touching the heap.
+func scanRange(s *Store, q []float32, qn float32, lo, hi int, top *TopK) {
+	thr := top.Threshold()
+	for i := lo; i < hi; i++ {
+		d := normDist(q, qn, s.Row(i), s.norms[i])
+		// ≤ keeps equal-distance smaller-ID candidates eligible, so the
+		// result matches the reference selection exactly.
+		if d <= thr {
+			top.Consider(uint32(i), d)
+			thr = top.Threshold()
+		}
+	}
+}
+
+// scanScalarRange is the reference: per-point diff-squared distance (the
+// pre-engine vec kernel), same selection.
+func scanScalarRange(s *Store, q []float32, lo, hi int, top *TopK) {
+	for i := lo; i < hi; i++ {
+		top.Consider(uint32(i), vec.SquaredEuclidean(q, s.Row(i)))
+	}
+}
+
+// --- subset scan ---
+
+// ScanSubset scores the query against the rows named by ids (out-of-range
+// IDs are skipped, mirroring the wire contract) and appends the k nearest to
+// dst — the HDSearch leaf's per-request computation.
+func (e *Engine) ScanSubset(s *Store, q []float32, ids []uint32, k int, dst []knn.Neighbor) ([]knn.Neighbor, error) {
+	e = e.orDefault()
+	if len(q) != s.dim && s.n > 0 {
+		return dst, vec.ErrDimensionMismatch
+	}
+	start := time.Now()
+	sc := getScratch(e.par, k)
+	if e.scalar {
+		top := &sc.heaps[0]
+		for _, id := range ids {
+			if int(id) >= s.n {
+				continue
+			}
+			top.Consider(id, vec.SquaredEuclidean(q, s.Row(int(id))))
+		}
+	} else {
+		qn := dot8(q, q)
+		parallelFor(e.par, len(ids), func(w, lo, hi int) {
+			top := &sc.heaps[w]
+			thr := top.Threshold()
+			for _, id := range ids[lo:hi] {
+				if int(id) >= s.n {
+					continue
+				}
+				d := normDist(q, qn, s.Row(int(id)), s.norms[id])
+				if d <= thr {
+					top.Consider(id, d)
+					thr = top.Threshold()
+				}
+			}
+		})
+	}
+	dst = mergeAppend(sc.heaps, dst)
+	scanScratches.Put(sc)
+	e.account(len(ids), start)
+	return dst, nil
+}
+
+// --- multi-query tile scan ---
+
+// ScanMulti scores every query against every store row with the tile
+// kernel: the point block a chunk walks stays hot in cache while all queries
+// score it, so a batched carrier's queries share each row's memory traffic.
+// Results are per-query, each the k nearest appended fresh.
+func (e *Engine) ScanMulti(s *Store, queries [][]float32, k int) ([][]knn.Neighbor, error) {
+	e = e.orDefault()
+	for _, q := range queries {
+		if len(q) != s.dim && s.n > 0 {
+			return nil, vec.ErrDimensionMismatch
+		}
+	}
+	nq := len(queries)
+	if nq == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	out := make([][]knn.Neighbor, nq)
+	if e.scalar {
+		sc := getScratch(1, k)
+		for qi, q := range queries {
+			sc.heaps[0].Reset(k)
+			scanScalarRange(s, q, 0, s.n, &sc.heaps[0])
+			out[qi] = sc.heaps[0].AppendSorted(nil)
+		}
+		scanScratches.Put(sc)
+		e.account(s.n*nq, start)
+		return out, nil
+	}
+	qns := make([]float32, nq)
+	for qi, q := range queries {
+		qns[qi] = dot8(q, q)
+	}
+	sc := getScratch(e.par*nq, k)
+	parallelFor(e.par, s.n, func(w, lo, hi int) {
+		heaps := sc.heaps[w*nq : (w+1)*nq]
+		for i := lo; i < hi; i++ {
+			row := s.Row(i)
+			rn := s.norms[i]
+			for qi, q := range queries {
+				d := normDist(q, qns[qi], row, rn)
+				top := &heaps[qi]
+				if d <= top.Threshold() {
+					top.Consider(uint32(i), d)
+				}
+			}
+		}
+	})
+	for qi := 0; qi < nq; qi++ {
+		for w := 1; w < e.par; w++ {
+			sc.heaps[qi].Merge(&sc.heaps[w*nq+qi])
+		}
+		out[qi] = sc.heaps[qi].AppendSorted(nil)
+	}
+	scanScratches.Put(sc)
+	e.account(s.n*nq, start)
+	return out, nil
+}
+
+// --- cosine neighborhoods (Recommend) ---
+
+// cosineDist returns 1 − cosine similarity in the engine's float32 path;
+// zero-norm rows score distance 1 (similarity 0), matching the reference.
+func cosineDist(q []float32, qn float32, row []float32, rn float32) float32 {
+	if qn == 0 || rn == 0 {
+		return 1
+	}
+	return 1 - dot8(q, row)/float32(math.Sqrt(float64(qn)*float64(rn)))
+}
+
+// cosineDistScalar is the reference: float64 accumulation with per-pair
+// norms, the pre-engine knn.CosineMetric arithmetic.
+func cosineDistScalar(q, row []float32) float32 {
+	var dot, na, nb float64
+	for i := range q {
+		a, b := float64(q[i]), float64(row[i])
+		dot += a * b
+		na += a * a
+		nb += b * b
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return float32(1 - dot/(math.Sqrt(na)*math.Sqrt(nb)))
+}
+
+// CosineNeighbors finds the k rows most cosine-similar to row `row`,
+// excluding the row itself and any row whose include mask entry is false
+// (nil includes all) — Recommend's user-neighborhood scan over its
+// latent-factor store, with the exclusion applied inline instead of through
+// a per-request exclusion map.
+func (e *Engine) CosineNeighbors(s *Store, row int, include []bool, k int, dst []knn.Neighbor) ([]knn.Neighbor, error) {
+	e = e.orDefault()
+	if row < 0 || row >= s.n {
+		return dst, vec.ErrDimensionMismatch
+	}
+	start := time.Now()
+	q := s.Row(row)
+	qn := s.norms[row]
+	sc := getScratch(e.par, k)
+	if e.scalar {
+		top := &sc.heaps[0]
+		for i := 0; i < s.n; i++ {
+			if i == row || (include != nil && !include[i]) {
+				continue
+			}
+			top.Consider(uint32(i), cosineDistScalar(q, s.Row(i)))
+		}
+	} else {
+		parallelFor(e.par, s.n, func(w, lo, hi int) {
+			top := &sc.heaps[w]
+			thr := top.Threshold()
+			for i := lo; i < hi; i++ {
+				if i == row || (include != nil && !include[i]) {
+					continue
+				}
+				d := cosineDist(q, qn, s.Row(i), s.norms[i])
+				if d <= thr {
+					top.Consider(uint32(i), d)
+					thr = top.Threshold()
+				}
+			}
+		})
+	}
+	dst = mergeAppend(sc.heaps, dst)
+	scanScratches.Put(sc)
+	e.account(s.n, start)
+	return dst, nil
+}
+
+// CosineNeighborsMulti runs CosineNeighbors for several query rows with the
+// tile kernel — the batched-carrier form PredictBatch feeds with its
+// distinct users.
+func (e *Engine) CosineNeighborsMulti(s *Store, rows []int, include []bool, k int) ([][]knn.Neighbor, error) {
+	e = e.orDefault()
+	nq := len(rows)
+	if nq == 0 {
+		return nil, nil
+	}
+	for _, r := range rows {
+		if r < 0 || r >= s.n {
+			return nil, vec.ErrDimensionMismatch
+		}
+	}
+	if e.scalar || nq == 1 {
+		out := make([][]knn.Neighbor, nq)
+		var err error
+		for qi, r := range rows {
+			out[qi], err = e.CosineNeighbors(s, r, include, k, nil)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	start := time.Now()
+	sc := getScratch(e.par*nq, k)
+	parallelFor(e.par, s.n, func(w, lo, hi int) {
+		heaps := sc.heaps[w*nq : (w+1)*nq]
+		for i := lo; i < hi; i++ {
+			if include != nil && !include[i] {
+				continue
+			}
+			p := s.Row(i)
+			pn := s.norms[i]
+			for qi, r := range rows {
+				if i == r {
+					continue
+				}
+				d := cosineDist(s.Row(r), s.norms[r], p, pn)
+				top := &heaps[qi]
+				if d <= top.Threshold() {
+					top.Consider(uint32(i), d)
+				}
+			}
+		}
+	})
+	out := make([][]knn.Neighbor, nq)
+	for qi := 0; qi < nq; qi++ {
+		for w := 1; w < e.par; w++ {
+			sc.heaps[qi].Merge(&sc.heaps[w*nq+qi])
+		}
+		out[qi] = sc.heaps[qi].AppendSorted(nil)
+	}
+	scanScratches.Put(sc)
+	e.account(s.n*nq, start)
+	return out, nil
+}

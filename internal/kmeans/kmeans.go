@@ -180,6 +180,14 @@ func isqrt(n int) int {
 // K reports the cluster count.
 func (x *Index) K() int { return len(x.centroids) }
 
+// Dim reports the indexed vector dimensionality (0 for an empty index).
+func (x *Index) Dim() int {
+	if len(x.centroids) == 0 {
+		return 0
+	}
+	return len(x.centroids[0])
+}
+
 // Size reports the number of indexed points.
 func (x *Index) Size() int { return len(x.points) }
 

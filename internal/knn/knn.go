@@ -7,7 +7,6 @@ package knn
 
 import (
 	"container/heap"
-	"math"
 	"sort"
 
 	"musuite/internal/vec"
@@ -125,54 +124,41 @@ func Subset(query vec.Vector, corpus []vec.Vector, ids []uint32, k int) []Neighb
 	return Select(cands, k)
 }
 
-// Metric scores the similarity between two float64 vectors for neighborhood
-// search; smaller is nearer.
-type Metric func(a, b []float64) float64
+// Metric scores the similarity between two vectors for neighborhood search;
+// smaller is nearer.  Metrics are defined over vec.Vector (float32) so
+// neighborhood search shares the vec kernels instead of converting per
+// point; callers with float64 data (e.g. trained latent-factor matrices)
+// convert once at build time.
+type Metric func(a, b vec.Vector) float32
 
-// EuclideanMetric is squared Euclidean distance over float64 vectors.
-func EuclideanMetric(a, b []float64) float64 {
-	s := 0.0
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	for i := 0; i < n; i++ {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return s
+// EuclideanMetric is squared Euclidean distance, delegating to the unrolled
+// vec kernel (equal lengths required — the kernel panics on ragged input).
+func EuclideanMetric(a, b vec.Vector) float32 {
+	return vec.SquaredEuclidean(a, b)
 }
 
-// CosineMetric is 1 − cosine similarity over float64 vectors, so smaller is
-// nearer, matching allknn's cosine option.
-func CosineMetric(a, b []float64) float64 {
-	var dot, na, nb float64
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	for i := 0; i < n; i++ {
-		dot += a[i] * b[i]
-		na += a[i] * a[i]
-		nb += b[i] * b[i]
-	}
+// CosineMetric is 1 − cosine similarity, so smaller is nearer, matching
+// allknn's cosine option.  Zero vectors score distance 1 (similarity 0).
+func CosineMetric(a, b vec.Vector) float32 {
+	na, nb := vec.Norm(a), vec.Norm(b)
 	if na == 0 || nb == 0 {
 		return 1
 	}
-	return 1 - dot/(math.Sqrt(na)*math.Sqrt(nb))
+	return 1 - vec.Dot(a, b)/(na*nb)
 }
 
 // AllKNN finds, for the single query row, the k nearest rows of points under
-// metric, excluding any row index listed in exclude.  This is the
-// neighborhood step of Recommend's user-based collaborative filtering: given
-// a user's latent factors, find the most similar users.
-func AllKNN(query []float64, points [][]float64, k int, metric Metric, exclude map[int]bool) []Neighbor {
+// metric, excluding any row index listed in exclude.  This is the reference
+// for the neighborhood step of Recommend's user-based collaborative
+// filtering: given a user's latent factors, find the most similar users (the
+// kernel engine holds the tuned version).
+func AllKNN(query vec.Vector, points []vec.Vector, k int, metric Metric, exclude map[int]bool) []Neighbor {
 	cands := make([]Neighbor, 0, len(points))
 	for i, p := range points {
 		if exclude != nil && exclude[i] {
 			continue
 		}
-		cands = append(cands, Neighbor{ID: uint32(i), Distance: float32(metric(query, p))})
+		cands = append(cands, Neighbor{ID: uint32(i), Distance: metric(query, p)})
 	}
 	return Select(cands, k)
 }

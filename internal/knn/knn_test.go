@@ -122,27 +122,27 @@ func TestMergeEqualsGlobalSelect(t *testing.T) {
 }
 
 func TestMetrics(t *testing.T) {
-	a := []float64{1, 0}
-	b := []float64{0, 1}
+	a := vec.Vector{1, 0}
+	b := vec.Vector{0, 1}
 	if d := EuclideanMetric(a, b); d != 2 {
 		t.Errorf("euclidean=%v", d)
 	}
 	if d := EuclideanMetric(a, a); d != 0 {
 		t.Errorf("self euclidean=%v", d)
 	}
-	if d := CosineMetric(a, b); math.Abs(d-1) > 1e-9 {
+	if d := CosineMetric(a, b); math.Abs(float64(d)-1) > 1e-6 {
 		t.Errorf("orthogonal cosine metric=%v", d)
 	}
-	if d := CosineMetric(a, []float64{2, 0}); math.Abs(d) > 1e-9 {
+	if d := CosineMetric(a, vec.Vector{2, 0}); math.Abs(float64(d)) > 1e-6 {
 		t.Errorf("parallel cosine metric=%v", d)
 	}
-	if d := CosineMetric(a, []float64{0, 0}); d != 1 {
+	if d := CosineMetric(a, vec.Vector{0, 0}); d != 1 {
 		t.Errorf("zero-vector cosine metric=%v", d)
 	}
 }
 
 func TestAllKNN(t *testing.T) {
-	points := [][]float64{
+	points := []vec.Vector{
 		{0, 0},   // 0
 		{0.1, 0}, // 1 nearest to 0
 		{1, 1},   // 2

@@ -99,6 +99,9 @@ func New(cfg Config) (*Index, error) {
 // Size reports the number of indexed entries.
 func (idx *Index) Size() int { return idx.size }
 
+// Dim reports the indexed vector dimensionality.
+func (idx *Index) Dim() int { return idx.cfg.Dim }
+
 // Insert indexes v under the given {shard, point} reference.
 func (idx *Index) Insert(v vec.Vector, shard int32, pointID uint32) error {
 	if len(v) != idx.cfg.Dim {

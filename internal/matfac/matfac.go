@@ -87,15 +87,34 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Mat is a dense row-major matrix in one contiguous block — the flat layout
+// the kernel package's stores expect, so serving converts a trained factor
+// matrix once (no per-row slice headers to chase, no per-point conversion).
+type Mat struct {
+	Data   []float64
+	Rows   int
+	Stride int // row length (= Rank for factor matrices)
+}
+
+// NewMat allocates a zeroed rows×stride matrix.
+func NewMat(rows, stride int) Mat {
+	return Mat{Data: make([]float64, rows*stride), Rows: rows, Stride: stride}
+}
+
+// Row returns row i as a slice aliasing the backing block.
+func (m Mat) Row(i int) []float64 {
+	return m.Data[i*m.Stride : (i+1)*m.Stride : (i+1)*m.Stride]
+}
+
 // Model is the factorization result: V ≈ W·H with W (Rows×Rank) capturing
 // row↔concept affinity and H (Rank×Cols) concept↔column affinity.
 type Model struct {
 	Rank int
-	// W[r] is row r's latent factor vector (length Rank).
-	W [][]float64
-	// H[c] is column c's latent factor vector (length Rank); stored
+	// W row r is row r's latent factor vector (length Rank).
+	W Mat
+	// H row c is column c's latent factor vector (length Rank); stored
 	// column-major for cache-friendly prediction.
-	H [][]float64
+	H Mat
 	// ErrorTrace records the RMSE over observed entries after each
 	// sweep, for convergence inspection and the monotonicity invariant.
 	ErrorTrace []float64
@@ -126,24 +145,18 @@ func Factorize(s *Sparse, cfg Config) (*Model, error) {
 	if scale <= 0 {
 		scale = 0.1
 	}
-	m := &Model{Rank: r, W: make([][]float64, s.Rows), H: make([][]float64, s.Cols)}
-	for i := range m.W {
-		m.W[i] = make([]float64, r)
-		for k := range m.W[i] {
-			m.W[i][k] = scale * (0.5 + rng.Float64())
-		}
+	m := &Model{Rank: r, W: NewMat(s.Rows, r), H: NewMat(s.Cols, r)}
+	for i := range m.W.Data {
+		m.W.Data[i] = scale * (0.5 + rng.Float64())
 	}
-	for j := range m.H {
-		m.H[j] = make([]float64, r)
-		for k := range m.H[j] {
-			m.H[j][k] = scale * (0.5 + rng.Float64())
-		}
+	for i := range m.H.Data {
+		m.H.Data[i] = scale * (0.5 + rng.Float64())
 	}
 
 	pred := make([]float64, s.NNZ()) // WH at observed cells
 	recompute := func() {
 		for i, t := range s.entries {
-			pred[i] = dot(m.W[t.Row], m.H[t.Col])
+			pred[i] = dot(m.W.Row(t.Row), m.H.Row(t.Col))
 		}
 	}
 	rmse := func() float64 {
@@ -171,16 +184,18 @@ func Factorize(s *Sparse, cfg Config) (*Model, error) {
 			for k := 0; k < r; k++ {
 				numer[k], denom[k] = 0, 0
 			}
+			wrow := m.W.Row(row)
 			for _, ei := range idxs {
 				t := s.entries[ei]
-				p := dot(m.W[row], m.H[t.Col])
+				hrow := m.H.Row(t.Col)
+				p := dot(wrow, hrow)
 				for k := 0; k < r; k++ {
-					numer[k] += t.Val * m.H[t.Col][k]
-					denom[k] += p * m.H[t.Col][k]
+					numer[k] += t.Val * hrow[k]
+					denom[k] += p * hrow[k]
 				}
 			}
 			for k := 0; k < r; k++ {
-				m.W[row][k] *= numer[k] / (denom[k] + eps)
+				wrow[k] *= numer[k] / (denom[k] + eps)
 			}
 		}
 		// Update H columns symmetrically.
@@ -192,16 +207,18 @@ func Factorize(s *Sparse, cfg Config) (*Model, error) {
 			for k := 0; k < r; k++ {
 				numer[k], denom[k] = 0, 0
 			}
+			hrow := m.H.Row(col)
 			for _, ei := range idxs {
 				t := s.entries[ei]
-				p := dot(m.W[t.Row], m.H[col])
+				wrow := m.W.Row(t.Row)
+				p := dot(wrow, hrow)
 				for k := 0; k < r; k++ {
-					numer[k] += t.Val * m.W[t.Row][k]
-					denom[k] += p * m.W[t.Row][k]
+					numer[k] += t.Val * wrow[k]
+					denom[k] += p * wrow[k]
 				}
 			}
 			for k := 0; k < r; k++ {
-				m.H[col][k] *= numer[k] / (denom[k] + eps)
+				hrow[k] *= numer[k] / (denom[k] + eps)
 			}
 		}
 
@@ -218,10 +235,10 @@ func Factorize(s *Sparse, cfg Config) (*Model, error) {
 
 // Predict approximates cell (row, col) of the utility matrix.
 func (m *Model) Predict(row, col int) float64 {
-	if row < 0 || row >= len(m.W) || col < 0 || col >= len(m.H) {
+	if row < 0 || row >= m.W.Rows || col < 0 || col >= m.H.Rows {
 		return 0
 	}
-	return dot(m.W[row], m.H[col])
+	return dot(m.W.Row(row), m.H.Row(col))
 }
 
 // PredictClamped is Predict bounded to [lo, hi] — ratings live on 1..5.

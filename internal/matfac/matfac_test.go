@@ -81,18 +81,14 @@ func TestNonNegativityInvariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, row := range m.W {
-		for k, v := range row {
-			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-				t.Fatalf("W[%d][%d]=%v", i, k, v)
-			}
+	for i, v := range m.W.Data {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("W[%d][%d]=%v", i/m.W.Stride, i%m.W.Stride, v)
 		}
 	}
-	for j, col := range m.H {
-		for k, v := range col {
-			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-				t.Fatalf("H[%d][%d]=%v", j, k, v)
-			}
+	for i, v := range m.H.Data {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("H[%d][%d]=%v", i/m.H.Stride, i%m.H.Stride, v)
 		}
 	}
 }
@@ -161,11 +157,9 @@ func TestQuickNMFInvariants(t *testing.T) {
 				return false
 			}
 		}
-		for _, row := range m.W {
-			for _, v := range row {
-				if v < 0 || math.IsNaN(v) {
-					return false
-				}
+		for _, v := range m.W.Data {
+			if v < 0 || math.IsNaN(v) {
+				return false
 			}
 		}
 		return true

@@ -1,0 +1,135 @@
+package postlist
+
+import (
+	"math/bits"
+)
+
+// Dense-range bitset intersection: when two lists overlap a doc-ID range
+// that is small relative to their combined length (high selectivity — many
+// hits per range word), materializing both lists as bitsets over the overlap
+// range and AND-ing 64 documents per word beats galloping, which pays a
+// branchy probe per document.  The heuristic and the kernel live here; the
+// generic Intersect dispatches per pair.
+
+// bitsetSpanFactor gates the bitset path: the overlap span (in documents)
+// must be at most this multiple of the combined list length, so the bitsets
+// stay dense enough that whole-word ANDs do useful work and the O(span/64)
+// allocation + sweep is bounded by the work galloping would do anyway.
+const bitsetSpanFactor = 16
+
+// useBitset reports whether the dense-range kernel should intersect a and b.
+func useBitset(a, b *PostingList) bool {
+	if len(a.ids) == 0 || len(b.ids) == 0 {
+		return false
+	}
+	lo := max32(a.ids[0], b.ids[0])
+	hi := min32(a.ids[len(a.ids)-1], b.ids[len(b.ids)-1])
+	if hi < lo {
+		return false
+	}
+	span := uint64(hi-lo) + 1
+	return span <= uint64(bitsetSpanFactor)*uint64(len(a.ids)+len(b.ids))
+}
+
+// Intersect2Bitset intersects two lists with the dense-range bitset kernel:
+// each list's IDs inside the overlap range set bits in a bitset anchored at
+// the range start, the bitsets are AND-ed word by word, and surviving bits
+// are converted back to doc IDs with trailing-zero extraction.  The result
+// is identical to Intersect2; only the cost shape differs.
+func Intersect2Bitset(a, b *PostingList) *PostingList {
+	if len(a.ids) == 0 || len(b.ids) == 0 {
+		return fromSorted(nil, a.skipSize)
+	}
+	lo := max32(a.ids[0], b.ids[0])
+	hi := min32(a.ids[len(a.ids)-1], b.ids[len(b.ids)-1])
+	if hi < lo {
+		return fromSorted(nil, a.skipSize)
+	}
+	words := (int(hi-lo) >> 6) + 1
+	wa := make([]uint64, words)
+	wb := make([]uint64, words)
+	fillBits(wa, a.ids, lo, hi)
+	fillBits(wb, b.ids, lo, hi)
+	// AND in place and count survivors so the output allocates exactly once.
+	n := 0
+	for i := range wa {
+		wa[i] &= wb[i]
+		n += bits.OnesCount64(wa[i])
+	}
+	out := make([]uint32, 0, n)
+	for i, w := range wa {
+		base := lo + uint32(i<<6)
+		for w != 0 {
+			out = append(out, base+uint32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return fromSorted(out, a.skipSize)
+}
+
+// fillBits sets the bit for every id in [lo, hi], bit index id−lo.
+func fillBits(words []uint64, ids []uint32, lo, hi uint32) {
+	// Skip the prefix below the overlap range with a binary-ish scan: lists
+	// are sorted, so find the first in-range element linearly from whichever
+	// end is cheaper is overkill — a simple scan with early exit suffices
+	// because out-of-range prefixes/suffixes were already paid for in len().
+	for _, id := range ids {
+		if id < lo {
+			continue
+		}
+		if id > hi {
+			break
+		}
+		off := id - lo
+		words[off>>6] |= 1 << (off & 63)
+	}
+}
+
+// MergeSortedInto merges already-sorted, deduplicated segments into dst with
+// a linear k-way merge, deduplicating across segments — the mid-tier union
+// for leaf results, which arrive sorted, so re-sorting the concatenation
+// (O(n log n)) is wasted work.  dst is appended to and returned.
+func MergeSortedInto(dst []uint32, segs [][]uint32) []uint32 {
+	// Cursor per segment; each step picks the minimal head.  For the small
+	// k of a fan-out (leaf count) a linear min scan beats a heap.
+	pos := make([]int, len(segs))
+	for {
+		best := -1
+		var bestID uint32
+		for s, seg := range segs {
+			if pos[s] >= len(seg) {
+				continue
+			}
+			if id := seg[pos[s]]; best == -1 || id < bestID {
+				best, bestID = s, id
+			}
+		}
+		if best == -1 {
+			return dst
+		}
+		if len(dst) == 0 || dst[len(dst)-1] != bestID {
+			dst = append(dst, bestID)
+		}
+		// Advance every segment sitting on bestID so duplicates collapse in
+		// one step.
+		for s, seg := range segs {
+			if pos[s] < len(seg) && seg[pos[s]] == bestID {
+				pos[s]++
+			}
+		}
+	}
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package postlist
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randList builds a sorted, deduplicated random ID list whose density the
+// caller controls through the ID range.
+func randList(r *rand.Rand, n int, idRange uint32) []uint32 {
+	if n > int(idRange) {
+		n = int(idRange)
+	}
+	seen := make(map[uint32]bool, n)
+	for len(seen) < n {
+		seen[uint32(r.Intn(int(idRange)))] = true
+	}
+	out := make([]uint32, 0, n)
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestIntersectBitsetEquivalence: the dense-range bitset kernel returns
+// exactly what the linear reference intersection returns, dense or sparse,
+// whether or not the heuristic would have picked it.
+func TestIntersectBitsetEquivalence(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Mix densities: sometimes dense (bitset-friendly), sometimes not.
+		rangeA := uint32(1 + r.Intn(4096))
+		rangeB := uint32(1 + r.Intn(4096))
+		na := 1 + r.Intn(int(rangeA))
+		nb := 1 + r.Intn(int(rangeB))
+		a := New(randList(r, na, rangeA))
+		b := New(randList(r, nb, rangeB))
+		got := Intersect2Bitset(a, b).IDs()
+		want := Intersect2(a, b).IDs()
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntersectBitsetEmpty: degenerate shapes don't panic and return empty.
+func TestIntersectBitsetEmpty(t *testing.T) {
+	empty := New(nil)
+	one := New([]uint32{5})
+	far := New([]uint32{1000000})
+	for _, pair := range [][2]*PostingList{{empty, one}, {one, empty}, {one, far}} {
+		if got := Intersect2Bitset(pair[0], pair[1]); got.Len() != 0 {
+			t.Fatalf("expected empty, got %v", got.IDs())
+		}
+	}
+	if useBitset(empty, one) || useBitset(one, far) {
+		t.Fatal("heuristic selected bitset for empty/disjoint lists")
+	}
+}
+
+// TestIntersectBitsetHeuristic: dense overlaps take the bitset path, sparse
+// huge spans don't.
+func TestIntersectBitsetHeuristic(t *testing.T) {
+	dense := New([]uint32{0, 1, 2, 3, 4, 5, 6, 7})
+	if !useBitset(dense, dense) {
+		t.Fatal("dense overlap rejected")
+	}
+	sparse := New([]uint32{0, 1 << 30})
+	if useBitset(sparse, sparse) {
+		t.Fatal("sparse span accepted")
+	}
+}
+
+// TestMergeSortedEquivalence: the k-way merge union equals sort+dedup of the
+// concatenation, for any number of segments including empty ones.
+func TestMergeSortedEquivalence(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nseg := r.Intn(6)
+		segs := make([][]uint32, nseg)
+		var all []uint32
+		for s := range segs {
+			if r.Intn(5) == 0 {
+				continue // leave a nil segment
+			}
+			segs[s] = randList(r, 1+r.Intn(200), uint32(1+r.Intn(1000)))
+			all = append(all, segs[s]...)
+		}
+		got := MergeSortedInto(nil, segs)
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		var want []uint32
+		for i, id := range all {
+			if i == 0 || id != want[len(want)-1] {
+				want = append(want, id)
+			}
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeSortedIntoReusesDst: the merge appends into the provided slice.
+func TestMergeSortedIntoReusesDst(t *testing.T) {
+	dst := make([]uint32, 0, 64)
+	out := MergeSortedInto(dst, [][]uint32{{1, 3}, {2, 3, 4}})
+	if !reflect.DeepEqual(out, []uint32{1, 2, 3, 4}) {
+		t.Fatalf("got %v", out)
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("merge did not reuse dst's backing array")
+	}
+}

@@ -131,8 +131,10 @@ func Intersect2Skip(a, b *PostingList) *PostingList {
 }
 
 // Intersect computes the intersection of any number of lists, shortest
-// first so intermediate results shrink fastest.  No lists yields an empty
-// result; one list yields a copy.
+// first so intermediate results shrink fastest.  Each pairwise step picks
+// its kernel: the dense-range bitset when the lists' overlap span is small
+// relative to their sizes (high selectivity), skip-accelerated galloping
+// otherwise.  No lists yields an empty result; one list yields a copy.
 func Intersect(lists ...*PostingList) *PostingList {
 	if len(lists) == 0 {
 		return fromSorted(nil, DefaultSkipSize)
@@ -145,7 +147,11 @@ func Intersect(lists ...*PostingList) *PostingList {
 		if acc.Len() == 0 {
 			break
 		}
-		acc = Intersect2Skip(acc, l)
+		if useBitset(acc, l) {
+			acc = Intersect2Bitset(acc, l)
+		} else {
+			acc = Intersect2Skip(acc, l)
+		}
 	}
 	return acc
 }
@@ -159,23 +165,15 @@ func Union(lists ...*PostingList) *PostingList {
 	case 1:
 		return fromSorted(append([]uint32(nil), lists[0].ids...), lists[0].skipSize)
 	}
-	// Iterative pairwise union over a total size that only shrinks by
-	// dedup; a heap-based k-way merge wins only for very large k.
+	// Lists are already sorted and deduplicated, so a linear k-way merge
+	// does the union in O(total · k) comparisons with no re-sort.
 	total := 0
-	for _, l := range lists {
+	segs := make([][]uint32, len(lists))
+	for i, l := range lists {
 		total += l.Len()
+		segs[i] = l.ids
 	}
-	all := make([]uint32, 0, total)
-	for _, l := range lists {
-		all = append(all, l.ids...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	out := all[:0]
-	for i, id := range all {
-		if i == 0 || id != out[len(out)-1] {
-			out = append(out, id)
-		}
-	}
+	out := MergeSortedInto(make([]uint32, 0, total), segs)
 	return fromSorted(out, lists[0].skipSize)
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"musuite/internal/core"
 	"musuite/internal/dataset"
+	"musuite/internal/kernel"
 	"musuite/internal/knn"
 	"musuite/internal/lsh"
 	"musuite/internal/rpc"
@@ -116,46 +117,56 @@ func DecodeNeighbors(b []byte) ([]Neighbor, error) {
 
 // --- leaf ---
 
-// LeafData is one shard's slice of the corpus: vectors indexed by local
-// point ID, plus the mapping back to global IDs.
+// LeafData is one shard's slice of the corpus: a flat structure-of-arrays
+// vector store indexed by local point ID, plus the mapping back to global
+// IDs.
 type LeafData struct {
-	Vectors  []vec.Vector
+	Store    *kernel.Store
 	GlobalID []uint32
 }
 
-// ShardCorpus splits a corpus round-robin into n leaf shards.
+// ShardCorpus splits a corpus round-robin into n leaf shards, copying each
+// shard's vectors into a flat kernel store (the corpus is rectangular by
+// construction, so the store build cannot fail).
 func ShardCorpus(c *dataset.ImageCorpus, n int) []LeafData {
 	idLists := c.Shard(n)
 	out := make([]LeafData, n)
+	vecs := make([]vec.Vector, 0)
 	for s, ids := range idLists {
-		ld := LeafData{
-			Vectors:  make([]vec.Vector, len(ids)),
-			GlobalID: make([]uint32, len(ids)),
-		}
+		vecs = vecs[:0]
+		ld := LeafData{GlobalID: make([]uint32, len(ids))}
 		for local, global := range ids {
-			ld.Vectors[local] = c.Vectors[global]
+			vecs = append(vecs, c.Vectors[global])
 			ld.GlobalID[local] = uint32(global)
 		}
+		st, err := kernel.BuildStore(vecs)
+		if err != nil {
+			panic("hdsearch: ragged corpus: " + err.Error())
+		}
+		ld.Store = st
 		out[s] = ld
 	}
 	return out
 }
 
-// leafScratch recycles the decoded query vector and candidate-ID list of a
-// scoring call across requests served by the same leaf worker pool.
+// leafScratch recycles the decoded query vector, candidate-ID list, and
+// result buffer of a scoring call across requests served by the same leaf
+// worker pool.
 type leafScratch struct {
 	query []float32
 	ids   []uint32
+	nbrs  []knn.Neighbor
 }
 
 var leafScratches = sync.Pool{New: func() any { return new(leafScratch) }}
 
 // leafKNN runs the distance kernel for one scoring call against the shard,
 // streaming the distance-sorted global-ID list into reply.  The request
-// decodes into pooled scratch (nothing decoded survives the call) and the
-// reply bytes go straight into the leaf's pooled encoder, so a steady-state
-// scoring call allocates only the top-k selection itself.
-func leafKNN(data LeafData, payload []byte, reply *wire.Encoder) error {
+// decodes into pooled scratch (nothing decoded survives the call), the scan
+// runs on the leaf's compute engine (norm-trick kernel, intra-request
+// parallelism), and the reply bytes go straight into the leaf's pooled
+// encoder, so a steady-state scoring call allocates nothing.
+func leafKNN(eng *kernel.Engine, data LeafData, payload []byte, reply *wire.Encoder) error {
 	sc := leafScratches.Get().(*leafScratch)
 	defer leafScratches.Put(sc)
 	d := wire.NewDecoder(payload)
@@ -165,7 +176,15 @@ func leafKNN(data LeafData, payload []byte, reply *wire.Encoder) error {
 	if err := d.Err(); err != nil {
 		return err
 	}
-	local := knn.Subset(vec.Vector(sc.query), data.Vectors, sc.ids, k)
+	// Validate the query dimension once here; the kernels assume it.
+	if data.Store.Len() > 0 && len(sc.query) != data.Store.Dim() {
+		return vec.ErrDimensionMismatch
+	}
+	local, err := eng.ScanSubset(data.Store, sc.query, sc.ids, k, sc.nbrs[:0])
+	sc.nbrs = local[:0]
+	if err != nil {
+		return err
+	}
 	reply.Uvarint(uint64(len(local)))
 	for _, n := range local {
 		reply.Uint32(data.GlobalID[n.ID])
@@ -177,13 +196,17 @@ func leafKNN(data LeafData, payload []byte, reply *wire.Encoder) error {
 // NewLeaf builds the HDSearch leaf microservice over one shard.  The handler
 // uses the encoded form, so scalar requests and batch-carrier members alike
 // stream their result lists into pooled encoders; a whole carrier still runs
-// as one worker task, and each query still fails alone.
+// as one worker task, and each query still fails alone.  The shard scan runs
+// on the options' compute engine (EnsureLeafKernel supplies one when unset),
+// whose counters surface in the leaf's TierStats.
 func NewLeaf(data LeafData, opts *core.LeafOptions) *core.Leaf {
+	opts = core.EnsureLeafKernel(opts)
+	eng := opts.Kernel
 	return core.NewLeafEncoded(func(method string, payload []byte, reply *wire.Encoder) error {
 		if method != MethodLeafKNN {
 			return fmt.Errorf("hdsearch leaf: unknown method %q", method)
 		}
-		return leafKNN(data, payload, reply)
+		return leafKNN(eng, data, payload, reply)
 	}, opts)
 }
 
@@ -200,14 +223,15 @@ func BuildIndex(shards []LeafData, cfg IndexConfig) (*lsh.Index, error) {
 	if len(shards) == 0 {
 		return nil, errors.New("hdsearch: no shards")
 	}
-	cfg.Dim = len(shards[0].Vectors[0])
+	cfg.Dim = shards[0].Store.Dim()
 	idx, err := lsh.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	for s, shard := range shards {
-		for local, v := range shard.Vectors {
-			if err := idx.Insert(v, int32(s), uint32(local)); err != nil {
+		st := shard.Store
+		for local := 0; local < st.Len(); local++ {
+			if err := idx.Insert(vec.Vector(st.Row(local)), int32(s), uint32(local)); err != nil {
 				return nil, err
 			}
 		}
@@ -215,27 +239,31 @@ func BuildIndex(shards []LeafData, cfg IndexConfig) (*lsh.Index, error) {
 	return idx, nil
 }
 
-// mergeScratch recycles the flattened candidate list the mid-tier response
-// path builds from the per-shard replies.
-type mergeScratch struct{ all []knn.Neighbor }
+// mergeScratch recycles the streaming top-k heap and drained result list the
+// mid-tier response path uses to merge per-shard replies.
+type mergeScratch struct {
+	top    kernel.TopK
+	merged []knn.Neighbor
+}
 
 var mergeScratches = sync.Pool{New: func() any { return new(mergeScratch) }}
 
-// appendNeighborList decodes one shard's encoded neighbor list, appending
-// each entry to dst without materializing an intermediate slice.
-func appendNeighborList(dst []knn.Neighbor, b []byte) ([]knn.Neighbor, error) {
+// considerNeighborList decodes one shard's encoded neighbor list straight
+// into the streaming top-k — no flattened candidate list, no re-sort; each
+// entry is considered (and copied by value) as it decodes.
+func considerNeighborList(top *kernel.TopK, b []byte) error {
 	d := wire.NewDecoder(b)
 	n := int(d.Uvarint())
 	if err := d.Err(); err != nil {
-		return dst, err
+		return err
 	}
 	if n > wire.MaxSliceLen/8 {
-		return dst, wire.ErrTooLarge
+		return wire.ErrTooLarge
 	}
 	for i := 0; i < n; i++ {
-		dst = append(dst, knn.Neighbor{ID: d.Uint32(), Distance: d.Float32()})
+		top.Consider(d.Uint32(), d.Float32())
 	}
-	return dst, d.Err()
+	return d.Err()
 }
 
 // NewMidTier builds the HDSearch mid-tier microservice around a prebuilt
@@ -256,6 +284,12 @@ func NewMidTier(index CandidateIndex, opts *core.Options) *core.MidTier {
 		if k <= 0 {
 			k = 1
 		}
+		// Reject mis-dimensioned queries here, before they reach index
+		// probes or leaf kernels that assume the corpus dimensionality.
+		if dim := index.Dim(); dim > 0 && len(query) != dim {
+			ctx.ReplyError(vec.ErrDimensionMismatch)
+			return
+		}
 		// Request path: LSH lookup, map point IDs → leaf shards, launch
 		// clients to leaf microservers (paper Fig. 3).
 		byShard := index.LookupByShard(query)
@@ -272,31 +306,30 @@ func NewMidTier(index CandidateIndex, opts *core.Options) *core.MidTier {
 			})
 		}
 		// Response path: merge per-shard distance-sorted lists into the
-		// final k-NN across all shards.  The per-shard replies decode
-		// straight into one pooled flat candidate list (they may alias
-		// pooled reply buffers recycled when this merge returns, so each
-		// entry is copied out here, by value), and the final reply streams
-		// through a pooled encoder.
+		// final k-NN across all shards with a streaming bounded heap —
+		// each reply entry is considered as it decodes (and copied by
+		// value, since replies may alias pooled buffers recycled when
+		// this merge returns), so the merge is O(total·log k) with no
+		// flattened candidate list and no full sort.  The final reply
+		// streams through a pooled encoder.
 		ctx.Fanout(calls, func(results []core.LeafResult) {
 			sc := mergeScratches.Get().(*mergeScratch)
 			defer mergeScratches.Put(sc)
-			sc.all = sc.all[:0]
+			sc.top.Reset(k)
 			for _, r := range results {
 				if r.Err != nil {
 					ctx.ReplyError(r.Err)
 					return
 				}
-				var err error
-				sc.all, err = appendNeighborList(sc.all, r.Reply)
-				if err != nil {
+				if err := considerNeighborList(&sc.top, r.Reply); err != nil {
 					ctx.ReplyError(err)
 					return
 				}
 			}
-			merged := knn.Select(sc.all, k)
+			sc.merged = sc.top.AppendSorted(sc.merged[:0])
 			e := wire.GetEncoder()
-			e.Uvarint(uint64(len(merged)))
-			for _, n := range merged {
+			e.Uvarint(uint64(len(sc.merged)))
+			for _, n := range sc.merged {
 				e.Uint32(n.ID)
 				e.Float32(n.Distance)
 			}

@@ -67,17 +67,22 @@ func TestShardCorpusMapsGlobalIDs(t *testing.T) {
 	shards := ShardCorpus(corpus, 4)
 	total := 0
 	for s, sh := range shards {
-		if len(sh.Vectors) != len(sh.GlobalID) {
+		if sh.Store.Len() != len(sh.GlobalID) {
 			t.Fatal("shard arrays misaligned")
 		}
-		total += len(sh.Vectors)
+		total += sh.Store.Len()
 		for local, gid := range sh.GlobalID {
 			if int(gid)%4 != s {
 				t.Fatalf("global %d in shard %d", gid, s)
 			}
-			// The local vector must be the global vector.
-			if &sh.Vectors[local][0] != &corpus.Vectors[gid][0] {
-				t.Fatal("shard vector is not the corpus vector")
+			// The local row must hold the global vector's values (the
+			// SoA store copies into its flat block, so compare values,
+			// not addresses).
+			row := sh.Store.Row(local)
+			for d, v := range corpus.Vectors[gid] {
+				if row[d] != v {
+					t.Fatalf("shard %d row %d differs from corpus vector %d at dim %d", s, local, gid, d)
+				}
 			}
 		}
 	}

@@ -16,6 +16,10 @@ import (
 // ablation.  *lsh.Index satisfies this interface directly.
 type CandidateIndex interface {
 	LookupByShard(q vec.Vector) map[int32][]uint32
+	// Dim reports the indexed vectors' dimensionality (0 when unknown), so
+	// the mid-tier can reject mis-dimensioned queries before they reach
+	// kernels that assume rectangular input.
+	Dim() int
 }
 
 // IndexKind names a candidate-index implementation.
@@ -48,6 +52,9 @@ func (x *KDTreeIndex) LookupByShard(q vec.Vector) map[int32][]uint32 {
 	}
 	return x.Tree.LookupByShard(q, cand, checks)
 }
+
+// Dim implements CandidateIndex.
+func (x *KDTreeIndex) Dim() int { return x.Tree.Dim() }
 
 // BuildKDTreeIndex constructs a kd-tree candidate index over the shards.
 func BuildKDTreeIndex(shards []LeafData, candidates int) (*KDTreeIndex, error) {
@@ -84,6 +91,9 @@ func (x *KMeansIndex) LookupByShard(q vec.Vector) map[int32][]uint32 {
 	return x.Index.LookupByShard(q, probes)
 }
 
+// Dim implements CandidateIndex.
+func (x *KMeansIndex) Dim() int { return x.Index.Dim() }
+
 // BuildKMeansIndex constructs a k-means candidate index over the shards.
 func BuildKMeansIndex(shards []LeafData, probes int, seed int64) (*KMeansIndex, error) {
 	points, refs, err := flattenShards(shards)
@@ -115,8 +125,9 @@ func flattenShards(shards []LeafData) ([]vec.Vector, []indexRef, error) {
 	var points []vec.Vector
 	var refs []indexRef
 	for s, shard := range shards {
-		for local, v := range shard.Vectors {
-			points = append(points, v)
+		st := shard.Store
+		for local := 0; local < st.Len(); local++ {
+			points = append(points, vec.Vector(st.Row(local)))
 			refs = append(refs, indexRef{Shard: int32(s), PointID: uint32(local)})
 		}
 	}

@@ -58,6 +58,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Rank: cfg.Rank, Iterations: cfg.Iterations,
 			Neighbors: cfg.Neighbors,
 			Seed:      cfg.Seed + int64(s),
+			Core:      cfg.Leaf,
 		})
 		if err != nil {
 			cl.Close()

@@ -15,6 +15,7 @@ import (
 
 	"musuite/internal/core"
 	"musuite/internal/dataset"
+	"musuite/internal/kernel"
 	"musuite/internal/knn"
 	"musuite/internal/matfac"
 	"musuite/internal/rpc"
@@ -87,14 +88,27 @@ type LeafConfig struct {
 
 // LeafModel is one shard's trained state: the NMF factors plus which users
 // actually have observations in this shard (cold users keep their random
-// initialization and must not contribute predictions).
+// initialization and must not contribute predictions).  The user factors are
+// additionally held as a flat float32 kernel store — converted once at
+// training time — so the per-query neighborhood scan runs on the compute
+// engine instead of re-walking [][]float64 rows.
 type LeafModel struct {
 	model     *matfac.Model
 	userKnown []bool
 	itemKnown []bool
 	ratedBy   map[int]map[int]bool // user → items rated in this shard
-	userVecs  [][]float64          // alias of model.W for allknn
+	users     *kernel.Store        // model.W as float32, one row per user
+	eng       *kernel.Engine       // scan engine; nil falls back to kernel.Default
 	neighbors int
+}
+
+// engine returns the model's compute engine, defaulting lazily so models
+// built outside a serving leaf still predict.
+func (lm *LeafModel) engine() *kernel.Engine {
+	if lm.eng != nil {
+		return lm.eng
+	}
+	return kernel.Default()
 }
 
 // TrainLeaf factorizes one shard of ratings (the offline step the paper's
@@ -135,12 +149,17 @@ func TrainLeaf(ratings []dataset.Rating, cfg LeafConfig) (*LeafModel, error) {
 	if nb <= 0 {
 		nb = 10
 	}
+	users, err := kernel.FromFloat64(model.W.Data, model.W.Stride)
+	if err != nil {
+		return nil, err
+	}
 	return &LeafModel{
 		model:     model,
 		userKnown: userKnown,
 		itemKnown: itemKnown,
 		ratedBy:   ratedBy,
-		userVecs:  model.W,
+		users:     users,
+		eng:       cfg.Core.Kernel,
 		neighbors: nb,
 	}, nil
 }
@@ -167,15 +186,14 @@ func (lm *LeafModel) canRate(user, item int) bool {
 
 // neighborhood computes the allknn user neighborhood — the dominant cost of
 // a prediction (an exhaustive scan over the shard's latent user vectors).
+// The engine applies the known-users mask inline and excludes the query user
+// itself, so no per-request exclusion map is built.
 func (lm *LeafModel) neighborhood(user int) []knn.Neighbor {
-	// Exclude the query user and users with no observations in this shard.
-	exclude := map[int]bool{user: true}
-	for u, known := range lm.userKnown {
-		if !known {
-			exclude[u] = true
-		}
+	nbrs, err := lm.engine().CosineNeighbors(lm.users, user, lm.userKnown, lm.neighbors, nil)
+	if err != nil {
+		return nil
 	}
-	return knn.AllKNN(lm.userVecs[user], lm.userVecs, lm.neighbors, knn.CosineMetric, exclude)
+	return nbrs
 }
 
 // predictWith scores item from a precomputed neighborhood of user.
@@ -202,22 +220,42 @@ func (lm *LeafModel) predictWith(neighbors []knn.Neighbor, user, item int) float
 
 // PredictBatch predicts many {user, item} pairs (parallel slices), running
 // each distinct user's neighborhood scan once no matter how many pairs of
-// the batch share the user — the multi-pair form a batched carrier unlocks.
+// the batch share the user — and all distinct users' scans through the
+// engine's multi-query tile kernel, so the batch shares each factor row's
+// memory traffic (the multi-pair form a batched carrier unlocks).
 func (lm *LeafModel) PredictBatch(users, items []int) ([]float64, []bool) {
 	ratings := make([]float64, len(users))
 	oks := make([]bool, len(users))
+	// Gather the distinct rateable users in first-seen order.
 	hoods := make(map[int][]knn.Neighbor)
+	distinct := make([]int, 0, len(users))
+	for i := range users {
+		user := users[i]
+		if !lm.canRate(user, items[i]) {
+			continue
+		}
+		if _, seen := hoods[user]; !seen {
+			hoods[user] = nil
+			distinct = append(distinct, user)
+		}
+	}
+	if len(distinct) > 0 {
+		if multi, err := lm.engine().CosineNeighborsMulti(lm.users, distinct, lm.userKnown, lm.neighbors); err == nil {
+			for j, user := range distinct {
+				hoods[user] = multi[j]
+			}
+		} else {
+			for _, user := range distinct {
+				hoods[user] = lm.neighborhood(user)
+			}
+		}
+	}
 	for i := range users {
 		user, item := users[i], items[i]
 		if !lm.canRate(user, item) {
 			continue
 		}
-		hood, cached := hoods[user]
-		if !cached {
-			hood = lm.neighborhood(user)
-			hoods[user] = hood
-		}
-		ratings[i] = lm.predictWith(hood, user, item)
+		ratings[i] = lm.predictWith(hoods[user], user, item)
 		oks[i] = true
 	}
 	return ratings, oks
@@ -252,8 +290,23 @@ func clamp(r float64) float64 {
 // scalar handler uses the encoded form, streaming each prediction into the
 // leaf's pooled reply encoder; batched carriers take the multi-pair
 // prediction path, where predictions sharing a user reuse one neighborhood
-// scan (PredictBatch).
+// scan (PredictBatch).  The leaf and model share one compute engine: a
+// model trained with an engine hands it to the leaf, and a model trained
+// without one adopts the leaf's (EnsureLeafKernel supplies it), so the
+// neighborhood scans feed the leaf's TierStats kernel counters either way.
 func NewLeaf(lm *LeafModel, opts *core.LeafOptions) *core.Leaf {
+	if opts == nil || opts.Kernel == nil {
+		o := core.EnsureLeafKernel(opts)
+		if lm.eng != nil {
+			o.Kernel = lm.eng
+		}
+		opts = o
+	}
+	if lm.eng == nil {
+		// Pre-serving, single-threaded: the model is not yet handling
+		// requests when the leaf is constructed.
+		lm.eng = opts.Kernel
+	}
 	return core.NewLeafEncoded(func(method string, payload []byte, reply *wire.Encoder) error {
 		switch method {
 		case MethodPredict:

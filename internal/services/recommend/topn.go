@@ -70,6 +70,77 @@ func DecodeTopNResponse(b []byte) (recs []ItemRating, rated []uint32, err error)
 	return recs, rated, d.Err()
 }
 
+// topNHeap is a bounded heap keeping the n best ItemRatings seen so far —
+// rating descending, ties broken by ascending item — with the current worst
+// on top for O(1) rejection, so selecting n of m items is O(m log n) instead
+// of the full O(m log m) sort.  Ratings stay float64 end to end, so the
+// order is identical to the sort it replaces.
+type topNHeap struct {
+	n int
+	h []ItemRating
+}
+
+// worse reports whether a sorts after b in the final (best-first) order.
+func topNWorse(a, b ItemRating) bool {
+	if a.Rating != b.Rating {
+		return a.Rating < b.Rating
+	}
+	return a.Item > b.Item
+}
+
+func (t *topNHeap) consider(x ItemRating) {
+	if t.n <= 0 {
+		return
+	}
+	if len(t.h) < t.n {
+		t.h = append(t.h, x)
+		i := len(t.h) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !topNWorse(t.h[i], t.h[parent]) {
+				break
+			}
+			t.h[i], t.h[parent] = t.h[parent], t.h[i]
+			i = parent
+		}
+		return
+	}
+	if !topNWorse(t.h[0], x) {
+		return
+	}
+	t.h[0] = x
+	topNSiftDown(t.h, 0)
+}
+
+func topNSiftDown(h []ItemRating, i int) {
+	n := len(h)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && topNWorse(h[l], h[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && topNWorse(h[r], h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// drainSorted empties the heap, returning its contents best-first.
+func (t *topNHeap) drainSorted() []ItemRating {
+	h := t.h
+	t.h = nil
+	for end := len(h) - 1; end > 0; end-- {
+		h[0], h[end] = h[end], h[0]
+		topNSiftDown(h[:end], 0)
+	}
+	return h
+}
+
 // TopN returns this shard's up-to-n best unrated items for user (by the
 // factor model's predicted rating), plus the items the user has rated in
 // this shard.  ok is false for unknown users.
@@ -86,22 +157,14 @@ func (lm *LeafModel) TopN(user, n int) (recs []ItemRating, rated []int, ok bool)
 	}
 	sort.Ints(rated)
 
+	top := topNHeap{n: n}
 	for item, known := range lm.itemKnown {
 		if !known || ratedSet[item] {
 			continue
 		}
-		recs = append(recs, ItemRating{Item: item, Rating: clamp(lm.model.Predict(user, item))})
+		top.consider(ItemRating{Item: item, Rating: clamp(lm.model.Predict(user, item))})
 	}
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].Rating != recs[j].Rating {
-			return recs[i].Rating > recs[j].Rating
-		}
-		return recs[i].Item < recs[j].Item
-	})
-	if len(recs) > n {
-		recs = recs[:n]
-	}
-	return recs, rated, true
+	return top.drainSorted(), rated, true
 }
 
 // handleTopN is the leaf-side TopN RPC.
@@ -173,23 +236,20 @@ func mergeTopN(results []core.LeafResult, n int) ([]byte, error) {
 			a.cnt++
 		}
 	}
-	merged := make([]ItemRating, 0, len(perItem))
+	// n <= 0 means keep everything, which the bounded heap expresses as a
+	// bound of len(perItem); the heapsort drain then doubles as the sort.
+	bound := n
+	if bound <= 0 {
+		bound = len(perItem)
+	}
+	top := topNHeap{n: bound}
 	for item, a := range perItem {
 		if ratedAnywhere[item] {
 			continue
 		}
-		merged = append(merged, ItemRating{Item: item, Rating: a.sum / float64(a.cnt)})
+		top.consider(ItemRating{Item: item, Rating: a.sum / float64(a.cnt)})
 	}
-	sort.Slice(merged, func(i, j int) bool {
-		if merged[i].Rating != merged[j].Rating {
-			return merged[i].Rating > merged[j].Rating
-		}
-		return merged[i].Item < merged[j].Item
-	})
-	if n > 0 && len(merged) > n {
-		merged = merged[:n]
-	}
-	return EncodeTopNResponse(merged, nil), nil
+	return EncodeTopNResponse(top.drainSorted(), nil), nil
 }
 
 // TopN asks the service for the user's n best unrated items.

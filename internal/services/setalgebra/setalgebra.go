@@ -10,7 +10,6 @@ package setalgebra
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"musuite/internal/core"
@@ -213,9 +212,15 @@ func NewLeaf(data LeafData, opts *core.LeafOptions) *core.Leaf {
 
 // --- mid-tier ---
 
-// mergeScratch recycles the flattened ID list the mid-tier union builds
-// from the per-shard compressed replies.
-type mergeScratch struct{ all []uint32 }
+// mergeScratch recycles the mid-tier union's working state: the flat slice
+// the per-shard compressed replies decompress into, the per-shard segment
+// offsets/views over it, and the merged output.
+type mergeScratch struct {
+	flat  []uint32
+	offs  []int
+	segs  [][]uint32
+	union []uint32
+}
 
 var mergeScratches = sync.Pool{New: func() any { return new(mergeScratch) }}
 
@@ -235,34 +240,42 @@ func NewMidTier(opts *core.Options) *core.MidTier {
 		// Response path: each shard's compressed list decompresses
 		// straight into one pooled flat slice (the replies may alias
 		// pooled buffers recycled when this merge returns, so the IDs are
-		// materialized here), which is then sorted and deduplicated in
-		// place — the union — and streamed out via a pooled encoder.
+		// materialized here).  Every shard's list arrives sorted — the
+		// leaves sort before compressing — so the union is a linear k-way
+		// merge of the segments, not a re-sort of the concatenation.
+		// Segment boundaries are recorded as offsets and sliced only after
+		// every decompress, since appends may reallocate the flat slice.
 		ctx.FanoutAll(MethodIntersect, ctx.Req.Payload, func(results []core.LeafResult) {
 			sc := mergeScratches.Get().(*mergeScratch)
 			defer mergeScratches.Put(sc)
-			sc.all = sc.all[:0]
+			sc.flat = sc.flat[:0]
+			sc.offs = sc.offs[:0]
 			for _, r := range results {
 				if r.Err != nil {
 					ctx.ReplyError(r.Err)
 					return
 				}
+				sc.offs = append(sc.offs, len(sc.flat))
 				var err error
-				sc.all, err = postlist.DecompressIDsInto(sc.all, r.Reply)
+				sc.flat, err = postlist.DecompressIDsInto(sc.flat, r.Reply)
 				if err != nil {
 					ctx.ReplyError(err)
 					return
 				}
 			}
-			all := sc.all
-			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-			union := all[:0]
-			for i, id := range all {
-				if i == 0 || id != union[len(union)-1] {
-					union = append(union, id)
+			sc.segs = sc.segs[:0]
+			for i, lo := range sc.offs {
+				hi := len(sc.flat)
+				if i+1 < len(sc.offs) {
+					hi = sc.offs[i+1]
+				}
+				if lo < hi {
+					sc.segs = append(sc.segs, sc.flat[lo:hi])
 				}
 			}
+			sc.union = postlist.MergeSortedInto(sc.union[:0], sc.segs)
 			e := wire.GetEncoder()
-			e.Uint32s(union)
+			e.Uint32s(sc.union)
 			ctx.Reply(e.Bytes())
 			wire.PutEncoder(e)
 		})

@@ -247,6 +247,41 @@ func TopoEvents() []TopoEvent {
 	return out
 }
 
+// KernelEvent enumerates the leaf compute-engine counters: how many kernel
+// scans ran, how many candidate points they scored, and how long they spent
+// doing it — together giving the points-scanned/s throughput that tells
+// whether a leaf is compute-bound (the paper's post-RPC regime) or still
+// framework-bound.
+type KernelEvent int
+
+const (
+	// KernelScans — kernel invocations (one per leaf scan).
+	KernelScans KernelEvent = iota
+	// KernelPoints — candidate rows scored across all scans.
+	KernelPoints
+	// KernelNanos — wall nanoseconds spent inside the kernels.
+	KernelNanos
+	numKernelEvents
+)
+
+// String returns the event's display label.
+func (e KernelEvent) String() string {
+	names := [...]string{"scans", "points", "nanos"}
+	if e < 0 || int(e) >= len(names) {
+		return fmt.Sprintf("kernel(%d)", int(e))
+	}
+	return names[e]
+}
+
+// KernelEvents lists the kernel counter classes in display order.
+func KernelEvents() []KernelEvent {
+	out := make([]KernelEvent, numKernelEvents)
+	for i := range out {
+		out[i] = KernelEvent(i)
+	}
+	return out
+}
+
 // Probe collects all counters and distributions for one server under test.
 // A nil *Probe is valid and makes every method a no-op, so components can be
 // run uninstrumented at zero cost.
@@ -255,6 +290,7 @@ type Probe struct {
 	tails     [numTailEvents]atomic.Uint64
 	batches   [numBatchEvents]atomic.Uint64
 	topos     [numTopoEvents]atomic.Uint64
+	kernels   [numKernelEvents]atomic.Uint64
 	ctxSwitch atomic.Uint64
 	hitm      atomic.Uint64
 	tcpRetx   atomic.Uint64
@@ -351,6 +387,22 @@ func (p *Probe) TopoCount(e TopoEvent) uint64 {
 	return p.topos[e].Load()
 }
 
+// AddKernel counts n kernel events (the engine adds per-scan aggregates).
+func (p *Probe) AddKernel(e KernelEvent, n uint64) {
+	if p == nil {
+		return
+	}
+	p.kernels[e].Add(n)
+}
+
+// KernelCount reports the kernel counter for e.
+func (p *Probe) KernelCount(e KernelEvent) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.kernels[e].Load()
+}
+
 // IncContextSwitch counts one voluntary thread block (CS proxy).
 func (p *Probe) IncContextSwitch() {
 	if p == nil {
@@ -442,6 +494,9 @@ func (p *Probe) Reset() {
 	for i := range p.topos {
 		p.topos[i].Store(0)
 	}
+	for i := range p.kernels {
+		p.kernels[i].Store(0)
+	}
 	p.ctxSwitch.Store(0)
 	p.hitm.Store(0)
 	p.tcpRetx.Store(0)
@@ -457,6 +512,7 @@ type Snapshot struct {
 	Tail           map[TailEvent]uint64
 	Batch          map[BatchEvent]uint64
 	Topo           map[TopoEvent]uint64
+	Kernel         map[KernelEvent]uint64
 	ContextSwitch  uint64
 	HITM           uint64
 	TCPRetransmits uint64
@@ -469,6 +525,7 @@ func (p *Probe) Snapshot() Snapshot {
 		Tail:     make(map[TailEvent]uint64, int(numTailEvents)),
 		Batch:    make(map[BatchEvent]uint64, int(numBatchEvents)),
 		Topo:     make(map[TopoEvent]uint64, int(numTopoEvents)),
+		Kernel:   make(map[KernelEvent]uint64, int(numKernelEvents)),
 	}
 	if p == nil {
 		return s
@@ -485,6 +542,9 @@ func (p *Probe) Snapshot() Snapshot {
 	for i := TopoEvent(0); i < numTopoEvents; i++ {
 		s.Topo[i] = p.topos[i].Load()
 	}
+	for i := KernelEvent(0); i < numKernelEvents; i++ {
+		s.Kernel[i] = p.kernels[i].Load()
+	}
 	s.ContextSwitch = p.ctxSwitch.Load()
 	s.HITM = p.hitm.Load()
 	s.TCPRetransmits = p.tcpRetx.Load()
@@ -498,6 +558,7 @@ func (cur Snapshot) Delta(prev Snapshot) Snapshot {
 		Tail:     make(map[TailEvent]uint64, len(cur.Tail)),
 		Batch:    make(map[BatchEvent]uint64, len(cur.Batch)),
 		Topo:     make(map[TopoEvent]uint64, len(cur.Topo)),
+		Kernel:   make(map[KernelEvent]uint64, len(cur.Kernel)),
 	}
 	for k, v := range cur.Syscalls {
 		pv := prev.Syscalls[k]
@@ -518,6 +579,11 @@ func (cur Snapshot) Delta(prev Snapshot) Snapshot {
 	for k, v := range cur.Topo {
 		if pv := prev.Topo[k]; v > pv {
 			d.Topo[k] = v - pv
+		}
+	}
+	for k, v := range cur.Kernel {
+		if pv := prev.Kernel[k]; v > pv {
+			d.Kernel[k] = v - pv
 		}
 	}
 	sub := func(a, b uint64) uint64 {

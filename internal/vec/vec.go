@@ -24,11 +24,14 @@ func (v Vector) Clone() Vector {
 
 // SquaredEuclidean returns ‖a-b‖² with a 4-way unrolled loop.  Using the
 // squared distance avoids the sqrt in the inner comparison loop; ordering by
-// squared distance equals ordering by distance.
+// squared distance equals ordering by distance.  The vectors must have equal
+// length; unequal lengths panic rather than silently truncating to the
+// shorter vector (callers validate dimensions once at store-build or decode
+// time, so a mismatch reaching this loop is a bug, not an input error).
 func SquaredEuclidean(a, b Vector) float32 {
 	n := len(a)
-	if len(b) < n {
-		n = len(b)
+	if len(b) != n {
+		panic("vec: dimension mismatch")
 	}
 	var s0, s1, s2, s3 float32
 	i := 0
@@ -54,11 +57,12 @@ func Euclidean(a, b Vector) float32 {
 	return float32(math.Sqrt(float64(SquaredEuclidean(a, b))))
 }
 
-// Dot returns a·b with a 4-way unrolled loop.
+// Dot returns a·b with a 4-way unrolled loop.  Like SquaredEuclidean it
+// panics on unequal lengths instead of truncating.
 func Dot(a, b Vector) float32 {
 	n := len(a)
-	if len(b) < n {
-		n = len(b)
+	if len(b) != n {
+		panic("vec: dimension mismatch")
 	}
 	var s0, s1, s2, s3 float32
 	i := 0
@@ -126,14 +130,22 @@ func Scale(v Vector, s float32) Vector {
 }
 
 // Distances computes the squared Euclidean distance from query to each of
-// points, appending into dst (which may be nil).  This is the leaf
-// microservice's hot loop; it is embarrassingly parallel across points.
-func Distances(query Vector, points []Vector, dst []float32) []float32 {
+// points, appending into dst (which may be nil).  Ragged input — any point
+// whose length differs from the query's — is rejected with
+// ErrDimensionMismatch before any distance is appended.  This is the scalar
+// reference for the leaf's hot loop; the kernel package holds the tuned
+// version.
+func Distances(query Vector, points []Vector, dst []float32) ([]float32, error) {
+	for _, p := range points {
+		if len(p) != len(query) {
+			return dst, ErrDimensionMismatch
+		}
+	}
 	if dst == nil {
 		dst = make([]float32, 0, len(points))
 	}
 	for _, p := range points {
 		dst = append(dst, SquaredEuclidean(query, p))
 	}
-	return dst
+	return dst, nil
 }

@@ -135,7 +135,10 @@ func TestAddScaleClone(t *testing.T) {
 func TestDistancesBatch(t *testing.T) {
 	q := Vector{0, 0}
 	pts := []Vector{{1, 0}, {0, 2}, {3, 4}}
-	d := Distances(q, pts, nil)
+	d, err := Distances(q, pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []float32{1, 4, 25}
 	for i := range want {
 		if d[i] != want[i] {
@@ -143,10 +146,31 @@ func TestDistancesBatch(t *testing.T) {
 		}
 	}
 	// Appending into an existing buffer must preserve prior entries.
-	d2 := Distances(q, pts[:1], []float32{7})
+	d2, err := Distances(q, pts[:1], []float32{7})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(d2) != 2 || d2[0] != 7 || d2[1] != 1 {
 		t.Errorf("append behavior broken: %v", d2)
 	}
+	// Ragged input is rejected before any distance is appended.
+	if _, err := Distances(q, []Vector{{1, 0}, {1}}, nil); err != ErrDimensionMismatch {
+		t.Errorf("ragged input: want ErrDimensionMismatch, got %v", err)
+	}
+}
+
+// TestKernelsPanicOnMismatch: the hot kernels refuse to silently truncate.
+func TestKernelsPanicOnMismatch(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic on dimension mismatch", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("SquaredEuclidean", func() { SquaredEuclidean(Vector{1, 2}, Vector{1}) })
+	mustPanic("Dot", func() { Dot(Vector{1}, Vector{1, 2}) })
 }
 
 // TestTriangleInequality: Euclidean distance satisfies d(a,c) ≤ d(a,b)+d(b,c).

@@ -33,6 +33,7 @@ import (
 	"musuite/internal/cluster"
 	"musuite/internal/core"
 	"musuite/internal/dataset"
+	"musuite/internal/kernel"
 	"musuite/internal/loadgen"
 	"musuite/internal/rpc"
 	"musuite/internal/services/hdsearch"
@@ -78,6 +79,13 @@ type (
 	// is one sampled request.
 	Tracer = trace.Tracer
 	Trace  = trace.Trace
+	// KernelConfig tunes a leaf compute engine (scan parallelism, the
+	// reference-scalar switch, an optional probe for kernel counters).
+	KernelConfig = kernel.Config
+	// KernelEngine is the leaf compute engine: SoA vector stores,
+	// norm-trick distance kernels, intra-request parallel scans, and
+	// streaming top-k selection.  Hand one to LeafOptions.Kernel.
+	KernelEngine = kernel.Engine
 )
 
 // Framework mode constants.
@@ -96,6 +104,10 @@ const (
 
 // NewProbe creates a telemetry probe to attach to a mid-tier under study.
 func NewProbe() *Probe { return telemetry.NewProbe() }
+
+// NewKernel builds a leaf compute engine from cfg (zero value: tuned
+// kernels, NumCPU scan parallelism).
+func NewKernel(cfg KernelConfig) *KernelEngine { return kernel.New(cfg) }
 
 // NewTracer creates a 1-in-every sampler retaining keep recent traces.
 func NewTracer(every, keep int) *Tracer { return trace.NewTracer(every, keep) }
