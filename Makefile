@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet fmt-check bench-smoke bench-gate bench-baseline profile resize-demo drain-churn ci
+.PHONY: build test short race vet fmt-check bench-smoke bench-gate bench-baseline profile resize-demo trace-demo trace-smoke drain-churn ci
 
 # Gate benchmarks: TailFanout (hedging), LeafBatching (cross-request
 # coalescing), HotPathAllocs (per-call allocation budget), and the leaf
@@ -64,6 +64,18 @@ profile: build
 # confirms zero failed requests.
 resize-demo: build
 	$(GO) run ./cmd/musuite-bench -experiment resize -routing jump -window 2s -load 500
+
+# Watch distributed tracing end to end: record every HDSearch request with
+# replicated leaves and forced hedging (so abandoned-loser spans appear),
+# then print the critical-path summary and the first two span trees.
+trace-demo: build
+	$(GO) run ./cmd/musuite-bench -services HDSearch -trace-sample 1 \
+		-replicas 2 -hedge-delay 100us -trace-out trace-demo.jsonl
+	$(GO) run ./cmd/traceview -dump 2 trace-demo.jsonl
+
+# The full-stack multi-process tracing smoke (the e2e-trace-smoke CI job).
+trace-smoke:
+	./scripts/trace_smoke.sh
 
 # Long-soak topology churn under the race detector (the nightly CI job).
 # Override the cycle count: make drain-churn CYCLES=500

@@ -21,6 +21,7 @@ import (
 	"musuite/internal/dataset"
 	"musuite/internal/kernel"
 	"musuite/internal/services/hdsearch"
+	"musuite/internal/trace"
 )
 
 func main() {
@@ -51,8 +52,15 @@ func main() {
 
 		leafPar = flag.Int("leaf-parallelism", 0, "leaf: worker goroutines per kernel scan (0 = NumCPU)")
 		scalar  = flag.Bool("scalar-kernels", false, "leaf: use the reference scalar kernels (disables the tuned SoA engine)")
+
+		traceOut = flag.String("trace-out", "", "write this tier's recorded spans (JSONL) on shutdown")
 	)
 	flag.Parse()
+
+	var spans *trace.Recorder
+	if *traceOut != "" {
+		spans = trace.NewRecorder("hdsearch-"+*role, trace.DefaultRecorderCap)
+	}
 
 	tail := core.TailPolicy{
 		HedgePercentile:  *hedgePct,
@@ -79,6 +87,7 @@ func main() {
 		leaf := hdsearch.NewLeaf(shardData[*shard], &core.LeafOptions{
 			Workers:              *workers,
 			DisableWriteCoalesce: !*writeCoalesce,
+			Spans:                spans,
 			Kernel:               kernel.New(kernel.Config{Parallelism: *leafPar, ForceScalar: *scalar}),
 		})
 		bound, err := leaf.Start(*addr)
@@ -105,6 +114,7 @@ func main() {
 			PendingShards:        *pendingShards,
 			Routing:              strategy,
 			DisableWriteCoalesce: !*writeCoalesce,
+			Spans:                spans,
 		})
 		groups, err := core.GroupAddrs(strings.Split(*leaves, ","), *replicas)
 		if err != nil {
@@ -132,6 +142,13 @@ func main() {
 
 	default:
 		fatal("-role must be leaf or midtier")
+	}
+
+	if err := trace.FlushFile(*traceOut, spans); err != nil {
+		fatal(err)
+	}
+	if spans != nil {
+		fmt.Printf("hdsearch: wrote %d spans to %s\n", spans.Len(), *traceOut)
 	}
 }
 

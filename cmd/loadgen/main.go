@@ -22,6 +22,7 @@ import (
 	"musuite/internal/services/recommend"
 	"musuite/internal/services/router"
 	"musuite/internal/services/setalgebra"
+	"musuite/internal/trace"
 )
 
 func main() {
@@ -33,6 +34,12 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "measurement window")
 		conc     = flag.Int("concurrency", 8, "closed: worker count")
 		seed     = flag.Int64("seed", 1, "dataset seed (must match the service tiers)")
+
+		// Distributed tracing.
+		traceSample = flag.Int("trace-sample", 0, "trace one in N requests end to end (0 = off)")
+		traceOut    = flag.String("trace-out", "", "write this side's recorded spans (JSONL) on exit")
+		traceReplay = flag.String("trace-replay", "", "open mode: replay the arrival process of this recorded trace file instead of Poisson arrivals")
+		replaySpeed = flag.Float64("replay-speed", 1, "replay clock scale (2 = twice the recorded rate)")
 
 		// Dataset shape flags (must match the deployed tiers).
 		corpusN = flag.Int("corpus", 10000, "hdsearch corpus size")
@@ -50,9 +57,14 @@ func main() {
 		fatal("-target is required")
 	}
 
+	var rec *trace.Recorder
+	if *traceSample > 0 {
+		rec = trace.NewRecorder("loadgen", trace.DefaultRecorderCap)
+	}
 	issue, cleanup, err := buildIssuer(*service, *target, issuerConfig{
 		seed: *seed, corpusN: *corpusN, dim: *dim, keys: *keys, valSize: *valSize,
 		docs: *docs, vocab: *vocab, users: *users, items: *items, ratings: *ratings,
+		spans: rec, sample: *traceSample,
 	})
 	if err != nil {
 		fatal(err)
@@ -61,10 +73,26 @@ func main() {
 
 	switch *mode {
 	case "open":
-		res := loadgen.RunOpenLoop(issue, loadgen.OpenLoopConfig{
-			QPS: *qps, Duration: *duration, Seed: *seed,
-		})
-		fmt.Printf("open-loop %s @ %g QPS for %v:\n", *service, *qps, *duration)
+		var res loadgen.OpenLoopResult
+		if *traceReplay != "" {
+			spans, err := trace.ReadFile(*traceReplay)
+			if err != nil {
+				fatal(err)
+			}
+			offsets := trace.ArrivalOffsets(spans)
+			if len(offsets) == 0 {
+				fatal(fmt.Sprintf("%s: no root spans to replay", *traceReplay))
+			}
+			res = loadgen.RunReplay(issue, loadgen.ReplayConfig{
+				Offsets: offsets, Speed: *replaySpeed,
+			})
+			fmt.Printf("replay %s: %d recorded arrivals at %gx speed:\n", *service, len(offsets), *replaySpeed)
+		} else {
+			res = loadgen.RunOpenLoop(issue, loadgen.OpenLoopConfig{
+				QPS: *qps, Duration: *duration, Seed: *seed,
+			})
+			fmt.Printf("open-loop %s @ %g QPS for %v:\n", *service, *qps, *duration)
+		}
 		fmt.Printf("  offered=%d completed=%d errors=%d dropped=%d achieved=%.0f QPS\n",
 			res.Offered, res.Completed, res.Errors, res.Dropped, res.AchievedQPS)
 		fmt.Printf("  latency: %s\n", res.Latency)
@@ -84,18 +112,45 @@ func main() {
 	default:
 		fatal(fmt.Sprintf("unknown mode %q", *mode))
 	}
+
+	if rec != nil && *traceOut != "" {
+		if err := trace.WriteFile(*traceOut, rec.Snapshot()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d spans to %s (%d dropped)\n", rec.Len(), *traceOut, rec.Dropped())
+	}
 }
 
 type issuerConfig struct {
 	seed                                                            int64
 	corpusN, dim, keys, valSize, docs, vocab, users, items, ratings int
+	// spans/sample arm end-to-end tracing of 1-in-sample requests.
+	spans  *trace.Recorder
+	sample int
+}
+
+// clientOptions attaches the span recorder so the front-end client records
+// root client spans for sampled requests.
+func (cfg issuerConfig) clientOptions() *rpc.ClientOptions {
+	if cfg.spans == nil {
+		return nil
+	}
+	return &rpc.ClientOptions{Spans: cfg.spans}
+}
+
+func (cfg issuerConfig) sampler() *trace.Sampler {
+	if cfg.spans == nil {
+		return nil
+	}
+	return trace.NewSampler(cfg.sample)
 }
 
 func buildIssuer(service, target string, cfg issuerConfig) (loadgen.IssueFunc, func(), error) {
 	var next atomic.Uint64
+	sampler := cfg.sampler()
 	switch service {
 	case "hdsearch":
-		client, err := hdsearch.DialClient(target, nil)
+		client, err := hdsearch.DialClient(target, cfg.clientOptions())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -104,26 +159,36 @@ func buildIssuer(service, target string, cfg issuerConfig) (loadgen.IssueFunc, f
 		})
 		queries := corpus.Queries(4096, cfg.seed+100)
 		return func(done chan *rpc.Call) *rpc.Call {
-			return client.Go(queries[next.Add(1)%uint64(len(queries))], 5, done)
+			q := queries[next.Add(1)%uint64(len(queries))]
+			if sc := sampler.Context(); sc.Sampled() {
+				return client.GoSpan(q, 5, sc, done)
+			}
+			return client.Go(q, 5, done)
 		}, func() { client.Close() }, nil
 
 	case "router":
-		client, err := router.DialClient(target, nil)
+		client, err := router.DialClient(target, cfg.clientOptions())
 		if err != nil {
 			return nil, nil, err
 		}
-		trace := dataset.NewKVTrace(dataset.KVTraceConfig{
+		kvtrace := dataset.NewKVTrace(dataset.KVTraceConfig{
 			Keys: cfg.keys, ValueSize: cfg.valSize, Seed: cfg.seed + 200,
 		})
-		for _, op := range trace.WarmupSets() {
+		for _, op := range kvtrace.WarmupSets() {
 			if err := client.Set(op.Key, op.Value); err != nil {
 				client.Close()
 				return nil, nil, err
 			}
 		}
-		ops := trace.Ops(1 << 14)
+		ops := kvtrace.Ops(1 << 14)
 		return func(done chan *rpc.Call) *rpc.Call {
 			op := ops[next.Add(1)%uint64(len(ops))]
+			if sc := sampler.Context(); sc.Sampled() {
+				if op.Kind == dataset.KVGet {
+					return client.GoGetSpan(op.Key, sc, done)
+				}
+				return client.GoSetSpan(op.Key, op.Value, sc, done)
+			}
 			if op.Kind == dataset.KVGet {
 				return client.GoGet(op.Key, done)
 			}
@@ -131,7 +196,7 @@ func buildIssuer(service, target string, cfg issuerConfig) (loadgen.IssueFunc, f
 		}, func() { client.Close() }, nil
 
 	case "setalgebra":
-		client, err := setalgebra.DialClient(target, nil)
+		client, err := setalgebra.DialClient(target, cfg.clientOptions())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -140,11 +205,15 @@ func buildIssuer(service, target string, cfg issuerConfig) (loadgen.IssueFunc, f
 		})
 		queries := corpus.Queries(10000, 10, cfg.seed+301)
 		return func(done chan *rpc.Call) *rpc.Call {
-			return client.Go(queries[next.Add(1)%uint64(len(queries))], done)
+			q := queries[next.Add(1)%uint64(len(queries))]
+			if sc := sampler.Context(); sc.Sampled() {
+				return client.GoSpan(q, sc, done)
+			}
+			return client.Go(q, done)
 		}, func() { client.Close() }, nil
 
 	case "recommend":
-		client, err := recommend.DialClient(target, nil)
+		client, err := recommend.DialClient(target, cfg.clientOptions())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -154,6 +223,9 @@ func buildIssuer(service, target string, cfg issuerConfig) (loadgen.IssueFunc, f
 		pairs := corpus.QueryPairs(1000, cfg.seed+402)
 		return func(done chan *rpc.Call) *rpc.Call {
 			p := pairs[next.Add(1)%uint64(len(pairs))]
+			if sc := sampler.Context(); sc.Sampled() {
+				return client.GoSpan(p[0], p[1], sc, done)
+			}
 			return client.Go(p[0], p[1], done)
 		}, func() { client.Close() }, nil
 	}

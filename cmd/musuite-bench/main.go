@@ -20,6 +20,7 @@ import (
 	"musuite/internal/bench"
 	"musuite/internal/cluster"
 	"musuite/internal/core"
+	"musuite/internal/trace"
 )
 
 func main() {
@@ -45,6 +46,11 @@ func main() {
 		routing       = flag.String("routing", "modulo", "mid-tier key placement strategy: modulo | jump (jump keeps placements stable through resizes)")
 		leafPar       = flag.Int("leaf-parallelism", 0, "worker goroutines per leaf kernel scan (0 = NumCPU, 1 = serial)")
 		scalarKernels = flag.Bool("scalar-kernels", false, "pin leaves to the reference scalar kernels (ablation baseline for the SoA engine)")
+
+		traceSample = flag.Int("trace-sample", 0, "record end-to-end spans for 1-in-N requests instead of running -experiment (0 = off)")
+		traceOut    = flag.String("trace-out", "", "with -trace-sample: also write the recorded spans (JSONL) here")
+		traceReplay = flag.String("trace-replay", "", "replay a recorded trace file's arrival process instead of running -experiment (service inferred from the spans)")
+		replaySpeed = flag.Float64("replay-speed", 1, "with -trace-replay: replay clock scale (2 = twice the recorded rate)")
 	)
 	flag.Parse()
 
@@ -91,10 +97,66 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*experiment, scale, mode, svcList, *load, *outDir); err != nil {
-		fmt.Fprintln(os.Stderr, "musuite-bench:", err)
+	var err2 error
+	switch {
+	case *traceReplay != "":
+		err2 = runTraceReplay(*traceReplay, scale, mode, *replaySpeed)
+	case *traceSample > 0:
+		err2 = runTraceRecord(scale, mode, svcList[0], *load, *traceSample, *traceOut)
+	default:
+		err2 = run(*experiment, scale, mode, svcList, *load, *outDir)
+	}
+	if err2 != nil {
+		fmt.Fprintln(os.Stderr, "musuite-bench:", err2)
 		os.Exit(1)
 	}
+}
+
+// runTraceRecord deploys one service, offers an open-loop load with 1-in-N
+// span sampling, and reports the critical-path breakdown of the recorded
+// traces (optionally exporting them for traceview or replay).
+func runTraceRecord(scale bench.Scale, mode bench.FrameworkMode, service string, load float64, sample int, out string) error {
+	if load <= 0 {
+		load = scale.Loads[len(scale.Loads)/2]
+	}
+	spans, res, err := bench.TraceRun(service, scale, mode, load, scale.Window, sample)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s @ %g QPS for %v, tracing 1 in %d requests:\n", service, load, scale.Window, sample)
+	fmt.Printf("  offered=%d completed=%d errors=%d achieved=%.0f QPS\n",
+		res.Offered, res.Completed, res.Errors, res.AchievedQPS)
+	fmt.Print(trace.Summarize(trace.BuildTrees(spans)).String())
+	if out != "" {
+		if err := trace.WriteFile(out, spans); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d spans to %s\n", len(spans), out)
+	}
+	return nil
+}
+
+// runTraceReplay re-offers a recorded trace's arrival process against a
+// fresh deployment of the service the spans came from.
+func runTraceReplay(path string, scale bench.Scale, mode bench.FrameworkMode, speed float64) error {
+	spans, err := trace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	service, ok := bench.ServiceForTrace(spans)
+	if !ok {
+		return fmt.Errorf("%s: cannot infer a service from the span names", path)
+	}
+	res, err := bench.ReplayRun(service, scale, mode, spans, speed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay %s: %d recorded arrivals at %gx speed:\n",
+		service, res.Offered, speed)
+	fmt.Printf("  offered=%d completed=%d errors=%d dropped=%d achieved=%.0f QPS\n",
+		res.Offered, res.Completed, res.Errors, res.Dropped, res.AchievedQPS)
+	fmt.Printf("  latency: %s\n", res.Latency)
+	return nil
 }
 
 func parseServices(csv string) []string {

@@ -19,6 +19,7 @@ import (
 	"musuite/internal/dataset"
 	"musuite/internal/kernel"
 	"musuite/internal/services/recommend"
+	"musuite/internal/trace"
 )
 
 func main() {
@@ -51,8 +52,15 @@ func main() {
 
 		leafPar = flag.Int("leaf-parallelism", 0, "leaf: worker goroutines per kernel scan (0 = NumCPU)")
 		scalar  = flag.Bool("scalar-kernels", false, "leaf: use the reference scalar kernels (disables the tuned SoA engine)")
+
+		traceOut = flag.String("trace-out", "", "write this tier's recorded spans (JSONL) on shutdown")
 	)
 	flag.Parse()
+
+	var spans *trace.Recorder
+	if *traceOut != "" {
+		spans = trace.NewRecorder("recommend-"+*role, trace.DefaultRecorderCap)
+	}
 
 	tail := core.TailPolicy{
 		HedgePercentile:  *hedgePct,
@@ -88,6 +96,7 @@ func main() {
 		leaf := recommend.NewLeaf(lm, &core.LeafOptions{
 			Workers:              *workers,
 			DisableWriteCoalesce: !*writeCoalesce,
+			Spans:                spans,
 			Kernel:               eng,
 		})
 		bound, err := leaf.Start(*addr)
@@ -109,6 +118,7 @@ func main() {
 			PendingShards:        *pendingShards,
 			Routing:              strategy,
 			DisableWriteCoalesce: !*writeCoalesce,
+			Spans:                spans,
 		})
 		groups, err := core.GroupAddrs(strings.Split(*leaves, ","), *replicas)
 		if err != nil {
@@ -136,6 +146,13 @@ func main() {
 
 	default:
 		fatal("-role must be leaf or midtier")
+	}
+
+	if err := trace.FlushFile(*traceOut, spans); err != nil {
+		fatal(err)
+	}
+	if spans != nil {
+		fmt.Printf("recommend: wrote %d spans to %s\n", spans.Len(), *traceOut)
 	}
 }
 

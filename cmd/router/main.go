@@ -16,6 +16,7 @@ import (
 	"musuite/internal/core"
 	"musuite/internal/memcache"
 	"musuite/internal/services/router"
+	"musuite/internal/trace"
 )
 
 func main() {
@@ -39,8 +40,15 @@ func main() {
 
 		routing   = flag.String("routing", "modulo", "midtier: key placement strategy: modulo | jump (jump keeps placements stable through resizes)")
 		adminAddr = flag.String("admin", "", "midtier: topology admin listener (empty disables; \":0\" picks a port)")
+
+		traceOut = flag.String("trace-out", "", "write this tier's recorded spans (JSONL) on shutdown")
 	)
 	flag.Parse()
+
+	var spans *trace.Recorder
+	if *traceOut != "" {
+		spans = trace.NewRecorder("router-"+*role, trace.DefaultRecorderCap)
+	}
 
 	tail := core.TailPolicy{
 		HedgePercentile:  *hedgePct,
@@ -60,6 +68,7 @@ func main() {
 		leaf := router.NewLeaf(store, &core.LeafOptions{
 			Workers:              *workers,
 			DisableWriteCoalesce: !*writeCoalesce,
+			Spans:                spans,
 		})
 		bound, err := leaf.Start(*addr)
 		if err != nil {
@@ -86,6 +95,7 @@ func main() {
 				PendingShards:        *pendingShards,
 				Routing:              strategy,
 				DisableWriteCoalesce: !*writeCoalesce,
+				Spans:                spans,
 			},
 		})
 		if err := mt.ConnectLeaves(strings.Split(*leaves, ",")); err != nil {
@@ -110,6 +120,13 @@ func main() {
 
 	default:
 		fatal("-role must be leaf or midtier")
+	}
+
+	if err := trace.FlushFile(*traceOut, spans); err != nil {
+		fatal(err)
+	}
+	if spans != nil {
+		fmt.Printf("router: wrote %d spans to %s\n", spans.Len(), *traceOut)
 	}
 }
 

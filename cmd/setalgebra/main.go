@@ -17,6 +17,7 @@ import (
 	"musuite/internal/core"
 	"musuite/internal/dataset"
 	"musuite/internal/services/setalgebra"
+	"musuite/internal/trace"
 )
 
 func main() {
@@ -45,8 +46,15 @@ func main() {
 
 		routing   = flag.String("routing", "modulo", "midtier: key placement strategy: modulo | jump (jump keeps placements stable through resizes)")
 		adminAddr = flag.String("admin", "", "midtier: topology admin listener (empty disables; \":0\" picks a port)")
+
+		traceOut = flag.String("trace-out", "", "write this tier's recorded spans (JSONL) on shutdown")
 	)
 	flag.Parse()
+
+	var spans *trace.Recorder
+	if *traceOut != "" {
+		spans = trace.NewRecorder("setalgebra-"+*role, trace.DefaultRecorderCap)
+	}
 
 	tail := core.TailPolicy{
 		HedgePercentile:  *hedgePct,
@@ -72,6 +80,7 @@ func main() {
 		leaf := setalgebra.NewLeaf(data, &core.LeafOptions{
 			Workers:              *workers,
 			DisableWriteCoalesce: !*writeCoalesce,
+			Spans:                spans,
 		})
 		bound, err := leaf.Start(*addr)
 		if err != nil {
@@ -93,6 +102,7 @@ func main() {
 			PendingShards:        *pendingShards,
 			Routing:              strategy,
 			DisableWriteCoalesce: !*writeCoalesce,
+			Spans:                spans,
 		})
 		groups, err := core.GroupAddrs(strings.Split(*leaves, ","), *replicas)
 		if err != nil {
@@ -120,6 +130,13 @@ func main() {
 
 	default:
 		fatal("-role must be leaf or midtier")
+	}
+
+	if err := trace.FlushFile(*traceOut, spans); err != nil {
+		fatal(err)
+	}
+	if spans != nil {
+		fmt.Printf("setalgebra: wrote %d spans to %s\n", spans.Len(), *traceOut)
 	}
 }
 

@@ -1,0 +1,147 @@
+// Command traceview inspects exported μSuite traces (JSONL span files).
+// Multiple input files merge into one span set, so the per-process exports
+// of a distributed deployment — the load generator's root spans plus each
+// tier's server and attempt spans — reassemble into complete trees.
+//
+//	traceview trace-loadgen.jsonl trace-mid.jsonl trace-leaf0.jsonl
+//	traceview -dump 3 trace.jsonl
+//	traceview -check -min-traces 10 -require-note abandoned trace-*.jsonl
+//
+// With -check, traceview is a CI gate: it exits non-zero unless every trace
+// forms one connected tree whose critical-path segments sum to the recorded
+// end-to-end latency within -tolerance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"musuite/internal/trace"
+)
+
+func main() {
+	var (
+		check     = flag.Bool("check", false, "validate the traces and exit non-zero on violations")
+		tolerance = flag.Duration("tolerance", 0, "check: allowed |critical-path sum − end-to-end| slack per trace")
+		minTraces = flag.Int("min-traces", 1, "check: fail unless at least this many connected traces exist")
+		notes     = flag.String("require-note", "", "check: comma-separated notes that must each appear on some span (e.g. abandoned,hedge)")
+		dump      = flag.Int("dump", 0, "pretty-print the first N trees")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fatal("usage: traceview [flags] trace.jsonl...")
+	}
+
+	var spans []trace.Span
+	for _, path := range flag.Args() {
+		part, err := trace.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		spans = append(spans, part...)
+	}
+	trees := trace.BuildTrees(spans)
+
+	fmt.Print(trace.Summarize(trees).String())
+	for i, t := range trees {
+		if i >= *dump {
+			break
+		}
+		dumpTree(t)
+	}
+
+	if *check {
+		if err := checkTraces(trees, spans, *tolerance, *minTraces, *notes); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("check ok: %d traces validated\n", len(trees))
+	}
+}
+
+// checkTraces enforces the CI-smoke invariants over the merged span set.
+func checkTraces(trees []*trace.Tree, spans []trace.Span, tolerance time.Duration, minTraces int, notes string) error {
+	connected := 0
+	for _, t := range trees {
+		if !t.Connected() {
+			return fmt.Errorf("trace %016x is not connected: %d spans, %d roots",
+				uint64(t.TraceID), len(t.Spans), len(t.Roots))
+		}
+		connected++
+		path := t.CriticalPath()
+		if len(path) == 0 {
+			return fmt.Errorf("trace %016x has an empty critical path", uint64(t.TraceID))
+		}
+		got, want := trace.PathTotal(path), t.EndToEnd()
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tolerance {
+			return fmt.Errorf("trace %016x: critical path sums to %v, end-to-end is %v (|diff| %v > tolerance %v)",
+				uint64(t.TraceID), got, want, diff, tolerance)
+		}
+	}
+	if connected < minTraces {
+		return fmt.Errorf("only %d connected traces, need at least %d", connected, minTraces)
+	}
+	for _, note := range strings.Split(notes, ",") {
+		note = strings.TrimSpace(note)
+		if note == "" {
+			continue
+		}
+		found := false
+		for i := range spans {
+			if spans[i].HasNote(note) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("no span carries required note %q", note)
+		}
+	}
+	return nil
+}
+
+// dumpTree pretty-prints one trace as an indented tree, children in start
+// order, with durations, services, and annotations inline.
+func dumpTree(t *trace.Tree) {
+	fmt.Printf("\ntrace %016x  e2e=%v  spans=%d\n",
+		uint64(t.TraceID), t.EndToEnd().Round(time.Microsecond), len(t.Spans))
+	base := int64(0)
+	if r := t.Root(); r != nil {
+		base = r.Span.Start
+	}
+	for _, root := range t.Roots {
+		dumpNode(root, base, 1)
+	}
+}
+
+func dumpNode(n *trace.Node, base int64, depth int) {
+	s := &n.Span
+	line := fmt.Sprintf("%s%-6s %s  +%v %v",
+		strings.Repeat("  ", depth), s.Kind, s.Name,
+		time.Duration(s.Start-base).Round(time.Microsecond),
+		time.Duration(s.Duration).Round(time.Microsecond))
+	if s.Service != "" {
+		line += "  [" + s.Service + "]"
+	}
+	if len(s.Notes) > 0 {
+		line += "  " + strings.Join(s.Notes, " ")
+	}
+	if s.Err != "" {
+		line += "  err=" + s.Err
+	}
+	fmt.Println(line)
+	for _, c := range n.Children {
+		dumpNode(c, base, depth+1)
+	}
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "traceview:", v)
+	os.Exit(1)
+}

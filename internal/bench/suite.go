@@ -71,6 +71,36 @@ type FrameworkMode struct {
 	ScalarKernels bool
 	// Tracer, when set, samples requests for stage-level attribution.
 	Tracer *trace.Tracer
+	// Spans, when set, receives distributed-tracing spans from every tier
+	// of the deployment: the front-end client's root span, the mid-tier's
+	// server and leaf-attempt spans, and each leaf's server spans.
+	Spans *trace.Recorder
+	// SpanSample traces one of every SpanSample front-end requests when
+	// Spans is set (values < 1 trace every request).
+	SpanSample int
+}
+
+// sampler builds the front-end span sampler for the mode: nil (never
+// sampled) when no recorder is attached, otherwise 1-in-SpanSample.
+func (mode FrameworkMode) sampler() *trace.Sampler {
+	if mode.Spans == nil {
+		return nil
+	}
+	every := mode.SpanSample
+	if every < 1 {
+		every = 1
+	}
+	return trace.NewSampler(every)
+}
+
+// clientOptions builds the front-end rpc client options for the mode: the
+// span recorder rides along so the client records root client spans for the
+// requests it samples.
+func (mode FrameworkMode) clientOptions() *rpc.ClientOptions {
+	if mode.Spans == nil {
+		return nil
+	}
+	return &rpc.ClientOptions{Spans: mode.Spans}
 }
 
 // midTierOptions builds the instrumented mid-tier options for a scale.
@@ -87,6 +117,7 @@ func midTierOptions(s Scale, mode FrameworkMode, probe *telemetry.Probe) core.Op
 		PendingShards:        mode.PendingShards,
 		DisableWriteCoalesce: mode.DisableWriteCoalesce,
 		Tracer:               mode.Tracer,
+		Spans:                mode.Spans,
 		Probe:                probe,
 	}
 }
@@ -95,6 +126,7 @@ func leafOptions(s Scale, mode FrameworkMode) core.LeafOptions {
 	return core.LeafOptions{
 		Workers:              s.LeafWorkers,
 		DisableWriteCoalesce: mode.DisableWriteCoalesce,
+		Spans:                mode.Spans,
 		Kernel: kernel.New(kernel.Config{
 			Parallelism: mode.LeafParallelism,
 			ForceScalar: mode.ScalarKernels,
@@ -134,18 +166,22 @@ func StartHDSearch(s Scale, mode FrameworkMode) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	client, err := hdsearch.DialClient(cl.Addr, nil)
+	client, err := hdsearch.DialClient(cl.Addr, mode.clientOptions())
 	if err != nil {
 		cl.Close()
 		return nil, err
 	}
 	queries := corpus.Queries(s.HDQueries, s.Seed+100)
+	sampler := mode.sampler()
 	var next atomic.Uint64
 	return &Instance{
 		Name:  "HDSearch",
 		Probe: probe,
 		Issue: func(done chan *rpc.Call) *rpc.Call {
 			q := queries[next.Add(1)%uint64(len(queries))]
+			if sc := sampler.Context(); sc.Sampled() {
+				return client.GoSpan(q, 5, sc, done)
+			}
 			return client.Go(q, 5, done)
 		},
 		closers: []func(){func() { client.Close() }, cl.Close},
@@ -165,7 +201,7 @@ func StartRouter(s Scale, mode FrameworkMode) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	client, err := router.DialClient(cl.Addr, nil)
+	client, err := router.DialClient(cl.Addr, mode.clientOptions())
 	if err != nil {
 		cl.Close()
 		return nil, err
@@ -182,12 +218,19 @@ func StartRouter(s Scale, mode FrameworkMode) (*Instance, error) {
 	}
 	// Pre-generate the op stream so issuing is allocation-light.
 	ops := kvtrace.Ops(1 << 14)
+	sampler := mode.sampler()
 	var next atomic.Uint64
 	return &Instance{
 		Name:  "Router",
 		Probe: probe,
 		Issue: func(done chan *rpc.Call) *rpc.Call {
 			op := ops[next.Add(1)%uint64(len(ops))]
+			if sc := sampler.Context(); sc.Sampled() {
+				if op.Kind == dataset.KVGet {
+					return client.GoGetSpan(op.Key, sc, done)
+				}
+				return client.GoSetSpan(op.Key, op.Value, sc, done)
+			}
 			if op.Kind == dataset.KVGet {
 				return client.GoGet(op.Key, done)
 			}
@@ -215,19 +258,23 @@ func StartSetAlgebra(s Scale, mode FrameworkMode) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	client, err := setalgebra.DialClient(cl.Addr, nil)
+	client, err := setalgebra.DialClient(cl.Addr, mode.clientOptions())
 	if err != nil {
 		cl.Close()
 		return nil, err
 	}
 	// Paper: 10K synthetic queries, ≤10 words each.
 	queries := corpus.Queries(10000, 10, s.Seed+301)
+	sampler := mode.sampler()
 	var next atomic.Uint64
 	return &Instance{
 		Name:  "SetAlgebra",
 		Probe: probe,
 		Issue: func(done chan *rpc.Call) *rpc.Call {
 			q := queries[next.Add(1)%uint64(len(queries))]
+			if sc := sampler.Context(); sc.Sampled() {
+				return client.GoSpan(q, sc, done)
+			}
 			return client.Go(q, done)
 		},
 		closers: []func(){func() { client.Close() }, cl.Close},
@@ -252,19 +299,23 @@ func StartRecommend(s Scale, mode FrameworkMode) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	client, err := recommend.DialClient(cl.Addr, nil)
+	client, err := recommend.DialClient(cl.Addr, mode.clientOptions())
 	if err != nil {
 		cl.Close()
 		return nil, err
 	}
 	// Paper: 1K {user, item} query pairs from empty utility-matrix cells.
 	pairs := corpus.QueryPairs(1000, s.Seed+402)
+	sampler := mode.sampler()
 	var next atomic.Uint64
 	return &Instance{
 		Name:  "Recommend",
 		Probe: probe,
 		Issue: func(done chan *rpc.Call) *rpc.Call {
 			p := pairs[next.Add(1)%uint64(len(pairs))]
+			if sc := sampler.Context(); sc.Sampled() {
+				return client.GoSpan(p[0], p[1], sc, done)
+			}
 			return client.Go(p[0], p[1], done)
 		},
 		closers: []func(){func() { client.Close() }, cl.Close},

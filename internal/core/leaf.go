@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"musuite/internal/kernel"
 	"musuite/internal/rpc"
 	"musuite/internal/telemetry"
+	"musuite/internal/trace"
 	"musuite/internal/wire"
 )
 
@@ -57,6 +59,10 @@ type LeafOptions struct {
 	// call EnsureLeafKernel so a leaf always has one, and its counters feed
 	// the leaf's TierStats (KernelPoints/KernelNanos).
 	Kernel *kernel.Engine
+	// Spans, when set, records a server span for every sampled request
+	// (and every sampled member of a batched carrier), parented to the
+	// caller's client span carried on the wire.
+	Spans *trace.Recorder
 }
 
 // EnsureLeafKernel clones opts (nil allowed) and fills in a compute engine
@@ -101,6 +107,7 @@ type Leaf struct {
 	runFn   func(any)
 	batchFn func(any)
 	kern    *kernel.Engine
+	spans   *trace.Recorder
 	served  atomic.Uint64
 	closed  atomic.Bool
 }
@@ -129,6 +136,7 @@ func newLeaf(opts *LeafOptions) *Leaf {
 		batch    LeafBatchHandler
 		kern     *kernel.Engine
 		coalesce = true
+		spans    *trace.Recorder
 	)
 	if opts != nil {
 		if opts.Workers > 0 {
@@ -139,8 +147,9 @@ func newLeaf(opts *LeafOptions) *Leaf {
 		batch = opts.BatchHandler
 		kern = opts.Kernel
 		coalesce = !opts.DisableWriteCoalesce
+		spans = opts.Spans
 	}
-	l := &Leaf{batch: batch, kern: kern}
+	l := &Leaf{batch: batch, kern: kern, spans: spans}
 	l.runFn = l.runScalar
 	l.batchFn = l.runBatchTask
 	l.workers = NewWorkerPool(workers, wait, probe, telemetry.OverheadActiveExe)
@@ -195,22 +204,52 @@ func (l *Leaf) runScalar(a any) {
 			req.ReplyError(fmt.Errorf("leaf handler panic: %v", r))
 		}
 	}()
+	var handlerErr error
 	if l.encoded != nil {
 		e := wire.GetEncoder()
 		if err := l.encoded(req.Method, req.Payload, e); err != nil {
+			handlerErr = err
 			req.ReplyError(err)
 		} else {
 			req.Reply(e.Bytes())
 		}
 		wire.PutEncoder(e)
+	} else {
+		reply, err := l.handler(req.Method, req.Payload)
+		if err != nil {
+			handlerErr = err
+			req.ReplyError(err)
+		} else {
+			req.Reply(reply)
+		}
+	}
+	l.recordServerSpan(req.TraceContext(), req.Method, req, handlerErr, false)
+}
+
+// recordServerSpan emits the leaf's server span for one sampled request:
+// a child of the caller's client span, covering arrival → reply.  The
+// untraced path takes one branch and allocates nothing.
+func (l *Leaf) recordServerSpan(ctx trace.SpanContext, method string, req *rpc.Request, err error, batched bool) {
+	if l.spans == nil || !ctx.Sampled() {
 		return
 	}
-	reply, err := l.handler(req.Method, req.Payload)
-	if err != nil {
-		req.ReplyError(err)
-	} else {
-		req.Reply(reply)
+	child := ctx.Child()
+	s := trace.Span{
+		TraceID:  trace.ID(child.TraceID),
+		SpanID:   trace.ID(child.SpanID),
+		ParentID: trace.ID(child.ParentID),
+		Name:     method,
+		Kind:     trace.KindServer,
+		Start:    req.Arrival.UnixNano(),
+		Duration: time.Since(req.Arrival).Nanoseconds(),
 	}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	if batched {
+		s.Notes = []string{"batch-member"}
+	}
+	l.spans.Record(s)
 }
 
 // batchScratch recycles the parallel method/payload slices of a decoded
@@ -218,6 +257,7 @@ func (l *Leaf) runScalar(a any) {
 type batchScratch struct {
 	methods  []string
 	payloads [][]byte
+	spans    []trace.SpanContext
 }
 
 var batchScratches = sync.Pool{New: func() any { return new(batchScratch) }}
@@ -226,6 +266,7 @@ func getBatchScratch() *batchScratch {
 	sc := batchScratches.Get().(*batchScratch)
 	sc.methods = sc.methods[:0]
 	sc.payloads = sc.payloads[:0]
+	sc.spans = sc.spans[:0]
 	return sc
 }
 
@@ -250,7 +291,7 @@ func (l *Leaf) runBatchTask(a any) {
 	sc := getBatchScratch()
 	defer putBatchScratch(sc)
 	var err error
-	sc.methods, sc.payloads, err = rpc.DecodeBatchInto(req.Payload, sc.methods, sc.payloads)
+	sc.methods, sc.payloads, sc.spans, err = rpc.DecodeBatchInto(req.Payload, sc.methods, sc.payloads, sc.spans)
 	if err != nil {
 		req.ReplyError(err)
 		return
@@ -260,6 +301,14 @@ func (l *Leaf) runBatchTask(a any) {
 	l.served.Add(uint64(len(sc.methods)))
 	req.Reply(enc.Bytes())
 	wire.PutEncoder(enc)
+	if l.spans != nil {
+		// Each sampled member gets its own server span — a child of that
+		// member's client span, so the tree stays connected through the
+		// carrier.  All members share the carrier's execution window.
+		for i := range sc.spans {
+			l.recordServerSpan(sc.spans[i], sc.methods[i], req, nil, true)
+		}
+	}
 }
 
 // appendBatchReplies runs every member and streams the carrier reply into

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,6 +111,11 @@ type Options struct {
 	// Tracer, when set, samples requests for per-stage latency
 	// attribution through the pipeline.
 	Tracer *trace.Tracer
+	// Spans, when set, records distributed-tracing spans for requests that
+	// arrive with a sampled span context: one server span per request (with
+	// the stage breakdown attached as notes) and one client span per leaf
+	// attempt — hedges, retries, and abandoned losers included.
+	Spans *trace.Recorder
 	// Probe receives telemetry; nil disables instrumentation.
 	Probe *telemetry.Probe
 }
@@ -144,6 +150,7 @@ type MidTier struct {
 	opts    Options
 	handler Handler
 	probe   *telemetry.Probe
+	spans   *trace.Recorder
 
 	server    *rpc.Server
 	workers   *WorkerPool
@@ -190,7 +197,7 @@ type MidTier struct {
 // NewMidTier creates a mid-tier with the given request handler.
 func NewMidTier(handler Handler, opts *Options) *MidTier {
 	o := opts.withDefaults()
-	m := &MidTier{opts: o, handler: handler, probe: o.Probe}
+	m := &MidTier{opts: o, handler: handler, probe: o.Probe, spans: o.Spans}
 	if o.AutoDispatchQPS <= 0 {
 		o.AutoDispatchQPS = 500
 		m.opts.AutoDispatchQPS = 500
@@ -328,6 +335,19 @@ func (m *MidTier) onRequest(req *rpc.Request) {
 	// still call.  Released in finish (or below if dispatch sheds it).
 	ctx := &Ctx{Req: req, mt: m, snap: m.topo.Acquire()}
 	ctx.tr = m.opts.Tracer.Sample()
+	if m.spans != nil && req.TraceContext().Sampled() {
+		// The request arrived with a sampled span context: this tier's
+		// server span is its child, and the leaf attempts below will be
+		// children of that.  A stage trace rides along even when the local
+		// Tracer did not sample, so the breakdown can annotate the span;
+		// owned traces return to the pool in finish rather than through
+		// the Tracer's ring.
+		ctx.span = req.TraceContext().Child()
+		if ctx.tr == nil {
+			ctx.tr = trace.NewTrace()
+			ctx.trOwned = true
+		}
+	}
 	ctx.tr.StampAt(trace.StageArrival, req.Arrival)
 	inline := m.opts.Dispatch == Inline
 	if m.opts.Dispatch == DispatchAuto {
@@ -353,15 +373,21 @@ func (m *MidTier) onRequest(req *rpc.Request) {
 		pri = m.opts.Classify(req)
 	}
 	handoffStart := time.Now()
+	// Stamped before the hand-off: a fast worker can reply — and recycle a
+	// pooled trace — before SubmitPriorityArg even returns, so a stamp
+	// after it could land on the trace's next occupant.
+	ctx.tr.Stamp(trace.StageEnqueued)
 	err := m.workers.SubmitPriorityArg(m.handleFn, ctx, pri)
 	if err != nil {
 		req.ReplyError(err)
 		// Shed before the handler ever ran: release the pin directly
 		// (not via finish, which would count the request as served).
 		ctx.snap.Release()
+		if ctx.trOwned {
+			trace.PutTrace(ctx.tr)
+		}
 		return
 	}
-	ctx.tr.Stamp(trace.StageEnqueued)
 	// The poller's hand-off cost before it re-enters its blocking read —
 	// the Block overhead class.
 	m.probe.ObserveOverhead(telemetry.OverheadBlock, time.Since(handoffStart))
@@ -415,7 +441,14 @@ type Ctx struct {
 	// placement cannot change under a request mid-flight.
 	snap *cluster.Snapshot
 	tr   *trace.Trace
-	fin  atomic.Bool
+	// span is this tier's server span (a child of the caller's client span),
+	// zero when the request arrived unsampled or span recording is off.
+	span trace.SpanContext
+	// trOwned marks a trace drawn from the pool purely to annotate the span
+	// (the Tracer did not sample); finish returns it to the pool directly.
+	trOwned bool
+	errText string
+	fin     atomic.Bool
 }
 
 // NumLeaves reports the fan-out width available to this request.  It is
@@ -436,12 +469,15 @@ func (c *Ctx) Reply(payload []byte) {
 
 // ReplyError completes the request with an error.
 func (c *Ctx) ReplyError(err error) {
+	if err != nil && c.span.Sampled() {
+		c.errText = err.Error()
+	}
 	c.Req.ReplyError(err)
 	c.finish()
 }
 
-// finish counts the completion, releases the topology pin, and closes out
-// the sampled trace, once.
+// finish counts the completion, releases the topology pin, records the
+// server span, and closes out the sampled trace, once.
 func (c *Ctx) finish() {
 	if !c.fin.CompareAndSwap(false, true) {
 		return
@@ -452,7 +488,51 @@ func (c *Ctx) finish() {
 		return
 	}
 	c.tr.Stamp(trace.StageReplySent)
-	c.mt.opts.Tracer.Finish(c.tr)
+	if c.span.Sampled() {
+		c.recordServerSpan()
+	}
+	// Every stage stamp happens-before this point (Enqueued before the
+	// worker hand-off, FanoutIssued before the first attempt is sent), so
+	// recycling here cannot race a late stamp.
+	if c.trOwned {
+		trace.PutTrace(c.tr)
+	} else {
+		c.mt.opts.Tracer.Finish(c.tr)
+	}
+}
+
+// recordServerSpan emits this tier's server span, with the request's stage
+// breakdown attached as notes so trace consumers see where the time went
+// without a second data channel.
+func (c *Ctx) recordServerSpan() {
+	end := c.tr.At(trace.StageReplySent)
+	start := c.Req.Arrival
+	if end.Before(start) {
+		end = start
+	}
+	b := c.tr.Breakdown()
+	notes := make([]string, 0, 5)
+	addSeg := func(name string, d time.Duration) {
+		if d > 0 {
+			notes = append(notes, name+"="+d.String())
+		}
+	}
+	addSeg("handoff", b.Handoff)
+	addSeg("queue", b.Queue)
+	addSeg("compute", b.Compute)
+	addSeg("leaf-wait", b.LeafWait)
+	addSeg("merge", b.Merge)
+	c.mt.spans.Record(trace.Span{
+		TraceID:  trace.ID(c.span.TraceID),
+		SpanID:   trace.ID(c.span.SpanID),
+		ParentID: trace.ID(c.span.ParentID),
+		Name:     c.Req.Method,
+		Kind:     trace.KindServer,
+		Start:    start.UnixNano(),
+		Duration: end.Sub(start).Nanoseconds(),
+		Err:      c.errText,
+		Notes:    notes,
+	})
 }
 
 // Fanout asynchronously issues calls to leaf shards and invokes merge with
@@ -466,7 +546,7 @@ func (c *Ctx) Fanout(calls []LeafCall, merge func([]LeafResult)) {
 		merge(nil)
 		return
 	}
-	fo := getFanout(c.mt, c.snap, len(calls), merge, c.tr)
+	fo := getFanout(c.mt, c.snap, len(calls), merge, c.tr, c.span)
 	// Slots must be fully initialized before the expiry timer can fire.
 	for i, lc := range calls {
 		fo.slot(i, lc.Shard, lc.Method, lc.Payload)
@@ -482,7 +562,7 @@ func (c *Ctx) FanoutAll(method string, payload []byte, merge func([]LeafResult))
 		merge(nil)
 		return
 	}
-	fo := getFanout(c.mt, c.snap, n, merge, c.tr)
+	fo := getFanout(c.mt, c.snap, n, merge, c.tr, c.span)
 	for i := 0; i < n; i++ {
 		fo.slot(i, i, method, payload)
 	}
@@ -492,6 +572,10 @@ func (c *Ctx) FanoutAll(method string, payload []byte, merge func([]LeafResult))
 // runFanout arms the expiry timer and issues every slot's primary attempt.
 func (c *Ctx) runFanout(fo *fanout) {
 	m := c.mt
+	// Stamped before the first attempt goes out: a leaf response can
+	// complete the whole request — and recycle a pooled trace — before the
+	// issue loop below returns.
+	c.tr.Stamp(trace.StageFanoutIssued)
 	if d := m.opts.FanoutTimeout; d > 0 {
 		fo.refs.Add(1) // expiry hold: released by expire or a won Stop
 		fo.timer.Store(time.AfterFunc(d, fo.expire))
@@ -504,7 +588,6 @@ func (c *Ctx) runFanout(fo *fanout) {
 		}
 		m.issuePrimary(slot)
 	}
-	c.tr.Stamp(trace.StageFanoutIssued)
 }
 
 // CallLeaf issues a single synchronous leaf RPC (used by handlers that need
@@ -520,11 +603,44 @@ func (c *Ctx) CallLeaf(shard int, method string, payload []byte) ([]byte, error)
 	// whole (synchronous) call, retries included.
 	g := c.snap.Group(shard)
 	m.budget.earn()
+	traced := c.span.Sampled() && m.spans != nil
 	exclude := -1
 	for attempt := 0; ; attempt++ {
 		pool, idx := g.Pick(exclude)
-		call := pool.Pick().Go(method, payload, nil, nil)
+		var sc trace.SpanContext
+		var start time.Time
+		if traced {
+			sc = c.span.Child()
+			start = time.Now()
+		}
+		call := pool.Pick().GoSpan(method, payload, sc, nil, nil)
 		<-call.Done
+		if traced {
+			end := call.Received
+			if end.IsZero() {
+				end = time.Now()
+			}
+			var errText string
+			if call.Err != nil {
+				errText = call.Err.Error()
+			}
+			notes := make([]string, 0, 2)
+			if attempt > 0 {
+				notes = append(notes, "retry")
+			}
+			notes = append(notes, "shard="+strconv.Itoa(shard))
+			m.spans.Record(trace.Span{
+				TraceID:  trace.ID(sc.TraceID),
+				SpanID:   trace.ID(sc.SpanID),
+				ParentID: trace.ID(sc.ParentID),
+				Name:     method,
+				Kind:     trace.KindClient,
+				Start:    start.UnixNano(),
+				Duration: end.Sub(start).Nanoseconds(),
+				Err:      errText,
+				Notes:    notes,
+			})
+		}
 		if call.Err == nil {
 			m.observeLeafLatency(call.Received.Sub(call.Sent))
 			reply := call.DetachReply()
@@ -595,9 +711,17 @@ func (m *MidTier) issueAttempt(slot *fanoutSlot, exclude int, kind attemptKind) 
 		return
 	}
 	defer snap.Release()
-	g := snap.Group(slot.shard)
+	// Captured while the pin proves the fan-out alive: the late-completion
+	// branch below may run after a racing delivery has recycled the slot,
+	// so it must not read slot fields then.
+	method, shard := slot.method, slot.shard
+	g := snap.Group(shard)
 	pool, idx := g.Pick(exclude)
 	a := attempt{replica: idx, kind: kind}
+	if slot.fo.span.Sampled() && m.spans != nil {
+		a.span = slot.fo.span.Child()
+		a.start = time.Now()
+	}
 	// The attempt's fan-out hold must predate the send: the response can
 	// land (and run the count-down) before GoRef even returns.
 	slot.fo.refs.Add(1)
@@ -606,18 +730,35 @@ func (m *MidTier) issueAttempt(slot *fanoutSlot, exclude int, kind attemptKind) 
 	// stale ref behind — abandons through it are no-ops.
 	if b := g.Batcher(idx); b != nil {
 		a.batcher = b
-		a.ref = b.GoRef(slot.method, slot.payload, slot, nil)
+		a.ref = b.GoRefSpan(slot.method, slot.payload, a.span, slot, nil)
 	} else {
 		a.client = pool.Pick()
-		a.ref = a.client.GoRef(slot.method, slot.payload, slot, nil)
+		a.ref = a.client.GoRefSpan(slot.method, slot.payload, a.span, slot, nil)
 	}
 	slot.mu.Lock()
 	slot.attempts = append(slot.attempts, a)
 	fired := slot.fired.Load()
+	record := false
+	if fired && a.span.Sampled() {
+		// Claim the recorded flag under the mutex: if the cancel sweep is
+		// yet to run it will skip this attempt, and if it already ran it
+		// missed it — either way this issuer owns the span.
+		la := &slot.attempts[len(slot.attempts)-1]
+		if !la.recorded {
+			la.recorded = true
+			record = true
+		}
+	}
 	slot.mu.Unlock()
 	if fired {
 		// The slot completed while this attempt was being issued, so the
-		// cancel sweep may have run before the attempt was tracked.
+		// cancel sweep may have run before the attempt was tracked.  The
+		// frame is already on the wire though — the leaf will serve it and
+		// record a server span — so the loser's client span must still be
+		// emitted or the exported tree ends up with an orphan.
+		if record {
+			m.recordAttemptSpan(method, shard, &a, time.Now(), "", true)
+		}
 		if a.abandon() {
 			slot.fo.unref()
 		}
@@ -678,8 +819,81 @@ func (m *MidTier) maybeRetry(slot *fanoutSlot, failed *rpc.Call) bool {
 	}
 	m.retries.Add(1)
 	m.probe.IncTail(telemetry.TailRetry)
+	// The failed copy never reaches deliverSlot (the retry supersedes it),
+	// so its span retires here, carrying the error that triggered the
+	// retry.  Had the budget denied, the failure would have completed the
+	// slot and been recorded as the winner instead.
+	if m.spans != nil && slot.fo.span.Sampled() {
+		var fa attempt
+		var have bool
+		slot.mu.Lock()
+		for i := range slot.attempts {
+			a := &slot.attempts[i]
+			if a.ref == failedRef && !a.recorded {
+				a.recorded = true
+				fa, have = *a, true
+				break
+			}
+		}
+		slot.mu.Unlock()
+		if have {
+			end := failed.Received
+			if end.IsZero() {
+				end = time.Now()
+			}
+			var errText string
+			if failed.Err != nil {
+				errText = failed.Err.Error()
+			}
+			m.recordAttemptSpan(slot.method, slot.shard, &fa, end, errText, false)
+		}
+	}
 	m.issueAttempt(slot, exclude, attemptRetry)
 	return true
+}
+
+// recordAttemptSpan emits the client span of one retired leaf attempt.  The
+// caller must have claimed the attempt's recorded flag under the slot mutex,
+// and passes the slot's method and shard by value — a late issuer may record
+// after the fan-out has recycled, when the slot's own fields are gone.  end
+// is the retirement instant (a winner's receive time, a loser's cancel time
+// clamped to the winner's).
+func (m *MidTier) recordAttemptSpan(method string, shard int, a *attempt, end time.Time, errText string, abandoned bool) {
+	if m.spans == nil || !a.span.Sampled() {
+		return
+	}
+	start := a.start
+	if start.IsZero() {
+		start = end
+	}
+	if end.Before(start) {
+		end = start
+	}
+	notes := make([]string, 0, 4)
+	switch a.kind {
+	case attemptHedge:
+		notes = append(notes, "hedge")
+	case attemptRetry:
+		notes = append(notes, "retry")
+	}
+	if a.batcher != nil {
+		notes = append(notes, "batched")
+	}
+	if abandoned {
+		notes = append(notes, "abandoned")
+	}
+	notes = append(notes, "shard="+strconv.Itoa(shard))
+	m.spans.Record(trace.Span{
+		TraceID:  trace.ID(a.span.TraceID),
+		SpanID:   trace.ID(a.span.SpanID),
+		ParentID: trace.ID(a.span.ParentID),
+		Name:     method,
+		Kind:     trace.KindClient,
+		Start:    start.UnixNano(),
+		Duration: end.Sub(start).Nanoseconds(),
+		Err:      errText,
+		Notes:    notes,
+	})
 }
 
 // observeLeafLatency feeds the digest behind the percentile-tracked hedge
@@ -756,7 +970,10 @@ type fanout struct {
 	remaining atomic.Int32
 	merge     func([]LeafResult)
 	tr        *trace.Trace
-	slots     []fanoutSlot
+	// span is the parent request's server span; each attempt's client span
+	// is derived from it.  Zero when the request is unsampled.
+	span  trace.SpanContext
+	slots []fanoutSlot
 	// timer is set after AfterFunc returns; the callback can beat the
 	// store, in which case there is nothing left worth stopping.
 	timer atomic.Pointer[time.Timer]
@@ -772,12 +989,13 @@ type fanout struct {
 var fanoutPool = sync.Pool{New: func() any { return new(fanout) }}
 
 // getFanout readies a pooled fan-out for n slots.
-func getFanout(m *MidTier, snap *cluster.Snapshot, n int, merge func([]LeafResult), tr *trace.Trace) *fanout {
+func getFanout(m *MidTier, snap *cluster.Snapshot, n int, merge func([]LeafResult), tr *trace.Trace, span trace.SpanContext) *fanout {
 	f := fanoutPool.Get().(*fanout)
 	f.mt = m
 	f.snap = snap
 	f.merge = merge
 	f.tr = tr
+	f.span = span
 	if cap(f.slots) < n {
 		f.results = make([]LeafResult, n)
 		f.bufs = make([]*rpc.Buf, n)
@@ -807,6 +1025,7 @@ func (f *fanout) recycle() {
 	f.snap = nil
 	f.merge = nil
 	f.tr = nil
+	f.span = trace.SpanContext{}
 	f.timer.Store(nil)
 	for i := range f.results {
 		f.results[i] = LeafResult{}
@@ -846,6 +1065,13 @@ type attempt struct {
 	batcher *rpc.Batcher
 	replica int
 	kind    attemptKind
+	// span is this attempt's client span context (zero when unsampled) and
+	// start its issue instant; recorded, guarded by the slot mutex, ensures
+	// the span is emitted exactly once no matter which path — win, loss,
+	// retry — retires the attempt.
+	span     trace.SpanContext
+	start    time.Time
+	recorded bool
 }
 
 // abandon cancels the attempt's call through whichever path issued it.  A
@@ -895,10 +1121,13 @@ func (f *fanout) slot(index, shard int, method string, payload []byte) *fanoutSl
 
 // cancelLosers stops the slot's hedge timer and abandons every attempt
 // other than the winner, so late responses are dropped at the reader
-// instead of delivered.  It reports the winning attempt's kind (valid only
-// when found).
-func (s *fanoutSlot) cancelLosers(winner rpc.CallRef) (kind attemptKind, found bool) {
+// instead of delivered.  It returns a copy of the winning attempt (valid
+// only when found) with its recorded flag claimed, and emits the span of
+// every abandoned loser — annotated "abandoned", its end clamped to end so
+// a cancelled duplicate never outlasts the response that beat it.
+func (s *fanoutSlot) cancelLosers(winner rpc.CallRef, end time.Time) (win attempt, found bool) {
 	released := 0
+	var losers []attempt
 	s.mu.Lock()
 	if t := s.hedgeTimer; t != nil {
 		s.hedgeTimer = nil
@@ -909,18 +1138,26 @@ func (s *fanoutSlot) cancelLosers(winner rpc.CallRef) (kind attemptKind, found b
 	for i := range s.attempts {
 		a := &s.attempts[i]
 		if a.ref == winner {
-			kind, found = a.kind, true
+			win, found = *a, true
+			a.recorded = true
 			continue
 		}
 		if a.abandon() {
 			released++ // delivery suppressed; the attempt hold is ours
+		}
+		if a.span.Sampled() && !a.recorded {
+			a.recorded = true
+			losers = append(losers, *a)
 		}
 	}
 	s.mu.Unlock()
 	for ; released > 0; released-- {
 		s.fo.unref()
 	}
-	return kind, found
+	for i := range losers {
+		s.fo.mt.recordAttemptSpan(s.method, s.shard, &losers[i], end, "", true)
+	}
+	return win, found
 }
 
 // deliver stashes one response and, if it is the last, runs the merge.  All
@@ -955,12 +1192,28 @@ func (f *fanout) deliverSlot(slot *fanoutSlot, res LeafResult, winner *rpc.Call)
 		return
 	}
 	var winnerRef rpc.CallRef
+	var end time.Time
+	var errText string
 	if winner != nil {
 		winnerRef = winner.Ref()
 	}
-	if kind, ok := slot.cancelLosers(winnerRef); ok && kind == attemptHedge {
-		f.mt.hedgeWins.Add(1)
-		f.mt.probe.IncTail(telemetry.TailHedgeWin)
+	if f.span.Sampled() {
+		end = time.Now()
+		if winner != nil {
+			if !winner.Received.IsZero() {
+				end = winner.Received
+			}
+			if winner.Err != nil {
+				errText = winner.Err.Error()
+			}
+		}
+	}
+	if win, ok := slot.cancelLosers(winnerRef, end); ok {
+		if win.kind == attemptHedge {
+			f.mt.hedgeWins.Add(1)
+			f.mt.probe.IncTail(telemetry.TailHedgeWin)
+		}
+		f.mt.recordAttemptSpan(slot.method, slot.shard, &win, end, errText, false)
 	}
 	f.results[slot.index] = res
 	if winner != nil {

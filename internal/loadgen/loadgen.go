@@ -208,10 +208,64 @@ func RunOpenLoop(issue IssueFunc, cfg OpenLoopConfig) OpenLoopResult {
 	if cfg.Duration <= 0 {
 		cfg.Duration = time.Second
 	}
-	if cfg.DrainTimeout <= 0 {
-		cfg.DrainTimeout = 10 * time.Second
-	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	var off time.Duration
+	next := func(int) (time.Duration, bool) {
+		// Exponential gap → Poisson arrival process.
+		off += time.Duration(rng.ExpFloat64() / cfg.QPS * float64(time.Second))
+		return off, off <= cfg.Duration
+	}
+	return runSchedule(issue, next, cfg.Duration, cfg.DrainTimeout, cfg.CaptureRaw)
+}
+
+// ReplayConfig parameterizes a trace-replay run: a recorded arrival process
+// (e.g. trace.ArrivalOffsets of an exported trace) re-offered against a live
+// deployment.
+type ReplayConfig struct {
+	// Offsets schedules arrival i at Offsets[i] from the start of the run.
+	// Must be sorted ascending (offset zero first).
+	Offsets []time.Duration
+	// Speed scales the replay clock: 1 re-offers at recorded speed, 2 at
+	// twice the recorded rate (default 1).
+	Speed float64
+	// DrainTimeout bounds the post-window wait for stragglers (default 10s).
+	DrainTimeout time.Duration
+	// CaptureRaw retains every latency sample.
+	CaptureRaw bool
+}
+
+// RunReplay re-offers a recorded arrival process, measuring each request
+// from its scheduled arrival exactly as RunOpenLoop does.  The workload
+// bodies come from issue (the recorded traces carry timing, not payloads);
+// what is reproduced is the offered-load process — bursts included, which a
+// Poisson model would smooth away.
+func RunReplay(issue IssueFunc, cfg ReplayConfig) OpenLoopResult {
+	if len(cfg.Offsets) == 0 {
+		return OpenLoopResult{}
+	}
+	speed := cfg.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	offsets := cfg.Offsets
+	next := func(i int) (time.Duration, bool) {
+		if i >= len(offsets) {
+			return 0, false
+		}
+		return time.Duration(float64(offsets[i]) / speed), true
+	}
+	window := time.Duration(float64(offsets[len(offsets)-1])/speed) + time.Millisecond
+	return runSchedule(issue, next, window, cfg.DrainTimeout, cfg.CaptureRaw)
+}
+
+// runSchedule is the shared open-loop engine: a dispatcher that issues
+// request i at nextArrival(i) from the start of the run, and a collector
+// that matches completions to scheduled times.  window is the offered-load
+// interval AchievedQPS is computed over.
+func runSchedule(issue IssueFunc, nextArrival func(int) (time.Duration, bool), window, drainTimeout time.Duration, captureRaw bool) OpenLoopResult {
+	if drainTimeout <= 0 {
+		drainTimeout = 10 * time.Second
+	}
 	hist := stats.NewHistogram()
 	var raw []time.Duration
 
@@ -226,15 +280,12 @@ func RunOpenLoop(issue IssueFunc, cfg OpenLoopConfig) OpenLoopResult {
 	go func() {
 		var offered uint64
 		start := time.Now()
-		next := start
-		deadline := start.Add(cfg.Duration)
-		for {
-			// Exponential gap → Poisson arrival process.
-			gap := time.Duration(rng.ExpFloat64() / cfg.QPS * float64(time.Second))
-			next = next.Add(gap)
-			if next.After(deadline) {
+		for i := 0; ; i++ {
+			off, ok := nextArrival(i)
+			if !ok {
 				break
 			}
+			next := start.Add(off)
 			if d := time.Until(next); d > 0 {
 				time.Sleep(d)
 			}
@@ -263,7 +314,7 @@ func RunOpenLoop(issue IssueFunc, cfg OpenLoopConfig) OpenLoopResult {
 		}
 		lat := end.Sub(schedAt)
 		hist.Record(lat)
-		if cfg.CaptureRaw {
+		if captureRaw {
 			raw = append(raw, lat)
 		}
 		out.Completed++
@@ -290,7 +341,7 @@ func RunOpenLoop(issue IssueFunc, cfg OpenLoopConfig) OpenLoopResult {
 		case n := <-dispatcherDone:
 			offered = n
 			dispatchDoneSeen = true
-			drainDeadline = time.Now().Add(cfg.DrainTimeout)
+			drainDeadline = time.Now().Add(drainTimeout)
 			dispatcherDone = nil
 		case rec := <-records:
 			if at, ok := orphans[rec.call]; ok {
@@ -315,7 +366,7 @@ func RunOpenLoop(issue IssueFunc, cfg OpenLoopConfig) OpenLoopResult {
 	}
 
 	out.Offered = offered
-	out.AchievedQPS = float64(out.Completed) / cfg.Duration.Seconds()
+	out.AchievedQPS = float64(out.Completed) / window.Seconds()
 	out.Latency = hist.Snapshot()
 	out.Raw = raw
 	return out

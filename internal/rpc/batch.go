@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"musuite/internal/trace"
 	"musuite/internal/wire"
 )
 
@@ -23,6 +24,42 @@ const BatchMethod = "rpc.batch"
 type BatchItem struct {
 	Method  string
 	Payload []byte
+	// Trace is the member's client-span context.  When any member of a
+	// carrier is sampled, the carrier encodes a per-member span-context
+	// header so each member keeps its own identity across the batch.
+	Trace trace.SpanContext
+}
+
+// Carrier flag bits (one flags byte follows the member count).
+const (
+	// batchMemberTraced — every member is prefixed with a span-context
+	// header (trace ID, span ID, parent ID, flags).
+	batchMemberTraced uint8 = 1 << 0
+)
+
+func anyMemberTraced(items []BatchItem) bool {
+	for i := range items {
+		if items[i].Trace.Sampled() {
+			return true
+		}
+	}
+	return false
+}
+
+func encodeMemberContext(enc *wire.Encoder, sc trace.SpanContext) {
+	enc.Uint64(sc.TraceID)
+	enc.Uint64(sc.SpanID)
+	enc.Uint64(sc.ParentID)
+	enc.Uint8(sc.Flags)
+}
+
+func decodeMemberContext(dec *wire.Decoder) trace.SpanContext {
+	var sc trace.SpanContext
+	sc.TraceID = dec.Uint64()
+	sc.SpanID = dec.Uint64()
+	sc.ParentID = dec.Uint64()
+	sc.Flags = dec.Uint8()
+	return sc
 }
 
 // Per-item status bytes in a carrier reply.
@@ -43,15 +80,26 @@ type BatchItemError struct {
 
 func (e *BatchItemError) Error() string { return "rpc: batch item error: " + e.Msg }
 
-// EncodeBatch encodes member requests into a carrier payload.
+// EncodeBatch encodes member requests into a carrier payload.  Layout:
+// uvarint count | u8 flags | members, each optionally prefixed with a
+// span-context header when the batchMemberTraced flag is set.
 func EncodeBatch(items []BatchItem) []byte {
-	size := 8
+	size := 9
 	for i := range items {
 		size += len(items[i].Method) + len(items[i].Payload) + 8
 	}
+	var flags uint8
+	if anyMemberTraced(items) {
+		flags |= batchMemberTraced
+		size += 25 * len(items)
+	}
 	enc := wire.NewEncoder(size)
 	enc.Uvarint(uint64(len(items)))
+	enc.Uint8(flags)
 	for i := range items {
+		if flags&batchMemberTraced != 0 {
+			encodeMemberContext(enc, items[i].Trace)
+		}
 		enc.String(items[i].Method)
 		enc.BytesField(items[i].Payload)
 	}
@@ -62,6 +110,7 @@ func EncodeBatch(items []BatchItem) []byte {
 func DecodeBatch(b []byte) ([]BatchItem, error) {
 	dec := wire.NewDecoder(b)
 	n := int(dec.Uvarint())
+	flags := dec.Uint8()
 	if err := dec.Err(); err != nil {
 		return nil, err
 	}
@@ -70,6 +119,9 @@ func DecodeBatch(b []byte) ([]BatchItem, error) {
 	}
 	items := make([]BatchItem, n)
 	for i := range items {
+		if flags&batchMemberTraced != 0 {
+			items[i].Trace = decodeMemberContext(dec)
+		}
 		items[i].Method = dec.String()
 		items[i].Payload = dec.BytesField()
 	}
@@ -79,22 +131,30 @@ func DecodeBatch(b []byte) ([]BatchItem, error) {
 	return items, nil
 }
 
-// DecodeBatchInto decodes a carrier payload into parallel method/payload
-// slices, reusing the capacity of the scratch the caller passes (pass
-// methods[:0]/payloads[:0] of recycled slices).  Payloads are views into b,
-// valid only while b is.  Method names are interned against the previous
+// DecodeBatchInto decodes a carrier payload into parallel
+// method/payload/span-context slices, reusing the capacity of the scratch
+// the caller passes (pass methods[:0]/payloads[:0]/spans[:0] of recycled
+// slices).  spans always comes back with one entry per member — the zero
+// SpanContext for untraced carriers.  Payloads are views into b, valid
+// only while b is.  Method names are interned against the previous
 // item — a fan-out's carrier typically repeats one method, so in steady
 // state decoding a whole batch allocates nothing.
-func DecodeBatchInto(b []byte, methods []string, payloads [][]byte) ([]string, [][]byte, error) {
+func DecodeBatchInto(b []byte, methods []string, payloads [][]byte, spans []trace.SpanContext) ([]string, [][]byte, []trace.SpanContext, error) {
 	dec := wire.NewDecoder(b)
 	n := int(dec.Uvarint())
+	flags := dec.Uint8()
 	if err := dec.Err(); err != nil {
-		return methods, payloads, err
+		return methods, payloads, spans, err
 	}
 	if n < 0 || n > wire.MaxSliceLen {
-		return methods, payloads, wire.ErrTooLarge
+		return methods, payloads, spans, wire.ErrTooLarge
 	}
 	for i := 0; i < n; i++ {
+		if flags&batchMemberTraced != 0 {
+			spans = append(spans, decodeMemberContext(dec))
+		} else {
+			spans = append(spans, trace.SpanContext{})
+		}
 		mview := dec.BytesView()
 		if last := len(methods) - 1; last >= 0 && string(mview) == methods[last] {
 			methods = append(methods, methods[last])
@@ -104,9 +164,9 @@ func DecodeBatchInto(b []byte, methods []string, payloads [][]byte) ([]string, [
 		payloads = append(payloads, dec.BytesView())
 	}
 	if err := dec.Err(); err != nil {
-		return methods, payloads, err
+		return methods, payloads, spans, err
 	}
-	return methods, payloads, nil
+	return methods, payloads, spans, nil
 }
 
 // AppendBatchReplyHeader begins a streamed carrier reply of n items in enc;
@@ -242,6 +302,7 @@ type Batcher struct {
 	delay      func() time.Duration
 	onFlush    func(int, FlushCause)
 	onResponse func(*Call) bool
+	spans      *trace.Recorder
 
 	mu     sync.Mutex
 	queue  []*Call
@@ -268,6 +329,7 @@ func NewBatcher(pool *Pool, opts BatcherOptions) *Batcher {
 	}
 	if pool.opts != nil {
 		b.onResponse = pool.opts.OnResponse
+		b.spans = pool.opts.Spans
 	}
 	return b
 }
@@ -286,6 +348,17 @@ func (b *Batcher) Go(method string, payload []byte, data any, done chan *Call) *
 // call can complete (see Client.GoRef).
 func (b *Batcher) GoRef(method string, payload []byte, data any, done chan *Call) CallRef {
 	call := b.newCall(method, payload, data, done)
+	ref := call.Ref()
+	b.enqueue(call)
+	return ref
+}
+
+// GoRefSpan is GoRef for a traced member: sc rides the carrier as a
+// per-member span-context header (or the plain frame header if the member
+// ends up flushed alone), so batching never loses a request's identity.
+func (b *Batcher) GoRefSpan(method string, payload []byte, sc trace.SpanContext, data any, done chan *Call) CallRef {
+	call := b.newCall(method, payload, data, done)
+	call.Trace = sc
 	ref := call.Ref()
 	b.enqueue(call)
 	return ref
@@ -432,9 +505,20 @@ func (b *Batcher) send(members []*Call, cause FlushCause) {
 		b.pool.Pick().start(call)
 		return
 	}
+	var flags uint8
+	for _, m := range live {
+		if m.Trace.Sampled() {
+			flags |= batchMemberTraced
+			break
+		}
+	}
 	enc := wire.GetEncoder()
 	enc.Uvarint(uint64(len(live)))
+	enc.Uint8(flags)
 	for _, m := range live {
+		if flags&batchMemberTraced != 0 {
+			encodeMemberContext(enc, m.Trace)
+		}
 		enc.String(m.Method)
 		enc.BytesField(m.Payload)
 	}
@@ -531,6 +615,9 @@ func (b *Batcher) demux(members []*Call, carrier *Call) {
 // complete mirrors Client.complete for members that never traversed a
 // client of their own (carrier demux, closed-batcher rejection).
 func (b *Batcher) complete(call *Call) {
+	if b.spans != nil && call.Trace.Sampled() {
+		recordCallSpan(b.spans, call)
+	}
 	if b.onResponse != nil && b.onResponse(call) {
 		return
 	}

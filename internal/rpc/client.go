@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"musuite/internal/telemetry"
+	"musuite/internal/trace"
 )
 
 // Call is the explicit state of one in-flight RPC.  μSuite's asynchronous
@@ -40,6 +41,10 @@ type Call struct {
 	// Data is opaque caller state carried with the call; the mid-tier
 	// framework uses it to associate a leaf response with its fan-out.
 	Data any
+	// Trace is the span context of this RPC's client span, propagated on
+	// the wire when sampled.  Zero for untraced calls — the frame layout
+	// and allocation profile are then identical to a build without tracing.
+	Trace trace.SpanContext
 
 	id uint64
 	// gen counts the struct's reuses.  Every cancellation and reference is
@@ -160,6 +165,7 @@ func (c *Call) Release() {
 	c.Sent = time.Time{}
 	c.Received = time.Time{}
 	c.Data = nil
+	c.Trace = trace.SpanContext{}
 	c.id = 0
 	c.onDone = nil
 	c.gen.Add(1)
@@ -210,6 +216,10 @@ type ClientOptions struct {
 	// DisableWriteCoalesce reverts to one write syscall per frame instead
 	// of coalescing concurrently submitted frames into batched writes.
 	DisableWriteCoalesce bool
+	// Spans, when set, records a client span for every sampled call this
+	// connection completes.  Leave nil on tiers that record their own
+	// attempt spans (the mid-tier fan-out) to avoid double counting.
+	Spans *trace.Recorder
 }
 
 // defaultPendingShards balances lock spread against footprint: at 8, two
@@ -249,6 +259,7 @@ type Client struct {
 
 	onResponse func(*Call) bool
 	readerDone chan struct{}
+	spans      *trace.Recorder
 }
 
 // Dial connects to a μSuite RPC server at addr.
@@ -259,6 +270,7 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 		onResponse func(*Call) bool
 		nshards    = defaultPendingShards
 		coalesce   = true
+		spans      *trace.Recorder
 	)
 	if opts != nil {
 		probe = opts.Probe
@@ -273,6 +285,7 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 			}
 		}
 		coalesce = !opts.DisableWriteCoalesce
+		spans = opts.Spans
 	}
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -290,6 +303,7 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 		shardMask:  uint64(nshards - 1),
 		onResponse: onResponse,
 		readerDone: make(chan struct{}),
+		spans:      spans,
 	}
 	for i := range c.shards {
 		c.shards[i].mu = telemetry.NewMutex(probe)
@@ -341,6 +355,36 @@ func (c *Client) GoRef(method string, payload []byte, data any, done chan *Call)
 	return c.start(call)
 }
 
+// GoSpan is Go for a traced call: sc (the context of this RPC's client
+// span) travels in the frame header so the server can parent its own span
+// under it.  Pass a zero sc for an unsampled request — the call then
+// behaves exactly like Go.
+func (c *Client) GoSpan(method string, payload []byte, sc trace.SpanContext, data any, done chan *Call) *Call {
+	call := getCall()
+	call.Method, call.Payload, call.Data, call.Trace = method, payload, data, sc
+	if done == nil {
+		done = call.ownedDone()
+	} else if cap(done) == 0 {
+		panic("rpc: done channel must be buffered")
+	}
+	call.Done = done
+	c.start(call)
+	return call
+}
+
+// GoRefSpan is GoRef for a traced call (see GoSpan).
+func (c *Client) GoRefSpan(method string, payload []byte, sc trace.SpanContext, data any, done chan *Call) CallRef {
+	call := getCall()
+	call.Method, call.Payload, call.Data, call.Trace = method, payload, data, sc
+	if done == nil {
+		done = call.ownedDone()
+	} else if cap(done) == 0 {
+		panic("rpc: done channel must be buffered")
+	}
+	call.Done = done
+	return c.start(call)
+}
+
 // start registers a caller-constructed call and writes its request frame,
 // returning a ref captured before the frame hits the wire.  Shared by Go
 // and the batcher (which sends prebuilt carrier calls and, for
@@ -364,10 +408,10 @@ func (c *Client) start(call *Call) CallRef {
 	call.Sent = time.Now()
 	var err error
 	if c.wq != nil {
-		err = c.wq.enqueue(kindRequest, id, call.Method, call.Payload)
+		err = c.wq.enqueue(kindRequest, id, call.Trace, call.Method, call.Payload)
 	} else {
 		c.wmu.Lock()
-		err = writeFrame(c.conn, &c.wbuf, kindRequest, id, call.Method, call.Payload, c.probe)
+		err = writeFrame(c.conn, &c.wbuf, kindRequest, id, call.Trace, call.Method, call.Payload, c.probe)
 		c.wmu.Unlock()
 	}
 	if err != nil {
@@ -382,10 +426,41 @@ func (c *Client) complete(call *Call) {
 		call.onDone(call)
 		return
 	}
+	if c.spans != nil && call.Trace.Sampled() {
+		recordCallSpan(c.spans, call)
+	}
 	if c.onResponse != nil && c.onResponse(call) {
 		return // consumed: ownership passed to the hook
 	}
 	call.finish()
+}
+
+// recordCallSpan emits the client span of a completed sampled call.
+func recordCallSpan(rec *trace.Recorder, call *Call) {
+	start := call.Sent
+	if start.IsZero() {
+		start = time.Now()
+	}
+	end := call.Received
+	if end.IsZero() {
+		end = time.Now()
+	}
+	s := trace.Span{
+		TraceID:  trace.ID(call.Trace.TraceID),
+		SpanID:   trace.ID(call.Trace.SpanID),
+		ParentID: trace.ID(call.Trace.ParentID),
+		Name:     call.Method,
+		Kind:     trace.KindClient,
+		Start:    start.UnixNano(),
+		Duration: end.Sub(start).Nanoseconds(),
+	}
+	if s.Duration < 0 {
+		s.Duration = 0
+	}
+	if call.Err != nil {
+		s.Err = call.Err.Error()
+	}
+	rec.Record(s)
 }
 
 // Call issues a synchronous RPC and waits for the response.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"musuite/internal/telemetry"
+	"musuite/internal/trace"
 )
 
 // writeQueue coalesces outgoing frames on one connection into batched
@@ -45,14 +46,14 @@ func newWriteQueue(conn io.Writer, probe *telemetry.Probe, onError func(error)) 
 // caller may immediately reuse method/payload storage.  A nil error means
 // the frame was accepted — it reaches the socket on this or a concurrent
 // flush, and a later write failure surfaces through onError, not here.
-func (q *writeQueue) enqueue(kind byte, id uint64, method string, payload []byte) error {
+func (q *writeQueue) enqueue(kind byte, id uint64, sc trace.SpanContext, method string, payload []byte) error {
 	q.mu.Lock()
 	if q.err != nil {
 		err := q.err
 		q.mu.Unlock()
 		return err
 	}
-	b, err := appendFrame(q.buf, kind, id, method, payload)
+	b, err := appendFrame(q.buf, kind, id, sc, method, payload)
 	if err != nil {
 		q.mu.Unlock()
 		return err

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"musuite/internal/telemetry"
+	"musuite/internal/trace"
 )
 
 // Frame kinds on the wire.
@@ -26,7 +27,16 @@ const (
 	kindRequest  byte = 1
 	kindResponse byte = 2
 	kindError    byte = 3
+	// kindRequestTraced is a request carrying a trace header: 25 extra
+	// bytes (trace ID, span ID, parent span ID — little-endian u64 each —
+	// and a flags byte) between the call ID and the method length.
+	// Unsampled requests keep the kindRequest layout, so the untraced hot
+	// path is byte-identical with tracing compiled in.
+	kindRequestTraced byte = 4
 )
+
+// traceHdrLen is the size of the span-context header on traced frames.
+const traceHdrLen = 8 + 8 + 8 + 1
 
 // MaxFrameSize bounds a single message; larger frames abort the connection.
 const MaxFrameSize = 64 << 20
@@ -42,13 +52,16 @@ var ErrTimeout = errors.New("rpc: call timed out")
 
 // frame is the unit of transmission.
 //
-// Layout: u32 body length | u8 kind | u64 id | u16 method length | method
-// bytes | payload.  For kindError the payload carries the error text.
+// Layout: u32 body length | u8 kind | u64 id | [trace header, traced
+// requests only] | u16 method length | method bytes | payload.  For
+// kindError the payload carries the error text.
 type frame struct {
 	kind    byte
 	id      uint64
 	method  string
 	payload []byte
+	// sc is the span context of a kindRequestTraced frame (zero otherwise).
+	sc trace.SpanContext
 	// buf is the full-capacity backing storage payload points into, kept
 	// separately so repeated reads reuse one allocation (payload's own
 	// capacity erodes by the header length on every frame).
@@ -63,11 +76,21 @@ const frameHeaderLen = 4 + 1 + 8 + 2
 // appendFrame encodes one frame onto the end of buf (reusing capacity,
 // never truncating — the write coalescer accumulates several frames in one
 // buffer) and returns the result.  On error buf is unmodified.
-func appendFrame(buf []byte, kind byte, id uint64, method string, payload []byte) ([]byte, error) {
+func appendFrame(buf []byte, kind byte, id uint64, sc trace.SpanContext, method string, payload []byte) ([]byte, error) {
 	if len(method) > 0xFFFF {
 		return buf, fmt.Errorf("rpc: method name too long (%d bytes)", len(method))
 	}
+	if kind == kindRequestTraced {
+		// Callers pass kindRequest + a sampled context; a re-encoded
+		// decoded frame normalizes back through the same rule.
+		kind = kindRequest
+	}
+	traced := kind == kindRequest && sc.Sampled()
 	body := 1 + 8 + 2 + len(method) + len(payload)
+	if traced {
+		kind = kindRequestTraced
+		body += traceHdrLen
+	}
 	if body > MaxFrameSize {
 		return buf, ErrFrameTooLarge
 	}
@@ -76,6 +99,9 @@ func appendFrame(buf []byte, kind byte, id uint64, method string, payload []byte
 	buf = append(buf,
 		byte(id), byte(id>>8), byte(id>>16), byte(id>>24),
 		byte(id>>32), byte(id>>40), byte(id>>48), byte(id>>56))
+	if traced {
+		buf = appendTraceHeader(buf, sc)
+	}
 	ml := len(method)
 	buf = append(buf, byte(ml), byte(ml>>8))
 	buf = append(buf, method...)
@@ -83,11 +109,35 @@ func appendFrame(buf []byte, kind byte, id uint64, method string, payload []byte
 	return buf, nil
 }
 
+// appendTraceHeader encodes sc in the traced-frame header layout.
+func appendTraceHeader(buf []byte, sc trace.SpanContext) []byte {
+	for _, v := range [3]uint64{sc.TraceID, sc.SpanID, sc.ParentID} {
+		buf = append(buf,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return append(buf, sc.Flags)
+}
+
+// readTraceHeader decodes a traced-frame header from b (len ≥ traceHdrLen).
+func readTraceHeader(b []byte) trace.SpanContext {
+	u64 := func(p []byte) uint64 {
+		return uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+			uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56
+	}
+	return trace.SpanContext{
+		TraceID:  u64(b[0:8]),
+		SpanID:   u64(b[8:16]),
+		ParentID: u64(b[16:24]),
+		Flags:    b[24],
+	}
+}
+
 // writeFrame sends one frame on w under the caller's write lock, counting
 // one sendmsg proxy and observing the Net_tx overhead class.  The
 // uncoalesced path (-write-coalesce=false).
-func writeFrame(w io.Writer, buf *[]byte, kind byte, id uint64, method string, payload []byte, probe *telemetry.Probe) error {
-	enc, err := appendFrame((*buf)[:0], kind, id, method, payload)
+func writeFrame(w io.Writer, buf *[]byte, kind byte, id uint64, sc trace.SpanContext, method string, payload []byte, probe *telemetry.Probe) error {
+	enc, err := appendFrame((*buf)[:0], kind, id, sc, method, payload)
 	if err != nil {
 		return err
 	}
@@ -141,17 +191,27 @@ func readFrame(br *bufio.Reader, f *frame, probe *telemetry.Probe) (firstByte ti
 	f.kind = raw[0]
 	f.id = uint64(raw[1]) | uint64(raw[2])<<8 | uint64(raw[3])<<16 | uint64(raw[4])<<24 |
 		uint64(raw[5])<<32 | uint64(raw[6])<<40 | uint64(raw[7])<<48 | uint64(raw[8])<<56
-	ml := int(raw[9]) | int(raw[10])<<8
-	if 11+ml > body {
+	off := 9
+	if f.kind == kindRequestTraced {
+		if body < 1+8+traceHdrLen+2 {
+			return firstByte, fmt.Errorf("rpc: traced frame body length %d too short", body)
+		}
+		f.sc = readTraceHeader(raw[9 : 9+traceHdrLen])
+		off += traceHdrLen
+	} else {
+		f.sc = trace.SpanContext{}
+	}
+	ml := int(raw[off]) | int(raw[off+1])<<8
+	if off+2+ml > body {
 		return firstByte, fmt.Errorf("rpc: method length %d exceeds frame", ml)
 	}
 	// Interned method: consecutive frames from one peer overwhelmingly
 	// repeat the same method, and string comparison against a []byte does
 	// not allocate, so the conversion runs only when the method changes.
-	if mview := raw[11 : 11+ml]; string(mview) != f.method {
+	if mview := raw[off+2 : off+2+ml]; string(mview) != f.method {
 		f.method = string(mview)
 	}
-	f.payload = raw[11+ml : body]
+	f.payload = raw[off+2+ml : body]
 	probe.ObserveOverhead(telemetry.OverheadHardirq, time.Since(drained))
 	return firstByte, nil
 }

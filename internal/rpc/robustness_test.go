@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"musuite/internal/trace"
 )
 
 // TestServerSurvivesGarbageBytes writes random byte streams straight at the
@@ -107,7 +109,7 @@ func TestClientSurvivesStrayResponses(t *testing.T) {
 		// Shower the client with responses for calls it never made...
 		var buf []byte
 		for id := uint64(1000); id < 1010; id++ {
-			buf, _ = appendFrame(buf[:0], kindResponse, id, "", []byte("stray"))
+			buf, _ = appendFrame(buf[:0], kindResponse, id, trace.SpanContext{}, "", []byte("stray"))
 			conn.Write(buf)
 		}
 		// ...then serve its actual request (ID 1).
@@ -120,7 +122,7 @@ func TestClientSurvivesStrayResponses(t *testing.T) {
 		if _, err := readFull(conn, raw); err != nil {
 			return
 		}
-		buf, _ = appendFrame(buf[:0], kindResponse, 1, "", []byte("real"))
+		buf, _ = appendFrame(buf[:0], kindResponse, 1, trace.SpanContext{}, "", []byte("real"))
 		conn.Write(buf)
 	}()
 

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"musuite/internal/telemetry"
+
+	"musuite/internal/trace"
 )
 
 // echoServer starts a server whose "echo" method returns the payload and
@@ -353,7 +355,7 @@ func TestFrameEncodeDecodeProperty(t *testing.T) {
 			method = method[:1000]
 		}
 		in := frame{kind: kindRequest, id: id, method: method, payload: payload}
-		enc, err := appendFrame(nil, in.kind, in.id, in.method, in.payload)
+		enc, err := appendFrame(nil, in.kind, in.id, trace.SpanContext{}, in.method, in.payload)
 		if err != nil {
 			return false
 		}
@@ -372,7 +374,7 @@ func TestFrameEncodeDecodeProperty(t *testing.T) {
 
 func TestMethodTooLong(t *testing.T) {
 	in := frame{kind: kindRequest, method: strings.Repeat("m", 70000)}
-	if _, err := appendFrame(nil, in.kind, in.id, in.method, in.payload); err == nil {
+	if _, err := appendFrame(nil, in.kind, in.id, trace.SpanContext{}, in.method, in.payload); err == nil {
 		t.Fatal("oversized method accepted")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"musuite/internal/telemetry"
+	"musuite/internal/trace"
 )
 
 // Request is one incoming RPC as seen by a server.  The network poller
@@ -28,10 +29,24 @@ type Request struct {
 	FirstByte time.Time
 	Arrival   time.Time
 
-	id         uint64
-	conn       *serverConn
+	id   uint64
+	conn *serverConn
+	// Caller span context, packed: a server only chains from the trace
+	// ID, the caller's span ID, and the flags — the caller's own parent
+	// link never matters past the wire, and dropping it keeps this
+	// per-request struct a whole size class smaller.
+	traceID    uint64
+	spanID     uint64
+	traceFlags uint8
 	replied    bool
 	payloadBuf *Buf
+}
+
+// TraceContext returns the caller's span context as carried on the frame:
+// the context of the CLIENT span that issued this RPC.  A server records
+// its own span as TraceContext().Child().  Zero for untraced requests.
+func (r *Request) TraceContext() trace.SpanContext {
+	return trace.SpanContext{TraceID: r.traceID, SpanID: r.spanID, Flags: r.traceFlags}
 }
 
 // Reply sends a successful response.  It is safe to call from any goroutine
@@ -253,16 +268,19 @@ func (sc *serverConn) readLoop() {
 			}
 			return
 		}
-		if f.kind != kindRequest {
+		if f.kind != kindRequest && f.kind != kindRequestTraced {
 			continue // tolerate stray frames
 		}
 		req := &Request{
-			Method:    f.method,
-			Payload:   f.payload,
-			FirstByte: first,
-			Arrival:   time.Now(),
-			id:        f.id,
-			conn:      sc,
+			Method:     f.method,
+			Payload:    f.payload,
+			FirstByte:  first,
+			Arrival:    time.Now(),
+			id:         f.id,
+			conn:       sc,
+			traceID:    f.sc.TraceID,
+			spanID:     f.sc.SpanID,
+			traceFlags: f.sc.Flags,
 		}
 		sc.srv.handler(req)
 	}
@@ -274,11 +292,11 @@ func (sc *serverConn) readLoop() {
 // the socket-lock futex/HITM source the paper identifies.
 func (sc *serverConn) send(kind byte, id uint64, payload []byte) {
 	if sc.wq != nil {
-		_ = sc.wq.enqueue(kind, id, "", payload)
+		_ = sc.wq.enqueue(kind, id, trace.SpanContext{}, "", payload)
 		return
 	}
 	sc.wmu.Lock()
-	err := writeFrame(sc.conn, &sc.wbuf, kind, id, "", payload, sc.srv.probe)
+	err := writeFrame(sc.conn, &sc.wbuf, kind, id, trace.SpanContext{}, "", payload, sc.srv.probe)
 	sc.wmu.Unlock()
 	if err != nil {
 		sc.conn.Close()

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"musuite/internal/trace"
 )
 
 // TestAbandonRecycleRaceStress drives the hedge-pair life cycle hard from
@@ -181,7 +183,7 @@ func startRawEchoServer(t *testing.T) string {
 						return
 					}
 					var werr error
-					out, werr = appendFrame(out[:0], kindResponse, f.id, "", f.payload)
+					out, werr = appendFrame(out[:0], kindResponse, f.id, trace.SpanContext{}, "", f.payload)
 					if werr != nil {
 						return
 					}

@@ -20,6 +20,7 @@ import (
 	"musuite/internal/knn"
 	"musuite/internal/lsh"
 	"musuite/internal/rpc"
+	"musuite/internal/trace"
 	"musuite/internal/vec"
 	"musuite/internal/wire"
 )
@@ -367,6 +368,12 @@ func (c *Client) Search(query vec.Vector, k int) ([]Neighbor, error) {
 // Go issues an asynchronous search (used by the load generators).
 func (c *Client) Go(query vec.Vector, k int, done chan *rpc.Call) *rpc.Call {
 	return c.rpc.Go(MethodSearch, EncodeSearchRequest(query, k), nil, done)
+}
+
+// GoSpan issues an asynchronous search carrying a span context, tracing the
+// request end to end (used by sampling load generators).
+func (c *Client) GoSpan(query vec.Vector, k int, sc trace.SpanContext, done chan *rpc.Call) *rpc.Call {
+	return c.rpc.GoSpan(MethodSearch, EncodeSearchRequest(query, k), sc, nil, done)
 }
 
 // Close releases the connection.

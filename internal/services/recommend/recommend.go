@@ -19,6 +19,7 @@ import (
 	"musuite/internal/knn"
 	"musuite/internal/matfac"
 	"musuite/internal/rpc"
+	"musuite/internal/trace"
 	"musuite/internal/wire"
 )
 
@@ -449,6 +450,12 @@ func (c *Client) Predict(user, item int) (float64, bool, error) {
 // Go issues an asynchronous prediction (for load generators).
 func (c *Client) Go(user, item int, done chan *rpc.Call) *rpc.Call {
 	return c.rpc.Go(MethodPredict, EncodePredictRequest(user, item), nil, done)
+}
+
+// GoSpan issues an asynchronous prediction carrying a span context, tracing
+// the request end to end (used by sampling load generators).
+func (c *Client) GoSpan(user, item int, sc trace.SpanContext, done chan *rpc.Call) *rpc.Call {
+	return c.rpc.GoSpan(MethodPredict, EncodePredictRequest(user, item), sc, nil, done)
 }
 
 // Close releases the connection.

@@ -20,6 +20,7 @@ import (
 	"musuite/internal/memcache"
 	"musuite/internal/rpc"
 	"musuite/internal/spooky"
+	"musuite/internal/trace"
 	"musuite/internal/wire"
 )
 
@@ -405,6 +406,17 @@ func (c *Client) GoGet(key string, done chan *rpc.Call) *rpc.Call {
 // GoSet issues an asynchronous set (for load generators).
 func (c *Client) GoSet(key string, value []byte, done chan *rpc.Call) *rpc.Call {
 	return c.rpc.Go(MethodSet, EncodeKeyValue(key, value), nil, done)
+}
+
+// GoGetSpan issues an asynchronous get carrying a span context, tracing the
+// request end to end (used by sampling load generators).
+func (c *Client) GoGetSpan(key string, sc trace.SpanContext, done chan *rpc.Call) *rpc.Call {
+	return c.rpc.GoSpan(MethodGet, EncodeKey(key), sc, nil, done)
+}
+
+// GoSetSpan issues an asynchronous set carrying a span context.
+func (c *Client) GoSetSpan(key string, value []byte, sc trace.SpanContext, done chan *rpc.Call) *rpc.Call {
+	return c.rpc.GoSpan(MethodSet, EncodeKeyValue(key, value), sc, nil, done)
 }
 
 // Close releases the connection.

@@ -16,6 +16,7 @@ import (
 	"musuite/internal/dataset"
 	"musuite/internal/postlist"
 	"musuite/internal/rpc"
+	"musuite/internal/trace"
 	"musuite/internal/wire"
 )
 
@@ -311,6 +312,12 @@ func (c *Client) Search(terms []int) ([]uint32, error) {
 // Go issues an asynchronous search (for load generators).
 func (c *Client) Go(terms []int, done chan *rpc.Call) *rpc.Call {
 	return c.rpc.Go(MethodSearch, EncodeTerms(terms), nil, done)
+}
+
+// GoSpan issues an asynchronous search carrying a span context, tracing the
+// request end to end (used by sampling load generators).
+func (c *Client) GoSpan(terms []int, sc trace.SpanContext, done chan *rpc.Call) *rpc.Call {
+	return c.rpc.GoSpan(MethodSearch, EncodeTerms(terms), sc, nil, done)
 }
 
 // Close releases the connection.

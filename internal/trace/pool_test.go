@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPooledTraceResetOnReuse pins the reuse contract: a Trace recycled
+// through the pool must come back with no stamps, because first-stamp-wins
+// semantics would silently keep a previous request's timestamps otherwise.
+func TestPooledTraceResetOnReuse(t *testing.T) {
+	tr := NewTrace()
+	tr.Stamp(StageArrival)
+	tr.Stamp(StageReplySent)
+	PutTrace(tr)
+	// The pool need not hand the same pointer back immediately; cycling a
+	// few times makes reuse overwhelmingly likely on one P.
+	for i := 0; i < 64; i++ {
+		tr2 := NewTrace()
+		for s := Stage(0); s < numStages; s++ {
+			if !tr2.At(s).IsZero() {
+				t.Fatalf("pooled trace carried a stale %v stamp", s)
+			}
+		}
+		tr2.Stamp(StageArrival)
+		PutTrace(tr2)
+	}
+}
+
+// TestTracePoolConcurrentReuse hammers get→stamp→breakdown→put from many
+// goroutines; under -race this is the regression test for the pooled-Trace
+// reuse hazard (a stamp landing after PutTrace would race the next
+// occupant's Reset).
+func TestTracePoolConcurrentReuse(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				tr := NewTrace()
+				for s := Stage(0); s < numStages; s++ {
+					if !tr.At(s).IsZero() {
+						t.Error("dirty trace from pool")
+						return
+					}
+				}
+				for s := Stage(0); s < numStages; s++ {
+					tr.Stamp(s)
+				}
+				if !tr.Breakdown().Complete {
+					t.Error("freshly stamped trace incomplete")
+					return
+				}
+				PutTrace(tr)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary aggregates a set of traces for reporting: how many reassembled
+// into connected trees, the end-to-end latency they recorded, and the mean
+// critical-path breakdown — where the end-to-end time was actually spent,
+// charged per span name so hedged attempts, retries, and leaf compute each
+// show their own line.
+type Summary struct {
+	Traces    int
+	Connected int
+	Spans     int
+	// MeanEndToEnd / MaxEndToEnd cover connected traces only.
+	MeanEndToEnd time.Duration
+	MaxEndToEnd  time.Duration
+	// Breakdown holds the mean critical-path self time per trace, grouped
+	// by (kind, name), largest share first.  Shares sum to 1 because the
+	// critical path partitions each root span exactly.
+	Breakdown []BreakdownRow
+}
+
+// BreakdownRow is one critical-path line of a Summary.
+type BreakdownRow struct {
+	Name  string
+	Kind  string
+	Mean  time.Duration
+	Share float64
+}
+
+// Summarize reduces built trees to a Summary.  Disconnected trees count
+// toward Traces and Spans but contribute no latency or breakdown.
+func Summarize(trees []*Tree) Summary {
+	var sm Summary
+	sm.Traces = len(trees)
+	type accum struct {
+		row  BreakdownRow
+		self time.Duration
+	}
+	bySeg := make(map[string]*accum)
+	var total time.Duration
+	for _, t := range trees {
+		sm.Spans += len(t.Spans)
+		if !t.Connected() {
+			continue
+		}
+		sm.Connected++
+		e2e := t.EndToEnd()
+		total += e2e
+		if e2e > sm.MaxEndToEnd {
+			sm.MaxEndToEnd = e2e
+		}
+		for _, seg := range t.CriticalPath() {
+			key := seg.Kind + " " + seg.Name
+			a := bySeg[key]
+			if a == nil {
+				a = &accum{row: BreakdownRow{Name: seg.Name, Kind: seg.Kind}}
+				bySeg[key] = a
+			}
+			a.self += seg.Self
+		}
+	}
+	if sm.Connected == 0 {
+		return sm
+	}
+	sm.MeanEndToEnd = total / time.Duration(sm.Connected)
+	for _, a := range bySeg {
+		a.row.Mean = a.self / time.Duration(sm.Connected)
+		if total > 0 {
+			a.row.Share = float64(a.self) / float64(total)
+		}
+		sm.Breakdown = append(sm.Breakdown, a.row)
+	}
+	sort.Slice(sm.Breakdown, func(i, j int) bool {
+		a, b := &sm.Breakdown[i], &sm.Breakdown[j]
+		if a.Share != b.Share {
+			return a.Share > b.Share
+		}
+		return a.Kind+a.Name < b.Kind+b.Name
+	})
+	return sm
+}
+
+// String renders the summary as a small report.
+func (sm Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d traces (%d connected), %d spans\n", sm.Traces, sm.Connected, sm.Spans)
+	if sm.Connected == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "end-to-end latency: mean %v, max %v\n",
+		sm.MeanEndToEnd.Round(time.Microsecond), sm.MaxEndToEnd.Round(time.Microsecond))
+	fmt.Fprintf(&b, "critical path (mean self time per trace):\n")
+	for _, row := range sm.Breakdown {
+		fmt.Fprintf(&b, "  %5.1f%%  %10v  %-6s  %s\n",
+			row.Share*100, row.Mean.Round(time.Nanosecond), row.Kind, row.Name)
+	}
+	return b.String()
+}

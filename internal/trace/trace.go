@@ -72,6 +72,50 @@ func (t *Trace) StampAt(s Stage, at time.Time) {
 	t.mu.Unlock()
 }
 
+// Reset clears every stamp so a pooled Trace can carry a new request
+// without inheriting its previous occupant's timestamps.  First-stamp-wins
+// semantics make a stale stamp silently corrupting, so every reuse path
+// must Reset before the first new Stamp.
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.at = [numStages]time.Time{}
+	t.mu.Unlock()
+}
+
+// clone snapshots the trace into an independent struct.
+func (t *Trace) clone() *Trace {
+	c := &Trace{}
+	t.mu.Lock()
+	c.at = t.at
+	t.mu.Unlock()
+	return c
+}
+
+// tracePool recycles Trace structs across sampled requests.
+var tracePool = sync.Pool{New: func() any { return new(Trace) }}
+
+// NewTrace returns a pooled, reset Trace.  Return it with PutTrace once no
+// goroutine can stamp it anymore.
+func NewTrace() *Trace {
+	t := tracePool.Get().(*Trace)
+	// Reset on get, not put: a stamp racing the put lands on a trace that
+	// is wiped again before its next occupant's first stamp.
+	t.Reset()
+	return t
+}
+
+// PutTrace recycles t.  The caller must guarantee no further Stamp/At calls
+// reach this pointer.
+func PutTrace(t *Trace) {
+	if t == nil {
+		return
+	}
+	tracePool.Put(t)
+}
+
 // At returns the recorded instant of stage s (zero if never stamped).
 func (t *Trace) At(s Stage) time.Time {
 	if t == nil {
@@ -188,7 +232,7 @@ func (tr *Tracer) Sample() *Trace {
 	if tr.counter.Add(1)%tr.every != 0 {
 		return nil
 	}
-	return &Trace{}
+	return NewTrace()
 }
 
 // Finish aggregates a completed trace.
@@ -206,13 +250,18 @@ func (tr *Tracer) Finish(t *Trace) {
 	tr.completed.Add(1)
 
 	tr.mu.Lock()
+	var evicted *Trace
 	if len(tr.recent) < cap(tr.recent) {
 		tr.recent = append(tr.recent, t)
 	} else {
+		evicted = tr.recent[tr.next]
 		tr.recent[tr.next] = t
 		tr.next = (tr.next + 1) % cap(tr.recent)
 	}
 	tr.mu.Unlock()
+	// Recent hands out clones, never ring pointers, so the evicted trace
+	// can be recycled immediately.
+	PutTrace(evicted)
 }
 
 // Completed reports how many traces have finished.
@@ -223,7 +272,10 @@ func (tr *Tracer) Completed() uint64 {
 	return tr.completed.Load()
 }
 
-// Recent returns up to n of the most recently completed traces.
+// Recent returns up to n of the most recently completed traces.  The
+// returned traces are independent snapshots: the ring recycles its evicted
+// entries, so handing out ring pointers would let a recycled trace mutate
+// under the caller.
 func (tr *Tracer) Recent(n int) []*Trace {
 	if tr == nil {
 		return nil
@@ -234,7 +286,9 @@ func (tr *Tracer) Recent(n int) []*Trace {
 		n = len(tr.recent)
 	}
 	out := make([]*Trace, n)
-	copy(out, tr.recent[len(tr.recent)-n:])
+	for i, t := range tr.recent[len(tr.recent)-n:] {
+		out[i] = t.clone()
+	}
 	return out
 }
 

@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Span trees and critical-path extraction.  A trace's spans reassemble into
+// a tree by parent links; the critical path walks that tree backward from
+// the root's finish, always descending into the child whose window bounded
+// the parent's completion.  Each on-path span is charged only its self time
+// — the part of its window no on-path child covers — so the per-segment
+// costs partition the root's duration exactly: their sum equals the
+// recorded end-to-end latency by construction, which is the invariant the
+// CI smoke asserts.
+
+// Node is one span with its resolved children.
+type Node struct {
+	Span     Span
+	Children []*Node
+}
+
+// Tree is every span of one trace, linked.
+type Tree struct {
+	TraceID ID
+	Spans   []Span
+	// Roots holds every parentless node: exactly one for a connected trace;
+	// orphans (spans whose recorded parent is missing) surface here too.
+	Roots []*Node
+}
+
+// Root returns the tree's single root when it is connected, else nil.
+func (t *Tree) Root() *Node {
+	if len(t.Roots) != 1 {
+		return nil
+	}
+	return t.Roots[0]
+}
+
+// Connected reports whether the trace forms one well-rooted tree: a single
+// parentless root that really is a root (ParentID zero), with every other
+// span reachable from it.
+func (t *Tree) Connected() bool {
+	if len(t.Roots) != 1 || t.Roots[0].Span.ParentID != 0 {
+		return false
+	}
+	return t.reachable(t.Roots[0]) == len(t.Spans)
+}
+
+// reachable counts nodes in the subtree under n, guarding against cycles a
+// malformed import could introduce.
+func (t *Tree) reachable(n *Node) int {
+	seen := make(map[ID]bool, len(t.Spans))
+	var walk func(*Node) int
+	walk = func(n *Node) int {
+		if seen[n.Span.SpanID] {
+			return 0
+		}
+		seen[n.Span.SpanID] = true
+		total := 1
+		for _, c := range n.Children {
+			total += walk(c)
+		}
+		return total
+	}
+	return walk(n)
+}
+
+// EndToEnd is the root span's duration — the recorded end-to-end latency.
+func (t *Tree) EndToEnd() time.Duration {
+	r := t.Root()
+	if r == nil {
+		return 0
+	}
+	return time.Duration(r.Span.Duration)
+}
+
+// BuildTrees groups spans by trace ID and links each group into a Tree.
+// Trees come back ordered by root start time (unrooted trees last).
+func BuildTrees(spans []Span) []*Tree {
+	byTrace := make(map[ID][]Span)
+	for _, s := range spans {
+		byTrace[s.TraceID] = append(byTrace[s.TraceID], s)
+	}
+	trees := make([]*Tree, 0, len(byTrace))
+	for id, group := range byTrace {
+		trees = append(trees, buildTree(id, group))
+	}
+	sort.Slice(trees, func(i, j int) bool {
+		ri, rj := trees[i].Root(), trees[j].Root()
+		if ri == nil || rj == nil {
+			return rj == nil && ri != nil
+		}
+		if ri.Span.Start != rj.Span.Start {
+			return ri.Span.Start < rj.Span.Start
+		}
+		return trees[i].TraceID < trees[j].TraceID
+	})
+	return trees
+}
+
+func buildTree(id ID, spans []Span) *Tree {
+	t := &Tree{TraceID: id, Spans: spans}
+	nodes := make(map[ID]*Node, len(spans))
+	for i := range spans {
+		s := spans[i]
+		if prev, dup := nodes[s.SpanID]; dup {
+			// Duplicate span ID (double-recorded): keep the first, drop the
+			// rest so the tree stays a tree.
+			_ = prev
+			continue
+		}
+		nodes[s.SpanID] = &Node{Span: s}
+	}
+	for _, n := range nodes {
+		p := n.Span.ParentID
+		if p == 0 || p == n.Span.SpanID {
+			t.Roots = append(t.Roots, n)
+			continue
+		}
+		if parent, ok := nodes[p]; ok {
+			parent.Children = append(parent.Children, n)
+		} else {
+			t.Roots = append(t.Roots, n) // orphan: recorded parent missing
+		}
+	}
+	for _, n := range nodes {
+		sort.Slice(n.Children, func(i, j int) bool {
+			return n.Children[i].Span.Start < n.Children[j].Span.Start
+		})
+	}
+	sort.Slice(t.Roots, func(i, j int) bool {
+		return t.Roots[i].Span.Start < t.Roots[j].Span.Start
+	})
+	return t
+}
+
+// PathSegment is one span's contribution to the critical path: Self is the
+// portion of the end-to-end latency attributable to this span alone.
+type PathSegment struct {
+	SpanID  ID
+	Name    string
+	Kind    string
+	Service string
+	Self    time.Duration
+}
+
+// CriticalPath extracts the chain of spans that bounded the root's
+// completion, charging each its self time.  Segments appear root-first and
+// their Self durations sum to exactly the root span's duration.  Returns
+// nil for a tree without a single root.
+func (t *Tree) CriticalPath() []PathSegment {
+	r := t.Root()
+	if r == nil {
+		return nil
+	}
+	return appendCritical(nil, r, r.Span.Start, r.Span.End())
+}
+
+// appendCritical charges node n for [winStart, winEnd], descending into the
+// children on the bounding chain.  Walking backward from winEnd: the child
+// with the latest (clamped) end was what the parent last waited on; the gap
+// between that child's end and the cursor is the parent's own work.
+// Children are clamped to the window so a mis-stamped or overlapping child
+// can never push the accounting outside the parent's envelope.
+func appendCritical(segs []PathSegment, n *Node, winStart, winEnd int64) []PathSegment {
+	type window struct {
+		c      *Node
+		ws, we int64
+	}
+	kids := make([]*Node, len(n.Children))
+	copy(kids, n.Children)
+	sort.Slice(kids, func(i, j int) bool { return kids[i].Span.End() > kids[j].Span.End() })
+
+	cursor := winEnd
+	self := int64(0)
+	var chosen []window
+	for _, c := range kids {
+		if cursor <= winStart {
+			break
+		}
+		cs, ce := c.Span.Start, c.Span.End()
+		if ce > cursor {
+			ce = cursor
+		}
+		if cs < winStart {
+			cs = winStart
+		}
+		if ce <= cs {
+			continue // entirely outside the remaining window
+		}
+		self += cursor - ce
+		chosen = append(chosen, window{c, cs, ce})
+		cursor = cs
+	}
+	if cursor > winStart {
+		self += cursor - winStart
+	}
+	segs = append(segs, PathSegment{
+		SpanID:  n.Span.SpanID,
+		Name:    n.Span.Name,
+		Kind:    n.Span.Kind,
+		Service: n.Span.Service,
+		Self:    time.Duration(self),
+	})
+	// chosen is ordered latest-first; recurse earliest-first so segments
+	// read in chronological order under each parent.
+	for i := len(chosen) - 1; i >= 0; i-- {
+		w := chosen[i]
+		segs = appendCritical(segs, w.c, w.ws, w.we)
+	}
+	return segs
+}
+
+// PathTotal sums a critical path's self times.
+func PathTotal(segs []PathSegment) time.Duration {
+	var total time.Duration
+	for _, s := range segs {
+		total += s.Self
+	}
+	return total
+}
+
+// ArrivalOffsets extracts the replay schedule from recorded spans: the
+// start offsets of every root span, relative to the earliest, sorted.  This
+// is the arrival process loadgen's replay mode reproduces.
+func ArrivalOffsets(spans []Span) []time.Duration {
+	var starts []int64
+	for i := range spans {
+		if spans[i].ParentID == 0 {
+			starts = append(starts, spans[i].Start)
+		}
+	}
+	if len(starts) == 0 {
+		return nil
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]time.Duration, len(starts))
+	for i, s := range starts {
+		out[i] = time.Duration(s - starts[0])
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func mkSpan(tid, sid, pid uint64, name, kind string, start, dur int64) Span {
+	return Span{TraceID: ID(tid), SpanID: ID(sid), ParentID: ID(pid),
+		Name: name, Kind: kind, Start: start, Duration: dur}
+}
+
+func TestBuildTreesGroupsAndLinks(t *testing.T) {
+	spans := []Span{
+		mkSpan(1, 10, 0, "root", KindClient, 100, 50),
+		mkSpan(1, 12, 10, "late-child", KindClient, 130, 10),
+		mkSpan(1, 11, 10, "early-child", KindServer, 110, 30),
+		mkSpan(2, 20, 0, "other", KindClient, 0, 5),
+	}
+	trees := BuildTrees(spans)
+	if len(trees) != 2 {
+		t.Fatalf("built %d trees, want 2", len(trees))
+	}
+	// Ordered by root start: trace 2 (start 0) first.
+	if trees[0].TraceID != 2 || trees[1].TraceID != 1 {
+		t.Fatalf("tree order: %x, %x", trees[0].TraceID, trees[1].TraceID)
+	}
+	tr := trees[1]
+	if !tr.Connected() {
+		t.Fatal("linked trace not connected")
+	}
+	root := tr.Root()
+	if root.Span.Name != "root" || len(root.Children) != 2 {
+		t.Fatalf("root %q with %d children", root.Span.Name, len(root.Children))
+	}
+	// Children sorted by start.
+	if root.Children[0].Span.Name != "early-child" || root.Children[1].Span.Name != "late-child" {
+		t.Fatalf("children out of order: %q, %q", root.Children[0].Span.Name, root.Children[1].Span.Name)
+	}
+	if tr.EndToEnd() != 50 {
+		t.Fatalf("end-to-end %v, want 50ns", tr.EndToEnd())
+	}
+}
+
+func TestOrphanBreaksConnectivity(t *testing.T) {
+	spans := []Span{
+		mkSpan(1, 10, 0, "root", KindClient, 0, 100),
+		mkSpan(1, 11, 99, "orphan", KindServer, 10, 20), // parent 99 never recorded
+	}
+	tr := BuildTrees(spans)[0]
+	if tr.Connected() {
+		t.Fatal("trace with an orphan reported connected")
+	}
+	if len(tr.Roots) != 2 {
+		t.Fatalf("%d roots, want root + orphan", len(tr.Roots))
+	}
+	if tr.Root() != nil {
+		t.Fatal("Root() resolved on a multi-rooted tree")
+	}
+	if tr.CriticalPath() != nil {
+		t.Fatal("critical path extracted from a disconnected tree")
+	}
+}
+
+// TestCriticalPathPartitionsRoot hand-builds overlapping children and checks
+// each on-path span is charged exactly its uncovered self time, with the
+// segment sum equal to the root duration.
+func TestCriticalPathPartitionsRoot(t *testing.T) {
+	spans := []Span{
+		mkSpan(1, 1, 0, "root", KindClient, 0, 100),
+		mkSpan(1, 2, 1, "c1", KindClient, 10, 30), // 10..40, overlaps c2
+		mkSpan(1, 3, 1, "c2", KindClient, 30, 50), // 30..80
+		mkSpan(1, 4, 3, "gc", KindServer, 35, 35), // 35..70 under c2
+	}
+	tr := BuildTrees(spans)[0]
+	path := tr.CriticalPath()
+	if got, want := PathTotal(path), tr.EndToEnd(); got != want {
+		t.Fatalf("path total %v != end-to-end %v", got, want)
+	}
+	self := map[string]time.Duration{}
+	for _, seg := range path {
+		self[seg.Name] += seg.Self
+	}
+	// Walking back from 100: root owns 100-80 and 10-0 (c1's tail is covered
+	// by c2's window clamp); c2 owns 80-70 and 35-30; gc owns its full 35;
+	// c1 owns its clamped 10..30 window.
+	want := map[string]time.Duration{"root": 30, "c2": 15, "gc": 35, "c1": 20}
+	for name, d := range want {
+		if self[name] != d {
+			t.Fatalf("%s charged %v, want %v (path: %+v)", name, self[name], d, path)
+		}
+	}
+	if path[0].Name != "root" {
+		t.Fatalf("path starts at %q, want root first", path[0].Name)
+	}
+}
+
+// TestCriticalPathClampsMisStampedChild checks a child recorded beyond its
+// parent's envelope cannot push the accounting outside the root window.
+func TestCriticalPathClampsMisStampedChild(t *testing.T) {
+	spans := []Span{
+		mkSpan(1, 1, 0, "root", KindClient, 0, 100),
+		mkSpan(1, 2, 1, "overrun", KindClient, 50, 500), // ends far past root
+	}
+	tr := BuildTrees(spans)[0]
+	path := tr.CriticalPath()
+	if got, want := PathTotal(path), tr.EndToEnd(); got != want {
+		t.Fatalf("path total %v != end-to-end %v with an overrunning child", got, want)
+	}
+	for _, seg := range path {
+		if seg.Name == "overrun" && seg.Self != 50 {
+			t.Fatalf("overrunning child charged %v, want 50ns (clamped)", seg.Self)
+		}
+	}
+}
+
+func TestArrivalOffsets(t *testing.T) {
+	spans := []Span{
+		mkSpan(1, 1, 0, "a", KindClient, 150, 10),
+		mkSpan(2, 2, 0, "b", KindClient, 50, 10),
+		mkSpan(2, 3, 2, "child", KindServer, 60, 5), // not a root: ignored
+		mkSpan(3, 4, 0, "c", KindClient, 100, 10),
+	}
+	got := ArrivalOffsets(spans)
+	want := []time.Duration{0, 50, 100}
+	if len(got) != len(want) {
+		t.Fatalf("offsets %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("offsets %v, want %v", got, want)
+		}
+	}
+	if ArrivalOffsets(nil) != nil {
+		t.Fatal("offsets of no spans")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	spans := []Span{
+		mkSpan(1, 1, 0, "root", KindClient, 0, 100),
+		mkSpan(1, 2, 1, "c", KindServer, 20, 60),
+		mkSpan(2, 3, 0, "root", KindClient, 10, 200),
+		mkSpan(2, 4, 1, "dangling", KindServer, 20, 60), // parent in another trace: orphan
+	}
+	sm := Summarize(BuildTrees(spans))
+	if sm.Traces != 2 || sm.Connected != 1 || sm.Spans != 4 {
+		t.Fatalf("summary %+v", sm)
+	}
+	if sm.MeanEndToEnd != 100 || sm.MaxEndToEnd != 100 {
+		t.Fatalf("latency stats %v / %v from the single connected trace", sm.MeanEndToEnd, sm.MaxEndToEnd)
+	}
+	var share float64
+	for _, row := range sm.Breakdown {
+		share += row.Share
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("breakdown shares sum to %v, want 1", share)
+	}
+	if sm.String() == "" {
+		t.Fatal("empty summary render")
+	}
+}
