@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: build test short race vet fmt-check bench-smoke bench-gate bench-baseline profile resize-demo trace-demo trace-smoke drain-churn ci
+.PHONY: build test short race vet fmt-check bench-smoke bench-gate bench-baseline profile resize-demo trace-demo trace-smoke drain-churn autoscale-churn overload-demo ci
 
 # Gate benchmarks: TailFanout (hedging), LeafBatching (cross-request
-# coalescing), HotPathAllocs (per-call allocation budget), and the leaf
+# coalescing), HotPathAllocs (per-call allocation budget), the leaf
 # compute kernels — LeafScan (SoA norm-trick scan), TopK (streaming
-# selection), IntersectBitset (dense-range posting-list intersection).
+# selection), IntersectBitset (dense-range posting-list intersection) —
+# and OverloadGoodput (completed QPS and shed fraction at 2x the measured
+# knee with admission control armed; goodput-qps gates higher-is-better).
 # -count=5 gives benchgate a mean per metric; -benchmem adds B/op and
 # allocs/op so memory regressions gate alongside latency.
-BENCH_GATE_CMD = $(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs|LeafScan|TopK|IntersectBitset' -benchtime=2s -count=5 -benchmem .
+BENCH_GATE_CMD = $(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs|LeafScan|TopK|IntersectBitset|OverloadGoodput' -benchtime=2s -count=5 -benchmem .
 
 build:
 	$(GO) build ./...
@@ -83,5 +85,17 @@ CYCLES ?= 100
 drain-churn:
 	MUSUITE_DRAIN_CHURN_CYCLES=$(CYCLES) $(GO) test -race -count=1 -timeout 20m \
 		-run TestDrainChurnStress ./internal/core
+
+# Autoscaler scale-up/drain churn plus the AIMD limiter property tests
+# under the race detector (the nightly autoscale-churn CI job).
+# Override the cycle count: make autoscale-churn CYCLES=500
+autoscale-churn:
+	MUSUITE_AUTOSCALE_CYCLES=$(CYCLES) $(GO) test -race -count=1 -timeout 20m \
+		-run 'TestAutoscaleChurnStress|TestAIMD' ./internal/autoscale ./internal/core
+
+# The overload saturation ramp (the overload-goodput CI job): admission
+# control + autoscaler armed, driven open-loop to 3x the measured knee.
+overload-demo: build
+	$(GO) run ./cmd/musuite-bench -experiment overload -window 1s
 
 ci: fmt-check vet build race

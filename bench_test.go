@@ -574,3 +574,53 @@ func BenchmarkIntersectBitset(b *testing.B) {
 		}
 	})
 }
+
+// --- Overload: goodput under saturation with admission control ---
+// One Router deployment with the adaptive admission controller armed is
+// probed open-loop for its knee, then each iteration measures one window at
+// 2x that knee.  goodput-qps gates higher-is-better (the controller must
+// keep completing work under overload) and shed-rate lower-is-better (the
+// fraction refused at fixed relative overload is a capacity ratio, stable
+// across machines because the knee is measured in the same run).  Any
+// untyped failure — an error that is not an rpc.OverloadError shed, or a
+// request dropped without a reply — fails the benchmark outright.
+
+func BenchmarkOverloadGoodput(b *testing.B) {
+	inst := startInstance(b, "Router", musuite.FrameworkMode{
+		Admit: core.AdmitPolicy{MaxInflight: 128},
+	})
+	const window = 250 * time.Millisecond
+	knee := 0.0
+	for q, i := 1000.0, 0; i < 12; q, i = 2*q, i+1 {
+		res := loadgen.RunOpenLoop(inst.Issue, loadgen.OpenLoopConfig{
+			QPS: q, Duration: window, Seed: 900 + int64(i),
+		})
+		if res.AchievedQPS > knee {
+			knee = res.AchievedQPS
+		}
+		if res.AchievedQPS < 0.9*q {
+			break
+		}
+	}
+	if knee <= 0 {
+		b.Fatal("knee probe found zero throughput")
+	}
+	var goodput float64
+	var offered, shed, failed uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := loadgen.RunOpenLoop(inst.Issue, loadgen.OpenLoopConfig{
+			QPS: 2 * knee, Duration: window, Seed: 1000 + int64(i),
+		})
+		goodput += res.AchievedQPS
+		offered += res.Offered
+		shed += res.Shed
+		failed += res.Errors + res.Dropped
+	}
+	b.StopTimer()
+	if failed > 0 {
+		b.Fatalf("%d requests failed untyped under overload (want typed sheds only)", failed)
+	}
+	b.ReportMetric(goodput/float64(b.N), "goodput-qps")
+	b.ReportMetric(float64(shed)/float64(offered), "shed-rate")
+}

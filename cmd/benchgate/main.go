@@ -8,8 +8,9 @@
 //	benchgate -in bench.txt -out BENCH_ci.json
 //
 // Add -baseline to compare against a committed summary; the exit status is
-// non-zero when any lower-is-better metric (ns/op, *-ns, B/op, allocs/op)
-// regresses by more than -threshold, or when a baseline benchmark is missing
+// non-zero when any lower-is-better metric (ns/op, *-ns, B/op, allocs/op,
+// shed-rate) rises by more than -threshold, when any higher-is-better metric
+// (*-qps) falls by more than it, or when a baseline benchmark is missing
 // from the current run:
 //
 //	benchgate -in bench.txt -out BENCH_ci.json -baseline BENCH_baseline.json
@@ -113,7 +114,13 @@ func parse(r io.Reader) (Summary, error) {
 // have no universal direction and are recorded but never gated.
 func lowerIsBetter(unit string) bool {
 	return unit == "ns/op" || unit == "B/op" || unit == "allocs/op" ||
-		strings.HasSuffix(unit, "-ns")
+		unit == "shed-rate" || strings.HasSuffix(unit, "-ns")
+}
+
+// higherIsBetter marks throughput-style units (goodput-qps, …) where a
+// regression means the value went down.
+func higherIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "-qps")
 }
 
 // compare prints a comparison table and returns the regressions.
@@ -140,15 +147,24 @@ func compare(baseline, current Summary, threshold float64) []string {
 		for _, unit := range units {
 			base := baseline.Benchmarks[name][unit]
 			got, ok := cur[unit]
-			if !ok || !lowerIsBetter(unit) || base.Mean <= 0 {
+			if !ok || base.Mean <= 0 {
+				continue
+			}
+			worse := 0.0 // fractional move in the regressing direction
+			switch {
+			case lowerIsBetter(unit):
+				worse = got.Mean/base.Mean - 1
+			case higherIsBetter(unit):
+				worse = 1 - got.Mean/base.Mean
+			default:
 				continue
 			}
 			delta := got.Mean/base.Mean - 1
 			marker := ""
-			if delta > threshold {
+			if worse > threshold {
 				marker = "  << REGRESSION"
 				regressions = append(regressions, fmt.Sprintf(
-					"%s %s: %.0f -> %.0f (%+.1f%%, threshold %+.1f%%)",
+					"%s %s: %.0f -> %.0f (%+.1f%%, threshold %.1f%%)",
 					name, unit, base.Mean, got.Mean, delta*100, threshold*100))
 			}
 			fmt.Printf("%-40s %-16s %14.1f %14.1f %+7.1f%%%s\n",

@@ -93,8 +93,8 @@ func main() {
 			})
 			fmt.Printf("open-loop %s @ %g QPS for %v:\n", *service, *qps, *duration)
 		}
-		fmt.Printf("  offered=%d completed=%d errors=%d dropped=%d achieved=%.0f QPS\n",
-			res.Offered, res.Completed, res.Errors, res.Dropped, res.AchievedQPS)
+		fmt.Printf("  offered=%d completed=%d shed=%d errors=%d dropped=%d achieved=%.0f QPS\n",
+			res.Offered, res.Completed, res.Shed, res.Errors, res.Dropped, res.AchievedQPS)
 		fmt.Printf("  latency: %s\n", res.Latency)
 	case "closed":
 		res := loadgen.RunClosedLoop(issue, loadgen.ClosedLoopConfig{

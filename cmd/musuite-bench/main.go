@@ -26,7 +26,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"tableII | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | fig18 | fig19 | ablation | threadpool | flashcrowd | trace | indexcmp | resize | all")
+			"tableII | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | fig18 | fig19 | ablation | threadpool | flashcrowd | trace | indexcmp | resize | overload | all")
 		scaleName = flag.String("scale", "small", "small | paper")
 		services  = flag.String("services", strings.Join(bench.ServiceNames, ","),
 			"comma-separated service subset")
@@ -46,6 +46,10 @@ func main() {
 		routing       = flag.String("routing", "modulo", "mid-tier key placement strategy: modulo | jump (jump keeps placements stable through resizes)")
 		leafPar       = flag.Int("leaf-parallelism", 0, "worker goroutines per leaf kernel scan (0 = NumCPU, 1 = serial)")
 		scalarKernels = flag.Bool("scalar-kernels", false, "pin leaves to the reference scalar kernels (ablation baseline for the SoA engine)")
+
+		admitLimit    = flag.Int("admit-limit", 0, "arm the mid-tier's adaptive admission controller with this max concurrency ceiling (0 = off; overload experiment defaults it on)")
+		admitDeadline = flag.Duration("admit-deadline", 0, "per-request budget for deadline-aware shedding (0 = off)")
+		admitTol      = flag.Float64("admit-tolerance", 0, "AIMD latency tolerance over the EWMA floor (0 = default 2.0)")
 
 		traceSample = flag.Int("trace-sample", 0, "record end-to-end spans for 1-in-N requests instead of running -experiment (0 = off)")
 		traceOut    = flag.String("trace-out", "", "with -trace-sample: also write the recorded spans (JSONL) here")
@@ -87,6 +91,11 @@ func main() {
 		DisableWriteCoalesce: !*writeCoalesce,
 		LeafParallelism:      *leafPar,
 		ScalarKernels:        *scalarKernels,
+		Admit: core.AdmitPolicy{
+			MaxInflight: *admitLimit,
+			Deadline:    *admitDeadline,
+			Tolerance:   *admitTol,
+		},
 	}
 	if *trials > 0 {
 		scale.Trials = *trials
@@ -286,6 +295,16 @@ func run(experiment string, scale bench.Scale, mode bench.FrameworkMode, service
 			return err
 		}
 		fmt.Print(bench.RenderResize(phases, load))
+		return nil
+	case "overload":
+		res, err := bench.Overload(scale, mode)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderOverload(res))
+		if !res.Passed() {
+			return fmt.Errorf("overload ramp failed %d acceptance criteria", len(res.Violations))
+		}
 		return nil
 	case "flashcrowd":
 		if load <= 0 {

@@ -15,6 +15,7 @@ import (
 	"syscall"
 
 	"musuite/internal/cluster"
+	"musuite/internal/cmdutil"
 	"musuite/internal/core"
 	"musuite/internal/dataset"
 	"musuite/internal/kernel"
@@ -54,6 +55,9 @@ func main() {
 		scalar  = flag.Bool("scalar-kernels", false, "leaf: use the reference scalar kernels (disables the tuned SoA engine)")
 
 		traceOut = flag.String("trace-out", "", "write this tier's recorded spans (JSONL) on shutdown")
+
+		admit     = cmdutil.RegisterAdmitFlags()
+		autoscale = cmdutil.RegisterAutoscaleFlags()
 	)
 	flag.Parse()
 
@@ -119,6 +123,8 @@ func main() {
 			Routing:              strategy,
 			DisableWriteCoalesce: !*writeCoalesce,
 			Spans:                spans,
+			Admit:                admit.Policy(),
+			Classify:             admit.Classifier(),
 		})
 		groups, err := core.GroupAddrs(strings.Split(*leaves, ","), *replicas)
 		if err != nil {
@@ -141,7 +147,14 @@ func main() {
 			defer adm.Close()
 			fmt.Printf("recommend topology admin on %s\n", adminBound)
 		}
+		scaler, err := autoscale.StartAutoscaler(mt)
+		if err != nil {
+			fatal(err)
+		}
 		waitForSignal()
+		if scaler != nil {
+			scaler.Stop()
+		}
 		mt.Close()
 
 	default:

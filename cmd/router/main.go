@@ -13,6 +13,7 @@ import (
 	"syscall"
 
 	"musuite/internal/cluster"
+	"musuite/internal/cmdutil"
 	"musuite/internal/core"
 	"musuite/internal/memcache"
 	"musuite/internal/services/router"
@@ -42,6 +43,9 @@ func main() {
 		adminAddr = flag.String("admin", "", "midtier: topology admin listener (empty disables; \":0\" picks a port)")
 
 		traceOut = flag.String("trace-out", "", "write this tier's recorded spans (JSONL) on shutdown")
+
+		admit     = cmdutil.RegisterAdmitFlags()
+		autoscale = cmdutil.RegisterAutoscaleFlags()
 	)
 	flag.Parse()
 
@@ -96,6 +100,8 @@ func main() {
 				Routing:              strategy,
 				DisableWriteCoalesce: !*writeCoalesce,
 				Spans:                spans,
+				Admit:                admit.Policy(),
+				Classify:             admit.Classifier(),
 			},
 		})
 		if err := mt.ConnectLeaves(strings.Split(*leaves, ",")); err != nil {
@@ -115,7 +121,14 @@ func main() {
 			defer adm.Close()
 			fmt.Printf("router topology admin on %s\n", adminBound)
 		}
+		scaler, err := autoscale.StartAutoscaler(mt)
+		if err != nil {
+			fatal(err)
+		}
 		waitForSignal()
+		if scaler != nil {
+			scaler.Stop()
+		}
 		mt.Close()
 
 	default:

@@ -14,6 +14,7 @@ import (
 	"syscall"
 
 	"musuite/internal/cluster"
+	"musuite/internal/cmdutil"
 	"musuite/internal/core"
 	"musuite/internal/dataset"
 	"musuite/internal/services/setalgebra"
@@ -48,6 +49,9 @@ func main() {
 		adminAddr = flag.String("admin", "", "midtier: topology admin listener (empty disables; \":0\" picks a port)")
 
 		traceOut = flag.String("trace-out", "", "write this tier's recorded spans (JSONL) on shutdown")
+
+		admit     = cmdutil.RegisterAdmitFlags()
+		autoscale = cmdutil.RegisterAutoscaleFlags()
 	)
 	flag.Parse()
 
@@ -103,6 +107,8 @@ func main() {
 			Routing:              strategy,
 			DisableWriteCoalesce: !*writeCoalesce,
 			Spans:                spans,
+			Admit:                admit.Policy(),
+			Classify:             admit.Classifier(),
 		})
 		groups, err := core.GroupAddrs(strings.Split(*leaves, ","), *replicas)
 		if err != nil {
@@ -125,7 +131,14 @@ func main() {
 			defer adm.Close()
 			fmt.Printf("setalgebra topology admin on %s\n", adminBound)
 		}
+		scaler, err := autoscale.StartAutoscaler(mt)
+		if err != nil {
+			fatal(err)
+		}
 		waitForSignal()
+		if scaler != nil {
+			scaler.Stop()
+		}
 		mt.Close()
 
 	default:

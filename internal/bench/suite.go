@@ -69,6 +69,9 @@ type FrameworkMode struct {
 	// ScalarKernels pins the leaves to the reference scalar kernels — the
 	// ablation baseline for the tuned SoA engine.
 	ScalarKernels bool
+	// Admit configures the mid-tier's adaptive admission controller
+	// (zero value: disabled).
+	Admit core.AdmitPolicy
 	// Tracer, when set, samples requests for stage-level attribution.
 	Tracer *trace.Tracer
 	// Spans, when set, receives distributed-tracing spans from every tier
@@ -116,6 +119,7 @@ func midTierOptions(s Scale, mode FrameworkMode, probe *telemetry.Probe) core.Op
 		Routing:              mode.Routing,
 		PendingShards:        mode.PendingShards,
 		DisableWriteCoalesce: mode.DisableWriteCoalesce,
+		Admit:                mode.Admit,
 		Tracer:               mode.Tracer,
 		Spans:                mode.Spans,
 		Probe:                probe,

@@ -1,0 +1,127 @@
+// Package cmdutil holds the flag groups the four service binaries share, so
+// hdsearch, router, setalgebra, and recommend expose one consistent
+// operational surface: -admit-* arms the mid-tier's adaptive admission
+// controller, -autoscale-* runs the closed scaling loop over a warm-spares
+// leaf pool.
+package cmdutil
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"musuite/internal/autoscale"
+	"musuite/internal/core"
+	"musuite/internal/rpc"
+)
+
+// AdmitFlags is the -admit-* flag group.
+type AdmitFlags struct {
+	limit    *int
+	deadline *time.Duration
+	tol      *float64
+	priority *string
+}
+
+// RegisterAdmitFlags registers the admission flag group; call before
+// flag.Parse.
+func RegisterAdmitFlags() *AdmitFlags {
+	return &AdmitFlags{
+		limit: flag.Int("admit-limit", 0,
+			"midtier: adaptive admission concurrency ceiling (0 = admission off)"),
+		deadline: flag.Duration("admit-deadline", 0,
+			"midtier: per-request latency budget for deadline-aware shedding (0 = off)"),
+		tol: flag.Float64("admit-tolerance", 0,
+			"midtier: AIMD latency tolerance over the EWMA floor (0 = default 2.0)"),
+		priority: flag.String("admit-priority", "",
+			"midtier: comma-separated RPC methods classified high-priority (shed last under overload)"),
+	}
+}
+
+// Policy builds the AdmitPolicy the flags describe.
+func (f *AdmitFlags) Policy() core.AdmitPolicy {
+	return core.AdmitPolicy{
+		MaxInflight: *f.limit,
+		Deadline:    *f.deadline,
+		Tolerance:   *f.tol,
+	}
+}
+
+// Classifier builds the per-request priority classifier for -admit-priority,
+// nil when the flag is empty.
+func (f *AdmitFlags) Classifier() func(*rpc.Request) core.Priority {
+	high := map[string]bool{}
+	for _, m := range strings.Split(*f.priority, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			high[m] = true
+		}
+	}
+	if len(high) == 0 {
+		return nil
+	}
+	return func(req *rpc.Request) core.Priority {
+		if high[req.Method] {
+			return core.PriorityHigh
+		}
+		return core.PriorityNormal
+	}
+}
+
+// AutoscaleFlags is the -autoscale-* flag group.
+type AutoscaleFlags struct {
+	spares     *string
+	interval   *time.Duration
+	queueDepth *int
+	p99        *time.Duration
+	drain      *time.Duration
+}
+
+// RegisterAutoscaleFlags registers the autoscaler flag group; call before
+// flag.Parse.
+func RegisterAutoscaleFlags() *AutoscaleFlags {
+	return &AutoscaleFlags{
+		spares: flag.String("autoscale-spares", "",
+			"midtier: warm spare leaf groups the autoscaler may place in service (';' between groups, ',' between replicas; empty = autoscaler off)"),
+		interval: flag.Duration("autoscale-interval", 0,
+			"midtier: autoscaler poll period (0 = default 250ms)"),
+		queueDepth: flag.Int("autoscale-queue-depth", 0,
+			"midtier: dispatch-queue depth marking a poll hot (0 = default 4)"),
+		p99: flag.Duration("autoscale-p99", 0,
+			"midtier: tracked p99 service time marking a poll hot (0 = ignore latency signal)"),
+		drain: flag.Duration("autoscale-drain", 0,
+			"midtier: scale-down drain deadline (0 = default 5s)"),
+	}
+}
+
+// StartAutoscaler arms the closed loop over the mid-tier's own topology:
+// scale-up dials the next spare group, scale-down drains the newest
+// autoscaler-added group.  Returns nil when -autoscale-spares is empty.
+func (f *AutoscaleFlags) StartAutoscaler(mt *core.MidTier) (*autoscale.Autoscaler, error) {
+	groups := autoscale.ParseSpareGroups(*f.spares)
+	if len(groups) == 0 {
+		return nil, nil
+	}
+	drain := *f.drain
+	if drain <= 0 {
+		drain = 5 * time.Second
+	}
+	base := mt.NumLeaves()
+	target := autoscale.NewSpareTarget(
+		func() (core.TierStats, error) { return mt.Stats(), nil },
+		mt.AddLeafGroup,
+		func(shard int) error { return mt.DrainLeafGroup(shard, drain) },
+		groups,
+	)
+	a := autoscale.New(target, autoscale.Config{
+		Interval:     *f.interval,
+		UpQueueDepth: *f.queueDepth,
+		UpP99:        *f.p99,
+		MinLeaves:    base,
+		MaxLeaves:    base + len(groups),
+	})
+	a.Start()
+	fmt.Printf("autoscaler armed: %d spare leaf groups, %d-%d leaves\n",
+		len(groups), base, base+len(groups))
+	return a, nil
+}

@@ -189,7 +189,14 @@ func (l *Leaf) onRequest(req *rpc.Request) {
 		fn = l.batchFn
 	}
 	if err := l.workers.SubmitArg(fn, req); err != nil {
-		req.ReplyError(err)
+		if errors.Is(err, ErrQueueFull) {
+			// A leaf past its queue bound sheds with the typed overload
+			// error: the mid-tier's retry machinery must not re-issue
+			// (or spend budget on) deliberate backpressure.
+			req.ReplyError(rpc.Overloadf("leaf dispatch queue full"))
+		} else {
+			req.ReplyError(err)
+		}
 		req.ReleasePayload()
 	}
 }

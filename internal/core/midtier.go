@@ -86,9 +86,15 @@ type Options struct {
 	FanoutTimeout time.Duration
 	// Classify, when set, assigns a dispatch priority per request —
 	// §VII's "dispatched models can explicitly prioritize requests".
-	// It runs on the network poller and must be fast.  Ignored by the
-	// in-line mode, which has no queue to reorder.
+	// It runs on the network poller and must be fast.  The queue
+	// reordering is ignored by the in-line mode, but the admission
+	// controller's priority headroom applies in every mode.
 	Classify func(*rpc.Request) Priority
+	// Admit configures the adaptive admission controller: an AIMD
+	// concurrency limit with priority headroom plus deadline-aware
+	// shedding, both replying with a typed overload error the client
+	// never retries.  The zero value disables admission.
+	Admit AdmitPolicy
 	// Tail configures tail-tolerant fan-out (hedged requests, retries,
 	// and the retry budget).  The zero value disables hedging and
 	// retries; replica selection is always on.
@@ -172,6 +178,10 @@ type MidTier struct {
 	inlined  atomic.Uint64
 	served   atomic.Uint64
 
+	// admit is the adaptive admission controller; nil when Options.Admit
+	// is zero, so the unlimited path costs nothing.
+	admit *admitController
+
 	// Tail-tolerance state: the hedge/retry token budget, the leaf
 	// latency digest the percentile-tracked hedge delay derives from,
 	// and the action counters surfaced through core.stats.
@@ -211,8 +221,19 @@ func NewMidTier(handler Handler, opts *Options) *MidTier {
 		call := a.(*rpc.Call)
 		call.Data.(*fanoutSlot).fo.deliver(call)
 	}
+	if o.Admit.enabled() {
+		m.admit = newAdmitController(o.Admit, o.Probe)
+	}
 	m.handleFn = func(a any) {
 		ctx := a.(*Ctx)
+		if m.admit != nil && m.admit.doomed(ctx.Req.Arrival) {
+			// Deadline-aware shed at worker pickup: the queue wait has
+			// consumed too much of the budget for the reply to arrive in
+			// time, so reject instead of burning a worker on doomed work.
+			ctx.shed = true
+			ctx.ReplyError(rpc.Overloadf("deadline: remaining budget below tracked p99 service time"))
+			return
+		}
 		ctx.tr.Stamp(trace.StageWorkerStart)
 		m.handler(ctx)
 	}
@@ -328,12 +349,26 @@ func (m *MidTier) onRequest(req *rpc.Request) {
 		req.Reply(encodeTierStats(m.stats()))
 		return
 	}
+	// Priority is classified before admission so the controller's
+	// headroom can prefer high-priority traffic; the same value orders
+	// the dispatch queue below.
+	pri := PriorityNormal
+	if m.opts.Classify != nil {
+		pri = m.opts.Classify(req)
+	}
+	if m.admit != nil && !m.admit.acquire(pri) {
+		// Shed at the door: a typed reject on the poller, before any
+		// snapshot pin, payload copy, or worker wakeup is spent on a
+		// request the tier cannot absorb.
+		req.ReplyError(rpc.Overloadf("admission limit"))
+		return
+	}
 	// The request pins the topology snapshot it arrived under: every
 	// routing read for its lifetime (NumLeaves, fan-out, point reads,
 	// hedges, retries) resolves against this one epoch, and a concurrent
 	// drain waits for the pin before closing anything the request may
 	// still call.  Released in finish (or below if dispatch sheds it).
-	ctx := &Ctx{Req: req, mt: m, snap: m.topo.Acquire()}
+	ctx := &Ctx{Req: req, mt: m, snap: m.topo.Acquire(), admitted: m.admit != nil}
 	ctx.tr = m.opts.Tracer.Sample()
 	if m.spans != nil && req.TraceContext().Sampled() {
 		// The request arrived with a sampled span context: this tier's
@@ -368,10 +403,6 @@ func (m *MidTier) onRequest(req *rpc.Request) {
 	}
 	// Dispatch design: the payload must outlive the poller's read buffer.
 	req.DetachPayload()
-	pri := PriorityNormal
-	if m.opts.Classify != nil {
-		pri = m.opts.Classify(req)
-	}
 	handoffStart := time.Now()
 	// Stamped before the hand-off: a fast worker can reply — and recycle a
 	// pooled trace — before SubmitPriorityArg even returns, so a stamp
@@ -379,10 +410,22 @@ func (m *MidTier) onRequest(req *rpc.Request) {
 	ctx.tr.Stamp(trace.StageEnqueued)
 	err := m.workers.SubmitPriorityArg(m.handleFn, ctx, pri)
 	if err != nil {
-		req.ReplyError(err)
-		// Shed before the handler ever ran: release the pin directly
-		// (not via finish, which would count the request as served).
+		if errors.Is(err, ErrQueueFull) {
+			// The dispatch queue is the hard backstop behind the adaptive
+			// limit; its sheds carry the same typed overload error so the
+			// client treats both identically (no retry, no budget spend).
+			m.probe.IncAdmit(telemetry.AdmitShedQueue)
+			req.ReplyError(rpc.Overloadf("dispatch queue full"))
+		} else {
+			req.ReplyError(err)
+		}
+		// Shed before the handler ever ran: release the pin (and the
+		// admission slot, without feeding the latency signal) directly —
+		// not via finish, which would count the request as served.
 		ctx.snap.Release()
+		if ctx.admitted {
+			m.admit.cancel()
+		}
 		if ctx.trOwned {
 			trace.PutTrace(ctx.tr)
 		}
@@ -447,8 +490,13 @@ type Ctx struct {
 	// trOwned marks a trace drawn from the pool purely to annotate the span
 	// (the Tracer did not sample); finish returns it to the pool directly.
 	trOwned bool
-	errText string
-	fin     atomic.Bool
+	// admitted marks a request holding an admission slot; finish must
+	// release it.  shed marks one rejected after admission (deadline
+	// shed), whose short latency must not feed the AIMD signal.
+	admitted bool
+	shed     bool
+	errText  string
+	fin      atomic.Bool
 }
 
 // NumLeaves reports the fan-out width available to this request.  It is
@@ -483,6 +531,13 @@ func (c *Ctx) finish() {
 		return
 	}
 	c.snap.Release()
+	if c.admitted {
+		if c.shed {
+			c.mt.admit.cancel()
+		} else {
+			c.mt.admit.release(time.Since(c.Req.Arrival))
+		}
+	}
 	c.mt.served.Add(1)
 	if c.tr == nil {
 		return

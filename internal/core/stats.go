@@ -61,6 +61,18 @@ type TierStats struct {
 	// KernelPoints/KernelNanos·1e9 is the points-scanned/s throughput that
 	// says whether the leaf is compute-bound.
 	KernelPoints, KernelNanos uint64
+	// Admission-control counters (mid-tier only, zero with admission
+	// off): requests admitted, shed at the adaptive limit, and shed
+	// deadline-doomed at worker pickup.
+	Admitted, ShedLimit, ShedDeadline uint64
+	// AdmitLimit and AdmitInflight are the live AIMD concurrency limit
+	// and the admitted requests currently in flight — the gauges an
+	// autoscaler reads to tell "limited by policy" from "limited by
+	// capacity".
+	AdmitLimit, AdmitInflight int
+	// AdmitP99 is the tracked p99 service-time estimate the deadline
+	// shed compares remaining budget against.
+	AdmitP99 time.Duration
 }
 
 // encodeTierStats serializes stats for the wire.
@@ -93,6 +105,12 @@ func encodeTierStats(s TierStats) []byte {
 	e.Uint64(s.TopoDrainTimeouts)
 	e.Uint64(s.KernelPoints)
 	e.Uint64(s.KernelNanos)
+	e.Uint64(s.Admitted)
+	e.Uint64(s.ShedLimit)
+	e.Uint64(s.ShedDeadline)
+	e.Uvarint(uint64(s.AdmitLimit))
+	e.Uvarint(uint64(s.AdmitInflight))
+	e.Uint64(uint64(s.AdmitP99))
 	return e.Bytes()
 }
 
@@ -128,6 +146,12 @@ func DecodeTierStats(b []byte) (TierStats, error) {
 	s.TopoDrainTimeouts = d.Uint64()
 	s.KernelPoints = d.Uint64()
 	s.KernelNanos = d.Uint64()
+	s.Admitted = d.Uint64()
+	s.ShedLimit = d.Uint64()
+	s.ShedDeadline = d.Uint64()
+	s.AdmitLimit = int(d.Uvarint())
+	s.AdmitInflight = int(d.Uvarint())
+	s.AdmitP99 = time.Duration(d.Uint64())
 	return s, d.Err()
 }
 
@@ -177,8 +201,21 @@ func (m *MidTier) stats() TierStats {
 	if m.opts.Batch.enabled() {
 		s.BatchDelay = m.batchDelay()
 	}
+	if m.admit != nil {
+		s.Admitted = m.admit.admitted.Load()
+		s.ShedLimit = m.admit.shedLimit.Load()
+		s.ShedDeadline = m.admit.shedDeadline.Load()
+		s.AdmitLimit = m.admit.currentLimit()
+		s.AdmitInflight = m.admit.currentInflight()
+		s.AdmitP99 = m.admit.p99()
+	}
 	return s
 }
+
+// Stats snapshots the mid-tier's operational counters in-process — the
+// same data StatsMethod serves over the wire, for collocated consumers
+// like the autoscaler.
+func (m *MidTier) Stats() TierStats { return m.stats() }
 
 // statsLeaf snapshots a leaf's counters.
 func (l *Leaf) stats() TierStats {

@@ -39,8 +39,10 @@ type ClosedLoopConfig struct {
 type ClosedLoopResult struct {
 	// Throughput is completed requests per second.
 	Throughput float64
-	// Completed and Errors count requests in the window.
-	Completed, Errors uint64
+	// Completed and Errors count requests in the window.  Shed counts
+	// typed overload rejections (rpc.OverloadError) separately: a shed is
+	// the server refusing work by design, not a failure.
+	Completed, Errors, Shed uint64
 	// Latency summarizes per-request latency (issue → completion).
 	Latency stats.Snapshot
 }
@@ -55,7 +57,7 @@ func RunClosedLoop(issue IssueFunc, cfg ClosedLoopConfig) ClosedLoopResult {
 		cfg.Duration = time.Second
 	}
 	hist := stats.NewHistogram()
-	type workerResult struct{ completed, errors uint64 }
+	type workerResult struct{ completed, errors, shed uint64 }
 	results := make(chan workerResult, cfg.Concurrency)
 	deadline := time.Now().Add(cfg.Duration)
 
@@ -72,7 +74,11 @@ func RunClosedLoop(issue IssueFunc, cfg ClosedLoopConfig) ClosedLoopResult {
 				issue(done)
 				call := <-done
 				if call.Err != nil {
-					wr.errors++
+					if rpc.IsOverload(call.Err) {
+						wr.shed++
+					} else {
+						wr.errors++
+					}
 					continue
 				}
 				wr.completed++
@@ -86,11 +92,13 @@ func RunClosedLoop(issue IssueFunc, cfg ClosedLoopConfig) ClosedLoopResult {
 		wr := <-results
 		total.completed += wr.completed
 		total.errors += wr.errors
+		total.shed += wr.shed
 	}
 	return ClosedLoopResult{
 		Throughput: float64(total.completed) / cfg.Duration.Seconds(),
 		Completed:  total.completed,
 		Errors:     total.errors,
+		Shed:       total.shed,
 		Latency:    hist.Snapshot(),
 	}
 }
@@ -183,8 +191,11 @@ type OpenLoopConfig struct {
 // OpenLoopResult summarizes an open-loop run.
 type OpenLoopResult struct {
 	// Offered and Completed count requests; Errors and Dropped (still in
-	// flight at drain timeout) are the failure modes.
-	Offered, Completed, Errors, Dropped uint64
+	// flight at drain timeout) are the failure modes.  Shed counts typed
+	// overload rejections (rpc.OverloadError) separately from Errors: a
+	// shed is goodput lost by design — the saturation-ramp experiment
+	// requires overload to surface here, never as an untyped failure.
+	Offered, Completed, Errors, Dropped, Shed uint64
 	// AchievedQPS is completions over the offered-load window.
 	AchievedQPS float64
 	// Latency summarizes scheduled-send→completion latency.
@@ -305,7 +316,11 @@ func runSchedule(issue IssueFunc, nextArrival func(int) (time.Duration, bool), w
 	orphans := make(map[*rpc.Call]time.Time)
 	record := func(call *rpc.Call, schedAt, fallback time.Time) {
 		if call.Err != nil {
-			out.Errors++
+			if rpc.IsOverload(call.Err) {
+				out.Shed++
+			} else {
+				out.Errors++
+			}
 			return
 		}
 		end := call.Received
@@ -324,14 +339,14 @@ func runSchedule(issue IssueFunc, nextArrival func(int) (time.Duration, bool), w
 	dispatchDoneSeen := false
 	drainDeadline := time.Time{}
 	for {
-		if dispatchDoneSeen && out.Completed+out.Errors >= offered {
+		if dispatchDoneSeen && out.Completed+out.Errors+out.Shed >= offered {
 			break
 		}
 		var timer *time.Timer
 		var timeout <-chan time.Time
 		if dispatchDoneSeen {
 			if time.Now().After(drainDeadline) {
-				out.Dropped = offered - out.Completed - out.Errors
+				out.Dropped = offered - out.Completed - out.Errors - out.Shed
 				break
 			}
 			timer = time.NewTimer(50 * time.Millisecond)

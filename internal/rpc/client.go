@@ -574,7 +574,7 @@ func (c *Client) readLoop() {
 			c.failAll(err)
 			return
 		}
-		if f.kind != kindResponse && f.kind != kindError {
+		if f.kind != kindResponse && f.kind != kindError && f.kind != kindReject {
 			continue
 		}
 		received := time.Now()
@@ -590,6 +590,8 @@ func (c *Client) readLoop() {
 
 		if f.kind == kindError {
 			call.Err = &RemoteError{Msg: string(f.payload)}
+		} else if f.kind == kindReject {
+			call.Err = &OverloadError{Msg: string(f.payload)}
 		} else {
 			// Copy the payload out of the frame buffer (reused for the
 			// next frame) into a pooled reply buffer owned by the call.

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"errors"
+	"fmt"
 	"net"
 )
 
@@ -15,6 +16,32 @@ type RemoteError struct {
 }
 
 func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
+
+// OverloadError is a typed shed: the server refused the request before
+// doing its work — admission limit hit, remaining deadline budget too small
+// to cover the tracked service time, or dispatch queue full.  It travels as
+// a kindReject frame.  Sheds are deliberate backpressure, so they are never
+// retried and never consume retry budget: retrying into an overloaded tier
+// multiplies the load that caused the shed.
+type OverloadError struct {
+	// Msg names what was shed and why (e.g. "admission limit").
+	Msg string
+}
+
+func (e *OverloadError) Error() string { return "rpc: overloaded: " + e.Msg }
+
+// Overloadf builds an OverloadError from a format string.
+func Overloadf(format string, args ...any) *OverloadError {
+	return &OverloadError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// IsOverload reports whether err is (or wraps) a typed shed.  Load
+// generators use it to count goodput-neutral rejections separately from
+// real failures.
+func IsOverload(err error) bool {
+	var oe *OverloadError
+	return errors.As(err, &oe)
+}
 
 // ErrClass partitions call failures by what they imply about the request's
 // fate — which is what decides retry safety.  A connection-class error means
@@ -33,6 +60,10 @@ const (
 	ClassTimeout
 	// ClassConnection — the transport failed (dial, reset, local close).
 	ClassConnection
+	// ClassOverload — the server shed the request before executing it
+	// (kindReject).  Not retryable: the shed is the backpressure signal,
+	// and retrying would feed the overload it reports.
+	ClassOverload
 )
 
 // String names the class.
@@ -44,6 +75,8 @@ func (c ErrClass) String() string {
 		return "timeout"
 	case ClassConnection:
 		return "connection"
+	case ClassOverload:
+		return "overload"
 	}
 	return "unknown"
 }
@@ -53,6 +86,10 @@ func (c ErrClass) String() string {
 // the wire as a RemoteError — or, for one member of a batched RPC, as a
 // BatchItemError — so anything else came from the connection.
 func Classify(err error) ErrClass {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return ClassOverload
+	}
 	var re *RemoteError
 	if errors.As(err, &re) {
 		return ClassApplication
@@ -77,10 +114,14 @@ func Classify(err error) ErrClass {
 
 // Retryable reports whether a failed call may safely be re-issued to
 // another replica: true for timeout- and connection-class failures, false
-// for application errors.
+// for application errors and overload sheds.
 func Retryable(err error) bool {
 	if err == nil {
 		return false
 	}
-	return Classify(err) != ClassApplication
+	switch Classify(err) {
+	case ClassApplication, ClassOverload:
+		return false
+	}
+	return true
 }

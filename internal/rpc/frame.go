@@ -33,6 +33,13 @@ const (
 	// Unsampled requests keep the kindRequest layout, so the untraced hot
 	// path is byte-identical with tracing compiled in.
 	kindRequestTraced byte = 4
+	// kindReject is a typed shed: the server refused the request before
+	// executing it (admission limit, deadline-doomed, queue full).  Same
+	// layout as kindError with the shed reason as payload, but the client
+	// surfaces it as an OverloadError so callers can tell load shedding
+	// apart from application failures — sheds are never retried and never
+	// consume retry budget.
+	kindReject byte = 5
 )
 
 // traceHdrLen is the size of the span-context header on traced frames.

@@ -1,0 +1,66 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestOverloadRoundTrip verifies the typed-shed path end to end: a handler
+// replying with an OverloadError crosses the wire as kindReject and
+// surfaces at the client as an OverloadError again — overload-classified,
+// not retryable, and distinguishable from application errors.
+func TestOverloadRoundTrip(t *testing.T) {
+	srv := NewServer(func(req *Request) {
+		switch req.Method {
+		case "shed":
+			req.ReplyError(Overloadf("admission limit"))
+		case "shed-wrapped":
+			req.ReplyError(fmt.Errorf("midtier: %w", Overloadf("queue full")))
+		default:
+			req.ReplyError(errors.New("plain failure"))
+		}
+	}, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, method := range []string{"shed", "shed-wrapped"} {
+		_, err = c.Call(method, []byte("x"))
+		if err == nil {
+			t.Fatalf("%s: expected error", method)
+		}
+		var oe *OverloadError
+		if !errors.As(err, &oe) {
+			t.Fatalf("%s: got %T (%v), want *OverloadError", method, err, err)
+		}
+		if !IsOverload(err) {
+			t.Fatalf("%s: IsOverload=false", method)
+		}
+		if got := Classify(err); got != ClassOverload {
+			t.Fatalf("%s: Classify=%v, want overload", method, got)
+		}
+		if Retryable(err) {
+			t.Fatalf("%s: overload shed must not be retryable", method)
+		}
+	}
+
+	// A plain error still classifies as application, and the wrapped
+	// overload's reason survives the wire.
+	_, err = c.Call("other", nil)
+	if IsOverload(err) || Classify(err) != ClassApplication {
+		t.Fatalf("plain error misclassified: %v", err)
+	}
+	_, err = c.Call("shed", nil)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Msg != "admission limit" {
+		t.Fatalf("shed reason lost: %v", err)
+	}
+}

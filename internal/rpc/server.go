@@ -62,13 +62,20 @@ func (r *Request) Reply(payload []byte) {
 	r.conn.srv.probe.ObserveOverhead(telemetry.OverheadNet, time.Since(r.Arrival))
 }
 
-// ReplyError sends an error response.
+// ReplyError sends an error response.  An OverloadError travels as a typed
+// kindReject frame so the client can distinguish a deliberate shed from an
+// application failure; everything else is a kindError.
 func (r *Request) ReplyError(err error) {
 	if r.replied {
 		return
 	}
 	r.replied = true
-	r.conn.send(kindError, r.id, []byte(err.Error()))
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		r.conn.send(kindReject, r.id, []byte(oe.Msg))
+	} else {
+		r.conn.send(kindError, r.id, []byte(err.Error()))
+	}
 	r.conn.srv.probe.ObserveOverhead(telemetry.OverheadNet, time.Since(r.Arrival))
 }
 

@@ -247,6 +247,87 @@ func TopoEvents() []TopoEvent {
 	return out
 }
 
+// AdmitEvent enumerates the adaptive admission controller's actions: how
+// many requests were admitted, how many were shed (and by which rule), and
+// which way the AIMD concurrency limit last moved — counted so the overload
+// experiment can read goodput and shed mix alongside the latency
+// distributions admission protects.
+type AdmitEvent int
+
+const (
+	// AdmitAdmitted — a request passed admission and entered the pipeline.
+	AdmitAdmitted AdmitEvent = iota
+	// AdmitShedLimit — a request was rejected at arrival because the
+	// adaptive concurrency limit (plus any priority headroom) was full.
+	AdmitShedLimit
+	// AdmitShedDeadline — a request was rejected at worker pickup because
+	// its remaining deadline budget could not cover the tracked p99
+	// service time.
+	AdmitShedDeadline
+	// AdmitShedQueue — a request passed the limit but the dispatch queue
+	// was full; shed with the same typed overload error.
+	AdmitShedQueue
+	// AdmitLimitUp — the AIMD controller raised the concurrency limit
+	// (additive increase: observed latency near its EWMA floor).
+	AdmitLimitUp
+	// AdmitLimitDown — the AIMD controller cut the concurrency limit
+	// (multiplicative decrease: observed latency above tolerance × floor).
+	AdmitLimitDown
+	numAdmitEvents
+)
+
+// String returns the event's display label.
+func (e AdmitEvent) String() string {
+	names := [...]string{"admitted", "shed-limit", "shed-deadline", "shed-queue", "limit-up", "limit-down"}
+	if e < 0 || int(e) >= len(names) {
+		return fmt.Sprintf("admit(%d)", int(e))
+	}
+	return names[e]
+}
+
+// AdmitEvents lists the admission event classes in display order.
+func AdmitEvents() []AdmitEvent {
+	out := make([]AdmitEvent, numAdmitEvents)
+	for i := range out {
+		out[i] = AdmitEvent(i)
+	}
+	return out
+}
+
+// ScaleEvent enumerates the autoscaler's decisions, counted so elastic
+// capacity (groups added and drained by the control loop, not an operator)
+// can be read alongside the shed counters it exists to suppress.
+type ScaleEvent int
+
+const (
+	// ScaleUp — the autoscaler added a leaf group.
+	ScaleUp ScaleEvent = iota
+	// ScaleDown — the autoscaler drained a leaf group.
+	ScaleDown
+	// ScaleHold — a breach was observed but hysteresis, cooldown, or a
+	// capacity bound withheld the action.
+	ScaleHold
+	numScaleEvents
+)
+
+// String returns the event's display label.
+func (e ScaleEvent) String() string {
+	names := [...]string{"up", "down", "hold"}
+	if e < 0 || int(e) >= len(names) {
+		return fmt.Sprintf("scale(%d)", int(e))
+	}
+	return names[e]
+}
+
+// ScaleEvents lists the autoscaler event classes in display order.
+func ScaleEvents() []ScaleEvent {
+	out := make([]ScaleEvent, numScaleEvents)
+	for i := range out {
+		out[i] = ScaleEvent(i)
+	}
+	return out
+}
+
 // KernelEvent enumerates the leaf compute-engine counters: how many kernel
 // scans ran, how many candidate points they scored, and how long they spent
 // doing it — together giving the points-scanned/s throughput that tells
@@ -291,6 +372,8 @@ type Probe struct {
 	batches   [numBatchEvents]atomic.Uint64
 	topos     [numTopoEvents]atomic.Uint64
 	kernels   [numKernelEvents]atomic.Uint64
+	admits    [numAdmitEvents]atomic.Uint64
+	scales    [numScaleEvents]atomic.Uint64
 	ctxSwitch atomic.Uint64
 	hitm      atomic.Uint64
 	tcpRetx   atomic.Uint64
@@ -385,6 +468,38 @@ func (p *Probe) TopoCount(e TopoEvent) uint64 {
 		return 0
 	}
 	return p.topos[e].Load()
+}
+
+// IncAdmit counts one admission event.
+func (p *Probe) IncAdmit(e AdmitEvent) {
+	if p == nil {
+		return
+	}
+	p.admits[e].Add(1)
+}
+
+// AdmitCount reports the admission event count for e.
+func (p *Probe) AdmitCount(e AdmitEvent) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.admits[e].Load()
+}
+
+// IncScale counts one autoscaler decision.
+func (p *Probe) IncScale(e ScaleEvent) {
+	if p == nil {
+		return
+	}
+	p.scales[e].Add(1)
+}
+
+// ScaleCount reports the autoscaler event count for e.
+func (p *Probe) ScaleCount(e ScaleEvent) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.scales[e].Load()
 }
 
 // AddKernel counts n kernel events (the engine adds per-scan aggregates).
@@ -497,6 +612,12 @@ func (p *Probe) Reset() {
 	for i := range p.kernels {
 		p.kernels[i].Store(0)
 	}
+	for i := range p.admits {
+		p.admits[i].Store(0)
+	}
+	for i := range p.scales {
+		p.scales[i].Store(0)
+	}
 	p.ctxSwitch.Store(0)
 	p.hitm.Store(0)
 	p.tcpRetx.Store(0)
@@ -513,6 +634,8 @@ type Snapshot struct {
 	Batch          map[BatchEvent]uint64
 	Topo           map[TopoEvent]uint64
 	Kernel         map[KernelEvent]uint64
+	Admit          map[AdmitEvent]uint64
+	Scale          map[ScaleEvent]uint64
 	ContextSwitch  uint64
 	HITM           uint64
 	TCPRetransmits uint64
@@ -526,6 +649,8 @@ func (p *Probe) Snapshot() Snapshot {
 		Batch:    make(map[BatchEvent]uint64, int(numBatchEvents)),
 		Topo:     make(map[TopoEvent]uint64, int(numTopoEvents)),
 		Kernel:   make(map[KernelEvent]uint64, int(numKernelEvents)),
+		Admit:    make(map[AdmitEvent]uint64, int(numAdmitEvents)),
+		Scale:    make(map[ScaleEvent]uint64, int(numScaleEvents)),
 	}
 	if p == nil {
 		return s
@@ -545,6 +670,12 @@ func (p *Probe) Snapshot() Snapshot {
 	for i := KernelEvent(0); i < numKernelEvents; i++ {
 		s.Kernel[i] = p.kernels[i].Load()
 	}
+	for i := AdmitEvent(0); i < numAdmitEvents; i++ {
+		s.Admit[i] = p.admits[i].Load()
+	}
+	for i := ScaleEvent(0); i < numScaleEvents; i++ {
+		s.Scale[i] = p.scales[i].Load()
+	}
 	s.ContextSwitch = p.ctxSwitch.Load()
 	s.HITM = p.hitm.Load()
 	s.TCPRetransmits = p.tcpRetx.Load()
@@ -559,6 +690,8 @@ func (cur Snapshot) Delta(prev Snapshot) Snapshot {
 		Batch:    make(map[BatchEvent]uint64, len(cur.Batch)),
 		Topo:     make(map[TopoEvent]uint64, len(cur.Topo)),
 		Kernel:   make(map[KernelEvent]uint64, len(cur.Kernel)),
+		Admit:    make(map[AdmitEvent]uint64, len(cur.Admit)),
+		Scale:    make(map[ScaleEvent]uint64, len(cur.Scale)),
 	}
 	for k, v := range cur.Syscalls {
 		pv := prev.Syscalls[k]
@@ -584,6 +717,16 @@ func (cur Snapshot) Delta(prev Snapshot) Snapshot {
 	for k, v := range cur.Kernel {
 		if pv := prev.Kernel[k]; v > pv {
 			d.Kernel[k] = v - pv
+		}
+	}
+	for k, v := range cur.Admit {
+		if pv := prev.Admit[k]; v > pv {
+			d.Admit[k] = v - pv
+		}
+	}
+	for k, v := range cur.Scale {
+		if pv := prev.Scale[k]; v > pv {
+			d.Scale[k] = v - pv
 		}
 	}
 	sub := func(a, b uint64) uint64 {

@@ -29,6 +29,7 @@ package musuite
 import (
 	"time"
 
+	"musuite/internal/autoscale"
 	"musuite/internal/bench"
 	"musuite/internal/cluster"
 	"musuite/internal/core"
@@ -301,6 +302,56 @@ func DialRPC(addr string, opts *RPCClientOptions) (*RPCClient, error) {
 // QueryStats fetches a tier's operational counters over a client connection.
 func QueryStats(c *RPCClient) (TierStats, error) { return core.QueryStats(c) }
 
+// --- overload control & autoscaling ---
+
+// Admission-control and autoscaling types: the mid-tier's adaptive (AIMD)
+// admission controller and the closed scaling loop that grows or shrinks
+// the leaf topology from its signals.
+type (
+	// AdmitPolicy configures the mid-tier admission controller
+	// (MidTierOptions.Admit); the zero value disables it.
+	AdmitPolicy = core.AdmitPolicy
+	// OverloadError is the typed shed a mid-tier returns instead of
+	// queueing doomed work; it is never retried and never consumes
+	// retry budget.
+	OverloadError = rpc.OverloadError
+	// Autoscaler runs the poll→decide→act scaling loop.
+	Autoscaler = autoscale.Autoscaler
+	// AutoscaleConfig tunes its hysteresis, cooldown, and bounds.
+	AutoscaleConfig = autoscale.Config
+	// AutoscaleTarget is the capacity surface the loop drives.
+	AutoscaleTarget = autoscale.Target
+	// AutoscaleFuncs adapts closures to AutoscaleTarget.
+	AutoscaleFuncs = autoscale.Funcs
+	// AutoscaleEvent is one scale action taken by the loop.
+	AutoscaleEvent = autoscale.Event
+	// SpareTarget scales a live topology over a warm-spares pool.
+	SpareTarget = autoscale.SpareTarget
+)
+
+// IsOverload reports whether err is (or wraps) a typed overload shed.
+func IsOverload(err error) bool { return rpc.IsOverload(err) }
+
+// NewAutoscaler builds an autoscaler over target; Start arms it.
+func NewAutoscaler(target AutoscaleTarget, cfg AutoscaleConfig) *Autoscaler {
+	return autoscale.New(target, cfg)
+}
+
+// NewSpareTarget builds a warm-spares capacity surface from a stats source,
+// topology actuators, and the spare address-group pool.
+func NewSpareTarget(
+	stats func() (TierStats, error),
+	add func(addrs []string) (int, error),
+	drain func(shard int) error,
+	spares [][]string,
+) *SpareTarget {
+	return autoscale.NewSpareTarget(stats, add, drain, spares)
+}
+
+// ParseSpareGroups parses the -autoscale-spares flag syntax
+// ("a:7001,b:7002;c:7003" — ';' between groups, ',' between replicas).
+func ParseSpareGroups(s string) [][]string { return autoscale.ParseSpareGroups(s) }
+
 // --- load generation & measurement (paper §V) ---
 
 // Load-generation and measurement types.
@@ -365,6 +416,10 @@ type (
 	AblationRow   = bench.AblationRow
 	// ResizePhase is one window of the live-resize experiment.
 	ResizePhase = bench.ResizePhase
+	// OverloadResult is the saturation-ramp experiment's report.
+	OverloadResult = bench.OverloadResult
+	// OverloadStep is one of its ramp windows.
+	OverloadStep = bench.OverloadStep
 )
 
 // ServiceNames lists the four benchmarks in the paper's order.
@@ -408,4 +463,10 @@ func FlashCrowdExperiment(s Scale, service string, baselineQPS, spikeFactor floa
 // drained under steady load — the live-topology experiment.
 func ResizeExperiment(s Scale, mode FrameworkMode, qps float64) ([]ResizePhase, error) {
 	return bench.Resize(s, mode, qps)
+}
+
+// OverloadExperiment drives Router through the saturation ramp with
+// admission control and the autoscaler armed, to 3× its measured knee.
+func OverloadExperiment(s Scale, mode FrameworkMode) (*OverloadResult, error) {
+	return bench.Overload(s, mode)
 }

@@ -12,7 +12,8 @@
 # loadgen (zero failed requests required).
 #
 # Environment knobs (all optional):
-#   TRACE_SMOKE_DIR       output directory          (default: trace-smoke)
+#   TRACE_SMOKE_DIR       output directory      (default: a fresh temp dir;
+#                         CI pins it to trace-smoke/ for artifact upload)
 #   TRACE_SMOKE_DURATION  loadgen window per service (default: 3s)
 #   TRACE_SMOKE_QPS       offered load per service   (default: 150)
 #   TRACE_SMOKE_MIN       minimum connected traces   (default: 100)
@@ -20,7 +21,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT=${TRACE_SMOKE_DIR:-trace-smoke}
+# Default into a temp dir so ad-hoc runs never strand span files and build
+# output in the repo root.
+OUT=${TRACE_SMOKE_DIR:-$(mktemp -d "${TMPDIR:-/tmp}/trace-smoke.XXXXXX")}
+echo "trace_smoke: writing to $OUT"
 DURATION=${TRACE_SMOKE_DURATION:-3s}
 QPS=${TRACE_SMOKE_QPS:-150}
 MIN_TRACES=${TRACE_SMOKE_MIN:-100}
