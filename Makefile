@@ -1,16 +1,18 @@
 GO ?= go
 
-.PHONY: build test short race vet fmt-check bench-smoke bench-gate bench-baseline profile resize-demo trace-demo trace-smoke drain-churn autoscale-churn overload-demo ci
+.PHONY: build test short race vet fmt-check bench-smoke bench-gate bench-baseline profile resize-demo trace-demo trace-smoke drain-churn autoscale-churn overload-demo ann-demo ci
 
 # Gate benchmarks: TailFanout (hedging), LeafBatching (cross-request
 # coalescing), HotPathAllocs (per-call allocation budget), the leaf
 # compute kernels — LeafScan (SoA norm-trick scan), TopK (streaming
-# selection), IntersectBitset (dense-range posting-list intersection) —
-# and OverloadGoodput (completed QPS and shed fraction at 2x the measured
-# knee with admission control armed; goodput-qps gates higher-is-better).
+# selection), IntersectBitset (dense-range posting-list intersection),
+# IVFScan/PQScan (sub-linear ANN leaf path; setup asserts recall@10 and
+# the PQ compression ratio before timing) — and OverloadGoodput
+# (completed QPS and shed fraction at 2x the measured knee with admission
+# control armed; goodput-qps gates higher-is-better).
 # -count=5 gives benchgate a mean per metric; -benchmem adds B/op and
 # allocs/op so memory regressions gate alongside latency.
-BENCH_GATE_CMD = $(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs|LeafScan|TopK|IntersectBitset|OverloadGoodput' -benchtime=2s -count=5 -benchmem .
+BENCH_GATE_CMD = $(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs|LeafScan|TopK|IntersectBitset|IVFScan|PQScan|OverloadGoodput' -benchtime=2s -count=5 -benchmem .
 
 build:
 	$(GO) build ./...
@@ -57,7 +59,7 @@ bench-baseline: build
 # work.  Inspect with e.g.:  go tool pprof musuite.test profile/cpu.out
 profile: build
 	mkdir -p profile
-	$(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs|LeafScan|TopK|IntersectBitset' -benchtime=2s -benchmem \
+	$(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs|LeafScan|TopK|IntersectBitset|IVFScan|PQScan' -benchtime=2s -benchmem \
 		-cpuprofile profile/cpu.out -memprofile profile/mem.out -mutexprofile profile/mutex.out .
 
 # Watch a live resize: Router serves a steady load while a leaf group is
@@ -97,5 +99,12 @@ autoscale-churn:
 # control + autoscaler armed, driven open-loop to 3x the measured knee.
 overload-demo: build
 	$(GO) run ./cmd/musuite-bench -experiment overload -window 1s
+
+# Sweep every HDSearch candidate index — LSH / kd-tree / k-means plus the
+# IVF family over its nprobe (probe width) and rerank (exact re-scoring
+# depth) knobs — and print recall@1/@10 vs p50/p99 per configuration,
+# gated at a 0.90 recall@10 floor (the nightly ann-recall CI job).
+ann-demo: build
+	$(GO) run ./cmd/musuite-bench -experiment indexcmp -window 1s -recall-floor 0.90
 
 ci: fmt-check vet build race

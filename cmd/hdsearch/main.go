@@ -16,6 +16,7 @@ import (
 	"strings"
 	"syscall"
 
+	"musuite/internal/ann"
 	"musuite/internal/cluster"
 	"musuite/internal/cmdutil"
 	"musuite/internal/core"
@@ -54,6 +55,11 @@ func main() {
 		leafPar = flag.Int("leaf-parallelism", 0, "leaf: worker goroutines per kernel scan (0 = NumCPU)")
 		scalar  = flag.Bool("scalar-kernels", false, "leaf: use the reference scalar kernels (disables the tuned SoA engine)")
 
+		indexKind = flag.String("index", "lsh", "candidate index: lsh | kdtree | kmeans | ivf | ivfsq | ivfpq (ivf* build per-shard leaf indexes)")
+		nlist     = flag.Int("nlist", 0, "ivf*: coarse clusters per leaf shard (0 = √shard-size)")
+		nprobe    = flag.Int("nprobe", 0, "ivf*: clusters probed per query (0 = leaf default)")
+		rerank    = flag.Int("rerank", 0, "ivf*: exact re-rank depth over compressed candidates (0 = leaf default)")
+
 		traceOut = flag.String("trace-out", "", "write this tier's recorded spans (JSONL) on shutdown")
 
 		admit     = cmdutil.RegisterAdmitFlags()
@@ -82,11 +88,25 @@ func main() {
 		N: *n, Dim: *dim, Clusters: 16, Seed: *seed,
 	})
 	shardData := hdsearch.ShardCorpus(corpus, *shards)
+	kind := hdsearch.IndexKind(*indexKind)
 
 	switch *role {
 	case "leaf":
 		if *shard < 0 || *shard >= *shards {
 			fatal(fmt.Sprintf("shard %d outside 0..%d", *shard, *shards-1))
+		}
+		if quant, ok := hdsearch.ANNQuant(kind); ok {
+			// Leaf-resident ANN kind: build this shard's IVF index.  The
+			// seed namespacing matches BuildLeafANN, so a distributed
+			// deployment reproduces the in-process cluster's indexes.
+			idx, err := ann.Build(shardData[*shard].Store, ann.Config{
+				NList: *nlist, Quant: quant,
+				Seed: *seed + int64(*shard)*1_000_003,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			shardData[*shard].ANN = idx
 		}
 		leaf := hdsearch.NewLeaf(shardData[*shard], &core.LeafOptions{
 			Workers:              *workers,
@@ -107,9 +127,17 @@ func main() {
 		if *leaves == "" {
 			fatal("midtier requires -leaves")
 		}
-		index, err := hdsearch.BuildIndex(shardData, hdsearch.IndexConfig{})
-		if err != nil {
-			fatal(err)
+		var index hdsearch.CandidateIndex
+		if _, ok := hdsearch.ANNQuant(kind); ok {
+			// The leaves own the ANN indexes; the mid-tier only routes,
+			// broadcasting the query with the nprobe/rerank knobs.
+			index = hdsearch.NewLeafANN(*dim, *nprobe, *rerank)
+		} else {
+			var err error
+			index, err = hdsearch.BuildCandidateIndex(kind, shardData, *seed)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		mt := hdsearch.NewMidTier(index, &core.Options{
 			Workers:              *workers,
@@ -133,8 +161,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("hdsearch mid-tier on %s (index: %d entries, %d leaves × %d replicas)\n",
-			bound, index.Size(), mt.NumLeaves(), *replicas)
+		fmt.Printf("hdsearch mid-tier on %s (%s index, %d vectors, %d leaves × %d replicas)\n",
+			bound, kind, len(corpus.Vectors), mt.NumLeaves(), *replicas)
 		if *adminAddr != "" {
 			adm, adminBound, err := cluster.ServeAdmin(mt.Topology(), *adminAddr)
 			if err != nil {

@@ -20,6 +20,7 @@ import (
 	"musuite/internal/bench"
 	"musuite/internal/cluster"
 	"musuite/internal/core"
+	"musuite/internal/services/hdsearch"
 	"musuite/internal/trace"
 )
 
@@ -46,6 +47,11 @@ func main() {
 		routing       = flag.String("routing", "modulo", "mid-tier key placement strategy: modulo | jump (jump keeps placements stable through resizes)")
 		leafPar       = flag.Int("leaf-parallelism", 0, "worker goroutines per leaf kernel scan (0 = NumCPU, 1 = serial)")
 		scalarKernels = flag.Bool("scalar-kernels", false, "pin leaves to the reference scalar kernels (ablation baseline for the SoA engine)")
+
+		indexKind   = flag.String("index", "", "HDSearch candidate index: lsh | kdtree | kmeans | ivf | ivfsq | ivfpq (default lsh)")
+		nprobe      = flag.Int("nprobe", 0, "ivf*: clusters probed per query (0 = leaf default)")
+		rerank      = flag.Int("rerank", 0, "ivf*: exact re-rank depth over compressed candidates (0 = leaf default)")
+		recallFloor = flag.Float64("recall-floor", 0, "indexcmp: fail (non-zero exit) if any index kind's best recall@10 is below this floor (0 disables)")
 
 		admitLimit    = flag.Int("admit-limit", 0, "arm the mid-tier's adaptive admission controller with this max concurrency ceiling (0 = off; overload experiment defaults it on)")
 		admitDeadline = flag.Duration("admit-deadline", 0, "per-request budget for deadline-aware shedding (0 = off)")
@@ -96,6 +102,9 @@ func main() {
 			Deadline:    *admitDeadline,
 			Tolerance:   *admitTol,
 		},
+		Index:  hdsearch.IndexKind(*indexKind),
+		NProbe: *nprobe,
+		Rerank: *rerank,
 	}
 	if *trials > 0 {
 		scale.Trials = *trials
@@ -113,7 +122,7 @@ func main() {
 	case *traceSample > 0:
 		err2 = runTraceRecord(scale, mode, svcList[0], *load, *traceSample, *traceOut)
 	default:
-		err2 = run(*experiment, scale, mode, svcList, *load, *outDir)
+		err2 = run(*experiment, scale, mode, svcList, *load, *outDir, *recallFloor)
 	}
 	if err2 != nil {
 		fmt.Fprintln(os.Stderr, "musuite-bench:", err2)
@@ -205,7 +214,7 @@ func figureService(fig int) string {
 	return ""
 }
 
-func run(experiment string, scale bench.Scale, mode bench.FrameworkMode, services []string, load float64, outDir string) error {
+func run(experiment string, scale bench.Scale, mode bench.FrameworkMode, services []string, load float64, outDir string, recallFloor float64) error {
 	start := time.Now()
 	defer func() { fmt.Printf("\n(total experiment time: %v)\n", time.Since(start).Round(time.Millisecond)) }()
 
@@ -274,6 +283,12 @@ func run(experiment string, scale bench.Scale, mode bench.FrameworkMode, service
 			return err
 		}
 		fmt.Print(bench.RenderIndexComparison(rows))
+		if recallFloor > 0 {
+			if v := bench.RecallFloorViolations(rows, recallFloor); len(v) > 0 {
+				return fmt.Errorf("recall floor violated:\n  %s", strings.Join(v, "\n  "))
+			}
+			fmt.Printf("(all index kinds meet the %.2f recall@10 floor)\n", recallFloor)
+		}
 		return nil
 	case "trace":
 		if load <= 0 {

@@ -6,45 +6,68 @@ import (
 	"sync/atomic"
 	"time"
 
+	"musuite/internal/ann"
 	"musuite/internal/dataset"
 	"musuite/internal/knn"
 	"musuite/internal/loadgen"
 	"musuite/internal/rpc"
 	"musuite/internal/services/hdsearch"
+	"musuite/internal/vec"
 )
 
-// IndexRow compares one candidate-index structure on HDSearch: recall
-// against brute force and end-to-end latency under open-loop load — the
-// "LSH tables, kd-trees, or k-means clusters" comparison the paper's
-// related-work discussion frames.
+// IndexRow compares one candidate-index configuration on HDSearch: recall
+// against brute force and end-to-end latency under open-loop load.  The
+// paper's related work frames the LSH / kd-tree / k-means trio; the ivf*
+// rows extend the comparison to the leaf-resident ANN indexes, swept over
+// their nprobe (probe width) and rerank (exact re-scoring depth) knobs.
 type IndexRow struct {
-	Kind   hdsearch.IndexKind
-	Recall float64
-	Load   float64
-	P50    time.Duration
-	P99    time.Duration
-	Build  time.Duration
+	Kind hdsearch.IndexKind
+	// NProbe and Rerank are the ANN knobs for this row (0 for the
+	// candidate-generator kinds, which have no such knobs).
+	NProbe, Rerank int
+	// Recall1 and Recall10 score the returned IDs against brute-force
+	// ground truth at k=1 and k=10 — compression tradeoffs invisible at
+	// k=1 show up at k=10.
+	Recall1, Recall10 float64
+	Load              float64
+	P50               time.Duration
+	P99               time.Duration
+	Build             time.Duration
 }
 
+// nprobe/rerank sweep points for the ANN kinds.  The rerank sweep applies
+// only to the compressed kinds (plain IVF scores exactly; rerank is moot).
+var (
+	nprobeSweep = []int{1, 4, 8}
+	rerankSweep = []int{10, 200}
+	sweepRerank = 100 // rerank held here while nprobe sweeps
+	sweepNProbe = 8   // nprobe held here while rerank sweeps
+)
+
 // IndexComparison deploys HDSearch once per index kind on an identical
-// corpus, measures recall@1 over a query sample, then measures open-loop
-// latency at the given load.
+// corpus, measures recall@1/@10 over a query sample, then measures
+// open-loop latency at the given load.  ANN kinds contribute one row per
+// sweep point, retuned on the live cluster (the index builds once).
 func IndexComparison(s Scale, load float64) ([]IndexRow, error) {
 	corpus := dataset.NewImageCorpus(dataset.ImageCorpusConfig{
 		N: s.HDCorpus, Dim: s.HDDim, Clusters: s.HDClusters, Seed: s.Seed,
 	})
 	queries := corpus.Queries(s.HDQueries, s.Seed+100)
-	recallSample := queries
-	if len(recallSample) > 150 {
-		recallSample = recallSample[:150]
+	sample := s.RecallSample
+	if sample <= 0 {
+		sample = 150
 	}
-	truth := make([]uint32, len(recallSample))
+	recallSample := queries
+	if len(recallSample) > sample {
+		recallSample = recallSample[:sample]
+	}
+	truth := make([][]knn.Neighbor, len(recallSample))
 	for i, q := range recallSample {
-		truth[i] = knn.BruteForce(q, corpus.Vectors, 1)[0].ID
+		truth[i] = knn.BruteForce(q, corpus.Vectors, 10)
 	}
 
 	var out []IndexRow
-	for _, kind := range []hdsearch.IndexKind{hdsearch.IndexLSH, hdsearch.IndexKDTree, hdsearch.IndexKMeans} {
+	for _, kind := range hdsearch.IndexKinds {
 		buildStart := time.Now()
 		cl, err := hdsearch.StartCluster(hdsearch.ClusterConfig{
 			Corpus:  corpus,
@@ -63,47 +86,123 @@ func IndexComparison(s Scale, load float64) ([]IndexRow, error) {
 			return nil, err
 		}
 
-		hits := 0
-		for i, q := range recallSample {
-			got, err := client.Search(q, 1)
+		measure := func(nprobe, rerank int) error {
+			if rt := cl.ANNRouter(); rt != nil {
+				rt.SetNProbe(nprobe)
+				rt.SetRerank(rerank)
+			}
+			r1, r10, err := recallAt(client, recallSample, truth)
 			if err != nil {
-				client.Close()
-				cl.Close()
-				return nil, err
+				return err
 			}
-			if len(got) > 0 && got[0].PointID == truth[i] {
-				hits++
-			}
+			var next atomic.Uint64
+			open := loadgen.RunOpenLoop(func(done chan *rpc.Call) *rpc.Call {
+				q := queries[next.Add(1)%uint64(len(queries))]
+				return client.Go(q, 5, done)
+			}, loadgen.OpenLoopConfig{QPS: load, Duration: s.Window, Seed: s.Seed + 43})
+			out = append(out, IndexRow{
+				Kind: kind, NProbe: nprobe, Rerank: rerank,
+				Recall1: r1, Recall10: r10,
+				Load: load, P50: open.Latency.Median, P99: open.Latency.P99,
+				Build: build,
+			})
+			return nil
 		}
 
-		var next atomic.Uint64
-		open := loadgen.RunOpenLoop(func(done chan *rpc.Call) *rpc.Call {
-			q := queries[next.Add(1)%uint64(len(queries))]
-			return client.Go(q, 5, done)
-		}, loadgen.OpenLoopConfig{QPS: load, Duration: s.Window, Seed: s.Seed + 43})
-
+		quant, isANN := hdsearch.ANNQuant(kind)
+		var sweepErr error
+		if !isANN {
+			sweepErr = measure(0, 0)
+		} else {
+			rerank := 0
+			if quant != ann.QuantNone {
+				rerank = sweepRerank
+			}
+			for _, np := range nprobeSweep {
+				if sweepErr = measure(np, rerank); sweepErr != nil {
+					break
+				}
+			}
+			if sweepErr == nil && quant != ann.QuantNone {
+				for _, rr := range rerankSweep {
+					if sweepErr = measure(sweepNProbe, rr); sweepErr != nil {
+						break
+					}
+				}
+			}
+		}
 		client.Close()
 		cl.Close()
-		out = append(out, IndexRow{
-			Kind:   kind,
-			Recall: float64(hits) / float64(len(recallSample)),
-			Load:   load,
-			P50:    open.Latency.Median,
-			P99:    open.Latency.P99,
-			Build:  build,
-		})
+		if sweepErr != nil {
+			return nil, fmt.Errorf("indexcmp %s: %w", kind, sweepErr)
+		}
 	}
 	return out, nil
+}
+
+// recallAt scores one configuration's recall@1 and recall@10 against the
+// precomputed brute-force ground truth.
+func recallAt(client *hdsearch.Client, sample []vec.Vector, truth [][]knn.Neighbor) (r1, r10 float64, err error) {
+	hits1, hits10, want10 := 0, 0, 0
+	for i, q := range sample {
+		got, err := client.Search(q, 10)
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(got) > 0 && len(truth[i]) > 0 && got[0].PointID == truth[i][0].ID {
+			hits1++
+		}
+		in := make(map[uint32]bool, len(got))
+		for _, n := range got {
+			in[n.PointID] = true
+		}
+		for _, n := range truth[i] {
+			want10++
+			if in[n.ID] {
+				hits10++
+			}
+		}
+	}
+	return float64(hits1) / float64(len(sample)), float64(hits10) / float64(want10), nil
+}
+
+// RecallFloorViolations checks each index kind's best recall@10 across its
+// sweep rows against a floor, returning one message per kind below it.  A
+// kind passes if any swept configuration reaches the floor — the gate asks
+// "can this index hit the recall target at all", not "does every point on
+// the latency/recall frontier".
+func RecallFloorViolations(rows []IndexRow, floor float64) []string {
+	best := make(map[hdsearch.IndexKind]float64)
+	for _, r := range rows {
+		if r.Recall10 > best[r.Kind] {
+			best[r.Kind] = r.Recall10
+		}
+	}
+	var out []string
+	for _, kind := range hdsearch.IndexKinds {
+		if r10, ok := best[kind]; ok && r10 < floor {
+			out = append(out, fmt.Sprintf("%s: best recall@10 %.3f < floor %.3f", kind, r10, floor))
+		}
+	}
+	return out
 }
 
 // RenderIndexComparison prints the comparison table.
 func RenderIndexComparison(rows []IndexRow) string {
 	var b strings.Builder
-	b.WriteString("HDSearch candidate-index comparison (LSH vs kd-tree vs k-means)\n")
-	fmt.Fprintf(&b, "  %-8s %-8s %-12s %-12s %-12s\n", "index", "recall@1", "p50", "p99", "build+deploy")
+	b.WriteString("HDSearch candidate-index comparison (LSH / kd-tree / k-means / IVF / IVF+int8 / IVF+PQ)\n")
+	fmt.Fprintf(&b, "  %-8s %-7s %-7s %-9s %-10s %-12s %-12s %-12s\n",
+		"index", "nprobe", "rerank", "recall@1", "recall@10", "p50", "p99", "build+deploy")
+	knob := func(v int) string {
+		if v == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", v)
+	}
 	for _, r := range rows {
-		fmt.Fprintf(&b, "  %-8s %-8.3f %-12v %-12v %-12v\n",
-			r.Kind, r.Recall, r.P50, r.P99, r.Build.Round(time.Millisecond))
+		fmt.Fprintf(&b, "  %-8s %-7s %-7s %-9.3f %-10.3f %-12v %-12v %-12v\n",
+			r.Kind, knob(r.NProbe), knob(r.Rerank), r.Recall1, r.Recall10,
+			r.P50, r.P99, r.Build.Round(time.Millisecond))
 	}
 	return b.String()
 }

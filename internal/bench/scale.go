@@ -17,6 +17,12 @@ type Scale struct {
 	// HDSearch: corpus size, feature dimensionality, query count.
 	HDCorpus, HDDim, HDClusters, HDQueries int
 
+	// RecallSample is how many queries the index-comparison experiment
+	// scores against brute-force ground truth (0 = 150).  Ground truth is
+	// O(RecallSample × HDCorpus), so paper-scale runs pick this
+	// deliberately rather than scoring every query.
+	RecallSample int
+
 	// Router: key population, value size, replicas, leaf count.
 	RouterKeys, RouterValueSize, RouterReplicas, RouterLeaves int
 
@@ -61,7 +67,8 @@ type Scale struct {
 func SmallScale() Scale {
 	return Scale{
 		HDCorpus: 2000, HDDim: 32, HDClusters: 10, HDQueries: 512,
-		RouterKeys: 2000, RouterValueSize: 64, RouterReplicas: 2, RouterLeaves: 4,
+		RecallSample: 150,
+		RouterKeys:   2000, RouterValueSize: 64, RouterReplicas: 2, RouterLeaves: 4,
 		Docs: 1200, Vocab: 3000, MeanDocLen: 60, StopTerms: 10,
 		Users: 60, Items: 80, Ratings: 2500,
 		Shards:  4,
@@ -81,7 +88,8 @@ func SmallScale() Scale {
 func PaperScale() Scale {
 	return Scale{
 		HDCorpus: 500000, HDDim: 2048, HDClusters: 64, HDQueries: 10000,
-		RouterKeys: 100000, RouterValueSize: 128, RouterReplicas: 3, RouterLeaves: 16,
+		RecallSample: 1000,
+		RouterKeys:   100000, RouterValueSize: 128, RouterReplicas: 3, RouterLeaves: 16,
 		Docs: 4300000, Vocab: 200000, MeanDocLen: 150, StopTerms: 100,
 		Users: 1000, Items: 1700, Ratings: 10000,
 		Shards:  4,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"musuite/internal/ann"
 	"musuite/internal/cluster"
 	"musuite/internal/core"
 	"musuite/internal/dataset"
@@ -69,6 +70,13 @@ type FrameworkMode struct {
 	// ScalarKernels pins the leaves to the reference scalar kernels — the
 	// ablation baseline for the tuned SoA engine.
 	ScalarKernels bool
+	// Index selects HDSearch's candidate index kind ("" = LSH); the ivf*
+	// kinds build leaf-resident ANN indexes instead of a mid-tier
+	// candidate generator.
+	Index hdsearch.IndexKind
+	// NProbe and Rerank tune the ivf* kinds' probe width and exact
+	// re-rank depth (0 = leaf defaults).
+	NProbe, Rerank int
 	// Admit configures the mid-tier's adaptive admission controller
 	// (zero value: disabled).
 	Admit core.AdmitPolicy
@@ -164,6 +172,8 @@ func StartHDSearch(s Scale, mode FrameworkMode) (*Instance, error) {
 		Corpus:       corpus,
 		Shards:       s.Shards,
 		LeafReplicas: s.LeafReplicas,
+		Kind:         mode.Index,
+		ANN:          ann.Config{NProbe: mode.NProbe, Rerank: mode.Rerank},
 		MidTier:      midTierOptions(s, mode, probe),
 		Leaf:         leafOptions(s, mode),
 	})

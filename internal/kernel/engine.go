@@ -67,6 +67,11 @@ func (e *Engine) orDefault() *Engine {
 	return e
 }
 
+// Parallelism reports the engine's per-scan worker cap, so callers running
+// their own ParallelFor loops (the ann compressed-store scans) match the
+// engine's configured core budget.
+func (e *Engine) Parallelism() int { return e.orDefault().par }
+
 // Stats is the engine's cumulative accounting.
 type Stats struct {
 	// Scans counts kernel invocations; Points the candidate rows scored;
@@ -119,6 +124,12 @@ func dot8(a, b []float32) float32 {
 	}
 	return dotGeneric(a, b)
 }
+
+// Dot exposes the engine's inner dot product — the vector kernel when the
+// CPU has one — to engine-adjacent packages (the ann index builders score
+// centroids with it).  Equal-length slices are the caller's contract, as
+// with every kernel in this package.
+func Dot(a, b []float32) float32 { return dot8(a, b) }
 
 // dotGeneric is the portable 8-way unrolled dot product.
 func dotGeneric(a, b []float32) float32 {

@@ -76,6 +76,13 @@ func (j *job) run() {
 	}
 }
 
+// ParallelFor exposes the index-stealing parallel-for to engine-adjacent
+// packages (the ann compressed-store scans), sharing the process-global
+// helper pool.  fn receives a stable worker index in [0, par) — key
+// per-worker state (top-k heaps) off it; small ranges and par ≤ 1 run
+// inline on the caller.
+func ParallelFor(par, n int, fn func(worker, lo, hi int)) { parallelFor(par, n, fn) }
+
 // parallelFor runs fn over [0, n) with up to par participants (the caller
 // plus recruited idle helpers).  fn receives a stable worker index in
 // [0, par) — callers key per-worker state (top-k heaps) off it.  Small

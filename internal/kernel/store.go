@@ -104,3 +104,8 @@ func (s *Store) Row(i int) []float32 {
 
 // Norm2 returns ‖row i‖², precomputed at build time.
 func (s *Store) Norm2(i int) float32 { return s.norms[i] }
+
+// Bytes reports the store's resident size: the flat row block plus the
+// precomputed norms.  The compressed ann stores assert their footprint
+// against this number.
+func (s *Store) Bytes() int { return 4 * (len(s.data) + len(s.norms)) }

@@ -3,12 +3,19 @@
 // member of the paper's indexing trio (LSH tables, kd-trees, k-means
 // clusters).  A query probes its nearest centroids and scores only the
 // points assigned to those clusters.
+//
+// TrainCentroids is the reusable trainer: the ann package's IVF coarse
+// quantizer and per-subspace PQ codebooks train through it.  Training is
+// deterministic from Config.Seed — same points, same config, same seed ⇒
+// identical centroids — so index builds reproduce exactly across runs.
 package kmeans
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
+	"musuite/internal/kernel"
 	"musuite/internal/knn"
 	"musuite/internal/vec"
 )
@@ -25,7 +32,9 @@ type Config struct {
 	K int
 	// Iterations bounds Lloyd's sweeps (default 25).
 	Iterations int
-	// Seed makes initialization deterministic.
+	// Seed makes k-means++ initialization — and therefore the whole
+	// deterministic Lloyd's descent — reproducible.  Equal seeds over equal
+	// inputs produce identical centroids.
 	Seed int64
 }
 
@@ -40,19 +49,43 @@ type Index struct {
 	InertiaTrace []float64
 }
 
-// Build clusters the corpus and constructs the index.  points and refs are
-// captured, not copied.
-func Build(points []vec.Vector, refs []Ref, cfg Config) (*Index, error) {
-	if len(points) == 0 {
-		return nil, fmt.Errorf("kmeans: empty corpus")
+// dist2 is the training-sweep distance: the norm trick over the kernel
+// engine's dot product, so centroid assignment runs on the SIMD kernel when
+// the CPU has one.  The clamp absorbs the small negative results
+// cancellation can produce for near-coincident points.
+func dist2(p vec.Vector, pn float32, c vec.Vector, cn float32) float32 {
+	d := pn + cn - 2*kernel.Dot(p, c)
+	if d < 0 {
+		return 0
 	}
-	if len(points) != len(refs) {
-		return nil, fmt.Errorf("kmeans: %d points but %d refs", len(points), len(refs))
+	return d
+}
+
+// norms2 precomputes ‖v‖² for a vector set.
+func norms2(vs []vec.Vector) []float32 {
+	out := make([]float32, len(vs))
+	for i, v := range vs {
+		out[i] = kernel.Dot(v, v)
+	}
+	return out
+}
+
+// TrainCentroids runs k-means++ initialization followed by Lloyd's sweeps
+// and returns the trained centroids plus the per-sweep inertia trace.  It is
+// the shared trainer behind Build, the ann IVF coarse quantizer, and the ann
+// PQ subspace codebooks.  The returned centroids are freshly allocated and
+// do not alias points.
+func TrainCentroids(points []vec.Vector, cfg Config) ([]vec.Vector, []float64, error) {
+	if len(points) == 0 {
+		return nil, nil, fmt.Errorf("kmeans: empty corpus")
 	}
 	dim := len(points[0])
+	if dim == 0 {
+		return nil, nil, fmt.Errorf("kmeans: zero-dimensional points")
+	}
 	for i, p := range points {
 		if len(p) != dim {
-			return nil, fmt.Errorf("kmeans: point %d has dim %d, want %d", i, len(p), dim)
+			return nil, nil, fmt.Errorf("kmeans: point %d has dim %d, want %d", i, len(p), dim)
 		}
 	}
 	k := cfg.K
@@ -70,27 +103,28 @@ func Build(points []vec.Vector, refs []Ref, cfg Config) (*Index, error) {
 		iters = 25
 	}
 
-	idx := &Index{points: points, refs: refs}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	pNorms := norms2(points)
 
 	// k-means++ initialization: spread the seeds proportionally to
 	// squared distance from the seeds chosen so far.
-	idx.centroids = make([]vec.Vector, 0, k)
-	idx.centroids = append(idx.centroids, points[rng.Intn(len(points))].Clone())
+	centroids := make([]vec.Vector, 0, k)
+	centroids = append(centroids, points[rng.Intn(len(points))].Clone())
 	d2 := make([]float64, len(points))
-	for len(idx.centroids) < k {
+	for len(centroids) < k {
 		total := 0.0
-		last := idx.centroids[len(idx.centroids)-1]
+		last := centroids[len(centroids)-1]
+		lastNorm := kernel.Dot(last, last)
 		for i, p := range points {
-			d := float64(vec.SquaredEuclidean(p, last))
-			if len(idx.centroids) == 1 || d < d2[i] {
+			d := float64(dist2(p, pNorms[i], last, lastNorm))
+			if len(centroids) == 1 || d < d2[i] {
 				d2[i] = d
 			}
 			total += d2[i]
 		}
 		if total == 0 {
 			// All remaining points coincide with a centroid.
-			idx.centroids = append(idx.centroids, points[rng.Intn(len(points))].Clone())
+			centroids = append(centroids, points[rng.Intn(len(points))].Clone())
 			continue
 		}
 		r := rng.Float64() * total
@@ -102,25 +136,40 @@ func Build(points []vec.Vector, refs []Ref, cfg Config) (*Index, error) {
 				break
 			}
 		}
-		idx.centroids = append(idx.centroids, points[pick].Clone())
+		centroids = append(centroids, points[pick].Clone())
 	}
 
+	var inertiaTrace []float64
 	assign := make([]int, len(points))
+	dists := make([]float32, len(points))
+	cNorms := make([]float32, k)
 	for sweep := 0; sweep < iters; sweep++ {
-		// Assignment step.
-		inertia := 0.0
-		for i, p := range points {
-			best, bestD := 0, float32(0)
-			for c, cent := range idx.centroids {
-				d := vec.SquaredEuclidean(p, cent)
-				if c == 0 || d < bestD {
-					best, bestD = c, d
-				}
-			}
-			assign[i] = best
-			inertia += float64(bestD)
+		// Assignment step: parallel over points (each chunk writes only its
+		// own assign/dists entries), then a serial deterministic inertia sum
+		// so the trace — and every float that follows — is independent of
+		// worker scheduling.
+		for c, cent := range centroids {
+			cNorms[c] = kernel.Dot(cent, cent)
 		}
-		idx.InertiaTrace = append(idx.InertiaTrace, inertia)
+		kernel.ParallelFor(runtime.NumCPU(), len(points), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				p := points[i]
+				best, bestD := 0, float32(0)
+				for c, cent := range centroids {
+					d := dist2(p, pNorms[i], cent, cNorms[c])
+					if c == 0 || d < bestD {
+						best, bestD = c, d
+					}
+				}
+				assign[i] = best
+				dists[i] = bestD
+			}
+		})
+		inertia := 0.0
+		for _, d := range dists {
+			inertia += float64(d)
+		}
+		inertiaTrace = append(inertiaTrace, inertia)
 
 		// Update step.
 		counts := make([]int, k)
@@ -136,15 +185,15 @@ func Build(points []vec.Vector, refs []Ref, cfg Config) (*Index, error) {
 			}
 		}
 		moved := false
-		for c := range idx.centroids {
+		for c := range centroids {
 			if counts[c] == 0 {
 				continue // empty cluster keeps its centroid
 			}
 			inv := 1 / float32(counts[c])
 			for d := 0; d < dim; d++ {
 				nv := sums[c][d] * inv
-				if nv != idx.centroids[c][d] {
-					idx.centroids[c][d] = nv
+				if nv != centroids[c][d] {
+					centroids[c][d] = nv
 					moved = true
 				}
 			}
@@ -153,9 +202,23 @@ func Build(points []vec.Vector, refs []Ref, cfg Config) (*Index, error) {
 			break
 		}
 	}
+	return centroids, inertiaTrace, nil
+}
+
+// Build clusters the corpus and constructs the index.  points and refs are
+// captured, not copied.
+func Build(points []vec.Vector, refs []Ref, cfg Config) (*Index, error) {
+	if len(points) != len(refs) {
+		return nil, fmt.Errorf("kmeans: %d points but %d refs", len(points), len(refs))
+	}
+	centroids, trace, err := TrainCentroids(points, cfg)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{points: points, refs: refs, centroids: centroids, InertiaTrace: trace}
 
 	// Final assignment → member lists.
-	idx.members = make([][]int, k)
+	idx.members = make([][]int, len(centroids))
 	for i, p := range points {
 		best, bestD := 0, float32(0)
 		for c, cent := range idx.centroids {

@@ -141,6 +141,56 @@ func TestFewProbesHighRecall(t *testing.T) {
 	t.Logf("recall@1 = %.3f with 3/%d probes", recall, idx.K())
 }
 
+// TestTrainCentroidsReproducible: equal seeds over equal inputs must yield
+// bit-identical centroids (and a different seed a different initialization),
+// so IVF/PQ index builds reproduce exactly across runs.
+func TestTrainCentroidsReproducible(t *testing.T) {
+	corpus := dataset.NewImageCorpus(dataset.ImageCorpusConfig{
+		N: 800, Dim: 16, Clusters: 8, Noise: 0.1, Seed: 21,
+	})
+	cfg := Config{K: 12, Iterations: 15, Seed: 99}
+	a, traceA, err := TrainCentroids(corpus.Vectors, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, traceB, err := TrainCentroids(corpus.Vectors, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(traceA) != len(traceB) {
+		t.Fatalf("shape mismatch: %d/%d centroids, %d/%d sweeps", len(a), len(b), len(traceA), len(traceB))
+	}
+	for c := range a {
+		for d := range a[c] {
+			if a[c][d] != b[c][d] {
+				t.Fatalf("centroid %d dim %d differs across identically-seeded builds: %v vs %v",
+					c, d, a[c][d], b[c][d])
+			}
+		}
+	}
+	for i := range traceA {
+		if traceA[i] != traceB[i] {
+			t.Fatalf("inertia trace differs at sweep %d: %v vs %v", i, traceA[i], traceB[i])
+		}
+	}
+	cfg.Seed = 100
+	c, _, err := TrainCentroids(corpus.Vectors, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		for d := range a[i] {
+			if a[i][d] != c[i][d] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical centroids (seed unused?)")
+	}
+}
+
 func TestLookupByShardGrouping(t *testing.T) {
 	corpus, idx := buildCorpusIndex(t, 400, 8, 8)
 	q := corpus.Queries(1, 10)[0]

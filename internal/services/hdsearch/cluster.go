@@ -1,6 +1,7 @@
 package hdsearch
 
 import (
+	"musuite/internal/ann"
 	"musuite/internal/core"
 	"musuite/internal/dataset"
 	"musuite/internal/knn"
@@ -24,6 +25,10 @@ type ClusterConfig struct {
 	// Index tunes the LSH tables when Kind is IndexLSH (zero =
 	// paper-tuned defaults).
 	Index IndexConfig
+	// ANN tunes the leaf-resident IVF indexes when Kind is one of the
+	// ivf* kinds (zero = ann defaults); its Quant field is derived from
+	// Kind and its Seed defaults to Index.Seed.
+	ANN ann.Config
 	// MidTier and Leaf configure the framework tiers.  MidTier.Probe is
 	// where the experiment harness attaches its telemetry.
 	MidTier core.Options
@@ -40,7 +45,13 @@ type Cluster struct {
 	corpus  *dataset.ImageCorpus
 	leaves  []*core.Leaf
 	midTier *core.MidTier
+	annRt   *LeafANN
 }
+
+// ANNRouter exposes the mid-tier's ANN routing stub (nil for the
+// candidate-generator kinds) so experiment sweeps can retune nprobe and
+// rerank on a live cluster without rebuilding the leaf indexes.
+func (c *Cluster) ANNRouter() *LeafANN { return c.annRt }
 
 // IndexStats re-exports the LSH occupancy summary.
 type IndexStats struct {
@@ -55,7 +66,19 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	shards := ShardCorpus(cfg.Corpus, cfg.Shards)
 	cl := &Cluster{corpus: cfg.Corpus}
 	var index CandidateIndex
-	if cfg.Kind == IndexLSH || cfg.Kind == "" {
+	if quant, ok := ANNQuant(cfg.Kind); ok {
+		annCfg := cfg.ANN
+		annCfg.Quant = quant
+		if annCfg.Seed == 0 {
+			annCfg.Seed = cfg.Index.Seed
+		}
+		if err := BuildLeafANN(shards, annCfg); err != nil {
+			return nil, err
+		}
+		cl.annRt = NewLeafANN(shards[0].Store.Dim(), annCfg.NProbe, annCfg.Rerank)
+		index = cl.annRt
+		cl.Index = IndexStats{Entries: len(cfg.Corpus.Vectors)}
+	} else if cfg.Kind == IndexLSH || cfg.Kind == "" {
 		lshIndex, err := BuildIndex(shards, cfg.Index)
 		if err != nil {
 			return nil, err

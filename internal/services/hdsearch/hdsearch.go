@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"musuite/internal/ann"
 	"musuite/internal/core"
 	"musuite/internal/dataset"
 	"musuite/internal/kernel"
@@ -31,6 +32,10 @@ const (
 	MethodSearch = "hdsearch.search"
 	// MethodLeafKNN is the mid-tier→leaf candidate-scoring call.
 	MethodLeafKNN = "hdsearch.leafknn"
+	// MethodLeafANN is the mid-tier→leaf call for leaf-resident ANN
+	// indexes: no candidate IDs travel — each leaf probes its own IVF
+	// index and returns its shard-local top-k under global IDs.
+	MethodLeafANN = "hdsearch.leafann"
 )
 
 // Neighbor is one result: a global point ID and its squared Euclidean
@@ -74,6 +79,28 @@ func DecodeLeafRequest(b []byte) (query vec.Vector, ids []uint32, k int, err err
 	query = vec.Vector(d.Float32s())
 	ids = d.Uint32s()
 	return query, ids, k, d.Err()
+}
+
+// EncodeLeafANNRequest encodes a mid-tier→leaf ANN probe: the query plus
+// the nprobe/rerank knobs (0 = the leaf index's build defaults).  One
+// encoding is broadcast to every shard.
+func EncodeLeafANNRequest(query vec.Vector, k, nprobe, rerank int) []byte {
+	e := wire.NewEncoder(16 + 4*len(query))
+	e.Uvarint(uint64(k))
+	e.Uvarint(uint64(nprobe))
+	e.Uvarint(uint64(rerank))
+	e.Float32s(query)
+	return e.Bytes()
+}
+
+// DecodeLeafANNRequest decodes a mid-tier→leaf ANN probe.
+func DecodeLeafANNRequest(b []byte) (query vec.Vector, k, nprobe, rerank int, err error) {
+	d := wire.NewDecoder(b)
+	k = int(d.Uvarint())
+	nprobe = int(d.Uvarint())
+	rerank = int(d.Uvarint())
+	query = vec.Vector(d.Float32s())
+	return query, k, nprobe, rerank, d.Err()
 }
 
 // AppendNeighbors appends a distance-sorted result list to e — the
@@ -124,6 +151,25 @@ func DecodeNeighbors(b []byte) ([]Neighbor, error) {
 type LeafData struct {
 	Store    *kernel.Store
 	GlobalID []uint32
+	// ANN is the optional leaf-resident IVF index over Store; nil leaves
+	// serve only the brute-force candidate-scoring path.
+	ANN *ann.Index
+}
+
+// BuildLeafANN builds each shard's leaf-resident IVF index in place,
+// namespacing the seed per shard so replicas of the same shard build the
+// identical index while distinct shards initialize independently.
+func BuildLeafANN(shards []LeafData, cfg ann.Config) error {
+	base := cfg.Seed
+	for s := range shards {
+		cfg.Seed = base + int64(s)*1_000_003
+		idx, err := ann.Build(shards[s].Store, cfg)
+		if err != nil {
+			return fmt.Errorf("hdsearch: shard %d ann build: %w", s, err)
+		}
+		shards[s].ANN = idx
+	}
+	return nil
 }
 
 // ShardCorpus splits a corpus round-robin into n leaf shards, copying each
@@ -194,6 +240,37 @@ func leafKNN(eng *kernel.Engine, data LeafData, payload []byte, reply *wire.Enco
 	return nil
 }
 
+// leafANN serves one ANN probe against the shard's leaf-resident IVF index:
+// coarse-quantizer probe, candidate-list scan (compressed store when the
+// index has one), exact re-rank — then the same streamed global-ID reply as
+// the brute-force path, so the mid-tier merge cannot tell them apart.
+func leafANN(eng *kernel.Engine, data LeafData, payload []byte, reply *wire.Encoder) error {
+	if data.ANN == nil {
+		return errors.New("hdsearch leaf: no ann index on this shard")
+	}
+	sc := leafScratches.Get().(*leafScratch)
+	defer leafScratches.Put(sc)
+	d := wire.NewDecoder(payload)
+	k := int(d.Uvarint())
+	nprobe := int(d.Uvarint())
+	rerank := int(d.Uvarint())
+	sc.query = d.Float32sInto(sc.query[:0])
+	if err := d.Err(); err != nil {
+		return err
+	}
+	local, err := data.ANN.Search(eng, sc.query, k, nprobe, rerank, sc.nbrs[:0])
+	sc.nbrs = local[:0]
+	if err != nil {
+		return err
+	}
+	reply.Uvarint(uint64(len(local)))
+	for _, n := range local {
+		reply.Uint32(data.GlobalID[n.ID])
+		reply.Float32(n.Distance)
+	}
+	return nil
+}
+
 // NewLeaf builds the HDSearch leaf microservice over one shard.  The handler
 // uses the encoded form, so scalar requests and batch-carrier members alike
 // stream their result lists into pooled encoders; a whole carrier still runs
@@ -204,10 +281,13 @@ func NewLeaf(data LeafData, opts *core.LeafOptions) *core.Leaf {
 	opts = core.EnsureLeafKernel(opts)
 	eng := opts.Kernel
 	return core.NewLeafEncoded(func(method string, payload []byte, reply *wire.Encoder) error {
-		if method != MethodLeafKNN {
-			return fmt.Errorf("hdsearch leaf: unknown method %q", method)
+		switch method {
+		case MethodLeafKNN:
+			return leafKNN(eng, data, payload, reply)
+		case MethodLeafANN:
+			return leafANN(eng, data, payload, reply)
 		}
-		return leafKNN(eng, data, payload, reply)
+		return fmt.Errorf("hdsearch leaf: unknown method %q", method)
 	}, opts)
 }
 
@@ -291,6 +371,14 @@ func NewMidTier(index CandidateIndex, opts *core.Options) *core.MidTier {
 			ctx.ReplyError(vec.ErrDimensionMismatch)
 			return
 		}
+		// Leaf-resident ANN kinds carry no candidate IDs: broadcast the
+		// query (plus the router's nprobe/rerank knobs) and let every
+		// shard probe its own IVF index.
+		if router, ok := index.(*LeafANN); ok {
+			payload := EncodeLeafANNRequest(query, k, router.NProbe(), router.Rerank())
+			ctx.FanoutAll(MethodLeafANN, payload, mergeTopK(ctx, k))
+			return
+		}
 		// Request path: LSH lookup, map point IDs → leaf shards, launch
 		// clients to leaf microservers (paper Fig. 3).
 		byShard := index.LookupByShard(query)
@@ -306,38 +394,41 @@ func NewMidTier(index CandidateIndex, opts *core.Options) *core.MidTier {
 				Payload: EncodeLeafRequest(query, ids, k),
 			})
 		}
-		// Response path: merge per-shard distance-sorted lists into the
-		// final k-NN across all shards with a streaming bounded heap —
-		// each reply entry is considered as it decodes (and copied by
-		// value, since replies may alias pooled buffers recycled when
-		// this merge returns), so the merge is O(total·log k) with no
-		// flattened candidate list and no full sort.  The final reply
-		// streams through a pooled encoder.
-		ctx.Fanout(calls, func(results []core.LeafResult) {
-			sc := mergeScratches.Get().(*mergeScratch)
-			defer mergeScratches.Put(sc)
-			sc.top.Reset(k)
-			for _, r := range results {
-				if r.Err != nil {
-					ctx.ReplyError(r.Err)
-					return
-				}
-				if err := considerNeighborList(&sc.top, r.Reply); err != nil {
-					ctx.ReplyError(err)
-					return
-				}
-			}
-			sc.merged = sc.top.AppendSorted(sc.merged[:0])
-			e := wire.GetEncoder()
-			e.Uvarint(uint64(len(sc.merged)))
-			for _, n := range sc.merged {
-				e.Uint32(n.ID)
-				e.Float32(n.Distance)
-			}
-			ctx.Reply(e.Bytes())
-			wire.PutEncoder(e)
-		})
+		ctx.Fanout(calls, mergeTopK(ctx, k))
 	}, opts)
+}
+
+// mergeTopK is the shared response path: merge per-shard distance-sorted
+// lists into the final k-NN across all shards with a streaming bounded
+// heap — each reply entry is considered as it decodes (and copied by value,
+// since replies may alias pooled buffers recycled when the merge returns),
+// so the merge is O(total·log k) with no flattened candidate list and no
+// full sort.  The final reply streams through a pooled encoder.
+func mergeTopK(ctx *core.Ctx, k int) func([]core.LeafResult) {
+	return func(results []core.LeafResult) {
+		sc := mergeScratches.Get().(*mergeScratch)
+		defer mergeScratches.Put(sc)
+		sc.top.Reset(k)
+		for _, r := range results {
+			if r.Err != nil {
+				ctx.ReplyError(r.Err)
+				return
+			}
+			if err := considerNeighborList(&sc.top, r.Reply); err != nil {
+				ctx.ReplyError(err)
+				return
+			}
+		}
+		sc.merged = sc.top.AppendSorted(sc.merged[:0])
+		e := wire.GetEncoder()
+		e.Uvarint(uint64(len(sc.merged)))
+		for _, n := range sc.merged {
+			e.Uint32(n.ID)
+			e.Float32(n.Distance)
+		}
+		ctx.Reply(e.Bytes())
+		wire.PutEncoder(e)
+	}
 }
 
 // --- front-end client ---

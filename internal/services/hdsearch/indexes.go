@@ -3,7 +3,9 @@ package hdsearch
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
+	"musuite/internal/ann"
 	"musuite/internal/kdtree"
 	"musuite/internal/kmeans"
 	"musuite/internal/vec"
@@ -25,12 +27,82 @@ type CandidateIndex interface {
 // IndexKind names a candidate-index implementation.
 type IndexKind string
 
-// The available index kinds.
+// The available index kinds.  The first three are mid-tier candidate
+// generators (the index holds {shard, point} refs and the query ships
+// candidate IDs to the leaves); the ivf* kinds are leaf-resident — each
+// leaf builds an IVF index over its own shard and the mid-tier merely
+// broadcasts the query with the nprobe/rerank knobs.
 const (
 	IndexLSH    IndexKind = "lsh"
 	IndexKDTree IndexKind = "kdtree"
 	IndexKMeans IndexKind = "kmeans"
+	// IndexIVF probes IVF inverted lists and scores candidates on the
+	// full float32 store — exact within the probed clusters.
+	IndexIVF IndexKind = "ivf"
+	// IndexIVFSQ scores candidates on the int8 scalar-quantized store
+	// (~4× less memory), then re-ranks exactly.
+	IndexIVFSQ IndexKind = "ivfsq"
+	// IndexIVFPQ scores candidates on the product-quantized store with
+	// ADC lookup tables (~16× less memory at dim 64), then re-ranks
+	// exactly.
+	IndexIVFPQ IndexKind = "ivfpq"
 )
+
+// IndexKinds lists every kind, in comparison order.
+var IndexKinds = []IndexKind{IndexLSH, IndexKDTree, IndexKMeans, IndexIVF, IndexIVFSQ, IndexIVFPQ}
+
+// ANNQuant maps a leaf-resident ANN index kind to its candidate-store
+// quantization; ok is false for the mid-tier candidate-generator kinds.
+func ANNQuant(kind IndexKind) (q ann.Quant, ok bool) {
+	switch kind {
+	case IndexIVF:
+		return ann.QuantNone, true
+	case IndexIVFSQ:
+		return ann.QuantInt8, true
+	case IndexIVFPQ:
+		return ann.QuantPQ, true
+	}
+	return 0, false
+}
+
+// LeafANN is the mid-tier's routing stub for the leaf-resident ANN kinds.
+// It satisfies CandidateIndex so the same NewMidTier constructor serves
+// every kind, but generates no candidates itself: the mid-tier recognizes
+// it and broadcasts MethodLeafANN instead.  The nprobe/rerank knobs are
+// atomically mutable so experiment sweeps can retune a live cluster
+// without rebuilding the leaf indexes.
+type LeafANN struct {
+	dim    int
+	nprobe atomic.Int32
+	rerank atomic.Int32
+}
+
+// NewLeafANN builds the routing stub (knob zeros defer to each leaf
+// index's build defaults).
+func NewLeafANN(dim, nprobe, rerank int) *LeafANN {
+	x := &LeafANN{dim: dim}
+	x.nprobe.Store(int32(nprobe))
+	x.rerank.Store(int32(rerank))
+	return x
+}
+
+// LookupByShard implements CandidateIndex; the ANN path never consults it.
+func (x *LeafANN) LookupByShard(vec.Vector) map[int32][]uint32 { return nil }
+
+// Dim implements CandidateIndex.
+func (x *LeafANN) Dim() int { return x.dim }
+
+// NProbe reports the current probe width.
+func (x *LeafANN) NProbe() int { return int(x.nprobe.Load()) }
+
+// SetNProbe retunes the probe width for subsequent requests.
+func (x *LeafANN) SetNProbe(n int) { x.nprobe.Store(int32(n)) }
+
+// Rerank reports the current exact re-rank depth.
+func (x *LeafANN) Rerank() int { return int(x.rerank.Load()) }
+
+// SetRerank retunes the re-rank depth for subsequent requests.
+func (x *LeafANN) SetRerank(n int) { x.rerank.Store(int32(n)) }
 
 // KDTreeIndex adapts a kd-tree to the CandidateIndex interface.
 type KDTreeIndex struct {

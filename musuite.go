@@ -29,6 +29,7 @@ package musuite
 import (
 	"time"
 
+	"musuite/internal/ann"
 	"musuite/internal/autoscale"
 	"musuite/internal/bench"
 	"musuite/internal/cluster"
@@ -205,15 +206,30 @@ type (
 	HDSearchNeighbor      = hdsearch.Neighbor
 	// HDSearchIndexKind selects the mid-tier candidate index.
 	HDSearchIndexKind = hdsearch.IndexKind
+	// HDSearchANNConfig tunes the leaf-resident ANN index builds for the
+	// ivf* kinds (ClusterConfig.ANN): coarse-quantizer cluster count, the
+	// nprobe/rerank search defaults, and training-sample/seed knobs.
+	HDSearchANNConfig = ann.Config
 )
 
-// The available HDSearch candidate-index structures — the paper's "LSH
-// tables, kd-trees, or k-means clusters" trio.
+// The available HDSearch candidate-index structures: the paper's "LSH
+// tables, kd-trees, or k-means clusters" trio of mid-tier candidate
+// generators, plus the leaf-resident sub-linear ANN indexes — plain IVF
+// (exact float32 candidate scoring), IVF over an int8 scalar-quantized
+// store, and IVF over a product-quantized store, the latter two with
+// exact float32 re-rank.
 const (
 	HDSearchIndexLSH    = hdsearch.IndexLSH
 	HDSearchIndexKDTree = hdsearch.IndexKDTree
 	HDSearchIndexKMeans = hdsearch.IndexKMeans
+	HDSearchIndexIVF    = hdsearch.IndexIVF
+	HDSearchIndexIVFSQ  = hdsearch.IndexIVFSQ
+	HDSearchIndexIVFPQ  = hdsearch.IndexIVFPQ
 )
+
+// HDSearchIndexKinds lists every selectable candidate index in display
+// order (the set the indexcmp experiment sweeps).
+var HDSearchIndexKinds = hdsearch.IndexKinds
 
 // StartHDSearchCluster launches an in-process HDSearch deployment.
 func StartHDSearchCluster(cfg HDSearchClusterConfig) (*HDSearchCluster, error) {
