@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet fmt-check bench-smoke bench-gate bench-baseline profile resize-demo trace-demo trace-smoke drain-churn autoscale-churn overload-demo ann-demo ci
+.PHONY: build test short race vet fmt-check bench-smoke bench-gate bench-baseline profile resize-demo trace-demo trace-smoke drain-churn autoscale-churn overload-demo ann-demo topo-demo scenario-demo ci
 
 # Gate benchmarks: TailFanout (hedging), LeafBatching (cross-request
 # coalescing), HotPathAllocs (per-call allocation budget), the leaf
@@ -106,5 +106,20 @@ overload-demo: build
 # gated at a 0.90 recall@10 floor (the nightly ann-recall CI job).
 ann-demo: build
 	$(GO) run ./cmd/musuite-bench -experiment indexcmp -window 1s -recall-floor 0.90
+
+# Deploy both exemplar topology specs — nested fan-out DAGs composed
+# entirely from YAML over the mid-tier framework — and drive each through
+# its load shape with the timed degradation scenario armed (the topo-smoke
+# CI job).  Non-zero exit on any untyped error.
+topo-demo: build
+	$(GO) run ./cmd/topo -topo examples/social-network.yaml
+	$(GO) run ./cmd/topo -topo examples/hotel-reservation.yaml
+
+# The cascading-failure scenario gate (the scenario CI job): a store
+# slowdown mid-flash-crowd must surface only as typed admission sheds, and
+# goodput must recover to ≥85% of the pre-fault baseline after the fault
+# clears.
+scenario-demo: build
+	$(GO) run ./cmd/musuite-bench -experiment scenario -topo examples/cascade.yaml
 
 ci: fmt-check vet build race

@@ -8,6 +8,7 @@
 //	musuite-bench -experiment fig10 -services HDSearch,Router -window 5s
 //	musuite-bench -experiment fig13 # Set Algebra syscall breakdown only
 //	musuite-bench -experiment ablation -load 200
+//	musuite-bench -experiment scenario -topo examples/cascade.yaml
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"musuite/internal/bench"
 	"musuite/internal/cluster"
+	"musuite/internal/cmdutil"
 	"musuite/internal/core"
 	"musuite/internal/services/hdsearch"
 	"musuite/internal/trace"
@@ -27,7 +29,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"tableII | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | fig18 | fig19 | ablation | threadpool | flashcrowd | trace | indexcmp | resize | overload | all")
+			"tableII | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | fig18 | fig19 | ablation | threadpool | flashcrowd | trace | indexcmp | resize | overload | scenario | all")
 		scaleName = flag.String("scale", "small", "small | paper")
 		services  = flag.String("services", strings.Join(bench.ServiceNames, ","),
 			"comma-separated service subset")
@@ -61,7 +63,11 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "with -trace-sample: also write the recorded spans (JSONL) here")
 		traceReplay = flag.String("trace-replay", "", "replay a recorded trace file's arrival process instead of running -experiment (service inferred from the spans)")
 		replaySpeed = flag.Float64("replay-speed", 1, "with -trace-replay: replay clock scale (2 = twice the recorded rate)")
+
+		recoveryFloor = flag.Float64("scenario-recovery", bench.DefaultRecoveryFloor,
+			"scenario: final-phase goodput must recover this fraction of the first phase's (0 disables the gate)")
 	)
+	topoFlags := cmdutil.RegisterTopoFlags()
 	flag.Parse()
 
 	strategy, err := cluster.ParseRouting(*routing)
@@ -117,6 +123,8 @@ func main() {
 
 	var err2 error
 	switch {
+	case *experiment == "scenario":
+		err2 = runScenario(topoFlags, *recoveryFloor)
 	case *traceReplay != "":
 		err2 = runTraceReplay(*traceReplay, scale, mode, *replaySpeed)
 	case *traceSample > 0:
@@ -128,6 +136,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "musuite-bench:", err2)
 		os.Exit(1)
 	}
+}
+
+// runScenario drives a declarative topology spec through its load shape
+// and timed degradation events, gating on the scenario acceptance
+// criteria: zero untyped errors and post-degradation goodput recovery.
+func runScenario(f *cmdutil.TopoFlags, recoveryFloor float64) error {
+	if f.Path() == "" {
+		return fmt.Errorf("-experiment scenario requires -topo <spec.yaml>")
+	}
+	spec, err := f.LoadSpec()
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunScenario(spec, f.RunOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderScenario(spec, res))
+	if v := bench.ScenarioViolations(res, recoveryFloor); len(v) > 0 {
+		return fmt.Errorf("scenario failed acceptance:\n  %s", strings.Join(v, "\n  "))
+	}
+	fmt.Println("(scenario acceptance: zero untyped errors, goodput recovered)")
+	return nil
 }
 
 // runTraceRecord deploys one service, offers an open-loop load with 1-in-N

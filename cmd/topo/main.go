@@ -1,0 +1,109 @@
+// Command topo deploys a declarative topology spec — any DAG of synthetic
+// mid-tiers, cache/store/compute leaves, and registered μSuite services —
+// over the mid-tier framework, offers the spec's load shape, and arms its
+// timed degradation scenario.
+//
+// Usage:
+//
+//	topo -topo examples/social-network.yaml
+//	topo -topo examples/hotel-reservation.yaml -topo-qps 300 -topo-duration 10s
+//	topo -topo spec.yaml -validate           # parse + validate only
+//	topo -topo spec.yaml -scenario=false     # run undisturbed
+//
+// The exit status is non-zero when the run produced untyped errors or
+// unresolved requests: degradation windows may shed load (typed
+// backpressure), but must never surface failures of unknown provenance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"musuite/internal/bench"
+	"musuite/internal/cmdutil"
+	"musuite/internal/topo"
+	"musuite/internal/trace"
+)
+
+func main() {
+	topoFlags := cmdutil.RegisterTopoFlags()
+	validate := flag.Bool("validate", false,
+		"parse and validate the spec, print its shape, and exit")
+	traceSample := flag.Int("trace-sample", 0,
+		"record end-to-end spans for 1-in-N requests across every tier (0 = off)")
+	traceOut := flag.String("trace-out", "",
+		"with -trace-sample: write the recorded spans (JSONL) here")
+	flag.Parse()
+
+	if topoFlags.Path() == "" {
+		fmt.Fprintln(os.Stderr, "topo: -topo <spec.yaml> is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, err := topoFlags.LoadSpec()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topo:", err)
+		os.Exit(2)
+	}
+	if *validate {
+		fmt.Print(describe(spec))
+		return
+	}
+
+	opts := topoFlags.RunOptions()
+	var rec *trace.Recorder
+	if *traceSample > 0 {
+		rec = trace.NewRecorder(spec.Name, 0)
+		opts.Build = topo.BuildOptions{Spans: rec, SpanSample: *traceSample}
+	}
+	res, err := bench.RunScenario(spec, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topo:", err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.RenderScenario(spec, res))
+	if rec != nil && *traceOut != "" {
+		spans := rec.Snapshot()
+		if err := trace.WriteFile(*traceOut, spans); err != nil {
+			fmt.Fprintln(os.Stderr, "topo:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d spans to %s\n", len(spans), *traceOut)
+	}
+	if v := bench.ScenarioViolations(res, 0); len(v) > 0 {
+		fmt.Fprintf(os.Stderr, "topo: run failed acceptance:\n  %s\n", strings.Join(v, "\n  "))
+		os.Exit(1)
+	}
+}
+
+// describe summarizes a validated spec: the -validate output.
+func describe(spec *topo.Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topology %q: %d services, entry %s, seed %d\n",
+		spec.Name, len(spec.Services), spec.Entry, spec.Seed)
+	for _, name := range spec.ServiceNames() {
+		svc := spec.Services[name]
+		fmt.Fprintf(&b, "  %-16s kind=%-10s shards=%d replicas=%d",
+			name, svc.Kind, svc.Shards, svc.Replicas)
+		if len(svc.Edges) > 0 {
+			var edges []string
+			for en, e := range svc.Edges {
+				edges = append(edges, fmt.Sprintf("%s->%s", en, e.To))
+			}
+			sort.Strings(edges)
+			fmt.Fprintf(&b, " edges=[%s]", strings.Join(edges, " "))
+		}
+		b.WriteByte('\n')
+	}
+	pattern := spec.Load.Pattern
+	if pattern == "" {
+		pattern = topo.PatternSteady
+	}
+	fmt.Fprintf(&b, "  load: pattern=%s qps=%g duration=%v\n",
+		pattern, spec.Load.QPS, spec.Load.Duration)
+	fmt.Fprintf(&b, "  scenario: %d events\n", len(spec.Scenario))
+	return b.String()
+}

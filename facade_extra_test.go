@@ -69,6 +69,52 @@ func TestFacadeSchedules(t *testing.T) {
 	}
 }
 
+func TestFacadeTopology(t *testing.T) {
+	spec, err := musuite.ParseTopology([]byte(`
+topology: facade
+entry: fe
+services:
+  fe:
+    kind: synthetic
+    ops:
+      q:
+        calls:
+          - {edge: down, method: do}
+    edges:
+      down: {to: leaf, timeout: 100ms}
+  leaf:
+    kind: compute
+    work: 20us
+load:
+  qps: 200
+  duration: 300ms
+scenario:
+  - {at: 0ms, for: 100ms, target: leaf, slow: 1ms}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := musuite.TopologyKinds()
+	if len(kinds) != 4 {
+		t.Fatalf("registered kinds: %v", kinds)
+	}
+	res, err := musuite.RunTopology(spec, musuite.TopoRunOptions{
+		DrainTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, completed, _, _, _ := res.Totals(); completed == 0 {
+		t.Fatalf("run completed nothing: %+v", res)
+	}
+	if len(res.Events) != 2 {
+		t.Fatalf("scenario log: %+v", res.Events)
+	}
+	if v := musuite.ScenarioViolations(res, 0); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
 func TestFacadeQueryStats(t *testing.T) {
 	corpus := musuite.NewDocCorpus(musuite.DocCorpusConfig{Docs: 150, VocabSize: 500, Seed: 31})
 	cluster, err := musuite.StartSetAlgebraCluster(musuite.SetAlgebraClusterConfig{

@@ -1,0 +1,66 @@
+package cmdutil
+
+import (
+	"flag"
+	"time"
+
+	"musuite/internal/topo"
+)
+
+// TopoFlags is the -topo/-scenario flag group shared by cmd/topo and
+// musuite-bench: one spec path plus run-shape overrides, so a topology
+// behaves identically no matter which binary drives it.
+type TopoFlags struct {
+	path     *string
+	scenario *bool
+	duration *time.Duration
+	qps      *float64
+	pattern  *string
+	seed     *int64
+}
+
+// RegisterTopoFlags registers the topology flag group; call before
+// flag.Parse.
+func RegisterTopoFlags() *TopoFlags {
+	return &TopoFlags{
+		path: flag.String("topo", "",
+			"topology spec (YAML) to deploy and drive"),
+		scenario: flag.Bool("scenario", true,
+			"arm the spec's scenario events (false = run the topology undisturbed)"),
+		duration: flag.Duration("topo-duration", 0,
+			"override the spec's offered-load window (0 = spec value)"),
+		qps: flag.Float64("topo-qps", 0,
+			"override the spec's base offered load (0 = spec value)"),
+		pattern: flag.String("topo-pattern", "",
+			"override the spec's arrival pattern: steady | diurnal | flashcrowd | burst"),
+		seed: flag.Int64("topo-seed", 0,
+			"override the spec's deterministic seed (0 = spec value)"),
+	}
+}
+
+// Path is the -topo spec path ("" when unset).
+func (f *TopoFlags) Path() string { return *f.path }
+
+// LoadSpec parses and validates the -topo spec, stripping its scenario
+// section when -scenario=false.
+func (f *TopoFlags) LoadSpec() (*topo.Spec, error) {
+	spec, err := topo.LoadSpecFile(*f.path)
+	if err != nil {
+		return nil, err
+	}
+	if !*f.scenario {
+		spec.Scenario = nil
+	}
+	return spec, nil
+}
+
+// RunOptions builds the run-shape overrides the flags describe.
+func (f *TopoFlags) RunOptions() topo.RunOptions {
+	return topo.RunOptions{
+		QPS:          *f.qps,
+		Duration:     *f.duration,
+		Pattern:      *f.pattern,
+		Seed:         *f.seed,
+		DrainTimeout: 10 * time.Second,
+	}
+}

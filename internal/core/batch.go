@@ -51,37 +51,37 @@ const (
 )
 
 // newBatcher wraps one replica's connection pool with a batcher driven by
-// this mid-tier's adaptive delay and telemetry.
-func (m *MidTier) newBatcher(pool *rpc.Pool) *rpc.Batcher {
+// this edge's adaptive delay and the tier's telemetry.
+func (e *edge) newBatcher(pool *rpc.Pool) *rpc.Batcher {
 	return rpc.NewBatcher(pool, rpc.BatcherOptions{
-		MaxBatch: m.opts.Batch.MaxBatch,
-		Delay:    m.batchDelay,
-		OnFlush:  m.onBatchFlush,
+		MaxBatch: e.policy.Batch.MaxBatch,
+		Delay:    e.batchDelay,
+		OnFlush:  e.mt.onBatchFlush,
 	})
 }
 
 // batchDelay is the flush delay armed when a batcher's queue goes from
 // empty to non-empty: the fixed Delay if configured, else the cached
 // digest-tracked value, else a bootstrap constant.
-func (m *MidTier) batchDelay() time.Duration {
-	if d := m.opts.Batch.Delay; d > 0 {
+func (e *edge) batchDelay() time.Duration {
+	if d := e.policy.Batch.Delay; d > 0 {
 		return d
 	}
-	if d := m.batchDelayNs.Load(); d > 0 {
+	if d := e.batchDelayNs.Load(); d > 0 {
 		return time.Duration(d)
 	}
-	if d := m.opts.Batch.MinDelay; d > 0 {
+	if d := e.policy.Batch.MinDelay; d > 0 {
 		return d
 	}
 	return batchBootstrapDelay
 }
 
 // refreshBatchDelay recomputes the cached adaptive flush delay from the
-// leaf-latency digest.  Called from the same amortized refresh point as the
-// hedge delay (every hedgeRefreshEvery observations), since a quantile scan
-// is too costly per call.
-func (m *MidTier) refreshBatchDelay() {
-	p := m.opts.Batch
+// edge's latency digest.  Called from the same amortized refresh point as
+// the hedge delay (every hedgeRefreshEvery observations), since a quantile
+// scan is too costly per call.
+func (e *edge) refreshBatchDelay() {
+	p := e.policy.Batch
 	if !p.enabled() || p.Delay > 0 {
 		return
 	}
@@ -97,12 +97,16 @@ func (m *MidTier) refreshBatchDelay() {
 	if min <= 0 {
 		min = defaultBatchMinDelay
 	}
-	d := time.Duration(float64(m.leafLat.Quantile(pct)) * frac)
+	d := time.Duration(float64(e.leafLat.Quantile(pct)) * frac)
 	if d < min {
 		d = min
 	}
-	m.batchDelayNs.Store(int64(d))
+	e.batchDelayNs.Store(int64(d))
 }
+
+// batchDelay is the default edge's flush delay, kept under its old name for
+// in-package tests that assert the adaptive tracking.
+func (m *MidTier) batchDelay() time.Duration { return m.def.batchDelay() }
 
 // onBatchFlush feeds the occupancy and flush-cause counters surfaced
 // through core.stats and the probe.

@@ -10,7 +10,6 @@ import (
 
 	"musuite/internal/cluster"
 	"musuite/internal/rpc"
-	"musuite/internal/stats"
 	"musuite/internal/telemetry"
 	"musuite/internal/trace"
 )
@@ -167,10 +166,13 @@ type MidTier struct {
 	deliverFn func(any)
 	handleFn  func(any)
 
-	// topo owns the live leaf topology: an epoch-versioned snapshot chain
-	// the hot path reads lock-free, and the add/drain/remove operations
-	// that mutate it at runtime.
-	topo    *cluster.Topology
+	// def is the default downstream edge (DefaultEdge, the classic leaf
+	// fan-out); edges maps every connected edge by name.  Both are mutable
+	// only before Start (guarded by edgeMu) and read-only after, so the
+	// hot path reads them without synchronization.
+	def     *edge
+	edges   map[string]*edge
+	edgeMu  sync.Mutex
 	started atomic.Bool
 	closed  atomic.Bool
 
@@ -182,21 +184,18 @@ type MidTier struct {
 	// is zero, so the unlimited path costs nothing.
 	admit *admitController
 
-	// Tail-tolerance state: the hedge/retry token budget, the leaf
-	// latency digest the percentile-tracked hedge delay derives from,
-	// and the action counters surfaced through core.stats.
+	// Tail-tolerance state: the hedge/retry token budget (tier-global, so
+	// one edge's recovery traffic cannot starve another's) and the action
+	// counters surfaced through core.stats.  The latency digests and
+	// cached hedge delays live per edge.
 	budget       *retryBudget
-	leafLat      *stats.Histogram
-	latCount     atomic.Uint64
-	hedgeDelayNs atomic.Int64
 	hedges       atomic.Uint64
 	hedgeWins    atomic.Uint64
 	retries      atomic.Uint64
 	budgetDenied atomic.Uint64
 
-	// Batching state: the cached digest-tracked flush delay and the
-	// occupancy/flush-cause counters surfaced through core.stats.
-	batchDelayNs       atomic.Int64
+	// Batching occupancy/flush-cause counters surfaced through core.stats
+	// (the cached digest-tracked flush delay lives per edge).
 	batchCarriers      atomic.Uint64
 	batchMembers       atomic.Uint64
 	batchFlushSize     atomic.Uint64
@@ -214,7 +213,6 @@ func NewMidTier(handler Handler, opts *Options) *MidTier {
 	}
 	m.arrivals = newRateMeter(100 * time.Millisecond)
 	m.budget = newRetryBudget(o.Tail.RetryBudgetRatio, o.Tail.RetryBudgetBurst)
-	m.leafLat = stats.NewHistogram()
 	m.workers = NewBoundedWorkerPool(o.Workers, o.MaxQueueDepth, o.Wait, o.Probe, telemetry.OverheadActiveExe)
 	m.responses = NewWorkerPool(o.ResponseThreads, o.Wait, o.Probe, telemetry.OverheadSched)
 	m.deliverFn = func(a any) {
@@ -241,22 +239,16 @@ func NewMidTier(handler Handler, opts *Options) *MidTier {
 		Probe:                o.Probe,
 		DisableWriteCoalesce: o.DisableWriteCoalesce,
 	})
-	cfg := cluster.Config{
-		Dial: func(addr string) (*rpc.Pool, error) {
-			return rpc.DialPool(addr, o.LeafConnsPerShard, &rpc.ClientOptions{
-				Probe:                m.probe,
-				OnResponse:           m.onLeafResponse,
-				PendingShards:        o.PendingShards,
-				DisableWriteCoalesce: o.DisableWriteCoalesce,
-			})
-		},
-		Router: o.Routing,
-		Probe:  o.Probe,
-	}
-	if o.Batch.enabled() {
-		cfg.NewBatcher = m.newBatcher
-	}
-	m.topo = cluster.New(cfg)
+	// The tier-wide fan-out knobs in Options become the default edge's
+	// policy; ConnectEdge can replace it (or add named siblings) before
+	// Start.
+	m.def = m.newEdge(DefaultEdge, EdgePolicy{
+		Timeout: o.FanoutTimeout,
+		Tail:    o.Tail,
+		Batch:   o.Batch,
+		Routing: o.Routing,
+	})
+	m.edges = map[string]*edge{DefaultEdge: m.def}
 	return m
 }
 
@@ -279,23 +271,23 @@ func (m *MidTier) ConnectLeafGroups(groups [][]string) error {
 	if m.started.Load() {
 		return errors.New("core: ConnectLeaves after Start")
 	}
-	if err := m.topo.Bootstrap(groups); err != nil {
+	if err := m.def.topo.Bootstrap(groups); err != nil {
 		m.Close()
 		return err
 	}
 	return nil
 }
 
-// Topology exposes the mid-tier's live leaf topology — the runtime admin
-// surface (cluster.ServeAdmin) binds to it.
-func (m *MidTier) Topology() *cluster.Topology { return m.topo }
+// Topology exposes the mid-tier's live leaf topology (the default edge's) —
+// the runtime admin surface (cluster.ServeAdmin) binds to it.
+func (m *MidTier) Topology() *cluster.Topology { return m.def.topo }
 
 // AddLeafGroup dials a new leaf replica group and places it in service at
 // runtime, returning its shard index.  Requests already in flight keep the
 // leaf count they arrived with; requests arriving after the publish see the
 // new shard.
 func (m *MidTier) AddLeafGroup(addrs []string) (int, error) {
-	return m.topo.AddGroup(addrs)
+	return m.def.topo.AddGroup(addrs)
 }
 
 // DrainLeafGroup gracefully removes shard's leaf group at runtime: new
@@ -303,20 +295,21 @@ func (m *MidTier) AddLeafGroup(addrs []string) (int, error) {
 // members) finish against it, then its batchers flush and its pools close.
 // deadline bounds the wait (≤ 0 selects cluster.DefaultDrainDeadline).
 func (m *MidTier) DrainLeafGroup(shard int, deadline time.Duration) error {
-	return m.topo.DrainGroup(shard, deadline)
+	return m.def.topo.DrainGroup(shard, deadline)
 }
 
 // RemoveLeafGroup forcefully removes shard's leaf group, failing its
 // in-flight calls.  Prefer DrainLeafGroup.
 func (m *MidTier) RemoveLeafGroup(shard int) error {
-	return m.topo.RemoveGroup(shard)
+	return m.def.topo.RemoveGroup(shard)
 }
 
-// NumLeaves reports the number of connected leaf shards.
-func (m *MidTier) NumLeaves() int { return m.topo.Current().NumLeaves() }
+// NumLeaves reports the number of connected leaf shards (default edge).
+func (m *MidTier) NumLeaves() int { return m.def.topo.Current().NumLeaves() }
 
-// NumReplicas reports the total leaf replica count across all shards.
-func (m *MidTier) NumReplicas() int { return m.topo.Current().NumReplicas() }
+// NumReplicas reports the total leaf replica count across all shards
+// (default edge).
+func (m *MidTier) NumReplicas() int { return m.def.topo.Current().NumReplicas() }
 
 // Shed reports how many requests the dispatch-queue bound rejected.
 func (m *MidTier) Shed() uint64 { return m.workers.Shed() }
@@ -338,7 +331,11 @@ func (m *MidTier) Close() {
 	if m.server != nil {
 		m.server.Close()
 	}
-	m.topo.Close()
+	m.edgeMu.Lock()
+	for _, e := range m.edges {
+		e.topo.Close()
+	}
+	m.edgeMu.Unlock()
 	m.workers.Stop()
 	m.responses.Stop()
 }
@@ -368,7 +365,7 @@ func (m *MidTier) onRequest(req *rpc.Request) {
 	// hedges, retries) resolves against this one epoch, and a concurrent
 	// drain waits for the pin before closing anything the request may
 	// still call.  Released in finish (or below if dispatch sheds it).
-	ctx := &Ctx{Req: req, mt: m, snap: m.topo.Acquire(), admitted: m.admit != nil}
+	ctx := &Ctx{Req: req, mt: m, snap: m.def.topo.Acquire(), admitted: m.admit != nil}
 	ctx.tr = m.opts.Tracer.Sample()
 	if m.spans != nil && req.TraceContext().Sampled() {
 		// The request arrived with a sampled span context: this tier's
@@ -497,6 +494,12 @@ type Ctx struct {
 	shed     bool
 	errText  string
 	fin      atomic.Bool
+
+	// pins tracks the non-default edge snapshots this request pinned via
+	// Edge, released in finish.  Guarded by pinMu: a multi-stage handler
+	// may resolve edges from concurrent merge callbacks.
+	pinMu sync.Mutex
+	pins  []edgePin
 }
 
 // NumLeaves reports the fan-out width available to this request.  It is
@@ -531,6 +534,13 @@ func (c *Ctx) finish() {
 		return
 	}
 	c.snap.Release()
+	c.pinMu.Lock()
+	pins := c.pins
+	c.pins = nil
+	c.pinMu.Unlock()
+	for _, p := range pins {
+		p.snap.Release()
+	}
 	if c.admitted {
 		if c.shed {
 			c.mt.admit.cancel()
@@ -597,11 +607,16 @@ func (c *Ctx) recordServerSpan() {
 // the §IV asynchronous design.  merge runs on a response thread (or, for an
 // empty call list, synchronously) and must call Reply/ReplyError.
 func (c *Ctx) Fanout(calls []LeafCall, merge func([]LeafResult)) {
+	c.fanoutOn(c.mt.def, c.snap, calls, merge)
+}
+
+// fanoutOn is Fanout against one edge's policy and pinned snapshot.
+func (c *Ctx) fanoutOn(e *edge, snap *cluster.Snapshot, calls []LeafCall, merge func([]LeafResult)) {
 	if len(calls) == 0 {
 		merge(nil)
 		return
 	}
-	fo := getFanout(c.mt, c.snap, len(calls), merge, c.tr, c.span)
+	fo := getFanout(e, snap, len(calls), merge, c.tr, c.span)
 	// Slots must be fully initialized before the expiry timer can fire.
 	for i, lc := range calls {
 		fo.slot(i, lc.Shard, lc.Method, lc.Payload)
@@ -612,12 +627,17 @@ func (c *Ctx) Fanout(calls []LeafCall, merge func([]LeafResult)) {
 // FanoutAll broadcasts one payload to every leaf shard.  The calls are
 // synthesized straight into the fan-out's slots — no LeafCall slice.
 func (c *Ctx) FanoutAll(method string, payload []byte, merge func([]LeafResult)) {
-	n := c.snap.NumLeaves()
+	c.fanoutAllOn(c.mt.def, c.snap, method, payload, merge)
+}
+
+// fanoutAllOn is FanoutAll against one edge's policy and pinned snapshot.
+func (c *Ctx) fanoutAllOn(e *edge, snap *cluster.Snapshot, method string, payload []byte, merge func([]LeafResult)) {
+	n := snap.NumLeaves()
 	if n == 0 {
 		merge(nil)
 		return
 	}
-	fo := getFanout(c.mt, c.snap, n, merge, c.tr, c.span)
+	fo := getFanout(e, snap, n, merge, c.tr, c.span)
 	for i := 0; i < n; i++ {
 		fo.slot(i, i, method, payload)
 	}
@@ -631,7 +651,7 @@ func (c *Ctx) runFanout(fo *fanout) {
 	// complete the whole request — and recycle a pooled trace — before the
 	// issue loop below returns.
 	c.tr.Stamp(trace.StageFanoutIssued)
-	if d := m.opts.FanoutTimeout; d > 0 {
+	if d := fo.e.policy.Timeout; d > 0 {
 		fo.refs.Add(1) // expiry hold: released by expire or a won Stop
 		fo.timer.Store(time.AfterFunc(d, fo.expire))
 	}
@@ -650,13 +670,18 @@ func (c *Ctx) runFanout(fo *fanout) {
 // the shard's least-loaded replica; retryable failures are re-issued to
 // another replica, up to Tail.LeafRetries and subject to the retry budget.
 func (c *Ctx) CallLeaf(shard int, method string, payload []byte) ([]byte, error) {
+	return c.callOn(c.mt.def, c.snap, shard, method, payload)
+}
+
+// callOn is CallLeaf against one edge's policy and pinned snapshot.
+func (c *Ctx) callOn(e *edge, snap *cluster.Snapshot, shard int, method string, payload []byte) ([]byte, error) {
 	m := c.mt
-	if shard < 0 || shard >= c.snap.NumLeaves() {
+	if shard < 0 || shard >= snap.NumLeaves() {
 		return nil, fmt.Errorf("core: no such leaf shard %d", shard)
 	}
 	// The caller's pinned snapshot keeps the group's pools open for the
 	// whole (synchronous) call, retries included.
-	g := c.snap.Group(shard)
+	g := snap.Group(shard)
 	m.budget.earn()
 	traced := c.span.Sampled() && m.spans != nil
 	exclude := -1
@@ -697,14 +722,14 @@ func (c *Ctx) CallLeaf(shard int, method string, payload []byte) ([]byte, error)
 			})
 		}
 		if call.Err == nil {
-			m.observeLeafLatency(call.Received.Sub(call.Sent))
+			e.observeLatency(call.Received.Sub(call.Sent))
 			reply := call.DetachReply()
 			call.Release()
 			return reply, nil
 		}
 		err := call.Err
 		call.Release()
-		if attempt >= m.opts.Tail.LeafRetries || !rpc.Retryable(err) {
+		if attempt >= e.policy.Tail.LeafRetries || !rpc.Retryable(err) {
 			return nil, err
 		}
 		if !m.budget.spend() {
@@ -723,7 +748,7 @@ func (c *Ctx) CallLeaf(shard int, method string, payload []byte) ([]byte, error)
 // within the hedge delay.
 func (m *MidTier) issuePrimary(slot *fanoutSlot) {
 	m.budget.earn()
-	hedging := m.opts.Tail.hedging()
+	hedging := slot.fo.e.policy.Tail.hedging()
 	if hedging {
 		// The hedge timer's hold must exist before the primary attempt can
 		// complete, or a fast response could recycle the fan-out under the
@@ -732,7 +757,7 @@ func (m *MidTier) issuePrimary(slot *fanoutSlot) {
 	}
 	m.issueAttempt(slot, -1, attemptPrimary)
 	if hedging {
-		t := time.AfterFunc(m.hedgeDelay(), func() {
+		t := time.AfterFunc(slot.fo.e.hedgeDelay(), func() {
 			defer slot.fo.unref()
 			m.hedge(slot)
 		})
@@ -848,7 +873,7 @@ func (m *MidTier) hedge(slot *fanoutSlot) {
 // bounded by Tail.LeafRetries per slot and the global retry budget.  It
 // reports whether a retry is now in flight (the slot stays pending).
 func (m *MidTier) maybeRetry(slot *fanoutSlot, failed *rpc.Call) bool {
-	max := m.opts.Tail.LeafRetries
+	max := slot.fo.e.policy.Tail.LeafRetries
 	if max <= 0 {
 		return false
 	}
@@ -951,46 +976,10 @@ func (m *MidTier) recordAttemptSpan(method string, shard int, a *attempt, end ti
 	})
 }
 
-// observeLeafLatency feeds the digest behind the percentile-tracked hedge
-// delay and the digest-tracked batch flush delay.  The quantile scans are
-// amortized: the cached delays refresh every hedgeRefreshEvery observations
-// rather than per call.
-func (m *MidTier) observeLeafLatency(d time.Duration) {
-	m.leafLat.Record(d)
-	if m.latCount.Add(1)%hedgeRefreshEvery != 0 {
-		return
-	}
-	m.refreshHedgeDelay()
-	m.refreshBatchDelay()
-}
-
-// refreshHedgeDelay recomputes the cached percentile-tracked hedge delay.
-func (m *MidTier) refreshHedgeDelay() {
-	t := m.opts.Tail
-	if !t.hedging() || t.HedgeDelay > 0 {
-		return
-	}
-	q := m.leafLat.Quantile(t.HedgePercentile)
-	min := t.HedgeMinDelay
-	if min <= 0 {
-		min = defaultHedgeMinDelay
-	}
-	if q < min {
-		q = min
-	}
-	m.hedgeDelayNs.Store(int64(q))
-}
-
-// hedgeDelay is the current delay before a pending leaf call is hedged.
-func (m *MidTier) hedgeDelay() time.Duration {
-	if d := m.opts.Tail.HedgeDelay; d > 0 {
-		return d
-	}
-	if d := m.hedgeDelayNs.Load(); d > 0 {
-		return time.Duration(d)
-	}
-	return hedgeBootstrapDelay
-}
+// observeLeafLatency feeds the default edge's latency digest — the
+// per-edge observe path (edge.observeLatency) under its old name, kept for
+// in-package tests that seed the digest directly.
+func (m *MidTier) observeLeafLatency(d time.Duration) { m.def.observeLatency(d) }
 
 // ErrFanoutTimeout marks a leaf slot whose response missed the fan-out
 // deadline.
@@ -1010,6 +999,10 @@ var ErrFanoutTimeout = errors.New("core: leaf response timed out")
 // depends on the pool.
 type fanout struct {
 	mt *MidTier
+	// e is the edge this fan-out issues on: its policy governs timeout,
+	// hedging, retries, and batching, and its digest absorbs the latency
+	// observations.
+	e *edge
 	// snap is the parent request's pinned topology snapshot, borrowed (not
 	// re-pinned) for the fan-out's lifetime: slot shard indices resolve
 	// against it, and late attempt issuers TryPin it before touching its
@@ -1044,9 +1037,10 @@ type fanout struct {
 var fanoutPool = sync.Pool{New: func() any { return new(fanout) }}
 
 // getFanout readies a pooled fan-out for n slots.
-func getFanout(m *MidTier, snap *cluster.Snapshot, n int, merge func([]LeafResult), tr *trace.Trace, span trace.SpanContext) *fanout {
+func getFanout(e *edge, snap *cluster.Snapshot, n int, merge func([]LeafResult), tr *trace.Trace, span trace.SpanContext) *fanout {
 	f := fanoutPool.Get().(*fanout)
-	f.mt = m
+	f.mt = e.mt
+	f.e = e
 	f.snap = snap
 	f.merge = merge
 	f.tr = tr
@@ -1077,6 +1071,7 @@ func (f *fanout) unref() {
 // has resolved, so nothing can reach the slots anymore.
 func (f *fanout) recycle() {
 	f.mt = nil
+	f.e = nil
 	f.snap = nil
 	f.merge = nil
 	f.tr = nil
@@ -1223,7 +1218,7 @@ func (s *fanoutSlot) cancelLosers(winner rpc.CallRef, end time.Time) (win attemp
 func (f *fanout) deliver(call *rpc.Call) {
 	slot := call.Data.(*fanoutSlot)
 	if call.Err == nil {
-		f.mt.observeLeafLatency(call.Received.Sub(call.Sent))
+		f.e.observeLatency(call.Received.Sub(call.Sent))
 	} else if !slot.fired.Load() && rpc.Retryable(call.Err) && f.mt.maybeRetry(slot, call) {
 		// A retry is in flight; the slot stays pending and this failed
 		// copy — which the fan-out owns, having consumed it — retires.

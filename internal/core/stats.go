@@ -164,10 +164,20 @@ func QueryStats(c *rpc.Client) (TierStats, error) {
 	return DecodeTierStats(reply)
 }
 
-// stats snapshots the mid-tier's counters.
+// stats snapshots the mid-tier's counters.  Leaves/Replicas sum across all
+// connected edges (identical to the classic values when only the default
+// edge exists); the epoch and topology-mutation gauges come from the default
+// edge, whose topology the admin surface binds to.
 func (m *MidTier) stats() TierStats {
-	snap := m.topo.Current()
-	topo := m.topo.Stats()
+	topo := m.def.topo.Stats()
+	leaves, replicas := 0, 0
+	m.edgeMu.Lock()
+	for _, e := range m.edges {
+		snap := e.topo.Current()
+		leaves += snap.NumLeaves()
+		replicas += snap.NumReplicas()
+	}
+	m.edgeMu.Unlock()
 	s := TierStats{
 		Role:            "midtier",
 		Served:          m.served.Load(),
@@ -176,8 +186,8 @@ func (m *MidTier) stats() TierStats {
 		QueueDepth:      m.workers.QueueDepth(),
 		Workers:         m.workers.Workers(),
 		ResponseThreads: m.responses.Workers(),
-		Leaves:          snap.NumLeaves(),
-		Replicas:        snap.NumReplicas(),
+		Leaves:          leaves,
+		Replicas:        replicas,
 		Hedges:          m.hedges.Load(),
 		HedgeWins:       m.hedgeWins.Load(),
 		Retries:         m.retries.Load(),
@@ -195,11 +205,11 @@ func (m *MidTier) stats() TierStats {
 		TopoRemoves:       topo.Removes,
 		TopoDrainTimeouts: topo.DrainTimeouts,
 	}
-	if m.opts.Tail.hedging() {
-		s.HedgeDelay = m.hedgeDelay()
+	if m.def.policy.Tail.hedging() {
+		s.HedgeDelay = m.def.hedgeDelay()
 	}
-	if m.opts.Batch.enabled() {
-		s.BatchDelay = m.batchDelay()
+	if m.def.policy.Batch.enabled() {
+		s.BatchDelay = m.def.batchDelay()
 	}
 	if m.admit != nil {
 		s.Admitted = m.admit.admitted.Load()

@@ -1,0 +1,286 @@
+package loadgen
+
+import (
+	"math/rand"
+	"time"
+
+	"musuite/internal/rpc"
+	"musuite/internal/stats"
+)
+
+// This file is the one open-loop engine every load shape drives: a steady
+// Poisson run, a multi-phase schedule (flash crowd, diurnal staircase,
+// square-wave bursts), and a recorded-trace replay are all just different
+// arrival processes fed to RunProcess.  Before this refactor the
+// constant-QPS path and the phased path each had their own
+// dispatcher/collector pair; now the coordinated-omission-safe measurement
+// (latency clocked from the *scheduled* arrival) exists exactly once.
+
+// Arrival is one scheduled request of an open-loop run: its offset from the
+// start of the run and the phase it is attributed to.
+type Arrival struct {
+	Offset time.Duration
+	Phase  int
+}
+
+// ArrivalFunc yields the i-th arrival of a load process.  It is called with
+// strictly increasing i from a single dispatcher goroutine (implementations
+// may keep state); returning ok=false ends the offered-load window.
+type ArrivalFunc func(i int) (a Arrival, ok bool)
+
+// ProcessConfig parameterizes one RunProcess run.
+type ProcessConfig struct {
+	// Phases labels the arrival process's phases for attribution; arrivals
+	// carry an index into it.  Empty means one anonymous phase.
+	Phases []LoadPhase
+	// Window is the offered-load interval AchievedQPS is computed over
+	// (default: the sum of phase durations).
+	Window time.Duration
+	// DrainTimeout bounds the post-window wait for stragglers (default 10s).
+	DrainTimeout time.Duration
+	// CaptureRaw retains every latency sample for violin rendering.
+	CaptureRaw bool
+}
+
+// ProcessResult is a RunProcess run's measurement: the run-wide totals plus
+// one entry per phase, attributed by where each request was *scheduled*.
+type ProcessResult struct {
+	Total  OpenLoopResult
+	Phases []PhaseResult
+}
+
+// PoissonArrivals builds a constant-rate Poisson arrival process over the
+// window: exponential inter-arrival gaps at rate qps.
+func PoissonArrivals(qps float64, window time.Duration, seed int64) ArrivalFunc {
+	rng := rand.New(rand.NewSource(seed))
+	var off time.Duration
+	return func(int) (Arrival, bool) {
+		off += time.Duration(rng.ExpFloat64() / qps * float64(time.Second))
+		return Arrival{Offset: off}, off <= window
+	}
+}
+
+// PhasedArrivals builds a Poisson process whose rate steps through the
+// phases consecutively, continuous across boundaries (the overshoot of one
+// phase's last gap carries into the next, so the process stays Poisson at
+// the seam).  Zero-QPS phases offer nothing but still consume their
+// duration.
+func PhasedArrivals(phases []LoadPhase, seed int64) ArrivalFunc {
+	rng := rand.New(rand.NewSource(seed))
+	pi := 0
+	var off, phaseEnd time.Duration
+	for pi < len(phases) && (phases[pi].QPS <= 0 || phases[pi].Duration <= 0) {
+		phaseEnd += phases[pi].Duration
+		pi++
+	}
+	if pi < len(phases) {
+		phaseEnd += phases[pi].Duration
+	}
+	return func(int) (Arrival, bool) {
+		for pi < len(phases) {
+			gap := time.Duration(rng.ExpFloat64() / phases[pi].QPS * float64(time.Second))
+			if off+gap <= phaseEnd {
+				off += gap
+				return Arrival{Offset: off, Phase: pi}, true
+			}
+			// The gap crosses the phase boundary: clamp to it and move to
+			// the next offering phase.
+			off = phaseEnd
+			pi++
+			for pi < len(phases) && (phases[pi].QPS <= 0 || phases[pi].Duration <= 0) {
+				phaseEnd += phases[pi].Duration
+				off = phaseEnd
+				pi++
+			}
+			if pi < len(phases) {
+				phaseEnd += phases[pi].Duration
+			}
+		}
+		return Arrival{}, false
+	}
+}
+
+// ReplayArrivals re-offers a recorded arrival process (e.g.
+// trace.ArrivalOffsets of an exported trace), scaled by speed.
+func ReplayArrivals(offsets []time.Duration, speed float64) ArrivalFunc {
+	if speed <= 0 {
+		speed = 1
+	}
+	return func(i int) (Arrival, bool) {
+		if i >= len(offsets) {
+			return Arrival{}, false
+		}
+		return Arrival{Offset: time.Duration(float64(offsets[i]) / speed)}, true
+	}
+}
+
+// PhaseWindow sums the phases' durations — the offered-load window of a
+// phased process.
+func PhaseWindow(phases []LoadPhase) time.Duration {
+	var w time.Duration
+	for _, p := range phases {
+		w += p.Duration
+	}
+	return w
+}
+
+// RunProcess drives issue with the given arrival process, measuring each
+// request from its scheduled arrival time (coordinated-omission safe: the
+// queueing delay a slow server causes is charged to the server, never
+// silently removed from the offered load).
+func RunProcess(issue IssueFunc, next ArrivalFunc, cfg ProcessConfig) ProcessResult {
+	drainTimeout := cfg.DrainTimeout
+	if drainTimeout <= 0 {
+		drainTimeout = 10 * time.Second
+	}
+	phases := cfg.Phases
+	if len(phases) == 0 {
+		phases = []LoadPhase{{Name: "run", Duration: cfg.Window}}
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = PhaseWindow(phases)
+	}
+	if window <= 0 {
+		window = time.Second
+	}
+	nphase := len(phases)
+	res := ProcessResult{Phases: make([]PhaseResult, nphase)}
+	hists := make([]*stats.Histogram, nphase)
+	for i := range res.Phases {
+		res.Phases[i].Phase = phases[i]
+		hists[i] = stats.NewHistogram()
+	}
+	totalHist := stats.NewHistogram()
+	var raw []time.Duration
+	out := &res.Total
+
+	type schedRecord struct {
+		call  *rpc.Call
+		sched time.Time
+		phase int
+	}
+	// Sized so neither the transport reader nor the dispatcher blocks.
+	done := make(chan *rpc.Call, 4096)
+	records := make(chan schedRecord, 4096)
+
+	// Dispatcher: schedule arrivals, never waiting for responses.
+	dispatcherDone := make(chan []uint64, 1)
+	go func() {
+		offered := make([]uint64, nphase)
+		start := time.Now()
+		for i := 0; ; i++ {
+			a, ok := next(i)
+			if !ok {
+				break
+			}
+			ph := a.Phase
+			if ph < 0 || ph >= nphase {
+				ph = nphase - 1
+			}
+			at := start.Add(a.Offset)
+			if d := time.Until(at); d > 0 {
+				time.Sleep(d)
+			}
+			// Even if we are issuing late, the latency clock runs from the
+			// scheduled instant.
+			call := issue(done)
+			records <- schedRecord{call: call, sched: at, phase: ph}
+			offered[ph]++
+		}
+		dispatcherDone <- offered
+	}()
+
+	// Collector: match completions to scheduled times.  A completion can
+	// beat its record through the channels, so unmatched completions are
+	// parked until the record arrives.
+	sched := make(map[*rpc.Call]schedRecord)
+	orphans := make(map[*rpc.Call]time.Time)
+	var resolved uint64
+	record := func(rec schedRecord, fallback time.Time) {
+		resolved++
+		pr := &res.Phases[rec.phase]
+		if rec.call.Err != nil {
+			if rpc.IsOverload(rec.call.Err) {
+				pr.Shed++
+				out.Shed++
+			} else {
+				pr.Errors++
+				out.Errors++
+			}
+			return
+		}
+		end := rec.call.Received
+		if end.IsZero() {
+			end = fallback
+		}
+		lat := end.Sub(rec.sched)
+		hists[rec.phase].Record(lat)
+		totalHist.Record(lat)
+		if cfg.CaptureRaw {
+			raw = append(raw, lat)
+		}
+		pr.Completed++
+		out.Completed++
+	}
+
+	dispatchDoneSeen := false
+	var drainDeadline time.Time
+	for {
+		if dispatchDoneSeen && resolved >= out.Offered {
+			break
+		}
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		if dispatchDoneSeen {
+			if time.Now().After(drainDeadline) {
+				break
+			}
+			timer = time.NewTimer(50 * time.Millisecond)
+			timeout = timer.C
+		}
+		select {
+		case offered := <-dispatcherDone:
+			dispatchDoneSeen = true
+			drainDeadline = time.Now().Add(drainTimeout)
+			for i, n := range offered {
+				res.Phases[i].Offered = n
+				out.Offered += n
+			}
+			dispatcherDone = nil
+		case rec := <-records:
+			if at, ok := orphans[rec.call]; ok {
+				delete(orphans, rec.call)
+				record(rec, at)
+			} else {
+				sched[rec.call] = rec
+			}
+		case call := <-done:
+			if rec, ok := sched[call]; ok {
+				delete(sched, call)
+				record(rec, time.Now())
+			} else {
+				orphans[call] = time.Now()
+			}
+		case <-timeout:
+			// Loop to re-check the drain deadline.
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+
+	// Whatever never resolved is dropped; attribute what the scheduled-call
+	// table still knows about to its phase.
+	out.Dropped = out.Offered - resolved
+	for _, rec := range sched {
+		res.Phases[rec.phase].Dropped++
+	}
+	for i := range res.Phases {
+		res.Phases[i].Latency = hists[i].Snapshot()
+	}
+	out.AchievedQPS = float64(out.Completed) / window.Seconds()
+	out.Latency = totalHist.Snapshot()
+	out.Raw = raw
+	return res
+}

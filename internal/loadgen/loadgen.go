@@ -11,7 +11,6 @@
 package loadgen
 
 import (
-	"math/rand"
 	"time"
 
 	"musuite/internal/rpc"
@@ -204,12 +203,6 @@ type OpenLoopResult struct {
 	Raw []time.Duration
 }
 
-// issueRecord pairs a call with its scheduled arrival instant.
-type issueRecord struct {
-	call  *rpc.Call
-	sched time.Time
-}
-
 // RunOpenLoop offers Poisson arrivals at cfg.QPS, measuring each request
 // from its scheduled arrival time (coordinated-omission safe).
 func RunOpenLoop(issue IssueFunc, cfg OpenLoopConfig) OpenLoopResult {
@@ -219,14 +212,12 @@ func RunOpenLoop(issue IssueFunc, cfg OpenLoopConfig) OpenLoopResult {
 	if cfg.Duration <= 0 {
 		cfg.Duration = time.Second
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	var off time.Duration
-	next := func(int) (time.Duration, bool) {
-		// Exponential gap → Poisson arrival process.
-		off += time.Duration(rng.ExpFloat64() / cfg.QPS * float64(time.Second))
-		return off, off <= cfg.Duration
-	}
-	return runSchedule(issue, next, cfg.Duration, cfg.DrainTimeout, cfg.CaptureRaw)
+	res := RunProcess(issue, PoissonArrivals(cfg.QPS, cfg.Duration, cfg.Seed), ProcessConfig{
+		Window:       cfg.Duration,
+		DrainTimeout: cfg.DrainTimeout,
+		CaptureRaw:   cfg.CaptureRaw,
+	})
+	return res.Total
 }
 
 // ReplayConfig parameterizes a trace-replay run: a recorded arrival process
@@ -258,131 +249,11 @@ func RunReplay(issue IssueFunc, cfg ReplayConfig) OpenLoopResult {
 	if speed <= 0 {
 		speed = 1
 	}
-	offsets := cfg.Offsets
-	next := func(i int) (time.Duration, bool) {
-		if i >= len(offsets) {
-			return 0, false
-		}
-		return time.Duration(float64(offsets[i]) / speed), true
-	}
-	window := time.Duration(float64(offsets[len(offsets)-1])/speed) + time.Millisecond
-	return runSchedule(issue, next, window, cfg.DrainTimeout, cfg.CaptureRaw)
-}
-
-// runSchedule is the shared open-loop engine: a dispatcher that issues
-// request i at nextArrival(i) from the start of the run, and a collector
-// that matches completions to scheduled times.  window is the offered-load
-// interval AchievedQPS is computed over.
-func runSchedule(issue IssueFunc, nextArrival func(int) (time.Duration, bool), window, drainTimeout time.Duration, captureRaw bool) OpenLoopResult {
-	if drainTimeout <= 0 {
-		drainTimeout = 10 * time.Second
-	}
-	hist := stats.NewHistogram()
-	var raw []time.Duration
-
-	// Sized so neither the transport reader nor the dispatcher blocks.
-	done := make(chan *rpc.Call, 4096)
-	records := make(chan issueRecord, 4096)
-
-	var out OpenLoopResult
-
-	// Dispatcher: schedule arrivals, never waiting for responses.
-	dispatcherDone := make(chan uint64, 1)
-	go func() {
-		var offered uint64
-		start := time.Now()
-		for i := 0; ; i++ {
-			off, ok := nextArrival(i)
-			if !ok {
-				break
-			}
-			next := start.Add(off)
-			if d := time.Until(next); d > 0 {
-				time.Sleep(d)
-			}
-			// Even if we are issuing late, the latency clock runs
-			// from the scheduled instant.
-			call := issue(done)
-			records <- issueRecord{call: call, sched: next}
-			offered++
-		}
-		dispatcherDone <- offered
-	}()
-
-	// Collector: match completions to scheduled times.  A completion can
-	// beat its record through the channels, so unmatched completions are
-	// parked until the record arrives.
-	sched := make(map[*rpc.Call]time.Time)
-	orphans := make(map[*rpc.Call]time.Time)
-	record := func(call *rpc.Call, schedAt, fallback time.Time) {
-		if call.Err != nil {
-			if rpc.IsOverload(call.Err) {
-				out.Shed++
-			} else {
-				out.Errors++
-			}
-			return
-		}
-		end := call.Received
-		if end.IsZero() {
-			end = fallback
-		}
-		lat := end.Sub(schedAt)
-		hist.Record(lat)
-		if captureRaw {
-			raw = append(raw, lat)
-		}
-		out.Completed++
-	}
-
-	var offered uint64
-	dispatchDoneSeen := false
-	drainDeadline := time.Time{}
-	for {
-		if dispatchDoneSeen && out.Completed+out.Errors+out.Shed >= offered {
-			break
-		}
-		var timer *time.Timer
-		var timeout <-chan time.Time
-		if dispatchDoneSeen {
-			if time.Now().After(drainDeadline) {
-				out.Dropped = offered - out.Completed - out.Errors - out.Shed
-				break
-			}
-			timer = time.NewTimer(50 * time.Millisecond)
-			timeout = timer.C
-		}
-		select {
-		case n := <-dispatcherDone:
-			offered = n
-			dispatchDoneSeen = true
-			drainDeadline = time.Now().Add(drainTimeout)
-			dispatcherDone = nil
-		case rec := <-records:
-			if at, ok := orphans[rec.call]; ok {
-				delete(orphans, rec.call)
-				record(rec.call, rec.sched, at)
-			} else {
-				sched[rec.call] = rec.sched
-			}
-		case call := <-done:
-			if at, ok := sched[call]; ok {
-				delete(sched, call)
-				record(call, at, time.Now())
-			} else {
-				orphans[call] = time.Now()
-			}
-		case <-timeout:
-			// Loop to re-check the drain deadline.
-		}
-		if timer != nil {
-			timer.Stop()
-		}
-	}
-
-	out.Offered = offered
-	out.AchievedQPS = float64(out.Completed) / window.Seconds()
-	out.Latency = hist.Snapshot()
-	out.Raw = raw
-	return out
+	window := time.Duration(float64(cfg.Offsets[len(cfg.Offsets)-1])/speed) + time.Millisecond
+	res := RunProcess(issue, ReplayArrivals(cfg.Offsets, speed), ProcessConfig{
+		Window:       window,
+		DrainTimeout: cfg.DrainTimeout,
+		CaptureRaw:   cfg.CaptureRaw,
+	})
+	return res.Total
 }

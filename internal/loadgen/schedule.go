@@ -1,10 +1,8 @@
 package loadgen
 
 import (
-	"math/rand"
 	"time"
 
-	"musuite/internal/rpc"
 	"musuite/internal/stats"
 )
 
@@ -29,8 +27,21 @@ type PhaseResult struct {
 	Phase     LoadPhase
 	Offered   uint64
 	Completed uint64
-	Errors    uint64
-	Latency   stats.Snapshot
+	// Errors counts untyped failures; Shed counts typed overload
+	// rejections (deliberate backpressure, not failure); Dropped counts
+	// requests still unresolved at the drain timeout.
+	Errors  uint64
+	Shed    uint64
+	Dropped uint64
+	Latency stats.Snapshot
+}
+
+// Goodput is the phase's completion rate over its duration.
+func (p PhaseResult) Goodput() float64 {
+	if p.Phase.Duration <= 0 {
+		return 0
+	}
+	return float64(p.Completed) / p.Phase.Duration.Seconds()
 }
 
 // RunSchedule offers the phases consecutively (single continuous run, no
@@ -41,123 +52,11 @@ func RunSchedule(issue IssueFunc, phases []LoadPhase, seed int64, drainTimeout t
 	if len(phases) == 0 {
 		return nil
 	}
-	if drainTimeout <= 0 {
-		drainTimeout = 10 * time.Second
-	}
-	rng := rand.New(rand.NewSource(seed))
-
-	results := make([]PhaseResult, len(phases))
-	hists := make([]*stats.Histogram, len(phases))
-	for i := range results {
-		results[i].Phase = phases[i]
-		hists[i] = stats.NewHistogram()
-	}
-
-	type schedRecord struct {
-		call  *rpc.Call
-		sched time.Time
-		phase int
-	}
-	done := make(chan *rpc.Call, 4096)
-	records := make(chan schedRecord, 4096)
-
-	dispatcherDone := make(chan struct{})
-	go func() {
-		defer close(dispatcherDone)
-		next := time.Now()
-		for pi, phase := range phases {
-			if phase.QPS <= 0 || phase.Duration <= 0 {
-				continue
-			}
-			deadline := next.Add(phase.Duration)
-			for {
-				gap := time.Duration(rng.ExpFloat64() / phase.QPS * float64(time.Second))
-				next = next.Add(gap)
-				if next.After(deadline) {
-					// Carry the overshoot into the next
-					// phase so the process stays Poisson
-					// across the boundary.
-					next = deadline
-					break
-				}
-				if d := time.Until(next); d > 0 {
-					time.Sleep(d)
-				}
-				call := issue(done)
-				records <- schedRecord{call: call, sched: next, phase: pi}
-				results[pi].Offered++
-			}
-		}
-	}()
-
-	sched := make(map[*rpc.Call]schedRecord)
-	orphans := make(map[*rpc.Call]time.Time)
-	var totalOffered, totalResolved uint64
-	record := func(rec schedRecord, fallback time.Time) {
-		totalResolved++
-		if rec.call.Err != nil {
-			results[rec.phase].Errors++
-			return
-		}
-		end := rec.call.Received
-		if end.IsZero() {
-			end = fallback
-		}
-		hists[rec.phase].Record(end.Sub(rec.sched))
-		results[rec.phase].Completed++
-	}
-
-	dispatchDoneSeen := false
-	var drainDeadline time.Time
-	for {
-		if dispatchDoneSeen {
-			if totalResolved >= totalOffered {
-				break
-			}
-			if time.Now().After(drainDeadline) {
-				break
-			}
-		}
-		var timer *time.Timer
-		var timeout <-chan time.Time
-		if dispatchDoneSeen {
-			timer = time.NewTimer(50 * time.Millisecond)
-			timeout = timer.C
-		}
-		select {
-		case <-dispatcherDone:
-			dispatchDoneSeen = true
-			drainDeadline = time.Now().Add(drainTimeout)
-			for _, r := range results {
-				totalOffered += r.Offered
-			}
-			dispatcherDone = nil
-		case rec := <-records:
-			if at, ok := orphans[rec.call]; ok {
-				delete(orphans, rec.call)
-				record(rec, at)
-			} else {
-				sched[rec.call] = rec
-			}
-		case call := <-done:
-			if rec, ok := sched[call]; ok {
-				delete(sched, call)
-				record(rec, time.Now())
-			} else {
-				orphans[call] = time.Now()
-			}
-		case <-timeout:
-			// Loop to re-check the drain deadline.
-		}
-		if timer != nil {
-			timer.Stop()
-		}
-	}
-
-	for i := range results {
-		results[i].Latency = hists[i].Snapshot()
-	}
-	return results
+	res := RunProcess(issue, PhasedArrivals(phases, seed), ProcessConfig{
+		Phases:       phases,
+		DrainTimeout: drainTimeout,
+	})
+	return res.Phases
 }
 
 // FlashCrowd builds the canonical three-phase spike schedule: baseline →
@@ -187,6 +86,34 @@ func Diurnal(troughQPS, peakQPS float64, stepsPerSide int, total time.Duration) 
 	for i := stepsPerSide - 1; i >= 0; i-- {
 		q := troughQPS + (peakQPS-troughQPS)*float64(i)/float64(stepsPerSide)
 		phases = append(phases, LoadPhase{Name: "fall", QPS: q, Duration: per})
+	}
+	return phases
+}
+
+// Burst builds a square-wave schedule alternating base and base×factor load:
+// each period opens with a burst lasting duty (clamped inside the period)
+// and relaxes to the base rate for the remainder, repeated to fill total.
+func Burst(baseQPS, factor float64, period, duty, total time.Duration) []LoadPhase {
+	if period <= 0 {
+		period = total
+	}
+	if duty <= 0 || duty > period {
+		duty = period / 4
+	}
+	var phases []LoadPhase
+	for off := time.Duration(0); off < total; off += period {
+		rest := period
+		if off+period > total {
+			rest = total - off
+		}
+		up := duty
+		if up > rest {
+			up = rest
+		}
+		phases = append(phases, LoadPhase{Name: "burst", QPS: baseQPS * factor, Duration: up})
+		if rest > up {
+			phases = append(phases, LoadPhase{Name: "base", QPS: baseQPS, Duration: rest - up})
+		}
 	}
 	return phases
 }

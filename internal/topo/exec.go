@@ -1,0 +1,255 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"musuite/internal/core"
+	"musuite/internal/rpc"
+)
+
+// The synthetic mid-tier: a core.MidTier whose handler interprets the
+// spec's op programs instead of hardwired service logic.  Each op is a
+// sequence of stages; calls within a stage issue in parallel through the
+// framework's named edges (inheriting that edge's timeout, hedging,
+// retries, and batching), and a stage starts only when the previous one's
+// last call has resolved.  Cache-then-store chains (probe, miss-fetch,
+// fill) ride inside a single call slot, so a stage's completion count is
+// stable no matter how a probe resolves.
+
+// svcNode is one synthetic service's compiled program, shared by all of
+// its mid-tier instances.
+type svcNode struct {
+	svc    *ServiceSpec
+	deg    *degrade
+	delays map[string]*edgeDelay
+	progs  map[string]*opProgram
+}
+
+// opProgram is one op compiled for execution: its calls grouped into
+// stages in ascending stage order, with per-call fill values prebuilt.
+type opProgram struct {
+	op     *OpSpec
+	stages [][]compiledCall
+}
+
+type compiledCall struct {
+	CallSpec
+	// fillValue is the canned value written back on a fill, sized to the
+	// miss target's reply weight.
+	fillValue []byte
+}
+
+// newSvcNode compiles a synthetic service's ops.
+func newSvcNode(spec *Spec, svc *ServiceSpec, deg *degrade, delays map[string]*edgeDelay) *svcNode {
+	n := &svcNode{svc: svc, deg: deg, delays: delays, progs: map[string]*opProgram{}}
+	for name, op := range svc.Ops {
+		prog := &opProgram{op: op}
+		byStage := map[int][]compiledCall{}
+		for _, c := range op.Calls {
+			cc := compiledCall{CallSpec: c}
+			if c.Fill {
+				missTo := spec.Services[svc.Edges[c.MissEdge].To]
+				size := missTo.ReplyBytes
+				if size < 8 {
+					size = 8
+				}
+				cc.fillValue = make([]byte, size)
+			}
+			byStage[c.Stage] = append(byStage[c.Stage], cc)
+		}
+		stages := make([]int, 0, len(byStage))
+		for s := range byStage {
+			stages = append(stages, s)
+		}
+		sort.Ints(stages)
+		for _, s := range stages {
+			prog.stages = append(prog.stages, byStage[s])
+		}
+		n.progs[name] = prog
+	}
+	return n
+}
+
+// handler is the core.Handler every instance of this service runs.
+func (n *svcNode) handler(c *core.Ctx) {
+	prog := n.progs[c.Req.Method]
+	if prog == nil {
+		c.ReplyError(fmt.Errorf("topo: %s: unknown op %q", n.svc.Name, c.Req.Method))
+		return
+	}
+	key, err := decodeSynthetic(c.Req.Payload)
+	if err != nil {
+		c.ReplyError(err)
+		return
+	}
+	simulateWork(prog.op.Work + n.deg.extra())
+	if n.deg.fail() {
+		c.ReplyError(errInjected(n.svc.Name))
+		return
+	}
+	ex := &opExec{n: n, c: c, prog: prog, key: key}
+	ex.runStage(0)
+}
+
+// opExec is one in-flight op execution.
+type opExec struct {
+	n    *svcNode
+	c    *core.Ctx
+	prog *opProgram
+	key  uint64
+
+	stage   int
+	pending atomic.Int32
+
+	mu       sync.Mutex
+	err      error
+	overload bool
+}
+
+func (ex *opExec) runStage(i int) {
+	if i >= len(ex.prog.stages) {
+		ex.c.Reply(encodeSynthetic(ex.key, ex.n.svc.ReplyBytes))
+		return
+	}
+	ex.stage = i
+	calls := ex.prog.stages[i]
+	ex.pending.Store(int32(len(calls)))
+	for j := range calls {
+		ex.issueCall(&calls[j])
+	}
+}
+
+// issueCall launches one call slot, honoring any scenario-injected edge
+// latency by deferring the issue on a timer (caller-side injection: the
+// core hot path never sees the knob).
+func (ex *opExec) issueCall(call *compiledCall) {
+	ex.withDelay(call.Edge, func() { ex.sendPrimary(call) })
+}
+
+func (ex *opExec) withDelay(edgeName string, send func()) {
+	if d := ex.n.delays[edgeName].current(); d > 0 {
+		time.AfterFunc(d, send)
+		return
+	}
+	send()
+}
+
+func (ex *opExec) sendPrimary(call *compiledCall) {
+	ec, err := ex.c.Edge(call.Edge)
+	if err != nil {
+		ex.resolveCall(call, err)
+		return
+	}
+	payload := encodeSynthetic(ex.key, 0)
+	merge := func(rs []core.LeafResult) { ex.onPrimary(call, rs) }
+	if call.Mode == "all" {
+		ec.FanoutAll(call.Method, payload, merge)
+		return
+	}
+	ec.Fanout([]core.LeafCall{{
+		Shard:   ec.Shard(splitmix64(ex.key)),
+		Method:  call.Method,
+		Payload: payload,
+	}}, merge)
+}
+
+// onPrimary merges a call's first round of results and runs any miss chain
+// before resolving the slot.
+func (ex *opExec) onPrimary(call *compiledCall, rs []core.LeafResult) {
+	var firstErr error
+	hit := true
+	for _, r := range rs {
+		if r.Err != nil {
+			if firstErr == nil || rpc.IsOverload(r.Err) {
+				firstErr = r.Err
+			}
+			continue
+		}
+		flag, err := decodeSynthetic(r.Reply)
+		if err != nil {
+			firstErr = err
+		} else if flag == 0 {
+			hit = false
+		}
+	}
+	if firstErr != nil || call.MissEdge == "" || hit {
+		ex.resolveCall(call, firstErr)
+		return
+	}
+	// Cache miss: fetch the authoritative copy, then optionally fill the
+	// cache before the slot resolves (so the op's reply never races its
+	// own write-back).
+	ex.withDelay(call.MissEdge, func() {
+		ex.sendSingle(call.MissEdge, "get", encodeSynthetic(ex.key, 0), func(err error) {
+			if err != nil || !call.Fill {
+				ex.resolveCall(call, err)
+				return
+			}
+			ex.withDelay(call.Edge, func() {
+				ex.sendSingle(call.Edge, "set", encodeKVSet(ex.key, call.fillValue), func(fillErr error) {
+					// A failed fill degrades future hit ratio, not this
+					// request: the authoritative read already succeeded.
+					ex.resolveCall(call, nil)
+					_ = fillErr
+				})
+			})
+		})
+	})
+}
+
+// sendSingle issues one keyed call on an edge and reports its error.
+func (ex *opExec) sendSingle(edgeName, method string, payload []byte, done func(error)) {
+	ec, err := ex.c.Edge(edgeName)
+	if err != nil {
+		done(err)
+		return
+	}
+	ec.Fanout([]core.LeafCall{{
+		Shard:   ec.Shard(splitmix64(ex.key)),
+		Method:  method,
+		Payload: payload,
+	}}, func(rs []core.LeafResult) {
+		var e error
+		for _, r := range rs {
+			if r.Err != nil {
+				e = r.Err
+				break
+			}
+		}
+		done(e)
+	})
+}
+
+// resolveCall completes one call slot; the stage advances when its last
+// slot resolves, and the op fails with the first non-optional error —
+// typed overload stays typed all the way up, so backpressure deep in the
+// DAG surfaces to the front-end as deliberate shedding, never as an
+// untyped failure.
+func (ex *opExec) resolveCall(call *compiledCall, err error) {
+	if err != nil && !call.Optional {
+		ex.mu.Lock()
+		if ex.err == nil {
+			ex.err = err
+			ex.overload = rpc.IsOverload(err)
+		}
+		ex.mu.Unlock()
+	}
+	if ex.pending.Add(-1) != 0 {
+		return
+	}
+	ex.mu.Lock()
+	err, overload := ex.err, ex.overload
+	ex.mu.Unlock()
+	switch {
+	case err == nil:
+		ex.runStage(ex.stage + 1)
+	case overload:
+		ex.c.ReplyError(rpc.Overloadf("topo: %s: downstream overload: %v", ex.n.svc.Name, err))
+	default:
+		ex.c.ReplyError(fmt.Errorf("topo: %s: %w", ex.n.svc.Name, err))
+	}
+}

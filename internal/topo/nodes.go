@@ -1,0 +1,140 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"musuite/internal/core"
+	"musuite/internal/memcache"
+	"musuite/internal/wire"
+)
+
+// Synthetic leaf tiers: spec-instantiated data-plane nodes modelling the
+// three roles real microservice DAGs compose — pure compute, a cache in
+// front of a store, and the authoritative store itself.  Work is simulated
+// by sleeping on the leaf worker (the worker pool is bounded, so queueing
+// under overload behaves exactly like a busy real leaf without burning CI
+// cores), and every node consults its service's live degradation state so
+// scenario events take effect mid-request-stream.
+
+// simulateWork models d of service time on the current worker.
+func simulateWork(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// errInjected marks scenario-injected failures.
+func errInjected(svc string) error {
+	return fmt.Errorf("topo: injected fault at %s", svc)
+}
+
+// newSyntheticLeaf builds one instance of a synthetic leaf kind.  Each
+// cache instance owns its own store (replica caches are independent, as in
+// a real look-aside deployment); all instances of a service share deg.
+func newSyntheticLeaf(svc *ServiceSpec, deg *degrade, opts *core.LeafOptions) (*core.Leaf, error) {
+	switch svc.Kind {
+	case KindCompute:
+		return core.NewLeafEncoded(computeHandler(svc, deg), opts), nil
+	case KindCache:
+		var store *memcache.Store
+		if svc.HitRatio == 0 {
+			store = memcache.New(memcache.Config{MaxBytes: 32 << 20})
+		}
+		return core.NewLeafEncoded(cacheHandler(svc, deg, store), opts), nil
+	case KindStore:
+		return core.NewLeafEncoded(storeHandler(svc, deg), opts), nil
+	}
+	return nil, fmt.Errorf("topo: %q is not a synthetic leaf kind", svc.Kind)
+}
+
+// computeHandler answers "do": simulated work, then a padded reply.
+func computeHandler(svc *ServiceSpec, deg *degrade) core.EncodedLeafHandler {
+	return func(method string, payload []byte, reply *wire.Encoder) error {
+		if method != "do" {
+			return fmt.Errorf("topo: %s: unknown method %q", svc.Name, method)
+		}
+		key, err := decodeSynthetic(payload)
+		if err != nil {
+			return err
+		}
+		simulateWork(svc.Work + deg.extra())
+		if deg.fail() {
+			return errInjected(svc.Name)
+		}
+		appendSynthetic(reply, key, svc.ReplyBytes)
+		return nil
+	}
+}
+
+// cacheHandler answers get/set.  With a hit-ratio configured the hit
+// decision is a stable hash of the key — reproducible without any state;
+// otherwise a real in-memory store backs the lookups, so the fill path of a
+// cache-then-store op actually populates subsequent hits.
+func cacheHandler(svc *ServiceSpec, deg *degrade, store *memcache.Store) core.EncodedLeafHandler {
+	hitThreshold := uint64(svc.HitRatio * 1_000_000)
+	return func(method string, payload []byte, reply *wire.Encoder) error {
+		simulateWork(svc.Work + deg.extra())
+		if deg.fail() {
+			return errInjected(svc.Name)
+		}
+		switch method {
+		case "get":
+			key, err := decodeSynthetic(payload)
+			if err != nil {
+				return err
+			}
+			hit := false
+			if store != nil {
+				_, hit = store.Get(cacheKey(key))
+			} else {
+				hit = splitmix64(key^0x6361636865)%1_000_000 < hitThreshold
+			}
+			if hit {
+				appendSynthetic(reply, 1, svc.ReplyBytes)
+			} else {
+				appendSynthetic(reply, 0, 0)
+			}
+			return nil
+		case "set":
+			key, value, err := decodeKVSet(payload)
+			if err != nil {
+				return err
+			}
+			if store != nil {
+				store.Set(cacheKey(key), value, 0)
+			}
+			appendSynthetic(reply, 1, 0)
+			return nil
+		}
+		return fmt.Errorf("topo: %s: unknown method %q", svc.Name, method)
+	}
+}
+
+// storeHandler answers get/set as the authoritative tier: every get hits.
+func storeHandler(svc *ServiceSpec, deg *degrade) core.EncodedLeafHandler {
+	return func(method string, payload []byte, reply *wire.Encoder) error {
+		simulateWork(svc.Work + deg.extra())
+		if deg.fail() {
+			return errInjected(svc.Name)
+		}
+		switch method {
+		case "get":
+			if _, err := decodeSynthetic(payload); err != nil {
+				return err
+			}
+			appendSynthetic(reply, 1, svc.ReplyBytes)
+			return nil
+		case "set":
+			if _, _, err := decodeKVSet(payload); err != nil {
+				return err
+			}
+			appendSynthetic(reply, 1, 0)
+			return nil
+		}
+		return fmt.Errorf("topo: %s: unknown method %q", svc.Name, method)
+	}
+}
+
+func cacheKey(key uint64) string { return strconv.FormatUint(key, 16) }

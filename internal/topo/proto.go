@@ -1,0 +1,68 @@
+package topo
+
+import (
+	"musuite/internal/wire"
+)
+
+// The synthetic wire protocol every spec-defined tier speaks: a request is
+// a routing key plus optional padding (modelling request weight), a reply
+// is a status flag plus padding.  The key threads unchanged through the
+// whole DAG so a request's routing is deterministic end to end; the flag
+// carries cache hit/miss (1/0) for kv tiers and is otherwise zero.
+
+// encodeSynthetic builds a request or reply frame.
+func encodeSynthetic(key uint64, pad int) []byte {
+	e := wire.NewEncoder(16 + pad)
+	appendSynthetic(e, key, pad)
+	return e.Bytes()
+}
+
+// appendSynthetic streams a frame into a caller-owned encoder (the
+// zero-allocation leaf handler path).
+func appendSynthetic(e *wire.Encoder, key uint64, pad int) {
+	e.Uint64(key)
+	e.Uvarint(uint64(pad))
+	for pad >= len(zeroPad) {
+		e.Raw(zeroPad[:])
+		pad -= len(zeroPad)
+	}
+	if pad > 0 {
+		e.Raw(zeroPad[:pad])
+	}
+}
+
+var zeroPad [256]byte
+
+// decodeSynthetic reads a frame's key/flag, skipping the padding.
+func decodeSynthetic(b []byte) (uint64, error) {
+	d := wire.NewDecoder(b)
+	key := d.Uint64()
+	d.BytesView()
+	return key, d.Err()
+}
+
+// encodeKVSet builds a kv "set" request: key, then the value bytes.
+func encodeKVSet(key uint64, value []byte) []byte {
+	e := wire.NewEncoder(16 + len(value))
+	e.Uint64(key)
+	e.BytesField(value)
+	return e.Bytes()
+}
+
+// decodeKVSet reads a kv "set" request; the value view aliases b.
+func decodeKVSet(b []byte) (uint64, []byte, error) {
+	d := wire.NewDecoder(b)
+	key := d.Uint64()
+	value := d.BytesView()
+	return key, value, d.Err()
+}
+
+// splitmix64 is the key-stream and decision hash: deterministic,
+// well-mixed, and state-free, so degradation sampling and probabilistic
+// cache hits are reproducible without sharing an rng.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -44,6 +44,7 @@ import (
 	"musuite/internal/services/setalgebra"
 	"musuite/internal/stats"
 	"musuite/internal/telemetry"
+	"musuite/internal/topo"
 	"musuite/internal/trace"
 	"musuite/internal/vec"
 )
@@ -485,4 +486,60 @@ func ResizeExperiment(s Scale, mode FrameworkMode, qps float64) ([]ResizePhase, 
 // admission control and the autoscaler armed, to 3× its measured knee.
 func OverloadExperiment(s Scale, mode FrameworkMode) (*OverloadResult, error) {
 	return bench.Overload(s, mode)
+}
+
+// --- declarative topologies & scenarios ---
+
+// Declarative-topology types: YAML specs composing arbitrary service DAGs
+// over the mid-tier framework, and the scenario engine that degrades them
+// on a schedule (DESIGN.md §5.9).
+type (
+	// TopoSpec is a parsed, validated topology: services, policy edges,
+	// load shape, and scenario events.
+	TopoSpec = topo.Spec
+	// TopoServiceSpec / TopoEventSpec are one service node and one timed
+	// degradation event of a spec.
+	TopoServiceSpec = topo.ServiceSpec
+	TopoEventSpec   = topo.EventSpec
+	// TopoBuildOptions carries cross-cutting build knobs (span recorder,
+	// sampling, telemetry probe).
+	TopoBuildOptions = topo.BuildOptions
+	// TopoDeployment is a running instantiation of a spec; Service,
+	// Entry, and Close navigate and tear it down.
+	TopoDeployment = topo.Deployment
+	// TopoScenario is an armed set of timed degradations
+	// (Deployment.StartScenario); its Log records apply/revert events.
+	TopoScenario = topo.Scenario
+	// TopoRunOptions / TopoRunResult configure and report a full
+	// build→load→scenario→drain run.
+	TopoRunOptions = topo.RunOptions
+	TopoRunResult  = topo.RunResult
+)
+
+// ParseTopology parses and validates YAML topology-spec source.
+func ParseTopology(src []byte) (*TopoSpec, error) { return topo.ParseSpec(src) }
+
+// LoadTopologyFile parses and validates a topology-spec file.
+func LoadTopologyFile(path string) (*TopoSpec, error) { return topo.LoadSpecFile(path) }
+
+// BuildTopology instantiates a validated spec as live tiers.
+func BuildTopology(spec *TopoSpec, opts TopoBuildOptions) (*TopoDeployment, error) {
+	return topo.Build(spec, opts)
+}
+
+// RunTopology builds a spec, offers its load shape with the scenario
+// armed, and returns per-phase results plus the scenario event log.
+func RunTopology(spec *TopoSpec, opts TopoRunOptions) (*TopoRunResult, error) {
+	return topo.Run(spec, opts)
+}
+
+// TopologyKinds lists the registered service kinds a spec may name in
+// addition to the built-in synthetic/compute/cache/store node kinds.
+func TopologyKinds() []string { return topo.RegisteredKinds() }
+
+// ScenarioViolations inspects a run for acceptance failures: untyped
+// errors, unresolved requests, or (recoveryFloor > 0) final-phase goodput
+// below recoveryFloor× the first phase's.
+func ScenarioViolations(res *TopoRunResult, recoveryFloor float64) []string {
+	return bench.ScenarioViolations(res, recoveryFloor)
 }

@@ -35,7 +35,7 @@ mkdir -p "$BIN"
 
 echo "== building =="
 go build -o "$BIN" ./cmd/hdsearch ./cmd/router ./cmd/setalgebra ./cmd/recommend \
-	./cmd/loadgen ./cmd/traceview
+	./cmd/loadgen ./cmd/traceview ./cmd/topo
 
 PIDS=()
 cleanup() {
@@ -179,5 +179,18 @@ wait_port 127.0.0.1:7400
 run_loadgen recommend 127.0.0.1:7400
 stop_stack
 check_traces recommend
+
+# ---- Spec-driven topology: span parenting across a 4-deep DAG ----
+# The social-network exemplar nests mid-tiers four services deep
+# (frontend → compose-post → social-graph → graph-store); every sampled
+# request must still reassemble into ONE connected tree whose critical
+# path sums to the end-to-end latency, exactly like the two-level
+# handwritten services above.
+echo "== topo (4-deep spec-driven DAG) =="
+"$BIN/topo" -topo examples/social-network.yaml -scenario=false \
+	-topo-duration "$DURATION" -topo-qps "$QPS" \
+	-trace-sample 1 -trace-out "$OUT/topo-social-all.jsonl" \
+	| tee "$OUT/topo-social.log"
+check_traces topo-social
 
 echo "== trace smoke ok =="
