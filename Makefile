@@ -7,12 +7,14 @@ GO ?= go
 # compute kernels — LeafScan (SoA norm-trick scan), TopK (streaming
 # selection), IntersectBitset (dense-range posting-list intersection),
 # IVFScan/PQScan (sub-linear ANN leaf path; setup asserts recall@10 and
-# the PQ compression ratio before timing) — and OverloadGoodput
-# (completed QPS and shed fraction at 2x the measured knee with admission
-# control armed; goodput-qps gates higher-is-better).
+# the PQ compression ratio before timing), HNSWScan (graph ANN leaf path;
+# setup asserts recall@10 ≥ 0.95, a ≥25x speedup over the brute-force
+# scan, and beating the IVF gate point) — and OverloadGoodput (completed
+# QPS and shed fraction at 2x the measured knee with admission control
+# armed; goodput-qps gates higher-is-better).
 # -count=5 gives benchgate a mean per metric; -benchmem adds B/op and
 # allocs/op so memory regressions gate alongside latency.
-BENCH_GATE_CMD = $(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs|LeafScan|TopK|IntersectBitset|IVFScan|PQScan|OverloadGoodput' -benchtime=2s -count=5 -benchmem .
+BENCH_GATE_CMD = $(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs|LeafScan|TopK|IntersectBitset|IVFScan|PQScan|HNSWScan|OverloadGoodput' -benchtime=2s -count=5 -benchmem .
 
 build:
 	$(GO) build ./...
@@ -59,7 +61,7 @@ bench-baseline: build
 # work.  Inspect with e.g.:  go tool pprof musuite.test profile/cpu.out
 profile: build
 	mkdir -p profile
-	$(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs|LeafScan|TopK|IntersectBitset|IVFScan|PQScan' -benchtime=2s -benchmem \
+	$(GO) test -run=NONE -bench='TailFanout|LeafBatching|HotPathAllocs|LeafScan|TopK|IntersectBitset|IVFScan|PQScan|HNSWScan' -benchtime=2s -benchmem \
 		-cpuprofile profile/cpu.out -memprofile profile/mem.out -mutexprofile profile/mutex.out .
 
 # Watch a live resize: Router serves a steady load while a leaf group is
@@ -100,10 +102,12 @@ autoscale-churn:
 overload-demo: build
 	$(GO) run ./cmd/musuite-bench -experiment overload -window 1s
 
-# Sweep every HDSearch candidate index — LSH / kd-tree / k-means plus the
+# Sweep every HDSearch candidate index — LSH / kd-tree / k-means, the
 # IVF family over its nprobe (probe width) and rerank (exact re-scoring
-# depth) knobs — and print recall@1/@10 vs p50/p99 per configuration,
-# gated at a 0.90 recall@10 floor (the nightly ann-recall CI job).
+# depth) knobs, and hnsw over its efSearch beam ladder {16, 64, 128} —
+# and print recall@1/@10 vs p50/p99 per configuration, gated at a 0.90
+# recall@10 floor across all registered kinds (the nightly ann-recall CI
+# job).
 ann-demo: build
 	$(GO) run ./cmd/musuite-bench -experiment indexcmp -window 1s -recall-floor 0.90
 

@@ -55,13 +55,9 @@ func main() {
 		leafPar = flag.Int("leaf-parallelism", 0, "leaf: worker goroutines per kernel scan (0 = NumCPU)")
 		scalar  = flag.Bool("scalar-kernels", false, "leaf: use the reference scalar kernels (disables the tuned SoA engine)")
 
-		indexKind = flag.String("index", "lsh", "candidate index: lsh | kdtree | kmeans | ivf | ivfsq | ivfpq (ivf* build per-shard leaf indexes)")
-		nlist     = flag.Int("nlist", 0, "ivf*: coarse clusters per leaf shard (0 = √shard-size)")
-		nprobe    = flag.Int("nprobe", 0, "ivf*: clusters probed per query (0 = leaf default)")
-		rerank    = flag.Int("rerank", 0, "ivf*: exact re-rank depth over compressed candidates (0 = leaf default)")
-
 		traceOut = flag.String("trace-out", "", "write this tier's recorded spans (JSONL) on shutdown")
 
+		annFlags  = cmdutil.RegisterANNFlags()
 		admit     = cmdutil.RegisterAdmitFlags()
 		autoscale = cmdutil.RegisterAutoscaleFlags()
 	)
@@ -88,21 +84,20 @@ func main() {
 		N: *n, Dim: *dim, Clusters: 16, Seed: *seed,
 	})
 	shardData := hdsearch.ShardCorpus(corpus, *shards)
-	kind := hdsearch.IndexKind(*indexKind)
+	kind := annFlags.Kind()
 
 	switch *role {
 	case "leaf":
 		if *shard < 0 || *shard >= *shards {
 			fatal(fmt.Sprintf("shard %d outside 0..%d", *shard, *shards-1))
 		}
-		if quant, ok := hdsearch.ANNQuant(kind); ok {
-			// Leaf-resident ANN kind: build this shard's IVF index.  The
-			// seed namespacing matches BuildLeafANN, so a distributed
-			// deployment reproduces the in-process cluster's indexes.
-			idx, err := ann.Build(shardData[*shard].Store, ann.Config{
-				NList: *nlist, Quant: quant,
-				Seed: *seed + int64(*shard)*1_000_003,
-			})
+		if annCfg, ok := hdsearch.LeafANNConfig(kind, annFlags.Config()); ok {
+			// Leaf-resident ANN kind: build this shard's index.  The seed
+			// namespacing goes through hdsearch.ShardSeed, matching
+			// BuildLeafANN, so a distributed deployment reproduces the
+			// in-process cluster's indexes byte for byte.
+			annCfg.Seed = hdsearch.ShardSeed(*seed, *shard)
+			idx, err := ann.BuildKind(shardData[*shard].Store, annCfg)
 			if err != nil {
 				fatal(err)
 			}
@@ -128,10 +123,11 @@ func main() {
 			fatal("midtier requires -leaves")
 		}
 		var index hdsearch.CandidateIndex
-		if _, ok := hdsearch.ANNQuant(kind); ok {
+		if hdsearch.IsLeafANN(kind) {
 			// The leaves own the ANN indexes; the mid-tier only routes,
-			// broadcasting the query with the nprobe/rerank knobs.
-			index = hdsearch.NewLeafANN(*dim, *nprobe, *rerank)
+			// broadcasting the query with the breadth (nprobe/efSearch)
+			// and rerank knobs.
+			index = hdsearch.NewLeafANN(*dim, annFlags.RouterKnob(), annFlags.Rerank())
 		} else {
 			var err error
 			index, err = hdsearch.BuildCandidateIndex(kind, shardData, *seed)

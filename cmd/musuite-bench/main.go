@@ -22,7 +22,6 @@ import (
 	"musuite/internal/cluster"
 	"musuite/internal/cmdutil"
 	"musuite/internal/core"
-	"musuite/internal/services/hdsearch"
 	"musuite/internal/trace"
 )
 
@@ -50,9 +49,6 @@ func main() {
 		leafPar       = flag.Int("leaf-parallelism", 0, "worker goroutines per leaf kernel scan (0 = NumCPU, 1 = serial)")
 		scalarKernels = flag.Bool("scalar-kernels", false, "pin leaves to the reference scalar kernels (ablation baseline for the SoA engine)")
 
-		indexKind   = flag.String("index", "", "HDSearch candidate index: lsh | kdtree | kmeans | ivf | ivfsq | ivfpq (default lsh)")
-		nprobe      = flag.Int("nprobe", 0, "ivf*: clusters probed per query (0 = leaf default)")
-		rerank      = flag.Int("rerank", 0, "ivf*: exact re-rank depth over compressed candidates (0 = leaf default)")
 		recallFloor = flag.Float64("recall-floor", 0, "indexcmp: fail (non-zero exit) if any index kind's best recall@10 is below this floor (0 disables)")
 
 		admitLimit    = flag.Int("admit-limit", 0, "arm the mid-tier's adaptive admission controller with this max concurrency ceiling (0 = off; overload experiment defaults it on)")
@@ -67,6 +63,7 @@ func main() {
 		recoveryFloor = flag.Float64("scenario-recovery", bench.DefaultRecoveryFloor,
 			"scenario: final-phase goodput must recover this fraction of the first phase's (0 disables the gate)")
 	)
+	annFlags := cmdutil.RegisterANNFlags()
 	topoFlags := cmdutil.RegisterTopoFlags()
 	flag.Parse()
 
@@ -108,9 +105,8 @@ func main() {
 			Deadline:    *admitDeadline,
 			Tolerance:   *admitTol,
 		},
-		Index:  hdsearch.IndexKind(*indexKind),
-		NProbe: *nprobe,
-		Rerank: *rerank,
+		Index: annFlags.Kind(),
+		ANN:   annFlags.Config(),
 	}
 	if *trials > 0 {
 		scale.Trials = *trials

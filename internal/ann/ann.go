@@ -83,8 +83,24 @@ type Config struct {
 	TrainSample int
 	// KMeansIters bounds the Lloyd sweeps per training run (default 10).
 	KMeansIters int
-	// Seed namespaces every k-means initialization in the build.
+	// Seed namespaces every k-means initialization in the build and the
+	// HNSW level-assignment RNG.
 	Seed int64
+
+	// Kind selects the index family BuildKind constructs (default KindIVF).
+	// The fields above configure the IVF kinds; the fields below configure
+	// KindHNSW.
+	Kind Kind
+	// M is the HNSW per-node degree bound on upper layers; the base layer
+	// allows 2M (default 16).
+	M int
+	// EFConstruction is the HNSW build-time beam width (default 200,
+	// floored at M).  Wider beams cost build time and buy graph quality.
+	EFConstruction int
+	// EFSearch is the default HNSW query-time beam width when the caller
+	// passes 0 (default 64).  It rides the same wire/admin knob slot as
+	// the IVF kinds' nprobe.
+	EFSearch int
 }
 
 func (cfg *Config) fill(n, dim int) error {

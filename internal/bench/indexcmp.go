@@ -18,13 +18,17 @@ import (
 // IndexRow compares one candidate-index configuration on HDSearch: recall
 // against brute force and end-to-end latency under open-loop load.  The
 // paper's related work frames the LSH / kd-tree / k-means trio; the ivf*
-// rows extend the comparison to the leaf-resident ANN indexes, swept over
-// their nprobe (probe width) and rerank (exact re-scoring depth) knobs.
+// and hnsw rows extend the comparison to the leaf-resident ANN indexes,
+// swept over their breadth (nprobe / efSearch) and rerank (exact
+// re-scoring depth) knobs.
 type IndexRow struct {
 	Kind hdsearch.IndexKind
-	// NProbe and Rerank are the ANN knobs for this row (0 for the
-	// candidate-generator kinds, which have no such knobs).
-	NProbe, Rerank int
+	// Knob is the search-breadth setting for this row — nprobe for the
+	// ivf* kinds, efSearch for hnsw, 0 for the candidate-generator kinds
+	// (which have no such knob).
+	Knob int
+	// Rerank is the exact re-rank depth (compressed ivf kinds only).
+	Rerank int
 	// Recall1 and Recall10 score the returned IDs against brute-force
 	// ground truth at k=1 and k=10 — compression tradeoffs invisible at
 	// k=1 show up at k=10.
@@ -35,13 +39,16 @@ type IndexRow struct {
 	Build             time.Duration
 }
 
-// nprobe/rerank sweep points for the ANN kinds.  The rerank sweep applies
-// only to the compressed kinds (plain IVF scores exactly; rerank is moot).
+// Breadth/rerank sweep points for the ANN kinds.  The rerank sweep applies
+// only to the compressed ivf kinds (plain IVF and hnsw score exactly;
+// rerank is moot).  hnsw sweeps its own efSearch ladder — wider than the
+// nprobe one because the beam width is the graph's whole recall knob.
 var (
-	nprobeSweep = []int{1, 4, 8}
-	rerankSweep = []int{10, 200}
-	sweepRerank = 100 // rerank held here while nprobe sweeps
-	sweepNProbe = 8   // nprobe held here while rerank sweeps
+	nprobeSweep   = []int{1, 4, 8}
+	efSearchSweep = []int{16, 64, 128}
+	rerankSweep   = []int{10, 200}
+	sweepRerank   = 100 // rerank held here while nprobe sweeps
+	sweepNProbe   = 8   // nprobe held here while rerank sweeps
 )
 
 // IndexComparison deploys HDSearch once per index kind on an identical
@@ -86,9 +93,9 @@ func IndexComparison(s Scale, load float64) ([]IndexRow, error) {
 			return nil, err
 		}
 
-		measure := func(nprobe, rerank int) error {
+		measure := func(knob, rerank int) error {
 			if rt := cl.ANNRouter(); rt != nil {
-				rt.SetNProbe(nprobe)
+				rt.SetNProbe(knob) // same slot carries efSearch for hnsw
 				rt.SetRerank(rerank)
 			}
 			r1, r10, err := recallAt(client, recallSample, truth)
@@ -101,7 +108,7 @@ func IndexComparison(s Scale, load float64) ([]IndexRow, error) {
 				return client.Go(q, 5, done)
 			}, loadgen.OpenLoopConfig{QPS: load, Duration: s.Window, Seed: s.Seed + 43})
 			out = append(out, IndexRow{
-				Kind: kind, NProbe: nprobe, Rerank: rerank,
+				Kind: kind, Knob: knob, Rerank: rerank,
 				Recall1: r1, Recall10: r10,
 				Load: load, P50: open.Latency.Median, P99: open.Latency.P99,
 				Build: build,
@@ -109,11 +116,19 @@ func IndexComparison(s Scale, load float64) ([]IndexRow, error) {
 			return nil
 		}
 
-		quant, isANN := hdsearch.ANNQuant(kind)
 		var sweepErr error
-		if !isANN {
+		switch {
+		case kind == hdsearch.IndexHNSW:
+			// The graph kind sweeps its beam width; no rerank stage.
+			for _, ef := range efSearchSweep {
+				if sweepErr = measure(ef, 0); sweepErr != nil {
+					break
+				}
+			}
+		case !hdsearch.IsLeafANN(kind):
 			sweepErr = measure(0, 0)
-		} else {
+		default:
+			quant, _ := hdsearch.ANNQuant(kind)
 			rerank := 0
 			if quant != ann.QuantNone {
 				rerank = sweepRerank
@@ -170,7 +185,9 @@ func recallAt(client *hdsearch.Client, sample []vec.Vector, truth [][]knn.Neighb
 // sweep rows against a floor, returning one message per kind below it.  A
 // kind passes if any swept configuration reaches the floor — the gate asks
 // "can this index hit the recall target at all", not "does every point on
-// the latency/recall frontier".
+// the latency/recall frontier".  Coverage derives from the registered
+// hdsearch.IndexKinds: a registered kind with no sweep rows at all is
+// itself a violation, so a newly added kind cannot silently skip the gate.
 func RecallFloorViolations(rows []IndexRow, floor float64) []string {
 	best := make(map[hdsearch.IndexKind]float64)
 	for _, r := range rows {
@@ -180,7 +197,11 @@ func RecallFloorViolations(rows []IndexRow, floor float64) []string {
 	}
 	var out []string
 	for _, kind := range hdsearch.IndexKinds {
-		if r10, ok := best[kind]; ok && r10 < floor {
+		r10, ok := best[kind]
+		switch {
+		case !ok:
+			out = append(out, fmt.Sprintf("%s: registered kind produced no sweep rows", kind))
+		case r10 < floor:
 			out = append(out, fmt.Sprintf("%s: best recall@10 %.3f < floor %.3f", kind, r10, floor))
 		}
 	}
@@ -190,9 +211,9 @@ func RecallFloorViolations(rows []IndexRow, floor float64) []string {
 // RenderIndexComparison prints the comparison table.
 func RenderIndexComparison(rows []IndexRow) string {
 	var b strings.Builder
-	b.WriteString("HDSearch candidate-index comparison (LSH / kd-tree / k-means / IVF / IVF+int8 / IVF+PQ)\n")
+	b.WriteString("HDSearch candidate-index comparison (LSH / kd-tree / k-means / IVF / IVF+int8 / IVF+PQ / HNSW)\n")
 	fmt.Fprintf(&b, "  %-8s %-7s %-7s %-9s %-10s %-12s %-12s %-12s\n",
-		"index", "nprobe", "rerank", "recall@1", "recall@10", "p50", "p99", "build+deploy")
+		"index", "knob", "rerank", "recall@1", "recall@10", "p50", "p99", "build+deploy")
 	knob := func(v int) string {
 		if v == 0 {
 			return "-"
@@ -201,7 +222,7 @@ func RenderIndexComparison(rows []IndexRow) string {
 	}
 	for _, r := range rows {
 		fmt.Fprintf(&b, "  %-8s %-7s %-7s %-9.3f %-10.3f %-12v %-12v %-12v\n",
-			r.Kind, knob(r.NProbe), knob(r.Rerank), r.Recall1, r.Recall10,
+			r.Kind, knob(r.Knob), knob(r.Rerank), r.Recall1, r.Recall10,
 			r.P50, r.P99, r.Build.Round(time.Millisecond))
 	}
 	return b.String()

@@ -71,12 +71,14 @@ type FrameworkMode struct {
 	// ablation baseline for the tuned SoA engine.
 	ScalarKernels bool
 	// Index selects HDSearch's candidate index kind ("" = LSH); the ivf*
-	// kinds build leaf-resident ANN indexes instead of a mid-tier
-	// candidate generator.
+	// and hnsw kinds build leaf-resident ANN indexes instead of a
+	// mid-tier candidate generator.
 	Index hdsearch.IndexKind
-	// NProbe and Rerank tune the ivf* kinds' probe width and exact
-	// re-rank depth (0 = leaf defaults).
-	NProbe, Rerank int
+	// ANN carries the leaf-resident kinds' build/tuning knobs (nlist/
+	// nprobe/rerank for ivf*, m/efConstruction/efSearch for hnsw; zero
+	// fields take the leaf defaults).  Kind and Quant are derived from
+	// Index at the build site.
+	ANN ann.Config
 	// Admit configures the mid-tier's adaptive admission controller
 	// (zero value: disabled).
 	Admit core.AdmitPolicy
@@ -173,7 +175,7 @@ func StartHDSearch(s Scale, mode FrameworkMode) (*Instance, error) {
 		Shards:       s.Shards,
 		LeafReplicas: s.LeafReplicas,
 		Kind:         mode.Index,
-		ANN:          ann.Config{NProbe: mode.NProbe, Rerank: mode.Rerank},
+		ANN:          mode.ANN,
 		MidTier:      midTierOptions(s, mode, probe),
 		Leaf:         leafOptions(s, mode),
 	})

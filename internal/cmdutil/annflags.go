@@ -1,0 +1,70 @@
+package cmdutil
+
+import (
+	"flag"
+
+	"musuite/internal/ann"
+	"musuite/internal/services/hdsearch"
+)
+
+// ANNFlags is the candidate-index flag group hdsearch and musuite-bench
+// share: the kind selector plus the IVF (-nlist/-nprobe/-rerank) and HNSW
+// (-m/-ef-construction/-ef-search) tuning knobs.
+type ANNFlags struct {
+	kind   *string
+	nlist  *int
+	nprobe *int
+	rerank *int
+	m      *int
+	efCon  *int
+	efSrch *int
+}
+
+// RegisterANNFlags registers the index flag group; call before flag.Parse.
+func RegisterANNFlags() *ANNFlags {
+	return &ANNFlags{
+		kind: flag.String("index", "lsh",
+			"candidate index: lsh | kdtree | kmeans | ivf | ivfsq | ivfpq | hnsw (leaf-resident kinds build per-shard indexes)"),
+		nlist: flag.Int("nlist", 0,
+			"ivf*: coarse clusters per leaf shard (0 = √shard-size)"),
+		nprobe: flag.Int("nprobe", 0,
+			"ivf*: clusters probed per query (0 = leaf default)"),
+		rerank: flag.Int("rerank", 0,
+			"ivfsq/ivfpq: exact re-rank depth over compressed candidates (0 = leaf default)"),
+		m: flag.Int("m", 0,
+			"hnsw: per-node degree bound on upper layers, base layer allows 2m (0 = default 16)"),
+		efCon: flag.Int("ef-construction", 0,
+			"hnsw: build-time beam width (0 = default 200)"),
+		efSrch: flag.Int("ef-search", 0,
+			"hnsw: query-time beam width (0 = leaf default 64)"),
+	}
+}
+
+// Kind reports the selected index kind.
+func (f *ANNFlags) Kind() hdsearch.IndexKind { return hdsearch.IndexKind(*f.kind) }
+
+// Config assembles the ann build config the flags describe.  The family
+// selector and quantization come from the kind via LeafANNConfig at the
+// build site; this carries only the tuning knobs.
+func (f *ANNFlags) Config() ann.Config {
+	return ann.Config{
+		NList:          *f.nlist,
+		NProbe:         *f.nprobe,
+		Rerank:         *f.rerank,
+		M:              *f.m,
+		EFConstruction: *f.efCon,
+		EFSearch:       *f.efSrch,
+	}
+}
+
+// RouterKnob reports the mid-tier routing stub's initial breadth knob for
+// the selected kind: -ef-search for hnsw, -nprobe for the IVF kinds.
+func (f *ANNFlags) RouterKnob() int {
+	if f.Kind() == hdsearch.IndexHNSW {
+		return *f.efSrch
+	}
+	return *f.nprobe
+}
+
+// Rerank reports the -rerank flag (the routing stub's second knob).
+func (f *ANNFlags) Rerank() int { return *f.rerank }

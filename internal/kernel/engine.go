@@ -131,6 +131,36 @@ func dot8(a, b []float32) float32 {
 // with every kernel in this package.
 func Dot(a, b []float32) float32 { return dot8(a, b) }
 
+// DistAt exposes the engine's per-(query, point) norm-trick distance for a
+// single store row — the subset-distance helper the ann graph traversals
+// (HNSW neighbor expansions) evaluate point by point.  qn is ‖q‖², computed
+// once per query with Dot(q, q).  The result is bit-identical to what Scan
+// and ScanSubset compute for the same pair.
+func DistAt(s *Store, q []float32, qn float32, i int) float32 {
+	return normDist(q, qn, s.Row(i), s.norms[i])
+}
+
+// RowDist is the norm-trick squared distance between two rows of the same
+// store — the pairwise term the ann neighbor-selection heuristic scores on
+// the SIMD dot kernel with both norms precomputed.
+func RowDist(s *Store, i, j int) float32 {
+	return normDist(s.Row(i), s.norms[i], s.Row(j), s.norms[j])
+}
+
+// DistMany appends the norm-trick distance from q to each listed row.  The
+// iterations are independent, which is the point: a graph traversal's
+// neighbor rows are scattered, so evaluating a whole adjacency band in one
+// tight loop lets the core overlap the cache misses instead of serializing
+// them behind per-neighbor bookkeeping.  Each distance is bit-identical to
+// DistAt for the same pair.  Out-of-range ids are the caller's bug, as with
+// Row.
+func DistMany(s *Store, q []float32, qn float32, ids []uint32, dst []float32) []float32 {
+	for _, id := range ids {
+		dst = append(dst, normDist(q, qn, s.Row(int(id)), s.norms[id]))
+	}
+	return dst
+}
+
 // dotGeneric is the portable 8-way unrolled dot product.
 func dotGeneric(a, b []float32) float32 {
 	n := len(a)

@@ -37,7 +37,7 @@ func startANNCluster(t *testing.T, kind IndexKind, cfg ann.Config) (*Cluster, *C
 // candidate-generator kinds' test.
 func TestANNKindsServeSearches(t *testing.T) {
 	corpus := testCorpus(t)
-	for _, kind := range []IndexKind{IndexIVF, IndexIVFSQ, IndexIVFPQ} {
+	for _, kind := range []IndexKind{IndexIVF, IndexIVFSQ, IndexIVFPQ, IndexHNSW} {
 		t.Run(string(kind), func(t *testing.T) {
 			cl, client := startANNCluster(t, kind, ann.Config{Seed: 11})
 			if cl.ANNRouter() == nil {
@@ -64,16 +64,23 @@ func TestANNKindsServeSearches(t *testing.T) {
 	}
 }
 
-// TestANNExhaustiveMatchesBruteForce: with every cluster probed (and, for
-// the compressed kinds, a corpus-covering re-rank) the distributed ANN path
-// must reproduce brute-force results — distances match ground truth within
-// float tolerance at every rank.
+// TestANNExhaustiveMatchesBruteForce: with the search breadth covering the
+// whole corpus — every cluster probed for the ivf kinds (plus a
+// corpus-covering re-rank for the compressed ones), a corpus-wide beam for
+// hnsw — the distributed ANN path must reproduce brute-force results:
+// distances match ground truth within float tolerance at every rank.
 func TestANNExhaustiveMatchesBruteForce(t *testing.T) {
 	corpus := testCorpus(t)
-	for _, kind := range []IndexKind{IndexIVF, IndexIVFSQ, IndexIVFPQ} {
+	for _, kind := range []IndexKind{IndexIVF, IndexIVFSQ, IndexIVFPQ, IndexHNSW} {
 		t.Run(string(kind), func(t *testing.T) {
 			cl, client := startANNCluster(t, kind, ann.Config{NList: 12, Seed: 13})
-			cl.ANNRouter().SetNProbe(12)
+			if kind == IndexHNSW {
+				// An efSearch covering any shard makes the beam exhaustive
+				// over the shard's (connected) base layer.
+				cl.ANNRouter().SetEFSearch(len(corpus.Vectors))
+			} else {
+				cl.ANNRouter().SetNProbe(12)
+			}
 			cl.ANNRouter().SetRerank(len(corpus.Vectors))
 			for qi, q := range corpus.Queries(25, 19) {
 				got, err := client.Search(q, 5)
@@ -131,4 +138,37 @@ func TestANNRouterRetune(t *testing.T) {
 		t.Fatalf("recall@1 = %.3f with all clusters probed", wide)
 	}
 	t.Logf("recall %.3f @nprobe=1 → %.3f @nprobe=16", narrow, wide)
+}
+
+// TestHNSWRouterRetuneEFSearch: the hnsw beam width must be retunable on a
+// live cluster through the EFSearch alias of the shared knob slot, and a
+// wider beam must not lower recall.
+func TestHNSWRouterRetuneEFSearch(t *testing.T) {
+	corpus := testCorpus(t)
+	cl, client := startANNCluster(t, IndexHNSW, ann.Config{Seed: 27})
+	queries := corpus.Queries(40, 31)
+	recallAt := func(ef int) float64 {
+		cl.ANNRouter().SetEFSearch(ef)
+		hits := 0
+		for _, q := range queries {
+			got, err := client.Search(q, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := knn.BruteForce(q, corpus.Vectors, 1)[0].ID
+			if len(got) > 0 && got[0].PointID == truth {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(queries))
+	}
+	narrow := recallAt(1)
+	wide := recallAt(128)
+	if wide < narrow {
+		t.Fatalf("recall fell as the beam widened: %.3f @1 vs %.3f @128", narrow, wide)
+	}
+	if wide < 0.85 {
+		t.Fatalf("recall@1 = %.3f at efSearch=128", wide)
+	}
+	t.Logf("recall %.3f @efSearch=1 → %.3f @efSearch=128", narrow, wide)
 }

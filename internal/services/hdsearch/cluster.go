@@ -25,9 +25,9 @@ type ClusterConfig struct {
 	// Index tunes the LSH tables when Kind is IndexLSH (zero =
 	// paper-tuned defaults).
 	Index IndexConfig
-	// ANN tunes the leaf-resident IVF indexes when Kind is one of the
-	// ivf* kinds (zero = ann defaults); its Quant field is derived from
-	// Kind and its Seed defaults to Index.Seed.
+	// ANN tunes the leaf-resident indexes when Kind is one of the ivf* or
+	// hnsw kinds (zero = ann defaults); its Kind/Quant fields are derived
+	// from the cluster Kind and its Seed defaults to Index.Seed.
 	ANN ann.Config
 	// MidTier and Leaf configure the framework tiers.  MidTier.Probe is
 	// where the experiment harness attaches its telemetry.
@@ -66,16 +66,18 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	shards := ShardCorpus(cfg.Corpus, cfg.Shards)
 	cl := &Cluster{corpus: cfg.Corpus}
 	var index CandidateIndex
-	if quant, ok := ANNQuant(cfg.Kind); ok {
-		annCfg := cfg.ANN
-		annCfg.Quant = quant
+	if annCfg, ok := LeafANNConfig(cfg.Kind, cfg.ANN); ok {
 		if annCfg.Seed == 0 {
 			annCfg.Seed = cfg.Index.Seed
 		}
 		if err := BuildLeafANN(shards, annCfg); err != nil {
 			return nil, err
 		}
-		cl.annRt = NewLeafANN(shards[0].Store.Dim(), annCfg.NProbe, annCfg.Rerank)
+		knob := annCfg.NProbe
+		if cfg.Kind == IndexHNSW {
+			knob = annCfg.EFSearch
+		}
+		cl.annRt = NewLeafANN(shards[0].Store.Dim(), knob, annCfg.Rerank)
 		index = cl.annRt
 		cl.Index = IndexStats{Entries: len(cfg.Corpus.Vectors)}
 	} else if cfg.Kind == IndexLSH || cfg.Kind == "" {

@@ -82,8 +82,10 @@ func DecodeLeafRequest(b []byte) (query vec.Vector, ids []uint32, k int, err err
 }
 
 // EncodeLeafANNRequest encodes a mid-tier→leaf ANN probe: the query plus
-// the nprobe/rerank knobs (0 = the leaf index's build defaults).  One
-// encoding is broadcast to every shard.
+// the breadth/rerank knobs (0 = the leaf index's build defaults).  The
+// first knob slot carries the family's search breadth — nprobe for the IVF
+// kinds, efSearch for hnsw — so one wire format serves every leaf-resident
+// kind.  One encoding is broadcast to every shard.
 func EncodeLeafANNRequest(query vec.Vector, k, nprobe, rerank int) []byte {
 	e := wire.NewEncoder(16 + 4*len(query))
 	e.Uvarint(uint64(k))
@@ -151,19 +153,28 @@ func DecodeNeighbors(b []byte) ([]Neighbor, error) {
 type LeafData struct {
 	Store    *kernel.Store
 	GlobalID []uint32
-	// ANN is the optional leaf-resident IVF index over Store; nil leaves
-	// serve only the brute-force candidate-scoring path.
-	ANN *ann.Index
+	// ANN is the optional leaf-resident sub-linear index over Store (IVF
+	// or HNSW per the build config's Kind); nil leaves serve only the
+	// brute-force candidate-scoring path.
+	ANN ann.Searcher
 }
 
-// BuildLeafANN builds each shard's leaf-resident IVF index in place,
-// namespacing the seed per shard so replicas of the same shard build the
-// identical index while distinct shards initialize independently.
+// ShardSeed namespaces a base build seed per shard: replicas of the same
+// shard build the identical index while distinct shards initialize
+// independently.  Every shard build — in-process (BuildLeafANN) and the
+// distributed binary (cmd/hdsearch) — derives its seed here, which is what
+// the byte-identity reproducibility test pins.
+func ShardSeed(base int64, shard int) int64 {
+	return base + int64(shard)*1_000_003
+}
+
+// BuildLeafANN builds each shard's leaf-resident index in place, with the
+// seed namespaced per shard through ShardSeed.
 func BuildLeafANN(shards []LeafData, cfg ann.Config) error {
 	base := cfg.Seed
 	for s := range shards {
-		cfg.Seed = base + int64(s)*1_000_003
-		idx, err := ann.Build(shards[s].Store, cfg)
+		cfg.Seed = ShardSeed(base, s)
+		idx, err := ann.BuildKind(shards[s].Store, cfg)
 		if err != nil {
 			return fmt.Errorf("hdsearch: shard %d ann build: %w", s, err)
 		}
@@ -240,10 +251,11 @@ func leafKNN(eng *kernel.Engine, data LeafData, payload []byte, reply *wire.Enco
 	return nil
 }
 
-// leafANN serves one ANN probe against the shard's leaf-resident IVF index:
-// coarse-quantizer probe, candidate-list scan (compressed store when the
-// index has one), exact re-rank — then the same streamed global-ID reply as
-// the brute-force path, so the mid-tier merge cannot tell them apart.
+// leafANN serves one ANN probe against the shard's leaf-resident index —
+// IVF (coarse-quantizer probe, candidate scan, exact re-rank) or HNSW
+// (graph traversal; the wire's nprobe slot carries efSearch and rerank is
+// moot) — then the same streamed global-ID reply as the brute-force path,
+// so the mid-tier merge cannot tell them apart.
 func leafANN(eng *kernel.Engine, data LeafData, payload []byte, reply *wire.Encoder) error {
 	if data.ANN == nil {
 		return errors.New("hdsearch leaf: no ann index on this shard")

@@ -29,9 +29,9 @@ type IndexKind string
 
 // The available index kinds.  The first three are mid-tier candidate
 // generators (the index holds {shard, point} refs and the query ships
-// candidate IDs to the leaves); the ivf* kinds are leaf-resident — each
-// leaf builds an IVF index over its own shard and the mid-tier merely
-// broadcasts the query with the nprobe/rerank knobs.
+// candidate IDs to the leaves); the ivf* and hnsw kinds are leaf-resident —
+// each leaf builds its own sub-linear index over its shard and the mid-tier
+// merely broadcasts the query with the breadth/rerank knobs.
 const (
 	IndexLSH    IndexKind = "lsh"
 	IndexKDTree IndexKind = "kdtree"
@@ -46,13 +46,21 @@ const (
 	// ADC lookup tables (~16× less memory at dim 64), then re-ranks
 	// exactly.
 	IndexIVFPQ IndexKind = "ivfpq"
+	// IndexHNSW traverses a hierarchical navigable-small-world graph with
+	// exact float32 scoring throughout; the wire's nprobe knob slot
+	// carries efSearch, the layer-0 beam width.
+	IndexHNSW IndexKind = "hnsw"
 )
 
-// IndexKinds lists every kind, in comparison order.
-var IndexKinds = []IndexKind{IndexLSH, IndexKDTree, IndexKMeans, IndexIVF, IndexIVFSQ, IndexIVFPQ}
+// IndexKinds lists every kind, in comparison order.  Sweeps and gates
+// (indexcmp, the recall floor) derive their coverage from this list, so a
+// new kind registered here is automatically swept and gated.
+var IndexKinds = []IndexKind{IndexLSH, IndexKDTree, IndexKMeans, IndexIVF, IndexIVFSQ, IndexIVFPQ, IndexHNSW}
 
-// ANNQuant maps a leaf-resident ANN index kind to its candidate-store
-// quantization; ok is false for the mid-tier candidate-generator kinds.
+// ANNQuant maps a leaf-resident IVF index kind to its candidate-store
+// quantization; ok is false for the mid-tier candidate-generator kinds and
+// for hnsw (whose scoring is exact-only — no compressed store, no rerank
+// stage).
 func ANNQuant(kind IndexKind) (q ann.Quant, ok bool) {
 	switch kind {
 	case IndexIVF:
@@ -65,12 +73,39 @@ func ANNQuant(kind IndexKind) (q ann.Quant, ok bool) {
 	return 0, false
 }
 
+// IsLeafANN reports whether the kind is leaf-resident: the leaves build the
+// index and the mid-tier broadcasts MethodLeafANN instead of generating
+// candidates.
+func IsLeafANN(kind IndexKind) bool {
+	_, ivf := ANNQuant(kind)
+	return ivf || kind == IndexHNSW
+}
+
+// LeafANNConfig projects a leaf-resident kind onto an ann build config:
+// the family selector and quantization are set from the kind, everything
+// else passes through.  ok is false for the candidate-generator kinds.
+func LeafANNConfig(kind IndexKind, cfg ann.Config) (ann.Config, bool) {
+	if kind == IndexHNSW {
+		cfg.Kind = ann.KindHNSW
+		return cfg, true
+	}
+	if quant, ok := ANNQuant(kind); ok {
+		cfg.Kind = ann.KindIVF
+		cfg.Quant = quant
+		return cfg, true
+	}
+	return cfg, false
+}
+
 // LeafANN is the mid-tier's routing stub for the leaf-resident ANN kinds.
 // It satisfies CandidateIndex so the same NewMidTier constructor serves
 // every kind, but generates no candidates itself: the mid-tier recognizes
-// it and broadcasts MethodLeafANN instead.  The nprobe/rerank knobs are
-// atomically mutable so experiment sweeps can retune a live cluster
-// without rebuilding the leaf indexes.
+// it and broadcasts MethodLeafANN instead.  The knobs are atomically
+// mutable so experiment sweeps can retune a live cluster without rebuilding
+// the leaf indexes.  The first knob slot is the family's search-breadth
+// control — nprobe for the IVF kinds, efSearch for hnsw — carried in the
+// same wire position; the EFSearch accessors alias it under the graph
+// family's name.
 type LeafANN struct {
 	dim    int
 	nprobe atomic.Int32
@@ -103,6 +138,13 @@ func (x *LeafANN) Rerank() int { return int(x.rerank.Load()) }
 
 // SetRerank retunes the re-rank depth for subsequent requests.
 func (x *LeafANN) SetRerank(n int) { x.rerank.Store(int32(n)) }
+
+// EFSearch reports the current hnsw beam width (the same knob slot NProbe
+// reads — the families share one wire position).
+func (x *LeafANN) EFSearch() int { return int(x.nprobe.Load()) }
+
+// SetEFSearch retunes the hnsw beam width for subsequent requests.
+func (x *LeafANN) SetEFSearch(n int) { x.nprobe.Store(int32(n)) }
 
 // KDTreeIndex adapts a kd-tree to the CandidateIndex interface.
 type KDTreeIndex struct {

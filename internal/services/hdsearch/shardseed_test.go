@@ -1,0 +1,72 @@
+package hdsearch
+
+import (
+	"testing"
+
+	"musuite/internal/ann"
+)
+
+// leafANNKinds are the leaf-resident kinds, the set whose shard builds must
+// reproduce across deployment forms.
+func leafANNKinds(t *testing.T) []IndexKind {
+	t.Helper()
+	var out []IndexKind
+	for _, kind := range IndexKinds {
+		if IsLeafANN(kind) {
+			out = append(out, kind)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no leaf-resident kinds registered")
+	}
+	return out
+}
+
+// TestShardBuildsReproduceAcrossDeployments pins the seed-plumbing contract
+// for every leaf-resident kind: the in-process cluster path (BuildLeafANN)
+// and the distributed binary's per-shard path (cmd/hdsearch: ShardSeed +
+// ann.BuildKind on one shard) must produce byte-identical indexes, asserted
+// through the structure fingerprints.  If either site drifts from the
+// ShardSeed convention — or a new kind's build reads nondeterministic state
+// — the fingerprints split.
+func TestShardBuildsReproduceAcrossDeployments(t *testing.T) {
+	corpus := testCorpus(t)
+	const shards = 4
+	const baseSeed = int64(77)
+	for _, kind := range leafANNKinds(t) {
+		t.Run(string(kind), func(t *testing.T) {
+			cfg, ok := LeafANNConfig(kind, ann.Config{NList: 10, Seed: baseSeed})
+			if !ok {
+				t.Fatalf("LeafANNConfig rejected leaf kind %q", kind)
+			}
+
+			// In-process path: one call builds every shard.
+			inProc := ShardCorpus(corpus, shards)
+			if err := BuildLeafANN(inProc, cfg); err != nil {
+				t.Fatal(err)
+			}
+
+			// Distributed path: each leaf process regenerates the corpus,
+			// shards it, and builds only its own shard — exactly what
+			// cmd/hdsearch does.
+			for s := 0; s < shards; s++ {
+				remote := ShardCorpus(corpus, shards)
+				shardCfg := cfg
+				shardCfg.Seed = ShardSeed(baseSeed, s)
+				idx, err := ann.BuildKind(remote[s].Store, shardCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := idx.Fingerprint(), inProc[s].ANN.Fingerprint(); got != want {
+					t.Fatalf("shard %d: distributed build fingerprint %x != in-process %x", s, got, want)
+				}
+			}
+
+			// Distinct shards must not share a fingerprint (the namespacing
+			// is live, not a constant seed).
+			if inProc[0].ANN.Fingerprint() == inProc[1].ANN.Fingerprint() {
+				t.Fatal("shards 0 and 1 built identical indexes — per-shard seed namespacing lost")
+			}
+		})
+	}
+}

@@ -208,8 +208,9 @@ type (
 	// HDSearchIndexKind selects the mid-tier candidate index.
 	HDSearchIndexKind = hdsearch.IndexKind
 	// HDSearchANNConfig tunes the leaf-resident ANN index builds for the
-	// ivf* kinds (ClusterConfig.ANN): coarse-quantizer cluster count, the
-	// nprobe/rerank search defaults, and training-sample/seed knobs.
+	// ivf* and hnsw kinds (ClusterConfig.ANN): coarse-quantizer cluster
+	// count and nprobe/rerank defaults for IVF, the M/efConstruction/
+	// efSearch graph knobs for HNSW, and training-sample/seed knobs.
 	HDSearchANNConfig = ann.Config
 )
 
@@ -217,8 +218,8 @@ type (
 // tables, kd-trees, or k-means clusters" trio of mid-tier candidate
 // generators, plus the leaf-resident sub-linear ANN indexes — plain IVF
 // (exact float32 candidate scoring), IVF over an int8 scalar-quantized
-// store, and IVF over a product-quantized store, the latter two with
-// exact float32 re-rank.
+// store, IVF over a product-quantized store (both with exact float32
+// re-rank), and the HNSW proximity graph (exact scoring throughout).
 const (
 	HDSearchIndexLSH    = hdsearch.IndexLSH
 	HDSearchIndexKDTree = hdsearch.IndexKDTree
@@ -226,6 +227,7 @@ const (
 	HDSearchIndexIVF    = hdsearch.IndexIVF
 	HDSearchIndexIVFSQ  = hdsearch.IndexIVFSQ
 	HDSearchIndexIVFPQ  = hdsearch.IndexIVFPQ
+	HDSearchIndexHNSW   = hdsearch.IndexHNSW
 )
 
 // HDSearchIndexKinds lists every selectable candidate index in display
